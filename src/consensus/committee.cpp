@@ -1,0 +1,46 @@
+#include "consensus/committee.hpp"
+
+#include "util/require.hpp"
+
+namespace roleshare::consensus {
+
+std::uint64_t Committee::total_weight() const {
+  std::uint64_t total = 0;
+  for (const CommitteeMember& m : members) total += m.weight;
+  return total;
+}
+
+bool Committee::contains(ledger::NodeId node) const {
+  return find(node) != nullptr;
+}
+
+const CommitteeMember* Committee::find(ledger::NodeId node) const {
+  for (const CommitteeMember& m : members)
+    if (m.node == node) return &m;
+  return nullptr;
+}
+
+Committee elect_committee(const std::vector<crypto::KeyPair>& keys,
+                          const std::vector<std::int64_t>& stakes,
+                          std::uint64_t round, std::uint32_t step,
+                          const crypto::Hash256& prev_seed,
+                          std::uint64_t expected_stake,
+                          std::int64_t total_stake) {
+  RS_REQUIRE(keys.size() == stakes.size(), "keys/stakes size mismatch");
+  Committee committee;
+  committee.round = round;
+  committee.step = step;
+
+  const crypto::VrfInput input{round, step, prev_seed};
+  const crypto::SortitionParams params{expected_stake, total_stake};
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto result = crypto::sortition(keys[i], input, stakes[i], params);
+    if (result.selected()) {
+      committee.members.push_back(CommitteeMember{
+          static_cast<ledger::NodeId>(i), result.sub_users, result});
+    }
+  }
+  return committee;
+}
+
+}  // namespace roleshare::consensus

@@ -1,0 +1,131 @@
+#include "consensus/msg_codec.hpp"
+
+namespace roleshare::consensus {
+
+namespace {
+
+constexpr std::uint8_t kTagVote = 0x03;
+constexpr std::uint8_t kTagProposal = 0x04;
+constexpr std::uint8_t kTagCredential = 0x05;
+
+void put_sortition(ledger::Encoder& enc,
+                   const crypto::SortitionResult& sortition) {
+  enc.put_u64(sortition.sub_users);
+  enc.put_hash(sortition.vrf.output);
+  enc.put_hash(sortition.vrf.proof.value);
+}
+
+crypto::SortitionResult get_sortition(ledger::Decoder& dec) {
+  crypto::SortitionResult res;
+  res.sub_users = dec.get_u64();
+  res.vrf.output = dec.get_hash();
+  res.vrf.proof = crypto::Signature{dec.get_hash()};
+  return res;
+}
+
+}  // namespace
+
+Credential Credential::for_proposal(const BlockProposal& proposal,
+                                    std::uint64_t round) {
+  Credential c;
+  c.proposer = proposal.proposer;
+  c.proposer_key = proposal.proposer_key;
+  c.round = round;
+  c.sortition = proposal.sortition;
+  c.priority = proposal.priority;
+  return c;
+}
+
+bool Credential::verify(const crypto::VrfInput& input, std::int64_t stake,
+                        const crypto::SortitionParams& params) const {
+  const std::uint64_t sub_users = crypto::verify_sortition(
+      proposer_key, input, sortition.vrf, stake, params);
+  if (sub_users == 0 || sub_users != sortition.sub_users) return false;
+  return priority == sortition.priority();
+}
+
+std::vector<std::uint8_t> encode_vote(const Vote& vote) {
+  ledger::Encoder enc;
+  enc.put_u8(kTagVote);
+  enc.put_u32(vote.voter);
+  enc.put_hash(vote.voter_key.value);
+  enc.put_u64(vote.round);
+  enc.put_u32(vote.step);
+  enc.put_hash(vote.value);
+  enc.put_u64(vote.weight);
+  put_sortition(enc, vote.sortition);
+  return enc.take();
+}
+
+Vote decode_vote(std::span<const std::uint8_t> bytes) {
+  ledger::Decoder dec(bytes);
+  if (dec.get_u8() != kTagVote) throw DecodeError("not a voting message");
+  Vote vote;
+  vote.voter = dec.get_u32();
+  vote.voter_key = crypto::PublicKey{dec.get_hash()};
+  vote.round = dec.get_u64();
+  vote.step = dec.get_u32();
+  vote.value = dec.get_hash();
+  vote.weight = dec.get_u64();
+  vote.sortition = get_sortition(dec);
+  if (vote.weight == 0) throw DecodeError("zero-weight vote");
+  if (vote.weight != vote.sortition.sub_users)
+    throw DecodeError("vote weight/sortition mismatch");
+  dec.expect_done();
+  return vote;
+}
+
+std::vector<std::uint8_t> encode_proposal(const BlockProposal& proposal) {
+  ledger::Encoder enc;
+  enc.put_u8(kTagProposal);
+  enc.put_u32(proposal.proposer);
+  enc.put_hash(proposal.proposer_key.value);
+  put_sortition(enc, proposal.sortition);
+  enc.put_u64(proposal.priority);
+  enc.put_bytes(ledger::encode_block(proposal.block));
+  return enc.take();
+}
+
+BlockProposal decode_proposal(std::span<const std::uint8_t> bytes) {
+  ledger::Decoder dec(bytes);
+  if (dec.get_u8() != kTagProposal)
+    throw DecodeError("not a block-proposal message");
+  BlockProposal p;
+  p.proposer = dec.get_u32();
+  p.proposer_key = crypto::PublicKey{dec.get_hash()};
+  p.sortition = get_sortition(dec);
+  p.priority = dec.get_u64();
+  const auto block_bytes = dec.get_bytes();
+  p.block = ledger::decode_block(block_bytes);
+  if (p.sortition.sub_users == 0)
+    throw DecodeError("proposal without winning sortition");
+  dec.expect_done();
+  return p;
+}
+
+std::vector<std::uint8_t> encode_credential(const Credential& credential) {
+  ledger::Encoder enc;
+  enc.put_u8(kTagCredential);
+  enc.put_u32(credential.proposer);
+  enc.put_hash(credential.proposer_key.value);
+  enc.put_u64(credential.round);
+  put_sortition(enc, credential.sortition);
+  enc.put_u64(credential.priority);
+  return enc.take();
+}
+
+Credential decode_credential(std::span<const std::uint8_t> bytes) {
+  ledger::Decoder dec(bytes);
+  if (dec.get_u8() != kTagCredential)
+    throw DecodeError("not a credential message");
+  Credential c;
+  c.proposer = dec.get_u32();
+  c.proposer_key = crypto::PublicKey{dec.get_hash()};
+  c.round = dec.get_u64();
+  c.sortition = get_sortition(dec);
+  c.priority = dec.get_u64();
+  dec.expect_done();
+  return c;
+}
+
+}  // namespace roleshare::consensus

@@ -1,0 +1,45 @@
+// Wire format for the consensus-layer messages of §II-B2: Voting messages
+// (vote + sortition proof), Block-proposal messages (block + proof +
+// priority) and Credential messages (the proposer's proof broadcast ahead
+// of the block so peers can drop low-priority proposals early).
+//
+// Built on the ledger codec primitives; same guarantees — deterministic
+// bytes, strict decoding, DecodeError on malformed input.
+#pragma once
+
+#include "consensus/proposal.hpp"
+#include "consensus/votes.hpp"
+#include "ledger/codec.hpp"
+
+namespace roleshare::consensus {
+
+using ledger::DecodeError;
+
+/// Credential message: announces a proposer's eligibility and priority for
+/// a round without shipping the block yet (§II-B2, congestion control).
+struct Credential {
+  ledger::NodeId proposer = 0;
+  crypto::PublicKey proposer_key;
+  std::uint64_t round = 0;
+  crypto::SortitionResult sortition;
+  std::uint64_t priority = 0;
+
+  /// Builds the credential for a winning proposer.
+  static Credential for_proposal(const BlockProposal& proposal,
+                                 std::uint64_t round);
+
+  /// Verifies the sortition proof and the claimed priority.
+  bool verify(const crypto::VrfInput& input, std::int64_t stake,
+              const crypto::SortitionParams& params) const;
+};
+
+std::vector<std::uint8_t> encode_vote(const Vote& vote);
+Vote decode_vote(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> encode_proposal(const BlockProposal& proposal);
+BlockProposal decode_proposal(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> encode_credential(const Credential& credential);
+Credential decode_credential(std::span<const std::uint8_t> bytes);
+
+}  // namespace roleshare::consensus

@@ -1,0 +1,59 @@
+#include "consensus/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace roleshare::consensus {
+
+double ConsensusParams::step_quorum() const {
+  return step_threshold * static_cast<double>(expected_step_stake);
+}
+
+double ConsensusParams::final_quorum() const {
+  return final_threshold * static_cast<double>(expected_final_stake);
+}
+
+std::uint64_t ConsensusParams::expected_committee_stake_per_round() const {
+  return expected_step_stake * 3 + expected_final_stake;
+}
+
+void ConsensusParams::validate() const {
+  RS_REQUIRE(expected_proposer_stake > 0, "tau_proposer > 0");
+  RS_REQUIRE(expected_step_stake > 0, "tau_step > 0");
+  RS_REQUIRE(expected_final_stake > 0, "tau_final > 0");
+  RS_REQUIRE(step_threshold > 0.5 && step_threshold < 1.0,
+             "step threshold in (0.5, 1)");
+  RS_REQUIRE(final_threshold > 0.5 && final_threshold < 1.0,
+             "final threshold in (0.5, 1)");
+  RS_REQUIRE(max_binary_iterations > 0, "at least one binary iteration");
+  RS_REQUIRE(proposal_timeout_ms > 0.0, "proposal timeout");
+  RS_REQUIRE(step_timeout_ms > 0.0, "step timeout");
+}
+
+ConsensusParams ConsensusParams::scaled_for(std::int64_t total_stake) {
+  RS_REQUIRE(total_stake > 0, "total stake");
+  ConsensusParams p;
+  // Mainnet defaults assume huge total stake. For small simulated networks
+  // two forces compete: committees must carry enough expected sub-users
+  // that the T-quorum is met reliably (variance ~ 1/sqrt(tau)), yet stay a
+  // small enough stake fraction that most nodes remain role-less "Others"
+  // (the paper's K set). Absolute targets of ~40 step / ~80 final
+  // sub-users give <~2% per-step quorum misses while keeping committees a
+  // minority; tiny networks fall back to stake fractions.
+  const auto w = static_cast<std::uint64_t>(total_stake);
+  const auto clamp = [w](double fraction, std::uint64_t lo,
+                         std::uint64_t hi) {
+    const auto by_fraction = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(w) * fraction));
+    return std::min({std::max(lo, std::min(by_fraction, hi)), w});
+  };
+  p.expected_proposer_stake = clamp(0.002, 3, 10);
+  p.expected_step_stake = clamp(0.02, 10, 40);
+  p.expected_final_stake = clamp(0.06, 20, 80);
+  p.validate();
+  return p;
+}
+
+}  // namespace roleshare::consensus

@@ -1,0 +1,55 @@
+// Consensus protocol parameters.
+//
+// Expected committee sizes are expressed in *stake units* (sub-users), as in
+// Algorand: tau_proposer = 26, tau_step = 1000, tau_final = 10000 — exactly
+// the S_L = 26, S_STEP = 1k, S_FINAL = 10k accounting the paper uses in
+// §V-B (S_M = tau_step * 3 + tau_final for the expected committee stake of
+// one reduction+binary pipeline). Vote thresholds are fractions of tau.
+#pragma once
+
+#include <cstdint>
+
+#include "net/sim_time.hpp"
+
+namespace roleshare::consensus {
+
+struct ConsensusParams {
+  /// Expected total stake of block proposers per round (tau_proposer).
+  std::uint64_t expected_proposer_stake = 26;
+  /// Expected committee stake per BA* step (tau_step, "S_STEP").
+  std::uint64_t expected_step_stake = 1000;
+  /// Expected committee stake for the final vote (tau_final, "S_FINAL").
+  std::uint64_t expected_final_stake = 10'000;
+
+  /// Fraction of tau_step that a value must exceed to win a step (T).
+  double step_threshold = 0.685;
+  /// Fraction of tau_final required to declare a block final (T_FINAL).
+  double final_threshold = 0.74;
+
+  /// Maximum BinaryBA* iterations before giving up (the paper: <11 steps).
+  std::uint32_t max_binary_iterations = 11;
+
+  /// Virtual time allotted to collect block proposals.
+  net::TimeMs proposal_timeout_ms = 10'000.0;
+  /// Virtual time allotted to collect votes per step (paper: 20 s).
+  net::TimeMs step_timeout_ms = net::kDefaultStepTimeoutMs;
+
+  /// Weighted-vote quorum for one step: step_threshold * tau_step.
+  double step_quorum() const;
+  /// Weighted-vote quorum for finality: final_threshold * tau_final.
+  double final_quorum() const;
+
+  /// Expected committee stake S_M for one full round, as the paper counts
+  /// it (§V-B): tau_step * 3 + tau_final.
+  std::uint64_t expected_committee_stake_per_round() const;
+
+  /// Throws std::invalid_argument when a field is out of range.
+  void validate() const;
+
+  /// Scales the stake expectations for small test networks: committees
+  /// sized for a total stake of `total_stake` instead of the mainnet-scale
+  /// defaults, keeping the same proportions.
+  static ConsensusParams scaled_for(std::int64_t total_stake);
+};
+
+}  // namespace roleshare::consensus

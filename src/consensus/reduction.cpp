@@ -1,0 +1,34 @@
+#include "consensus/reduction.hpp"
+
+namespace roleshare::consensus {
+
+crypto::Hash256 reduction_step1_value(
+    const std::optional<crypto::Hash256>& best_proposal_hash,
+    const crypto::Hash256& empty_hash) {
+  return best_proposal_hash.value_or(empty_hash);
+}
+
+namespace {
+
+crypto::Hash256 quorum_value_or_empty(std::span<const Vote> votes,
+                                      double quorum,
+                                      const crypto::Hash256& empty_hash) {
+  const TallyResult tally = tally_votes(votes, quorum);
+  return tally.winner.value_or(empty_hash);
+}
+
+}  // namespace
+
+crypto::Hash256 reduction_step2_value(std::span<const Vote> step1_votes,
+                                      double quorum,
+                                      const crypto::Hash256& empty_hash) {
+  return quorum_value_or_empty(step1_votes, quorum, empty_hash);
+}
+
+crypto::Hash256 reduction_output(std::span<const Vote> step2_votes,
+                                 double quorum,
+                                 const crypto::Hash256& empty_hash) {
+  return quorum_value_or_empty(step2_votes, quorum, empty_hash);
+}
+
+}  // namespace roleshare::consensus

@@ -1,0 +1,33 @@
+// Reduction phase (Fig 1-c): converts "agree on one of many proposed
+// blocks" into "agree on one block hash or the empty hash" in exactly two
+// voting steps. These are the pure per-node decision rules; the simulator
+// supplies each node's received-vote view.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "consensus/votes.hpp"
+
+namespace roleshare::consensus {
+
+/// Step 1: a committee member votes for the hash of the highest-priority
+/// proposal it received, or the empty hash if it received none.
+crypto::Hash256 reduction_step1_value(
+    const std::optional<crypto::Hash256>& best_proposal_hash,
+    const crypto::Hash256& empty_hash);
+
+/// Step 2: a committee member votes for the value that crossed the step
+/// quorum in its view of step-1 votes, or the empty hash otherwise.
+crypto::Hash256 reduction_step2_value(std::span<const Vote> step1_votes,
+                                      double quorum,
+                                      const crypto::Hash256& empty_hash);
+
+/// Output of the reduction phase for one node: the value that crossed the
+/// quorum in its view of step-2 votes, or the empty hash. This value seeds
+/// BinaryBA*.
+crypto::Hash256 reduction_output(std::span<const Vote> step2_votes,
+                                 double quorum,
+                                 const crypto::Hash256& empty_hash);
+
+}  // namespace roleshare::consensus

@@ -1,0 +1,34 @@
+// Protocol roles. In a given round a node is a Leader (block proposer), a
+// Committee member (votes in at least one BA* step), or an Other online
+// node (paper's sets L, M, K).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace roleshare::consensus {
+
+enum class Role : std::uint8_t { Leader, Committee, Other };
+
+constexpr std::string_view to_string(Role r) {
+  switch (r) {
+    case Role::Leader:
+      return "leader";
+    case Role::Committee:
+      return "committee";
+    case Role::Other:
+      return "other";
+  }
+  return "?";
+}
+
+/// BA* step identifiers. Step 0 is proposer sortition; steps 1 and 2 are
+/// the Reduction phase; binary steps follow; kFinalStep is the final-vote
+/// committee.
+inline constexpr std::uint32_t kProposerStep = 0;
+inline constexpr std::uint32_t kReductionStep1 = 1;
+inline constexpr std::uint32_t kReductionStep2 = 2;
+inline constexpr std::uint32_t kFirstBinaryStep = 3;
+inline constexpr std::uint32_t kFinalStep = 0xffff'0000;
+
+}  // namespace roleshare::consensus

@@ -1,0 +1,97 @@
+#include "consensus/votes.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace roleshare::consensus {
+
+Vote make_vote(ledger::NodeId voter, const crypto::PublicKey& key,
+               std::uint64_t round, std::uint32_t step,
+               const crypto::Hash256& value,
+               const crypto::SortitionResult& sortition) {
+  RS_REQUIRE(sortition.selected(), "voter must have won sortition");
+  Vote v;
+  v.voter = voter;
+  v.voter_key = key;
+  v.round = round;
+  v.step = step;
+  v.value = value;
+  v.weight = sortition.sub_users;
+  v.sortition = sortition;
+  return v;
+}
+
+bool verify_vote(const Vote& vote, const crypto::Hash256& prev_seed,
+                 std::int64_t stake, const crypto::SortitionParams& params) {
+  const crypto::VrfInput input{vote.round, vote.step, prev_seed};
+  const std::uint64_t sub_users = crypto::verify_sortition(
+      vote.voter_key, input, vote.sortition.vrf, stake, params);
+  return sub_users > 0 && sub_users == vote.weight;
+}
+
+VoteCounter::VoteCounter(double quorum) : quorum_(quorum) {
+  RS_REQUIRE(quorum > 0.0, "quorum must be positive");
+}
+
+bool VoteCounter::add(const Vote& vote) {
+  if (std::find(seen_voters_.begin(), seen_voters_.end(), vote.voter) !=
+      seen_voters_.end())
+    return false;
+  seen_voters_.push_back(vote.voter);
+  total_weight_ += vote.weight;
+
+  auto it = std::find_if(tallies_.begin(), tallies_.end(),
+                         [&](const Entry& e) { return e.value == vote.value; });
+  if (it == tallies_.end()) {
+    tallies_.push_back(Entry{vote.value, vote.weight});
+  } else {
+    it->weight += vote.weight;
+  }
+
+  const crypto::Hash256 vote_hash = crypto::HashBuilder("roleshare.coin")
+                                        .add(vote.sortition.vrf.output)
+                                        .build();
+  if (!any_vote_ || vote_hash < min_vote_hash_) {
+    min_vote_hash_ = vote_hash;
+    any_vote_ = true;
+  }
+  return true;
+}
+
+std::uint64_t VoteCounter::weight_for(const crypto::Hash256& value) const {
+  for (const Entry& e : tallies_)
+    if (e.value == value) return e.weight;
+  return 0;
+}
+
+TallyResult VoteCounter::result() const {
+  TallyResult r;
+  r.total_weight = total_weight_;
+  const Entry* best = nullptr;
+  for (const Entry& e : tallies_) {
+    if (static_cast<double>(e.weight) <= quorum_) continue;
+    if (best == nullptr || e.weight > best->weight ||
+        (e.weight == best->weight && e.value < best->value)) {
+      best = &e;
+    }
+  }
+  if (best != nullptr) {
+    r.winner = best->value;
+    r.winner_weight = best->weight;
+  }
+  return r;
+}
+
+std::optional<bool> VoteCounter::common_coin() const {
+  if (!any_vote_) return std::nullopt;
+  return (min_vote_hash_.bytes().back() & 1) != 0;
+}
+
+TallyResult tally_votes(std::span<const Vote> votes, double quorum) {
+  VoteCounter counter(quorum);
+  for (const Vote& v : votes) counter.add(v);
+  return counter.result();
+}
+
+}  // namespace roleshare::consensus

@@ -1,0 +1,86 @@
+// Voting messages and weighted vote counting (§II-B2/B3).
+//
+// A vote carries the voter's sortition proof; counting verifies each proof,
+// sums the verified sub-user weights per value, and reports the value whose
+// weight crosses the step quorum T * tau.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/sortition.hpp"
+#include "ledger/types.hpp"
+
+namespace roleshare::consensus {
+
+struct Vote {
+  ledger::NodeId voter = 0;
+  crypto::PublicKey voter_key;
+  std::uint64_t round = 0;
+  std::uint32_t step = 0;
+  crypto::Hash256 value;  // block hash voted for
+  std::uint64_t weight = 0;
+  crypto::SortitionResult sortition;
+};
+
+/// Builds a vote for a committee member who won sortition for (round, step).
+Vote make_vote(ledger::NodeId voter, const crypto::PublicKey& key,
+               std::uint64_t round, std::uint32_t step,
+               const crypto::Hash256& value,
+               const crypto::SortitionResult& sortition);
+
+/// Verifies a single vote's sortition proof and claimed weight.
+/// `stake` is the voter's stake; `params` the step's sortition parameters.
+bool verify_vote(const Vote& vote, const crypto::Hash256& prev_seed,
+                 std::int64_t stake, const crypto::SortitionParams& params);
+
+/// Result of tallying one step.
+struct TallyResult {
+  /// Value whose verified weight exceeded the quorum, if any.
+  std::optional<crypto::Hash256> winner;
+  /// Verified weight of the winning value (0 when no winner).
+  std::uint64_t winner_weight = 0;
+  /// Total verified weight across all values.
+  std::uint64_t total_weight = 0;
+};
+
+/// Vote tally for one (round, step). Assumes votes were already verified
+/// (the simulator verifies at receive time); duplicate votes by the same
+/// voter are counted once.
+class VoteCounter {
+ public:
+  explicit VoteCounter(double quorum);
+
+  /// Adds a vote; returns false if this voter was already counted.
+  bool add(const Vote& vote);
+
+  /// Current weight for a value.
+  std::uint64_t weight_for(const crypto::Hash256& value) const;
+  std::uint64_t total_weight() const { return total_weight_; }
+
+  /// The value exceeding the quorum, if any (highest weight wins; ties
+  /// break toward the lower hash so all nodes agree).
+  TallyResult result() const;
+
+  /// Algorand's common coin: least significant bit of the minimum vote-hash
+  /// over all counted votes. Returns nullopt when no votes were counted.
+  std::optional<bool> common_coin() const;
+
+ private:
+  struct Entry {
+    crypto::Hash256 value;
+    std::uint64_t weight = 0;
+  };
+  double quorum_;
+  std::vector<Entry> tallies_;
+  std::vector<ledger::NodeId> seen_voters_;
+  std::uint64_t total_weight_ = 0;
+  crypto::Hash256 min_vote_hash_;
+  bool any_vote_ = false;
+};
+
+/// Convenience: tally a batch of votes against a quorum.
+TallyResult tally_votes(std::span<const Vote> votes, double quorum);
+
+}  // namespace roleshare::consensus

@@ -1,0 +1,62 @@
+#include "crypto/hash.hpp"
+
+#include <algorithm>
+
+#include "util/hex.hpp"
+
+namespace roleshare::crypto {
+
+bool Hash256::is_zero() const {
+  return std::all_of(bytes_.begin(), bytes_.end(),
+                     [](std::uint8_t b) { return b == 0; });
+}
+
+std::uint64_t Hash256::prefix_u64() const {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) value = (value << 8) | bytes_[i];
+  return value;
+}
+
+double Hash256::ratio() const {
+  // Top 53 bits to stay exactly representable in a double.
+  return static_cast<double>(prefix_u64() >> 11) * 0x1.0p-53;
+}
+
+std::string Hash256::to_hex() const { return util::to_hex(bytes_); }
+
+std::string Hash256::short_hex() const { return to_hex().substr(0, 8); }
+
+HashBuilder::HashBuilder(std::string_view domain_tag) {
+  ctx_.update_u64(domain_tag.size());
+  ctx_.update(domain_tag);
+}
+
+HashBuilder& HashBuilder::add(std::span<const std::uint8_t> bytes) {
+  ctx_.update_u64(bytes.size());
+  ctx_.update(bytes);
+  return *this;
+}
+
+HashBuilder& HashBuilder::add(std::string_view text) {
+  ctx_.update_u64(text.size());
+  ctx_.update(text);
+  return *this;
+}
+
+HashBuilder& HashBuilder::add(const Hash256& hash) {
+  return add(hash.span());
+}
+
+HashBuilder& HashBuilder::add_u64(std::uint64_t value) {
+  ctx_.update_u64(8);
+  ctx_.update_u64(value);
+  return *this;
+}
+
+HashBuilder& HashBuilder::add_i64(std::int64_t value) {
+  return add_u64(static_cast<std::uint64_t>(value));
+}
+
+Hash256 HashBuilder::build() { return Hash256(ctx_.finalize()); }
+
+}  // namespace roleshare::crypto

@@ -1,0 +1,68 @@
+// Hash256 — strongly-typed 32-byte hash value used for block hashes, seeds,
+// public keys, signatures and VRF outputs.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "crypto/sha256.hpp"
+
+namespace roleshare::crypto {
+
+class Hash256 {
+ public:
+  Hash256() = default;  // zero hash
+  explicit Hash256(const Digest& digest) : bytes_(digest) {}
+
+  static Hash256 zero() { return Hash256{}; }
+  bool is_zero() const;
+
+  const std::array<std::uint8_t, 32>& bytes() const { return bytes_; }
+  std::span<const std::uint8_t> span() const { return bytes_; }
+
+  /// First 8 bytes as a big-endian integer — used for priorities.
+  std::uint64_t prefix_u64() const;
+
+  /// Maps the hash uniformly to [0, 1) using the 64-bit prefix. This is the
+  /// hash-ratio that drives sortition's binomial inversion.
+  double ratio() const;
+
+  std::string to_hex() const;
+  /// Abbreviated hex (first 8 chars) for logs.
+  std::string short_hex() const;
+
+  auto operator<=>(const Hash256&) const = default;
+
+ private:
+  std::array<std::uint8_t, 32> bytes_{};
+};
+
+/// Domain-separated hash builder: H(tag || parts...). Each part is length-
+/// prefixed, so concatenation ambiguity cannot produce collisions.
+class HashBuilder {
+ public:
+  explicit HashBuilder(std::string_view domain_tag);
+
+  HashBuilder& add(std::span<const std::uint8_t> bytes);
+  HashBuilder& add(std::string_view text);
+  HashBuilder& add(const Hash256& hash);
+  HashBuilder& add_u64(std::uint64_t value);
+  HashBuilder& add_i64(std::int64_t value);
+
+  Hash256 build();
+
+ private:
+  Sha256 ctx_;
+};
+
+/// std::hash support so Hash256 can key unordered containers.
+struct Hash256Hasher {
+  std::size_t operator()(const Hash256& h) const {
+    return static_cast<std::size_t>(h.prefix_u64());
+  }
+};
+
+}  // namespace roleshare::crypto

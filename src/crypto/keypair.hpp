@@ -1,0 +1,55 @@
+// Simulated signature scheme.
+//
+// SUBSTITUTION (see DESIGN.md): real Algorand uses Ed25519. For a
+// discrete-event simulation with honest-but-selfish (never forging) players,
+// we replace it with a keyed-hash scheme that preserves the properties the
+// protocol logic relies on — determinism, per-key uniqueness, verifiability
+// by recomputation — while being orders of magnitude cheaper. It is NOT
+// unforgeable and must never be used outside simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/hash.hpp"
+
+namespace roleshare::crypto {
+
+/// Public key: an opaque 32-byte value derived from the secret key.
+struct PublicKey {
+  Hash256 value;
+  auto operator<=>(const PublicKey&) const = default;
+  std::string short_hex() const { return value.short_hex(); }
+};
+
+/// Signature over a message hash.
+struct Signature {
+  Hash256 value;
+  auto operator<=>(const Signature&) const = default;
+};
+
+/// A key pair deterministically derived from (experiment seed, node id).
+class KeyPair {
+ public:
+  /// Derives a key pair for `node_id` under `seed`.
+  static KeyPair derive(std::uint64_t seed, std::uint64_t node_id);
+
+  const PublicKey& public_key() const { return public_key_; }
+
+  /// Signs a message hash. Deterministic.
+  Signature sign(const Hash256& message) const;
+
+ private:
+  KeyPair(Hash256 secret, PublicKey pub);
+
+  Hash256 secret_;
+  PublicKey public_key_;
+};
+
+/// Verifies a signature. In this simulated scheme the verifier recomputes
+/// the keyed hash from the public key (see header comment for the security
+/// caveat); the call signature mirrors a real scheme's so consensus code is
+/// substitution-agnostic.
+bool verify(const PublicKey& pk, const Hash256& message, const Signature& sig);
+
+}  // namespace roleshare::crypto

@@ -1,0 +1,44 @@
+// SHA-256 implemented from scratch (FIPS 180-4). This is the only hash
+// primitive in RoleShare: block hashing, simulated signatures, the VRF and
+// sortition all build on it.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace roleshare::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context. Usage: update(...) any number of times,
+/// then finalize() exactly once.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view text);
+  /// Appends an integer in little-endian byte order (domain-separation aid).
+  void update_u64(std::uint64_t value);
+
+  /// Completes the hash. The context must not be reused afterwards.
+  Digest finalize();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finalized_ = false;
+};
+
+/// One-shot helpers.
+Digest sha256(std::span<const std::uint8_t> data);
+Digest sha256(std::string_view text);
+
+}  // namespace roleshare::crypto

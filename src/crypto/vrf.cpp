@@ -1,0 +1,31 @@
+#include "crypto/vrf.hpp"
+
+namespace roleshare::crypto {
+
+Hash256 VrfInput::message() const {
+  return HashBuilder("roleshare.vrf.input")
+      .add_u64(round)
+      .add_u64(step)
+      .add(prev_seed)
+      .build();
+}
+
+VrfOutput vrf_evaluate(const KeyPair& key, const VrfInput& input) {
+  const Hash256 msg = input.message();
+  const Signature proof = key.sign(msg);
+  // Output is a hash of the proof, as in signature-based VRF constructions.
+  const Hash256 output =
+      HashBuilder("roleshare.vrf.out").add(proof.value).build();
+  return VrfOutput{output, proof};
+}
+
+bool vrf_verify(const PublicKey& pk, const VrfInput& input,
+                const VrfOutput& out) {
+  const Hash256 msg = input.message();
+  if (!verify(pk, msg, out.proof)) return false;
+  const Hash256 expected =
+      HashBuilder("roleshare.vrf.out").add(out.proof.value).build();
+  return expected == out.output;
+}
+
+}  // namespace roleshare::crypto

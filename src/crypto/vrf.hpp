@@ -1,0 +1,42 @@
+// Hash-based Verifiable Random Function.
+//
+// Real Algorand uses the Micali–Rabin–Vadhan VRF; our simulation substitute
+// (see DESIGN.md) derives output = H(pk, input) and a proof that verifiers
+// recompute. The crucial property for sortition — the output ratio is
+// uniform in [0,1) and fixed per (key, round, step, seed) — is preserved.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/hash.hpp"
+#include "crypto/keypair.hpp"
+
+namespace roleshare::crypto {
+
+/// VRF evaluation result: the pseudorandom output and a proof of correct
+/// evaluation (in the simulation, the proof doubles as the output).
+struct VrfOutput {
+  Hash256 output;
+  Signature proof;
+
+  /// Uniform value in [0, 1) derived from the output.
+  double ratio() const { return output.ratio(); }
+};
+
+/// The VRF input for Algorand sortition: sig_i(round, step, Q_{r-1}).
+struct VrfInput {
+  std::uint64_t round = 0;
+  std::uint64_t step = 0;  // 0 = block-proposal sortition
+  Hash256 prev_seed;       // Q_{r-1}
+
+  Hash256 message() const;
+};
+
+/// Evaluates the VRF under the given key pair.
+VrfOutput vrf_evaluate(const KeyPair& key, const VrfInput& input);
+
+/// Verifies that `out` is the correct VRF evaluation for (pk, input).
+bool vrf_verify(const PublicKey& pk, const VrfInput& input,
+                const VrfOutput& out);
+
+}  // namespace roleshare::crypto

@@ -1,0 +1,76 @@
+#include "econ/bi_bounds.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace roleshare::econ {
+
+RewardSplit::RewardSplit(double a, double b) : alpha(a), beta(b) {
+  RS_REQUIRE(a > 0.0 && b > 0.0, "alpha and beta must be positive");
+  RS_REQUIRE(a + b < 1.0, "alpha + beta must leave gamma > 0");
+}
+
+BoundInputs BoundInputs::from_snapshot(const RoleSnapshot& snapshot) {
+  BoundInputs in;
+  in.stake_leaders =
+      static_cast<double>(snapshot.stake_of(consensus::Role::Leader));
+  in.stake_committee =
+      static_cast<double>(snapshot.stake_of(consensus::Role::Committee));
+  in.stake_others =
+      static_cast<double>(snapshot.stake_of(consensus::Role::Other));
+  in.min_stake_leader =
+      static_cast<double>(snapshot.min_stake_of(consensus::Role::Leader));
+  in.min_stake_committee =
+      static_cast<double>(snapshot.min_stake_of(consensus::Role::Committee));
+  in.min_stake_other =
+      static_cast<double>(snapshot.min_stake_of(consensus::Role::Other));
+  return in;
+}
+
+void BoundInputs::validate() const {
+  RS_REQUIRE(stake_leaders > 0, "S_L > 0");
+  RS_REQUIRE(stake_committee > 0, "S_M > 0");
+  RS_REQUIRE(stake_others > 0, "S_K > 0");
+  RS_REQUIRE(min_stake_leader > 0, "s*_l > 0");
+  RS_REQUIRE(min_stake_committee > 0, "s*_m > 0");
+  RS_REQUIRE(min_stake_other > 0, "s*_k > 0");
+}
+
+BiBounds compute_bi_bounds(const RewardSplit& split, const BoundInputs& in,
+                           const CostModel& costs) {
+  in.validate();
+  const double gamma = split.gamma();
+  BiBounds out;
+
+  // Eq (6): a defecting leader would be paid from the γ pot alongside the
+  // others (its stake joins S_K), hence the γ/(S_K + s*_l) term.
+  const double leader_margin =
+      split.alpha / in.stake_leaders -
+      gamma / (in.stake_others + in.min_stake_leader);
+  // Eq (7): same structure for committee members.
+  const double committee_margin =
+      split.beta / in.stake_committee -
+      gamma / (in.stake_others + in.min_stake_committee);
+
+  out.feasible = leader_margin > 0.0 && committee_margin > 0.0;
+  if (!out.feasible) return out;
+
+  out.leader_bound = (costs.leader_cost() - costs.defection_cost()) /
+                     (leader_margin * in.min_stake_leader);
+  out.committee_bound = (costs.committee_cost() - costs.defection_cost()) /
+                        (committee_margin * in.min_stake_committee);
+  // Eq (10): an Other node in the strong-synchrony set must prefer
+  // γB_i·s/S_K − c_K to −c_so.
+  out.online_bound = (costs.other_cost() - costs.defection_cost()) *
+                     in.stake_others / (in.min_stake_other * gamma);
+  return out;
+}
+
+double BiBounds::required() const {
+  if (!feasible) return std::numeric_limits<double>::infinity();
+  return std::max({leader_bound, committee_bound, online_bound});
+}
+
+}  // namespace roleshare::econ

@@ -1,0 +1,39 @@
+#include "econ/foundation_schedule.hpp"
+
+#include "util/require.hpp"
+
+namespace roleshare::econ {
+
+std::size_t FoundationSchedule::period_for_round(ledger::Round round) {
+  RS_REQUIRE(round >= 1, "rounds are 1-based");
+  const std::uint64_t zero_based = (round - 1) / kBlocksPerPeriod;
+  return zero_based >= kPeriods ? kPeriods : zero_based + 1;
+}
+
+ledger::MicroAlgos FoundationSchedule::period_total(std::size_t period) {
+  RS_REQUIRE(period >= 1 && period <= kPeriods, "period in [1, 12]");
+  return ledger::algos(
+      static_cast<std::int64_t>(kProjectedMillions[period - 1]) * 1'000'000);
+}
+
+ledger::MicroAlgos FoundationSchedule::reward_for_round(ledger::Round round) {
+  const std::size_t period = period_for_round(round);
+  return period_total(period) /
+         static_cast<ledger::MicroAlgos>(kBlocksPerPeriod);
+}
+
+ledger::MicroAlgos FoundationSchedule::cumulative_through(
+    ledger::Round round) {
+  RS_REQUIRE(round >= 1, "rounds are 1-based");
+  ledger::MicroAlgos total = 0;
+  // Whole periods fully elapsed before the round's period.
+  const std::size_t period = period_for_round(round);
+  for (std::size_t p = 1; p < period; ++p) total += period_total(p);
+  const std::uint64_t rounds_into_period =
+      round - (static_cast<std::uint64_t>(period) - 1) * kBlocksPerPeriod;
+  total += reward_for_round(round) *
+           static_cast<ledger::MicroAlgos>(rounds_into_period);
+  return total;
+}
+
+}  // namespace roleshare::econ

@@ -1,0 +1,38 @@
+// The Algorand Foundation's projected emission schedule (Table III):
+// twelve reward periods of 500,000 blocks each, with per-period projected
+// rewards of 10, 13, 16, ..., 38 million Algos. The per-round reward R_i is
+// the period's projection divided by the blocks per period (period 1:
+// 10M / 500k = 20 Algos per round).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ledger/types.hpp"
+
+namespace roleshare::econ {
+
+class FoundationSchedule {
+ public:
+  static constexpr std::size_t kPeriods = 12;
+  static constexpr std::uint64_t kBlocksPerPeriod = 500'000;
+
+  /// Projected reward per period, in millions of Algos (Table III).
+  static constexpr std::array<std::uint64_t, kPeriods> kProjectedMillions = {
+      10, 13, 16, 19, 22, 25, 28, 31, 34, 36, 38, 38};
+
+  /// 1-based reward period containing `round` (rounds count from 1).
+  /// Rounds past period 12 stay in period 12, matching the flat tail.
+  static std::size_t period_for_round(ledger::Round round);
+
+  /// Projected total reward of a 1-based period, µAlgos.
+  static ledger::MicroAlgos period_total(std::size_t period);
+
+  /// Per-round Foundation reward R_i for `round`, µAlgos.
+  static ledger::MicroAlgos reward_for_round(ledger::Round round);
+
+  /// Cumulative projected emission through `round`, µAlgos.
+  static ledger::MicroAlgos cumulative_through(ledger::Round round);
+};
+
+}  // namespace roleshare::econ

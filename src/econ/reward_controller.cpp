@@ -1,0 +1,54 @@
+#include "econ/reward_controller.hpp"
+
+#include "util/require.hpp"
+
+namespace roleshare::econ {
+
+RewardController::RewardController(std::unique_ptr<RewardScheme> scheme,
+                                   bool use_fee_pool_after_exhaustion,
+                                   ledger::MicroAlgos foundation_ceiling)
+    : scheme_(std::move(scheme)),
+      foundation_(foundation_ceiling),
+      use_fee_pool_(use_fee_pool_after_exhaustion) {
+  RS_REQUIRE(scheme_ != nullptr, "controller needs a scheme");
+}
+
+RoundRewardReport RewardController::settle_round(
+    ledger::Round round, const RoleSnapshot& snapshot,
+    ledger::MicroAlgos round_fees, ledger::AccountTable& accounts) {
+  RS_REQUIRE(snapshot.node_count() == accounts.size(),
+             "snapshot/accounts size mismatch");
+  RoundRewardReport report;
+  report.round = round;
+
+  report.injected =
+      foundation_.inject(FoundationSchedule::reward_for_round(round));
+  fees_.deposit(round_fees);
+
+  report.requested = scheme_->required_budget(round, snapshot);
+  report.from_foundation = foundation_.withdraw(report.requested);
+  if (use_fee_pool_ && report.from_foundation < report.requested &&
+      foundation_.exhausted()) {
+    report.from_fees =
+        fees_.withdraw(report.requested - report.from_foundation);
+    report.fee_pool_tapped = report.from_fees > 0;
+  }
+
+  const ledger::MicroAlgos budget =
+      report.from_foundation + report.from_fees;
+  const Payouts payouts = scheme_->distribute(round, snapshot, budget);
+  for (std::size_t v = 0; v < payouts.amounts.size(); ++v) {
+    if (payouts.amounts[v] > 0)
+      accounts.credit(static_cast<ledger::NodeId>(v), payouts.amounts[v]);
+  }
+  report.distributed = payouts.total;
+
+  // Integer-floor dust from distribute() is swept into the fee pool so no
+  // money is ever destroyed (the Foundation controls both keys, §III-B;
+  // re-injecting into the Foundation pool would double-count emission).
+  const ledger::MicroAlgos dust = budget - payouts.total;
+  if (dust > 0) fees_.deposit(dust);
+  return report;
+}
+
+}  // namespace roleshare::econ

@@ -1,0 +1,65 @@
+// Reward controller — the full Fig-2 money flow, plus the paper's stated
+// future-work extension (§VI): once the Foundation Reward Pool hits its
+// 1.75B ceiling and drains, per-round rewards continue out of the
+// Transaction Fee Pool, still sized by the scheme (for the role-based
+// scheme: the minimal incentive-compatible B_i from Algorithm 1).
+//
+// Per round:
+//   1. inject R_i (Table-III schedule) into the Foundation pool, clipped
+//      at the ceiling;
+//   2. deposit the round's transaction fees into the fee pool;
+//   3. ask the scheme for its required budget B_i;
+//   4. withdraw B_i from the Foundation pool first, topping up from the
+//      fee pool only when the Foundation side is exhausted;
+//   5. distribute and credit.
+#pragma once
+
+#include <memory>
+
+#include "econ/foundation_schedule.hpp"
+#include "econ/reward_pool.hpp"
+#include "econ/reward_scheme.hpp"
+#include "ledger/account_table.hpp"
+
+namespace roleshare::econ {
+
+struct RoundRewardReport {
+  ledger::Round round = 0;
+  ledger::MicroAlgos injected = 0;        // R_i actually emitted
+  ledger::MicroAlgos requested = 0;       // scheme's B_i
+  ledger::MicroAlgos from_foundation = 0; // part paid by the Foundation pool
+  ledger::MicroAlgos from_fees = 0;       // part paid by the fee pool
+  ledger::MicroAlgos distributed = 0;     // sum actually credited
+  bool fee_pool_tapped = false;
+};
+
+class RewardController {
+ public:
+  /// Takes ownership of the scheme. `use_fee_pool_after_exhaustion`
+  /// enables the future-work fee-funded phase; when false the controller
+  /// reproduces the launch-phase behaviour (fees only accumulate).
+  RewardController(std::unique_ptr<RewardScheme> scheme,
+                   bool use_fee_pool_after_exhaustion = true,
+                   ledger::MicroAlgos foundation_ceiling =
+                       ledger::algos(1'750'000'000));
+
+  const FoundationPool& foundation_pool() const { return foundation_; }
+  const TransactionFeePool& fee_pool() const { return fees_; }
+  RewardScheme& scheme() { return *scheme_; }
+
+  /// Runs one round's reward step: injects the scheduled R_i, deposits
+  /// `round_fees`, funds the scheme's B_i from the pools, and credits the
+  /// payouts into `accounts` (whose ids must align with the snapshot).
+  RoundRewardReport settle_round(ledger::Round round,
+                                 const RoleSnapshot& snapshot,
+                                 ledger::MicroAlgos round_fees,
+                                 ledger::AccountTable& accounts);
+
+ private:
+  std::unique_ptr<RewardScheme> scheme_;
+  FoundationPool foundation_;
+  TransactionFeePool fees_;
+  bool use_fee_pool_;
+};
+
+}  // namespace roleshare::econ

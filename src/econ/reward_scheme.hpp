@@ -1,0 +1,44 @@
+// Reward-scheme interface.
+//
+// A scheme answers two questions per round: how large a reward B_i it wants
+// to withdraw from the pool, and how that B_i is divided among the online
+// nodes given the round's role snapshot. The two concrete schemes are the
+// Foundation's stake-proportional baseline (Eq 3) and the paper's
+// role-based mechanism (Eq 5 + Algorithm 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "econ/role_snapshot.hpp"
+#include "ledger/types.hpp"
+
+namespace roleshare::econ {
+
+/// One round's reward disbursement.
+struct Payouts {
+  /// µAlgos per node, indexed like the snapshot.
+  std::vector<ledger::MicroAlgos> amounts;
+  /// Sum of `amounts` (== the B_i actually paid, up to integer rounding).
+  ledger::MicroAlgos total = 0;
+};
+
+class RewardScheme {
+ public:
+  virtual ~RewardScheme() = default;
+
+  virtual std::string name() const = 0;
+
+  /// B_i the scheme wants to disburse in `round` given the snapshot,
+  /// µAlgos. The caller clips this against the pool.
+  virtual ledger::MicroAlgos required_budget(
+      ledger::Round round, const RoleSnapshot& snapshot) = 0;
+
+  /// Splits `budget` µAlgos across nodes. The sum of payouts never exceeds
+  /// `budget` (integer floor rounding leaves dust in the pool).
+  virtual Payouts distribute(ledger::Round round,
+                             const RoleSnapshot& snapshot,
+                             ledger::MicroAlgos budget) = 0;
+};
+
+}  // namespace roleshare::econ

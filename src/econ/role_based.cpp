@@ -1,0 +1,119 @@
+#include "econ/role_based.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace roleshare::econ {
+
+RoleBasedScheme::RoleBasedScheme(CostModel costs,
+                                 OptimizerConfig optimizer_config,
+                                 std::optional<std::int64_t> min_other_stake)
+    : costs_(costs),
+      optimizer_(optimizer_config),
+      min_other_stake_(min_other_stake) {}
+
+RoleBasedScheme::RoleBasedScheme(CostModel costs, RewardSplit fixed_split,
+                                 std::optional<std::int64_t> min_other_stake)
+    : costs_(costs),
+      optimizer_(),
+      fixed_split_(fixed_split),
+      min_other_stake_(min_other_stake),
+      last_split_(fixed_split) {}
+
+std::string RoleBasedScheme::name() const {
+  return fixed_split_ ? "role-based-fixed-split" : "role-based-adaptive";
+}
+
+RoleSnapshot RoleBasedScheme::effective_snapshot(
+    const RoleSnapshot& snapshot) const {
+  if (!min_other_stake_) return snapshot;
+  return snapshot.filtered_others(*min_other_stake_);
+}
+
+ledger::MicroAlgos RoleBasedScheme::required_budget(
+    ledger::Round, const RoleSnapshot& snapshot) {
+  const RoleSnapshot effective = effective_snapshot(snapshot);
+  if (effective.count(consensus::Role::Leader) == 0 ||
+      effective.count(consensus::Role::Committee) == 0 ||
+      effective.count(consensus::Role::Other) == 0) {
+    // Degenerate round (e.g. sortition elected nobody): pay nothing rather
+    // than divide by an empty role.
+    last_feasible_ = false;
+    return 0;
+  }
+  const BoundInputs inputs = BoundInputs::from_snapshot(effective);
+
+  if (fixed_split_) {
+    const BiBounds bounds = compute_bi_bounds(*fixed_split_, inputs, costs_);
+    last_split_ = *fixed_split_;
+    last_feasible_ = bounds.feasible;
+    if (!bounds.feasible) return 0;
+    return static_cast<ledger::MicroAlgos>(std::ceil(bounds.required()) + 1);
+  }
+
+  const OptimizerResult result = optimizer_.optimize(inputs, costs_);
+  last_split_ = result.split;
+  last_feasible_ = result.feasible;
+  if (!result.feasible) return 0;
+  return static_cast<ledger::MicroAlgos>(std::ceil(result.min_bi));
+}
+
+Payouts RoleBasedScheme::distribute(ledger::Round,
+                                    const RoleSnapshot& snapshot,
+                                    ledger::MicroAlgos budget) {
+  RS_REQUIRE(budget >= 0, "budget must be non-negative");
+  Payouts out;
+  out.amounts.assign(snapshot.node_count(), 0);
+  if (budget == 0) return out;
+
+  // The filter only affects who counts toward S_K / receives from the γ
+  // pot; leaders and committee always participate.
+  const std::int64_t threshold = min_other_stake_.value_or(0);
+
+  std::int64_t sl = 0, sm = 0, sk = 0;
+  for (std::size_t v = 0; v < snapshot.node_count(); ++v) {
+    const auto id = static_cast<ledger::NodeId>(v);
+    switch (snapshot.role(id)) {
+      case consensus::Role::Leader:
+        sl += snapshot.stake(id);
+        break;
+      case consensus::Role::Committee:
+        sm += snapshot.stake(id);
+        break;
+      case consensus::Role::Other:
+        if (snapshot.stake(id) >= threshold) sk += snapshot.stake(id);
+        break;
+    }
+  }
+
+  const double alpha = last_split_.alpha;
+  const double beta = last_split_.beta;
+  const double gamma = last_split_.gamma();
+  const double b = static_cast<double>(budget);
+
+  for (std::size_t v = 0; v < snapshot.node_count(); ++v) {
+    const auto id = static_cast<ledger::NodeId>(v);
+    const double stake = static_cast<double>(snapshot.stake(id));
+    double share = 0.0;
+    switch (snapshot.role(id)) {
+      case consensus::Role::Leader:
+        if (sl > 0) share = alpha * b * stake / static_cast<double>(sl);
+        break;
+      case consensus::Role::Committee:
+        if (sm > 0) share = beta * b * stake / static_cast<double>(sm);
+        break;
+      case consensus::Role::Other:
+        if (sk > 0 && snapshot.stake(id) >= threshold)
+          share = gamma * b * stake / static_cast<double>(sk);
+        break;
+    }
+    const auto amount = static_cast<ledger::MicroAlgos>(std::floor(share));
+    out.amounts[v] = amount;
+    out.total += amount;
+  }
+  RS_ENSURE(out.total <= budget, "disbursed more than the budget");
+  return out;
+}
+
+}  // namespace roleshare::econ

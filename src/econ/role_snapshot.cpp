@@ -1,0 +1,56 @@
+#include "econ/role_snapshot.hpp"
+
+#include "util/require.hpp"
+
+namespace roleshare::econ {
+
+namespace {
+std::size_t idx(consensus::Role r) { return static_cast<std::size_t>(r); }
+}  // namespace
+
+RoleSnapshot::RoleSnapshot(std::vector<consensus::Role> roles,
+                           std::vector<std::int64_t> stakes)
+    : roles_(std::move(roles)), stakes_(std::move(stakes)) {
+  RS_REQUIRE(roles_.size() == stakes_.size(), "roles/stakes size mismatch");
+  for (std::size_t v = 0; v < roles_.size(); ++v) {
+    RS_REQUIRE(stakes_[v] >= 0, "negative stake");
+    const std::size_t i = idx(roles_[v]);
+    stake_sum_[i] += stakes_[v];
+    if (counts_[i] == 0 || stakes_[v] < stake_min_[i])
+      stake_min_[i] = stakes_[v];
+    ++counts_[i];
+  }
+}
+
+std::size_t RoleSnapshot::count(consensus::Role r) const {
+  return counts_[idx(r)];
+}
+
+std::int64_t RoleSnapshot::stake_of(consensus::Role r) const {
+  return stake_sum_[idx(r)];
+}
+
+std::int64_t RoleSnapshot::total_stake() const {
+  return stake_sum_[0] + stake_sum_[1] + stake_sum_[2];
+}
+
+std::int64_t RoleSnapshot::min_stake_of(consensus::Role r) const {
+  return counts_[idx(r)] == 0 ? 0 : stake_min_[idx(r)];
+}
+
+RoleSnapshot RoleSnapshot::filtered_others(std::int64_t min_stake) const {
+  RS_REQUIRE(min_stake >= 0, "min stake filter");
+  std::vector<consensus::Role> roles;
+  std::vector<std::int64_t> stakes;
+  roles.reserve(roles_.size());
+  stakes.reserve(stakes_.size());
+  for (std::size_t v = 0; v < roles_.size(); ++v) {
+    if (roles_[v] == consensus::Role::Other && stakes_[v] < min_stake)
+      continue;
+    roles.push_back(roles_[v]);
+    stakes.push_back(stakes_[v]);
+  }
+  return RoleSnapshot(std::move(roles), std::move(stakes));
+}
+
+}  // namespace roleshare::econ

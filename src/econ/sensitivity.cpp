@@ -1,0 +1,46 @@
+#include "econ/sensitivity.hpp"
+
+#include "util/require.hpp"
+
+namespace roleshare::econ {
+
+Sensitivity compute_sensitivity(const BoundInputs& in,
+                                const CostModel& costs) {
+  in.validate();
+  Sensitivity s;
+
+  const double sl = in.stake_leaders;
+  const double sm = in.stake_committee;
+  const double sk = in.stake_others;
+  const double ml = in.min_stake_leader;
+  const double mm = in.min_stake_committee;
+  const double mk = in.min_stake_other;
+
+  const double a_num = (costs.leader_cost() - costs.defection_cost()) * sl / ml;
+  const double b_num =
+      (costs.committee_cost() - costs.defection_cost()) * sm / mm;
+  const double d_num = (costs.other_cost() - costs.defection_cost()) * sk / mk;
+  const double c_slope = sl / (sk + ml) + sm / (sk + mm);
+
+  s.bi = a_num + b_num + d_num * (1.0 + c_slope);
+
+  s.d_cost_leader = sl / ml;
+  s.d_cost_committee = sm / mm;
+  s.d_cost_other = sk * (1.0 + c_slope) / mk;
+  s.d_cost_sortition =
+      -(s.d_cost_leader + s.d_cost_committee + s.d_cost_other);
+
+  // ∂B/∂S_K: D grows linearly in S_K while C shrinks (more dilution of the
+  // hidden defectors in the gamma pot).
+  const double dD_dSk = (costs.other_cost() - costs.defection_cost()) / mk;
+  const double dC_dSk =
+      -sl / ((sk + ml) * (sk + ml)) - sm / ((sk + mm) * (sk + mm));
+  s.d_stake_others = dD_dSk * (1.0 + c_slope) + d_num * dC_dSk;
+
+  s.d_min_stake_other = -d_num * (1.0 + c_slope) / mk;
+  s.elasticity_min_stake_other =
+      s.bi > 0.0 ? mk * s.d_min_stake_other / s.bi : 0.0;
+  return s;
+}
+
+}  // namespace roleshare::econ

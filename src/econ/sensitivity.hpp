@@ -1,0 +1,39 @@
+// Sensitivity of the minimal incentive-compatible reward B_i* to the
+// economy's parameters — closed-form partial derivatives of the
+// Algorithm-1 optimum
+//     B_i* = A + B + D(1+C),
+//     A = (c_L−c_so)·S_L/s*_l,  B = (c_M−c_so)·S_M/s*_m,
+//     D = (c_K−c_so)·S_K/s*_k,  C = S_L/(S_K+s*_l) + S_M/(S_K+s*_m)
+// (see optimizer.hpp). This is the quantitative version of the paper's
+// closing advice: the Foundation can "adapt dynamically with the
+// distribution of stakes" — these derivatives say *how fast* B_i moves
+// when costs change, stake pours in, or the dust floor w is raised.
+#pragma once
+
+#include "econ/bi_bounds.hpp"
+
+namespace roleshare::econ {
+
+struct Sensitivity {
+  double bi = 0;  // B_i* itself, µAlgos
+
+  // Partials with respect to role costs (µAlgos of B_i per µAlgo of cost).
+  double d_cost_leader = 0;     // ∂B/∂c_L = S_L/s*_l
+  double d_cost_committee = 0;  // ∂B/∂c_M = S_M/s*_m
+  double d_cost_other = 0;      // ∂B/∂c_K = S_K(1+C)/s*_k
+  double d_cost_sortition = 0;  // ∂B/∂c_so = −(sum of the above)
+
+  // Partials with respect to population aggregates.
+  double d_stake_others = 0;     // ∂B/∂S_K
+  double d_min_stake_other = 0;  // ∂B/∂s*_k = −D(1+C)/s*_k
+
+  /// Elasticity of B_i to the dust floor: (s*_k/B)·∂B/∂s*_k — close to −1
+  /// when the online bound dominates, quantifying the Fig-7(c) lever.
+  double elasticity_min_stake_other = 0;
+};
+
+/// Evaluates the closed-form sensitivities at the given population/costs.
+Sensitivity compute_sensitivity(const BoundInputs& inputs,
+                                const CostModel& costs);
+
+}  // namespace roleshare::econ

@@ -1,0 +1,26 @@
+// The Algorand Foundation's proposed reward sharing (baseline, Eq 3):
+// every online node — regardless of role or of whether it actually
+// cooperated — receives B_i * s_j / S_N, with B_i = R_i following the
+// Table-III emission schedule.
+#pragma once
+
+#include "econ/foundation_schedule.hpp"
+#include "econ/reward_scheme.hpp"
+
+namespace roleshare::econ {
+
+class StakeProportionalScheme final : public RewardScheme {
+ public:
+  StakeProportionalScheme() = default;
+
+  std::string name() const override { return "foundation-stake-proportional"; }
+
+  /// R_i from the Table-III schedule.
+  ledger::MicroAlgos required_budget(ledger::Round round,
+                                     const RoleSnapshot& snapshot) override;
+
+  Payouts distribute(ledger::Round round, const RoleSnapshot& snapshot,
+                     ledger::MicroAlgos budget) override;
+};
+
+}  // namespace roleshare::econ

@@ -1,0 +1,157 @@
+#include "game/game_model.hpp"
+
+#include "util/require.hpp"
+
+namespace roleshare::game {
+
+Profile all_cooperate(std::size_t n) {
+  return Profile(n, Strategy::Cooperate);
+}
+
+Profile all_defect(std::size_t n) { return Profile(n, Strategy::Defect); }
+
+AlgorandGame::AlgorandGame(GameConfig config) : config_(std::move(config)) {
+  RS_REQUIRE(config_.bi >= 0.0, "B_i must be non-negative");
+  RS_REQUIRE(config_.committee_threshold > 0.5 &&
+                 config_.committee_threshold < 1.0,
+             "committee threshold in (0.5, 1)");
+  RS_REQUIRE(config_.sync_set.empty() ||
+                 config_.sync_set.size() == config_.snapshot.node_count(),
+             "sync set size mismatch");
+}
+
+bool AlgorandGame::in_sync_set(ledger::NodeId player) const {
+  return !config_.sync_set.empty() && config_.sync_set[player];
+}
+
+AlgorandGame::Aggregates AlgorandGame::aggregate(
+    const Profile& profile) const {
+  RS_REQUIRE(profile.size() == player_count(), "profile size mismatch");
+  Aggregates agg;
+  const econ::RoleSnapshot& snap = config_.snapshot;
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const auto v = static_cast<ledger::NodeId>(i);
+    const double stake = static_cast<double>(snap.stake(v));
+    const Strategy s = profile[i];
+    const consensus::Role role = snap.role(v);
+
+    if (role == consensus::Role::Committee)
+      agg.committee_total_stake += stake;
+
+    if (s == Strategy::Offline) {
+      if (in_sync_set(v)) ++agg.sync_defectors;
+      continue;
+    }
+    agg.online_stake += stake;
+
+    if (s == Strategy::Cooperate) {
+      switch (role) {
+        case consensus::Role::Leader:
+          agg.coop_leader_stake += stake;
+          ++agg.coop_leader_count;
+          break;
+        case consensus::Role::Committee:
+          agg.coop_committee_stake += stake;
+          break;
+        case consensus::Role::Other:
+          agg.gamma_pool_stake += stake;
+          break;
+      }
+    } else {
+      // Online defector: hides its role, appears as a plain online node.
+      agg.gamma_pool_stake += stake;
+      if (in_sync_set(v)) ++agg.sync_defectors;
+    }
+  }
+  return agg;
+}
+
+bool AlgorandGame::block_created(const Aggregates& agg) const {
+  if (agg.coop_leader_count == 0) return false;
+  if (agg.committee_total_stake > 0.0 &&
+      agg.coop_committee_stake <
+          config_.committee_threshold * agg.committee_total_stake)
+    return false;
+  if (agg.sync_defectors > 0) return false;
+  return true;
+}
+
+bool AlgorandGame::block_created(const Profile& profile) const {
+  return block_created(aggregate(profile));
+}
+
+double AlgorandGame::reward_of(const Aggregates& agg, ledger::NodeId player,
+                               Strategy strategy) const {
+  if (strategy == Strategy::Offline) return 0.0;
+  const econ::RoleSnapshot& snap = config_.snapshot;
+  const double stake = static_cast<double>(snap.stake(player));
+  if (stake <= 0.0) return 0.0;
+
+  if (config_.scheme == SchemeKind::StakeProportional) {
+    // Eq (3): r_i = B_i / S_N for every online node, role-blind.
+    if (agg.online_stake <= 0.0) return 0.0;
+    return config_.bi * stake / agg.online_stake;
+  }
+
+  // Role-based (Eq 5): cooperators draw from their role's pot; online
+  // defectors draw from the γ pot.
+  const double alpha = config_.split.alpha;
+  const double beta = config_.split.beta;
+  const double gamma = config_.split.gamma();
+  const consensus::Role role = snap.role(player);
+
+  if (strategy == Strategy::Cooperate) {
+    switch (role) {
+      case consensus::Role::Leader:
+        return agg.coop_leader_stake > 0.0
+                   ? alpha * config_.bi * stake / agg.coop_leader_stake
+                   : 0.0;
+      case consensus::Role::Committee:
+        return agg.coop_committee_stake > 0.0
+                   ? beta * config_.bi * stake / agg.coop_committee_stake
+                   : 0.0;
+      case consensus::Role::Other:
+        return agg.gamma_pool_stake > 0.0
+                   ? gamma * config_.bi * stake / agg.gamma_pool_stake
+                   : 0.0;
+    }
+  }
+  // Online defector (any role) is paid from the γ pot.
+  return agg.gamma_pool_stake > 0.0
+             ? gamma * config_.bi * stake / agg.gamma_pool_stake
+             : 0.0;
+}
+
+double AlgorandGame::payoff_of(const Aggregates& agg, ledger::NodeId player,
+                               Strategy strategy) const {
+  double cost = 0.0;
+  switch (strategy) {
+    case Strategy::Cooperate:
+      cost = config_.costs.cooperation_cost(config_.snapshot.role(player));
+      break;
+    case Strategy::Defect:
+    case Strategy::Offline:
+      cost = config_.costs.defection_cost();
+      break;
+  }
+  const double reward =
+      block_created(agg) ? reward_of(agg, player, strategy) : 0.0;
+  return reward - cost;
+}
+
+double AlgorandGame::payoff(const Profile& profile,
+                            ledger::NodeId player) const {
+  RS_REQUIRE(player < player_count(), "player id out of range");
+  const Aggregates agg = aggregate(profile);
+  return payoff_of(agg, player, profile[player]);
+}
+
+std::vector<double> AlgorandGame::payoffs(const Profile& profile) const {
+  const Aggregates agg = aggregate(profile);
+  std::vector<double> out(player_count());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = payoff_of(agg, static_cast<ledger::NodeId>(i), profile[i]);
+  return out;
+}
+
+}  // namespace roleshare::game

@@ -1,0 +1,32 @@
+// Strategy set of the Algorand game G_Al (§IV): Cooperate, Defect, Offline.
+// Lemma 1 shows Offline is strictly dominated by Defect; it is kept in the
+// model so the lemma itself is checkable.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace roleshare::game {
+
+enum class Strategy : std::uint8_t { Cooperate, Defect, Offline };
+
+constexpr std::string_view to_string(Strategy s) {
+  switch (s) {
+    case Strategy::Cooperate:
+      return "C";
+    case Strategy::Defect:
+      return "D";
+    case Strategy::Offline:
+      return "O";
+  }
+  return "?";
+}
+
+using Profile = std::vector<Strategy>;
+
+/// All-C / All-D profiles for n players.
+Profile all_cooperate(std::size_t n);
+Profile all_defect(std::size_t n);
+
+}  // namespace roleshare::game

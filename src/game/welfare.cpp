@@ -1,0 +1,52 @@
+#include "game/welfare.hpp"
+
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace roleshare::game {
+
+ProfileMetrics analyze_profile(const AlgorandGame& game,
+                               const Profile& profile) {
+  RS_REQUIRE(profile.size() == game.player_count(), "profile size mismatch");
+  ProfileMetrics m;
+  m.block_created = game.block_created(profile);
+
+  const std::vector<double> payoffs = game.payoffs(profile);
+  std::size_t coop = 0;
+  const econ::CostModel& costs = game.config().costs;
+  for (std::size_t v = 0; v < profile.size(); ++v) {
+    m.social_welfare += payoffs[v];
+    switch (profile[v]) {
+      case Strategy::Cooperate:
+        ++coop;
+        m.total_cost += costs.cooperation_cost(
+            game.config().snapshot.role(static_cast<ledger::NodeId>(v)));
+        break;
+      case Strategy::Defect:
+      case Strategy::Offline:
+        m.total_cost += costs.defection_cost();
+        break;
+    }
+  }
+  // welfare = rewards − costs, so expenditure falls out without re-deriving
+  // the per-scheme reward arithmetic.
+  m.designer_expenditure = m.social_welfare + m.total_cost;
+  m.cooperation_rate =
+      static_cast<double>(coop) / static_cast<double>(profile.size());
+  return m;
+}
+
+ProfileMetrics cooperative_benchmark(const AlgorandGame& game) {
+  return analyze_profile(game, all_cooperate(game.player_count()));
+}
+
+double anarchy_ratio(const AlgorandGame& game, const Profile& equilibrium) {
+  const double best = cooperative_benchmark(game).social_welfare;
+  const double actual = analyze_profile(game, equilibrium).social_welfare;
+  if (best <= 0.0 && actual <= 0.0) return 1.0;
+  if (actual <= 0.0) return std::numeric_limits<double>::infinity();
+  return best / actual;
+}
+
+}  // namespace roleshare::game

@@ -1,0 +1,40 @@
+// Welfare analytics over the one-round game: what a strategy profile costs
+// the players, what it costs the designer (the Foundation), and how far
+// selfish play lands from the cooperative optimum. This quantifies the
+// paper's efficiency claim: the role-based mechanism buys the cooperative
+// outcome at the minimal designer expenditure.
+#pragma once
+
+#include "game/game_model.hpp"
+
+namespace roleshare::game {
+
+struct ProfileMetrics {
+  /// Sum of player payoffs (µAlgos) — social welfare.
+  double social_welfare = 0;
+  /// Rewards actually handed out by the scheme this round (µAlgos);
+  /// zero when no block is created.
+  double designer_expenditure = 0;
+  /// Sum of costs players incur (µAlgos).
+  double total_cost = 0;
+  /// Fraction of players cooperating.
+  double cooperation_rate = 0;
+  bool block_created = false;
+};
+
+/// Evaluates a profile. O(n).
+ProfileMetrics analyze_profile(const AlgorandGame& game,
+                               const Profile& profile);
+
+/// Welfare of the all-cooperate profile — the throughput-maximizing
+/// benchmark (a block is certainly created; every cost is paid).
+ProfileMetrics cooperative_benchmark(const AlgorandGame& game);
+
+/// Ratio of benchmark welfare to the welfare of the given (equilibrium)
+/// profile — a price-of-anarchy-style inefficiency measure. Values > 1
+/// mean selfish play destroys welfare; defined only when both welfares
+/// are positive, otherwise returns +inf (total collapse) or 1 (both
+/// degenerate).
+double anarchy_ratio(const AlgorandGame& game, const Profile& equilibrium);
+
+}  // namespace roleshare::game

@@ -1,0 +1,66 @@
+#include "ledger/account_table.hpp"
+
+#include "util/require.hpp"
+
+namespace roleshare::ledger {
+
+NodeId AccountTable::add_account(const crypto::PublicKey& key,
+                                 MicroAlgos balance) {
+  RS_REQUIRE(balance >= 0, "starting balance must be non-negative");
+  RS_REQUIRE(by_key_.find(key.value) == by_key_.end(),
+             "duplicate account key");
+  const auto id = static_cast<NodeId>(accounts_.size());
+  accounts_.push_back(Account{id, key, balance});
+  by_key_.emplace(key.value, id);
+  return id;
+}
+
+const Account& AccountTable::account(NodeId id) const {
+  RS_REQUIRE(id < accounts_.size(), "unknown account id");
+  return accounts_[id];
+}
+
+std::optional<NodeId> AccountTable::find(const crypto::PublicKey& key) const {
+  const auto it = by_key_.find(key.value);
+  if (it == by_key_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::int64_t AccountTable::total_stake() const {
+  std::int64_t total = 0;
+  for (const Account& a : accounts_) total += a.stake_algos();
+  return total;
+}
+
+std::vector<std::int64_t> AccountTable::stakes() const {
+  std::vector<std::int64_t> out;
+  out.reserve(accounts_.size());
+  for (const Account& a : accounts_) out.push_back(a.stake_algos());
+  return out;
+}
+
+void AccountTable::credit(NodeId id, MicroAlgos amount) {
+  RS_REQUIRE(amount >= 0, "credit must be non-negative");
+  RS_REQUIRE(id < accounts_.size(), "unknown account id");
+  accounts_[id].balance += amount;
+}
+
+bool AccountTable::validate(const Transaction& txn) const {
+  if (!txn.verify_signature()) return false;
+  const auto from = find(txn.sender());
+  const auto to = find(txn.receiver());
+  if (!from || !to) return false;
+  if (*from == *to) return false;
+  return accounts_[*from].balance >= txn.amount() + txn.fee();
+}
+
+bool AccountTable::apply(const Transaction& txn) {
+  if (!validate(txn)) return false;
+  const NodeId from = *find(txn.sender());
+  const NodeId to = *find(txn.receiver());
+  accounts_[from].balance -= txn.amount() + txn.fee();
+  accounts_[to].balance += txn.amount();
+  return true;
+}
+
+}  // namespace roleshare::ledger

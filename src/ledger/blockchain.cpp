@@ -1,0 +1,40 @@
+#include "ledger/blockchain.hpp"
+
+#include "util/require.hpp"
+
+namespace roleshare::ledger {
+
+Blockchain::Blockchain(std::uint64_t genesis_seed) {
+  const crypto::Hash256 seed =
+      crypto::HashBuilder("roleshare.genesis").add_u64(genesis_seed).build();
+  blocks_.push_back(Block::empty(0, crypto::Hash256::zero(), seed));
+}
+
+const Block& Blockchain::at(std::size_t index) const {
+  RS_REQUIRE(index < blocks_.size(), "block index out of range");
+  return blocks_[index];
+}
+
+crypto::Hash256 Blockchain::next_seed() const {
+  return crypto::HashBuilder("roleshare.seed")
+      .add(current_seed())
+      .add_u64(next_round())
+      .build();
+}
+
+bool Blockchain::append(Block block) {
+  if (block.round() != next_round()) return false;
+  if (block.prev_hash() != tip().hash()) return false;
+  if (block.seed() != next_seed()) return false;
+  blocks_.push_back(std::move(block));
+  return true;
+}
+
+std::size_t Blockchain::non_empty_count() const {
+  std::size_t count = 0;
+  for (std::size_t i = 1; i < blocks_.size(); ++i)
+    if (!blocks_[i].is_empty()) ++count;
+  return count;
+}
+
+}  // namespace roleshare::ledger

@@ -1,0 +1,43 @@
+// Hash-chained blockchain with Algorand seed evolution.
+//
+// The per-round seed Q_r feeding sortition is committed in each block:
+// Q_r = H(Q_{r-1}, r[, proposer]) — predetermined at the end of round r-1,
+// as required by §II-B4.
+#pragma once
+
+#include <vector>
+
+#include "ledger/block.hpp"
+
+namespace roleshare::ledger {
+
+class Blockchain {
+ public:
+  /// Starts a chain with a genesis block derived from `genesis_seed`.
+  explicit Blockchain(std::uint64_t genesis_seed = 0);
+
+  std::size_t height() const { return blocks_.size(); }
+  const Block& tip() const { return blocks_.back(); }
+  const Block& at(std::size_t index) const;
+
+  /// The round number the next block must carry.
+  Round next_round() const { return blocks_.size(); }
+
+  /// Seed Q_{r-1} to feed sortition for the next round.
+  const crypto::Hash256& current_seed() const { return tip().seed(); }
+
+  /// Seed Q_r the next block must commit to (deterministic from the chain).
+  crypto::Hash256 next_seed() const;
+
+  /// Appends a block after checking round number, prev-hash linkage and the
+  /// committed seed. Returns false (chain unchanged) on any mismatch.
+  bool append(Block block);
+
+  /// Number of non-empty blocks on the chain (excluding genesis).
+  std::size_t non_empty_count() const;
+
+ private:
+  std::vector<Block> blocks_;
+};
+
+}  // namespace roleshare::ledger

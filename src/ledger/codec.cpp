@@ -1,0 +1,180 @@
+#include "ledger/codec.hpp"
+
+#include "util/require.hpp"
+
+namespace roleshare::ledger {
+
+namespace {
+
+// One cap protects against length-prefix bombs in every context: nothing
+// we serialize legitimately exceeds this.
+constexpr std::size_t kMaxSequence = 1 << 20;
+
+constexpr std::uint8_t kTagTransaction = 0x01;
+constexpr std::uint8_t kTagBlock = 0x02;
+constexpr std::uint8_t kBlockEmpty = 0x00;
+constexpr std::uint8_t kBlockFull = 0x01;
+
+}  // namespace
+
+void Encoder::put_u8(std::uint8_t v) { buffer_.push_back(v); }
+
+void Encoder::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::put_i64(std::int64_t v) {
+  put_u64(static_cast<std::uint64_t>(v));
+}
+
+void Encoder::put_hash(const crypto::Hash256& h) {
+  buffer_.insert(buffer_.end(), h.bytes().begin(), h.bytes().end());
+}
+
+void Encoder::put_bytes(std::span<const std::uint8_t> data) {
+  put_u32(static_cast<std::uint32_t>(data.size()));
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void Decoder::need(std::size_t n) const {
+  if (remaining() < n) throw DecodeError("truncated input");
+}
+
+std::uint8_t Decoder::get_u8() {
+  need(1);
+  return data_[offset_++];
+}
+
+std::uint32_t Decoder::get_u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(data_[offset_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Decoder::get_u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(data_[offset_++]) << (8 * i);
+  return v;
+}
+
+std::int64_t Decoder::get_i64() {
+  return static_cast<std::int64_t>(get_u64());
+}
+
+crypto::Hash256 Decoder::get_hash() {
+  need(32);
+  crypto::Digest digest;
+  for (auto& b : digest) b = data_[offset_++];
+  return crypto::Hash256(digest);
+}
+
+std::vector<std::uint8_t> Decoder::get_bytes() {
+  const std::uint32_t len = get_u32();
+  if (len > kMaxSequence) throw DecodeError("sequence too long");
+  need(len);
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<long>(offset_),
+                                data_.begin() +
+                                    static_cast<long>(offset_ + len));
+  offset_ += len;
+  return out;
+}
+
+void Decoder::expect_done() const {
+  if (!done()) throw DecodeError("trailing bytes");
+}
+
+namespace {
+
+void encode_transaction_body(Encoder& enc, const Transaction& txn) {
+  enc.put_hash(txn.sender().value);
+  enc.put_hash(txn.receiver().value);
+  enc.put_i64(txn.amount());
+  enc.put_i64(txn.fee());
+  enc.put_u64(txn.nonce());
+  enc.put_hash(txn.signature().value);
+}
+
+Transaction decode_transaction_body(Decoder& dec) {
+  const crypto::PublicKey sender{dec.get_hash()};
+  const crypto::PublicKey receiver{dec.get_hash()};
+  const MicroAlgos amount = dec.get_i64();
+  const MicroAlgos fee = dec.get_i64();
+  const std::uint64_t nonce = dec.get_u64();
+  const crypto::Signature signature{dec.get_hash()};
+  if (amount <= 0) throw DecodeError("non-positive transaction amount");
+  if (fee < 0) throw DecodeError("negative transaction fee");
+  return Transaction::from_parts(sender, receiver, amount, fee, nonce,
+                                 signature);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_transaction(const Transaction& txn) {
+  Encoder enc;
+  enc.put_u8(kTagTransaction);
+  encode_transaction_body(enc, txn);
+  return enc.take();
+}
+
+Transaction decode_transaction(std::span<const std::uint8_t> bytes) {
+  Decoder dec(bytes);
+  if (dec.get_u8() != kTagTransaction)
+    throw DecodeError("not a transaction message");
+  Transaction txn = decode_transaction_body(dec);
+  dec.expect_done();
+  return txn;
+}
+
+std::vector<std::uint8_t> encode_block(const Block& block) {
+  Encoder enc;
+  enc.put_u8(kTagBlock);
+  enc.put_u64(block.round());
+  enc.put_hash(block.prev_hash());
+  enc.put_hash(block.seed());
+  enc.put_u8(block.is_empty() ? kBlockEmpty : kBlockFull);
+  if (!block.is_empty()) {
+    enc.put_hash(block.proposer().value);
+    enc.put_u32(static_cast<std::uint32_t>(block.transactions().size()));
+    for (const Transaction& txn : block.transactions())
+      encode_transaction_body(enc, txn);
+  }
+  return enc.take();
+}
+
+Block decode_block(std::span<const std::uint8_t> bytes) {
+  Decoder dec(bytes);
+  if (dec.get_u8() != kTagBlock) throw DecodeError("not a block message");
+  const Round round = dec.get_u64();
+  const crypto::Hash256 prev = dec.get_hash();
+  const crypto::Hash256 seed = dec.get_hash();
+  const std::uint8_t variant = dec.get_u8();
+  if (variant != kBlockEmpty && variant != kBlockFull)
+    throw DecodeError("unknown block variant");
+
+  Block block = Block::empty(round, prev, seed);
+  if (variant == kBlockFull) {
+    const crypto::PublicKey proposer{dec.get_hash()};
+    const std::uint32_t count = dec.get_u32();
+    if (count > kMaxSequence) throw DecodeError("transaction count too big");
+    std::vector<Transaction> txns;
+    txns.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+      txns.push_back(decode_transaction_body(dec));
+    block = Block::from_parts(round, prev, seed, /*is_empty=*/false,
+                              proposer, std::move(txns));
+  }
+  dec.expect_done();
+  return block;
+}
+
+}  // namespace roleshare::ledger

@@ -1,0 +1,78 @@
+// Binary wire format for protocol messages (§II-B2: Transaction, Voting,
+// Block proposal, Credential). Little-endian fixed-width integers,
+// length-prefixed sequences, no padding — deterministic byte streams so
+// message hashes are stable across platforms.
+//
+// Decoding is strict: trailing bytes, truncated input or malformed
+// variants raise DecodeError (a malicious peer must not be able to crash
+// a node with a crafted message).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "ledger/block.hpp"
+#include "ledger/transaction.hpp"
+
+namespace roleshare::ledger {
+
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what)
+      : std::runtime_error("decode error: " + what) {}
+};
+
+/// Append-only byte sink with primitive writers.
+class Encoder {
+ public:
+  const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+  std::vector<std::uint8_t> take() { return std::move(buffer_); }
+
+  void put_u8(std::uint8_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v);
+  void put_hash(const crypto::Hash256& h);
+  void put_bytes(std::span<const std::uint8_t> data);  // length-prefixed
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Bounds-checked cursor over an immutable byte view.
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool done() const { return offset_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - offset_; }
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::int64_t get_i64();
+  crypto::Hash256 get_hash();
+  std::vector<std::uint8_t> get_bytes();
+
+  /// Throws DecodeError unless the input was consumed exactly.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t offset_ = 0;
+};
+
+/// Transaction <-> bytes. Signature travels with the message; decode
+/// re-verifies structural validity but not balances.
+std::vector<std::uint8_t> encode_transaction(const Transaction& txn);
+Transaction decode_transaction(std::span<const std::uint8_t> bytes);
+
+/// Block <-> bytes (including its transaction list).
+std::vector<std::uint8_t> encode_block(const Block& block);
+Block decode_block(std::span<const std::uint8_t> bytes);
+
+}  // namespace roleshare::ledger

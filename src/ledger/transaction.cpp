@@ -1,0 +1,65 @@
+#include "ledger/transaction.hpp"
+
+#include "util/require.hpp"
+
+namespace roleshare::ledger {
+
+namespace {
+
+crypto::Hash256 content_hash(const crypto::PublicKey& from,
+                             const crypto::PublicKey& to, MicroAlgos amount,
+                             MicroAlgos fee, std::uint64_t nonce) {
+  return crypto::HashBuilder("roleshare.txn")
+      .add(from.value)
+      .add(to.value)
+      .add_i64(amount)
+      .add_i64(fee)
+      .add_u64(nonce)
+      .build();
+}
+
+}  // namespace
+
+Transaction Transaction::create(const crypto::KeyPair& sender_key,
+                                const crypto::PublicKey& to,
+                                MicroAlgos amount, MicroAlgos fee,
+                                std::uint64_t nonce) {
+  RS_REQUIRE(amount > 0, "transaction amount must be positive");
+  RS_REQUIRE(fee >= 0, "transaction fee must be non-negative");
+  Transaction txn;
+  txn.sender_ = sender_key.public_key();
+  txn.receiver_ = to;
+  txn.amount_ = amount;
+  txn.fee_ = fee;
+  txn.nonce_ = nonce;
+  txn.signature_ = sender_key.sign(
+      content_hash(txn.sender_, txn.receiver_, amount, fee, nonce));
+  return txn;
+}
+
+Transaction Transaction::from_parts(const crypto::PublicKey& sender,
+                                    const crypto::PublicKey& receiver,
+                                    MicroAlgos amount, MicroAlgos fee,
+                                    std::uint64_t nonce,
+                                    const crypto::Signature& signature) {
+  RS_REQUIRE(amount > 0, "transaction amount must be positive");
+  RS_REQUIRE(fee >= 0, "transaction fee must be non-negative");
+  Transaction txn;
+  txn.sender_ = sender;
+  txn.receiver_ = receiver;
+  txn.amount_ = amount;
+  txn.fee_ = fee;
+  txn.nonce_ = nonce;
+  txn.signature_ = signature;
+  return txn;
+}
+
+crypto::Hash256 Transaction::id() const {
+  return content_hash(sender_, receiver_, amount_, fee_, nonce_);
+}
+
+bool Transaction::verify_signature() const {
+  return crypto::verify(sender_, id(), signature_);
+}
+
+}  // namespace roleshare::ledger

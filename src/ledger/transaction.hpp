@@ -1,0 +1,53 @@
+// Signed Algo transfer — the "Transaction" message of §II-B2.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/hash.hpp"
+#include "crypto/keypair.hpp"
+#include "ledger/types.hpp"
+
+namespace roleshare::ledger {
+
+class Transaction {
+ public:
+  /// Builds and signs a transfer of `amount` µAlgos (plus `fee`) from the
+  /// key's account to `to`. Requires amount > 0 and fee >= 0.
+  static Transaction create(const crypto::KeyPair& sender_key,
+                            const crypto::PublicKey& to, MicroAlgos amount,
+                            MicroAlgos fee, std::uint64_t nonce);
+
+  /// Reassembles a transaction received over the wire, carrying an
+  /// existing signature. The signature is NOT checked here — callers
+  /// (AccountTable::validate, message handlers) verify explicitly.
+  static Transaction from_parts(const crypto::PublicKey& sender,
+                                const crypto::PublicKey& receiver,
+                                MicroAlgos amount, MicroAlgos fee,
+                                std::uint64_t nonce,
+                                const crypto::Signature& signature);
+
+  const crypto::PublicKey& sender() const { return sender_; }
+  const crypto::PublicKey& receiver() const { return receiver_; }
+  MicroAlgos amount() const { return amount_; }
+  MicroAlgos fee() const { return fee_; }
+  std::uint64_t nonce() const { return nonce_; }
+  const crypto::Signature& signature() const { return signature_; }
+
+  /// Content hash (excludes the signature).
+  crypto::Hash256 id() const;
+
+  /// Signature check only; balance checks are the AccountTable's job.
+  bool verify_signature() const;
+
+ private:
+  Transaction() = default;
+
+  crypto::PublicKey sender_;
+  crypto::PublicKey receiver_;
+  MicroAlgos amount_ = 0;
+  MicroAlgos fee_ = 0;
+  std::uint64_t nonce_ = 0;
+  crypto::Signature signature_;
+};
+
+}  // namespace roleshare::ledger

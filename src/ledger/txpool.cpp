@@ -1,0 +1,47 @@
+#include "ledger/txpool.hpp"
+
+#include <algorithm>
+
+namespace roleshare::ledger {
+
+bool TxPool::submit(Transaction txn) {
+  const crypto::Hash256 id = txn.id();
+  if (ids_.contains(id)) return false;
+  ids_.insert(id);
+  pending_.push_back(std::move(txn));
+  return true;
+}
+
+bool TxPool::contains(const crypto::Hash256& id) const {
+  return ids_.contains(id);
+}
+
+std::vector<Transaction> TxPool::peek(std::size_t max_count) const {
+  std::vector<Transaction> out;
+  const std::size_t n = std::min(max_count, pending_.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(pending_[i]);
+  return out;
+}
+
+void TxPool::mark_included(const std::vector<Transaction>& txns) {
+  std::unordered_set<crypto::Hash256, crypto::Hash256Hasher> included;
+  for (const Transaction& t : txns) included.insert(t.id());
+  std::deque<Transaction> remaining;
+  for (Transaction& t : pending_) {
+    const crypto::Hash256 id = t.id();
+    if (included.contains(id)) {
+      ids_.erase(id);
+    } else {
+      remaining.push_back(std::move(t));
+    }
+  }
+  pending_ = std::move(remaining);
+}
+
+void TxPool::clear() {
+  pending_.clear();
+  ids_.clear();
+}
+
+}  // namespace roleshare::ledger

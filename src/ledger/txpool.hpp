@@ -1,0 +1,35 @@
+// Pending-transaction pool from which leaders assemble block proposals.
+#pragma once
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "ledger/transaction.hpp"
+
+namespace roleshare::ledger {
+
+class TxPool {
+ public:
+  /// Adds a transaction if its id is not already pending. Returns whether
+  /// it was added.
+  bool submit(Transaction txn);
+
+  std::size_t size() const { return pending_.size(); }
+  bool contains(const crypto::Hash256& id) const;
+
+  /// Takes up to `max_count` oldest pending transactions for a proposal
+  /// (they stay pending until marked included).
+  std::vector<Transaction> peek(std::size_t max_count) const;
+
+  /// Removes transactions included in an agreed block.
+  void mark_included(const std::vector<Transaction>& txns);
+
+  void clear();
+
+ private:
+  std::deque<Transaction> pending_;
+  std::unordered_set<crypto::Hash256, crypto::Hash256Hasher> ids_;
+};
+
+}  // namespace roleshare::ledger

@@ -1,0 +1,29 @@
+// Shared ledger-level scalar types.
+//
+// All currency amounts are integer micro-Algos (1 Algo = 10^6 µAlgo) so that
+// pool accounting is exact; see DESIGN.md §4. Stakes in the paper are quoted
+// in whole Algos — helpers convert explicitly.
+#pragma once
+
+#include <cstdint>
+
+namespace roleshare::ledger {
+
+using NodeId = std::uint32_t;
+using Round = std::uint64_t;
+
+/// Integer micro-Algos. Signed so that payoffs (reward − cost) are
+/// representable.
+using MicroAlgos = std::int64_t;
+
+inline constexpr MicroAlgos kMicroPerAlgo = 1'000'000;
+
+constexpr MicroAlgos algos(std::int64_t whole) {
+  return whole * kMicroPerAlgo;
+}
+
+constexpr double to_algos(MicroAlgos m) {
+  return static_cast<double>(m) / static_cast<double>(kMicroPerAlgo);
+}
+
+}  // namespace roleshare::ledger

@@ -1,0 +1,70 @@
+#include "net/delay_model.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace roleshare::net {
+
+UniformDelay::UniformDelay(TimeMs lo, TimeMs hi) : lo_(lo), hi_(hi) {
+  RS_REQUIRE(lo >= 0.0 && lo <= hi, "uniform delay range");
+}
+
+TimeMs UniformDelay::sample(util::Rng& rng, ledger::NodeId,
+                            ledger::NodeId) const {
+  if (lo_ == hi_) return lo_;
+  return rng.uniform_real(lo_, hi_);
+}
+
+std::string UniformDelay::name() const {
+  return "UniformDelay[" + std::to_string(lo_) + "," + std::to_string(hi_) +
+         "]ms";
+}
+
+ExponentialDelay::ExponentialDelay(TimeMs base, TimeMs mean_extra)
+    : base_(base), mean_extra_(mean_extra) {
+  RS_REQUIRE(base >= 0.0, "exponential delay base");
+  RS_REQUIRE(mean_extra > 0.0, "exponential delay mean");
+}
+
+TimeMs ExponentialDelay::sample(util::Rng& rng, ledger::NodeId,
+                                ledger::NodeId) const {
+  double u;
+  do {
+    u = rng.uniform01();
+  } while (u <= 0.0);
+  return base_ - mean_extra_ * std::log(u);
+}
+
+std::string ExponentialDelay::name() const {
+  return "ExpDelay[base=" + std::to_string(base_) +
+         ",mean=" + std::to_string(mean_extra_) + "]ms";
+}
+
+ConstantDelay::ConstantDelay(TimeMs value) : value_(value) {
+  RS_REQUIRE(value >= 0.0, "constant delay");
+}
+
+TimeMs ConstantDelay::sample(util::Rng&, ledger::NodeId,
+                             ledger::NodeId) const {
+  return value_;
+}
+
+std::string ConstantDelay::name() const {
+  return "ConstDelay[" + std::to_string(value_) + "]ms";
+}
+
+std::unique_ptr<DelayModel> make_uniform_delay(TimeMs lo, TimeMs hi) {
+  return std::make_unique<UniformDelay>(lo, hi);
+}
+
+std::unique_ptr<DelayModel> make_exponential_delay(TimeMs base,
+                                                   TimeMs mean_extra) {
+  return std::make_unique<ExponentialDelay>(base, mean_extra);
+}
+
+std::unique_ptr<DelayModel> make_constant_delay(TimeMs value) {
+  return std::make_unique<ConstantDelay>(value);
+}
+
+}  // namespace roleshare::net

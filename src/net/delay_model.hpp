@@ -1,0 +1,71 @@
+// Per-hop message delay models.
+//
+// Each gossip hop samples an independent delay. The synchrony controller
+// (synchrony.hpp) scales these delays when the network degrades.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ledger/types.hpp"
+#include "net/sim_time.hpp"
+#include "util/rng.hpp"
+
+namespace roleshare::net {
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+
+  /// Samples one hop's propagation + processing delay, in ms (>= 0).
+  virtual TimeMs sample(util::Rng& rng, ledger::NodeId from,
+                        ledger::NodeId to) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Uniform delay on [lo, hi] ms — the default used by the Fig-3 scenarios.
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(TimeMs lo, TimeMs hi);
+  TimeMs sample(util::Rng& rng, ledger::NodeId from,
+                ledger::NodeId to) const override;
+  std::string name() const override;
+
+ private:
+  TimeMs lo_;
+  TimeMs hi_;
+};
+
+/// Shifted-exponential delay: base + Exp(mean_extra). Heavy-ish tail models
+/// WAN links; used by robustness benches.
+class ExponentialDelay final : public DelayModel {
+ public:
+  ExponentialDelay(TimeMs base, TimeMs mean_extra);
+  TimeMs sample(util::Rng& rng, ledger::NodeId from,
+                ledger::NodeId to) const override;
+  std::string name() const override;
+
+ private:
+  TimeMs base_;
+  TimeMs mean_extra_;
+};
+
+/// Constant delay — degenerate model for unit tests.
+class ConstantDelay final : public DelayModel {
+ public:
+  explicit ConstantDelay(TimeMs value);
+  TimeMs sample(util::Rng& rng, ledger::NodeId from,
+                ledger::NodeId to) const override;
+  std::string name() const override;
+
+ private:
+  TimeMs value_;
+};
+
+std::unique_ptr<DelayModel> make_uniform_delay(TimeMs lo, TimeMs hi);
+std::unique_ptr<DelayModel> make_exponential_delay(TimeMs base,
+                                                   TimeMs mean_extra);
+std::unique_ptr<DelayModel> make_constant_delay(TimeMs value);
+
+}  // namespace roleshare::net

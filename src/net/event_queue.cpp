@@ -1,0 +1,44 @@
+#include "net/event_queue.hpp"
+
+#include "util/require.hpp"
+
+namespace roleshare::net {
+
+void EventQueue::schedule_at(TimeMs at, Handler fn) {
+  RS_REQUIRE(at >= now_, "cannot schedule into the past");
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(TimeMs delay, Handler fn) {
+  RS_REQUIRE(delay >= 0.0, "negative delay");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; the handler is moved out via const_cast,
+  // which is safe because the element is popped immediately after.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.at;
+  ev.fn();
+  return true;
+}
+
+void EventQueue::run_until(TimeMs until) {
+  while (!heap_.empty() && heap_.top().at <= until) step();
+  if (now_ < until) now_ = until;
+}
+
+void EventQueue::run_all() {
+  while (step()) {
+  }
+}
+
+void EventQueue::reset() {
+  heap_ = {};
+  now_ = 0.0;
+  next_seq_ = 0;
+}
+
+}  // namespace roleshare::net

@@ -1,0 +1,62 @@
+// Minimal discrete-event simulation core: a virtual clock plus a priority
+// queue of timestamped callbacks. Ties are broken by insertion order so
+// runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "net/sim_time.hpp"
+
+namespace roleshare::net {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current virtual time. Starts at 0.
+  TimeMs now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (>= now).
+  void schedule_at(TimeMs at, Handler fn);
+
+  /// Schedules `fn` to run `delay` ms from now (delay >= 0).
+  void schedule_in(TimeMs delay, Handler fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Runs the next event; returns false if the queue is empty.
+  bool step();
+
+  /// Runs events until the queue is empty or the next event is later than
+  /// `until`; the clock then advances to `until` if it is ahead.
+  void run_until(TimeMs until);
+
+  /// Drains the queue completely.
+  void run_all();
+
+  /// Drops all pending events and resets the clock to 0.
+  void reset();
+
+ private:
+  struct Event {
+    TimeMs at;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  TimeMs now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace roleshare::net

@@ -1,0 +1,82 @@
+#include "net/gossip.hpp"
+
+#include <queue>
+
+#include "util/require.hpp"
+
+namespace roleshare::net {
+
+RelaySet RelaySet::all_cooperative(std::size_t n) {
+  RelaySet rs;
+  rs.relays.assign(n, true);
+  rs.online.assign(n, true);
+  return rs;
+}
+
+GossipEngine::GossipEngine(const Topology& topology, const DelayModel& delays,
+                           double delay_factor, double loss_probability)
+    : topology_(topology),
+      delays_(delays),
+      delay_factor_(delay_factor),
+      loss_probability_(loss_probability) {
+  RS_REQUIRE(delay_factor >= 1.0, "delay factor >= 1");
+  RS_REQUIRE(loss_probability >= 0.0 && loss_probability < 1.0,
+             "loss probability in [0, 1)");
+}
+
+std::vector<TimeMs> GossipEngine::propagate(ledger::NodeId origin,
+                                            TimeMs start,
+                                            const RelaySet& relay_set,
+                                            util::Rng& rng) const {
+  const std::size_t n = topology_.node_count();
+  RS_REQUIRE(origin < n, "origin out of range");
+  RS_REQUIRE(relay_set.relays.size() == n && relay_set.online.size() == n,
+             "relay set size mismatch");
+
+  std::vector<TimeMs> arrival(n, kNever);
+  if (!relay_set.online[origin]) return arrival;
+
+  using Entry = std::pair<TimeMs, ledger::NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  arrival[origin] = start;
+  frontier.emplace(start, origin);
+
+  while (!frontier.empty()) {
+    const auto [t, v] = frontier.top();
+    frontier.pop();
+    if (t > arrival[v]) continue;  // stale entry
+    // The origin always transmits its own message; other nodes forward only
+    // if they relay.
+    if (v != origin && !relay_set.relays[v]) continue;
+    for (const ledger::NodeId to : topology_.out_neighbors(v)) {
+      if (!relay_set.online[to]) continue;
+      if (loss_probability_ > 0.0 && rng.bernoulli(loss_probability_))
+        continue;  // this hop's copy is dropped
+      const TimeMs hop = delays_.sample(rng, v, to) * delay_factor_;
+      const TimeMs cand = t + hop;
+      if (cand < arrival[to]) {
+        arrival[to] = cand;
+        frontier.emplace(cand, to);
+      }
+    }
+  }
+  return arrival;
+}
+
+double GossipEngine::reach_fraction(const std::vector<TimeMs>& arrivals,
+                                    const RelaySet& relay_set,
+                                    TimeMs deadline) {
+  RS_REQUIRE(arrivals.size() == relay_set.online.size(),
+             "arrival/online size mismatch");
+  std::size_t online = 0;
+  std::size_t reached = 0;
+  for (std::size_t v = 0; v < arrivals.size(); ++v) {
+    if (!relay_set.online[v]) continue;
+    ++online;
+    if (arrivals[v] <= deadline) ++reached;
+  }
+  if (online == 0) return 0.0;
+  return static_cast<double>(reached) / static_cast<double>(online);
+}
+
+}  // namespace roleshare::net

@@ -1,0 +1,59 @@
+// Gossip propagation engine.
+//
+// Computes, for a message originated at one node, the earliest arrival time
+// at every node, given that only `relaying` nodes forward messages
+// (defectors and faulty nodes receive but do not relay — the behavioural
+// root of the Fig-3 collapse). Arrival times are shortest paths through the
+// relay subgraph with independently sampled hop delays (Dijkstra).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ledger/types.hpp"
+#include "net/delay_model.hpp"
+#include "net/sim_time.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace roleshare::net {
+
+/// Node flags consumed by the gossip engine for one round.
+struct RelaySet {
+  /// relays[v] — v forwards messages it receives (cooperative behaviour).
+  std::vector<bool> relays;
+  /// online[v] — v receives messages at all (false for faulty nodes).
+  std::vector<bool> online;
+
+  static RelaySet all_cooperative(std::size_t n);
+};
+
+class GossipEngine {
+ public:
+  /// `delay_factor` scales every sampled hop delay (synchrony
+  /// degradation); `loss_probability` drops each hop's copy of a message
+  /// independently (lossy links / congestion). Gossip redundancy masks
+  /// moderate loss; combined with defection it compounds.
+  GossipEngine(const Topology& topology, const DelayModel& delays,
+               double delay_factor = 1.0, double loss_probability = 0.0);
+
+  /// Earliest arrival time (origin transmits at `start`) at every node, or
+  /// kNever if unreachable. The origin itself receives at `start`.
+  /// Offline nodes never receive; non-relaying nodes receive but do not
+  /// forward.
+  std::vector<TimeMs> propagate(ledger::NodeId origin, TimeMs start,
+                                const RelaySet& relay_set,
+                                util::Rng& rng) const;
+
+  /// Fraction of online nodes whose arrival time is <= deadline.
+  static double reach_fraction(const std::vector<TimeMs>& arrivals,
+                               const RelaySet& relay_set, TimeMs deadline);
+
+ private:
+  const Topology& topology_;
+  const DelayModel& delays_;
+  double delay_factor_;
+  double loss_probability_;
+};
+
+}  // namespace roleshare::net

@@ -1,0 +1,15 @@
+// Simulated time, in milliseconds of virtual wall-clock.
+#pragma once
+
+#include <limits>
+
+namespace roleshare::net {
+
+using TimeMs = double;
+
+inline constexpr TimeMs kNever = std::numeric_limits<TimeMs>::infinity();
+
+/// Algorand's vote-submission timeout (§III-A: 20 seconds).
+inline constexpr TimeMs kDefaultStepTimeoutMs = 20'000.0;
+
+}  // namespace roleshare::net

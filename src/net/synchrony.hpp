@@ -1,0 +1,53 @@
+// Synchrony controller — models Algorand's strong/weak synchrony states
+// (paper Definitions 2 and 3).
+//
+// In the Strong state hop delays are unchanged. In the Degraded state every
+// hop delay is multiplied by `degraded_delay_factor` (so fewer messages make
+// their step deadlines, pushing nodes toward tentative blocks / no block).
+// Weak synchrony is modelled as bounded runs of Degraded rounds followed by
+// guaranteed Strong rounds, which produces the tentative-then-recover
+// pattern the paper highlights in Fig 3(c).
+#pragma once
+
+#include <cstdint>
+
+#include "ledger/types.hpp"
+#include "net/sim_time.hpp"
+#include "util/rng.hpp"
+
+namespace roleshare::net {
+
+enum class SynchronyState : std::uint8_t { Strong, Degraded };
+
+struct SynchronyConfig {
+  /// Per-round probability of entering a Degraded run from Strong.
+  double degrade_probability = 0.0;
+  /// Multiplier applied to every hop delay while Degraded (> 1).
+  double degraded_delay_factor = 4.0;
+  /// Maximum consecutive Degraded rounds (the "bounded period" of weak
+  /// synchrony); after this many the network is forced Strong again.
+  std::uint32_t max_degraded_rounds = 3;
+};
+
+class SynchronyController {
+ public:
+  explicit SynchronyController(SynchronyConfig config);
+
+  /// Advances to the next round and returns its state.
+  SynchronyState advance_round(util::Rng& rng);
+
+  SynchronyState state() const { return state_; }
+
+  /// Multiplier to apply to sampled hop delays this round.
+  double delay_factor() const;
+
+  /// Forces a state (tests and scripted scenarios).
+  void force(SynchronyState s);
+
+ private:
+  SynchronyConfig config_;
+  SynchronyState state_ = SynchronyState::Strong;
+  std::uint32_t degraded_run_ = 0;
+};
+
+}  // namespace roleshare::net

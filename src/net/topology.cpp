@@ -1,0 +1,65 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace roleshare::net {
+
+Topology Topology::random_k_out(std::size_t n, std::size_t k,
+                                util::Rng& rng) {
+  RS_REQUIRE(n > 0, "topology needs nodes");
+  RS_REQUIRE(k < n, "fan-out must be smaller than node count");
+  Topology t;
+  t.fan_out_ = k;
+  t.out_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    // Sample k distinct targets != v: sample from n-1 logical slots and
+    // shift indices >= v by one.
+    auto picks = rng.sample_without_replacement(n - 1, k);
+    auto& row = t.out_[v];
+    row.reserve(k);
+    for (const std::size_t p : picks) {
+      const std::size_t target = (p >= v) ? p + 1 : p;
+      row.push_back(static_cast<ledger::NodeId>(target));
+    }
+    std::sort(row.begin(), row.end());
+  }
+  t.build_reverse();
+  return t;
+}
+
+Topology Topology::from_adjacency(
+    std::vector<std::vector<ledger::NodeId>> adjacency) {
+  Topology t;
+  t.out_ = std::move(adjacency);
+  const std::size_t n = t.out_.size();
+  for (const auto& row : t.out_) {
+    t.fan_out_ = std::max(t.fan_out_, row.size());
+    for (const ledger::NodeId to : row)
+      RS_REQUIRE(to < n, "adjacency target out of range");
+  }
+  t.build_reverse();
+  return t;
+}
+
+std::span<const ledger::NodeId> Topology::out_neighbors(
+    ledger::NodeId v) const {
+  RS_REQUIRE(v < out_.size(), "node id out of range");
+  return out_[v];
+}
+
+std::span<const ledger::NodeId> Topology::in_neighbors(
+    ledger::NodeId v) const {
+  RS_REQUIRE(v < in_.size(), "node id out of range");
+  return in_[v];
+}
+
+void Topology::build_reverse() {
+  in_.assign(out_.size(), {});
+  for (std::size_t v = 0; v < out_.size(); ++v)
+    for (const ledger::NodeId to : out_[v])
+      in_[to].push_back(static_cast<ledger::NodeId>(v));
+}
+
+}  // namespace roleshare::net

@@ -1,0 +1,37 @@
+#include "sim/behavior.hpp"
+
+namespace roleshare::sim {
+
+game::Strategy choose_strategy(BehaviorType behavior,
+                               const econ::CostModel& costs,
+                               const SelfishContext& ctx, util::Rng& rng) {
+  switch (behavior) {
+    case BehaviorType::Honest:
+      return game::Strategy::Cooperate;
+    case BehaviorType::ScriptedDefect:
+      return game::Strategy::Defect;
+    case BehaviorType::Faulty:
+      return game::Strategy::Offline;
+    case BehaviorType::Malicious:
+      return rng.bernoulli(0.5) ? game::Strategy::Cooperate
+                                : game::Strategy::Defect;
+    case BehaviorType::Selfish: {
+      // Expected extra cost of cooperating over defecting this round.
+      const double expected_cost =
+          (costs.other_cost() - costs.defection_cost()) +
+          ctx.p_leader * (costs.leader_cost() - costs.other_cost()) +
+          ctx.p_committee * (costs.committee_cost() - costs.other_cost());
+      // Under no-punishment schemes defection keeps the stake reward, so a
+      // purely myopic node would always defect; but defection risks the
+      // block (and thus the reward) failing. The node cooperates when the
+      // reward at stake exceeds the cost of cooperating.
+      const double reward_at_stake =
+          ctx.last_reward_per_stake * static_cast<double>(ctx.stake);
+      return reward_at_stake > expected_cost ? game::Strategy::Cooperate
+                                             : game::Strategy::Defect;
+    }
+  }
+  return game::Strategy::Cooperate;
+}
+
+}  // namespace roleshare::sim

@@ -1,0 +1,56 @@
+// Node behaviour types (§III-C): honest (always cooperate), honest-but-
+// selfish (cooperate iff reward exceeds cost), malicious (arbitrary) and
+// faulty (offline).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "econ/cost_model.hpp"
+#include "game/strategy.hpp"
+#include "util/rng.hpp"
+
+namespace roleshare::sim {
+
+enum class BehaviorType : std::uint8_t {
+  Honest,         // altruistic: cooperates unconditionally
+  Selfish,        // honest-but-selfish: strategic C/D choice
+  ScriptedDefect, // selfish node scripted to defect (Fig-3 scenarios)
+  Malicious,      // arbitrary C/D (never modelled as forging, §III-C)
+  Faulty,         // offline
+};
+
+constexpr std::string_view to_string(BehaviorType b) {
+  switch (b) {
+    case BehaviorType::Honest:
+      return "honest";
+    case BehaviorType::Selfish:
+      return "selfish";
+    case BehaviorType::ScriptedDefect:
+      return "scripted-defect";
+    case BehaviorType::Malicious:
+      return "malicious";
+    case BehaviorType::Faulty:
+      return "faulty";
+  }
+  return "?";
+}
+
+/// Inputs a selfish node uses to decide its round strategy: the per-unit-
+/// stake reward it observed last round and its election odds.
+struct SelfishContext {
+  double last_reward_per_stake = 0.0;  // µAlgos per Algo of stake, last round
+  double p_leader = 0.0;               // probability of >= 1 proposer sub-user
+  double p_committee = 0.0;            // probability of >= 1 committee sub-user
+  std::int64_t stake = 0;              // this node's stake (Algos)
+};
+
+/// Picks the round strategy for a behaviour.
+/// Selfish rule: cooperate iff expected reward (last observed rate x stake)
+/// strictly exceeds expected cooperation cost (fixed cost plus election-
+/// probability-weighted role costs) minus what defection would still earn.
+game::Strategy choose_strategy(BehaviorType behavior,
+                               const econ::CostModel& costs,
+                               const SelfishContext& ctx, util::Rng& rng);
+
+}  // namespace roleshare::sim

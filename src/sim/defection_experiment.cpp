@@ -1,0 +1,49 @@
+#include "sim/defection_experiment.hpp"
+
+#include "sim/round_engine.hpp"
+#include "util/require.hpp"
+
+namespace roleshare::sim {
+
+DefectionSeries run_defection_experiment(
+    const DefectionExperimentConfig& config) {
+  RS_REQUIRE(config.runs > 0, "at least one run");
+  RS_REQUIRE(config.rounds > 0, "at least one round");
+
+  OutcomeMetrics metrics(config.rounds);
+  std::size_t runs_with_progress = 0;
+
+  for (std::size_t run = 0; run < config.runs; ++run) {
+    NetworkConfig net_config = config.network;
+    net_config.seed = config.network.seed + 0x9e3779b9ULL * (run + 1);
+    Network network(net_config);
+
+    consensus::ConsensusParams params = config.params;
+    if (config.scale_params_to_stake) {
+      params = consensus::ConsensusParams::scaled_for(
+          network.accounts().total_stake());
+      params.step_threshold = config.params.step_threshold;
+      params.final_threshold = config.params.final_threshold;
+      params.max_binary_iterations = config.params.max_binary_iterations;
+      params.proposal_timeout_ms = config.params.proposal_timeout_ms;
+      params.step_timeout_ms = config.params.step_timeout_ms;
+    }
+
+    RoundEngine engine(network, params);
+    bool progress = false;
+    for (std::size_t r = 0; r < config.rounds; ++r) {
+      const RoundResult result = engine.run_round();
+      metrics.record(r, result);
+      progress = progress || result.non_empty_block;
+    }
+    if (progress) ++runs_with_progress;
+  }
+
+  DefectionSeries series;
+  series.rounds = metrics.aggregate(config.trim_fraction);
+  series.runs_with_progress = static_cast<double>(runs_with_progress) /
+                              static_cast<double>(config.runs);
+  return series;
+}
+
+}  // namespace roleshare::sim

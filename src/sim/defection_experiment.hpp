@@ -1,0 +1,34 @@
+// The Fig-3 experiment: how the share of nodes extracting final /
+// tentative / no blocks evolves per round as a fraction of the network
+// defects. Multiple independent runs, trimmed-mean aggregation.
+#pragma once
+
+#include "consensus/params.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+
+namespace roleshare::sim {
+
+struct DefectionExperimentConfig {
+  NetworkConfig network;  // template; seed is offset per run
+  std::size_t runs = 100;
+  std::size_t rounds = 50;
+  double trim_fraction = 0.2;
+  /// When true the consensus committee expectations are re-scaled to each
+  /// run's total stake (required for small simulated networks).
+  bool scale_params_to_stake = true;
+  consensus::ConsensusParams params{};
+};
+
+struct DefectionSeries {
+  std::vector<RoundAggregate> rounds;
+  /// Fraction of runs in which the chain gained at least one non-empty
+  /// block (network-level liveness indicator).
+  double runs_with_progress = 0.0;
+};
+
+/// Runs the experiment. Deterministic in config.network.seed.
+DefectionSeries run_defection_experiment(
+    const DefectionExperimentConfig& config);
+
+}  // namespace roleshare::sim

@@ -1,0 +1,41 @@
+#include "sim/metrics.hpp"
+
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace roleshare::sim {
+
+OutcomeMetrics::OutcomeMetrics(std::size_t rounds)
+    : per_round_final_(rounds),
+      per_round_tentative_(rounds),
+      per_round_none_(rounds) {
+  RS_REQUIRE(rounds > 0, "metrics need at least one round");
+}
+
+void OutcomeMetrics::record(std::size_t round_index,
+                            const RoundResult& result) {
+  RS_REQUIRE(round_index < per_round_final_.size(), "round index");
+  per_round_final_[round_index].push_back(result.final_fraction * 100.0);
+  per_round_tentative_[round_index].push_back(result.tentative_fraction *
+                                              100.0);
+  per_round_none_[round_index].push_back(result.none_fraction * 100.0);
+}
+
+std::size_t OutcomeMetrics::runs_recorded(std::size_t round_index) const {
+  RS_REQUIRE(round_index < per_round_final_.size(), "round index");
+  return per_round_final_[round_index].size();
+}
+
+std::vector<RoundAggregate> OutcomeMetrics::aggregate(
+    double trim_fraction) const {
+  std::vector<RoundAggregate> out(per_round_final_.size());
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    out[r].final_pct = util::trimmed_mean(per_round_final_[r], trim_fraction);
+    out[r].tentative_pct =
+        util::trimmed_mean(per_round_tentative_[r], trim_fraction);
+    out[r].none_pct = util::trimmed_mean(per_round_none_[r], trim_fraction);
+  }
+  return out;
+}
+
+}  // namespace roleshare::sim

@@ -1,0 +1,38 @@
+// Aggregation of per-round outcomes across simulation runs — the paper's
+// 20%-trimmed-mean methodology (§III-C) producing the Fig-3 series.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/round_engine.hpp"
+
+namespace roleshare::sim {
+
+/// Trimmed-mean outcome fractions for one round index.
+struct RoundAggregate {
+  double final_pct = 0.0;      // % of nodes extracting a final block
+  double tentative_pct = 0.0;  // % extracting only a tentative block
+  double none_pct = 0.0;       // % extracting no block
+};
+
+class OutcomeMetrics {
+ public:
+  explicit OutcomeMetrics(std::size_t rounds);
+
+  /// Records one run's result for `round_index` (0-based).
+  void record(std::size_t round_index, const RoundResult& result);
+
+  std::size_t rounds() const { return per_round_final_.size(); }
+  std::size_t runs_recorded(std::size_t round_index) const;
+
+  /// Trimmed-mean series over all recorded runs (percentages, 0..100).
+  std::vector<RoundAggregate> aggregate(double trim_fraction = 0.2) const;
+
+ private:
+  std::vector<std::vector<double>> per_round_final_;
+  std::vector<std::vector<double>> per_round_tentative_;
+  std::vector<std::vector<double>> per_round_none_;
+};
+
+}  // namespace roleshare::sim

@@ -1,0 +1,100 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace roleshare::sim {
+
+namespace {
+
+net::Topology build_topology(std::size_t n, std::size_t fan_out,
+                             util::Rng& rng) {
+  return net::Topology::random_k_out(n, std::min(fan_out, n - 1), rng);
+}
+
+}  // namespace
+
+Network::Network(const NetworkConfig& config)
+    : config_(config),
+      master_rng_(config.seed),
+      chain_(config.seed),
+      topology_(build_topology(config.node_count, config.fan_out,
+                               master_rng_)),
+      delays_(net::make_uniform_delay(config.delay_lo_ms, config.delay_hi_ms)),
+      synchrony_(config.synchrony) {
+  RS_REQUIRE(config.node_count >= 4, "network needs at least 4 nodes");
+  RS_REQUIRE(config.defection_rate >= 0.0 && config.defection_rate <= 1.0,
+             "defection rate");
+  RS_REQUIRE(config.faulty_rate >= 0.0 &&
+                 config.defection_rate + config.faulty_rate <= 1.0,
+             "faulty rate");
+
+  // Keys and stake-funded accounts.
+  util::Rng stake_rng = master_rng_.split("stakes");
+  const util::UniformStake dist(config.stake_lo, config.stake_hi);
+  keys_.reserve(config.node_count);
+  for (std::size_t v = 0; v < config.node_count; ++v) {
+    keys_.push_back(crypto::KeyPair::derive(config.seed, v));
+    const std::int64_t stake = dist.sample(stake_rng);
+    accounts_.add_account(keys_.back().public_key(), ledger::algos(stake));
+  }
+
+  // Behaviour assignment: a random subset defects, a random subset is
+  // faulty, the rest honest (or selfish when selfish_residual).
+  behaviors_.assign(config.node_count, config.selfish_residual
+                                           ? BehaviorType::Selfish
+                                           : BehaviorType::Honest);
+  util::Rng behavior_rng = master_rng_.split("behaviors");
+  const auto n_defect = static_cast<std::size_t>(
+      config.defection_rate * static_cast<double>(config.node_count) + 0.5);
+  const auto n_faulty = static_cast<std::size_t>(
+      config.faulty_rate * static_cast<double>(config.node_count) + 0.5);
+  const auto picks = behavior_rng.sample_without_replacement(
+      config.node_count, std::min(config.node_count, n_defect + n_faulty));
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    behaviors_[picks[i]] = i < n_defect ? BehaviorType::ScriptedDefect
+                                        : BehaviorType::Faulty;
+  }
+
+  strategies_.assign(config.node_count, game::Strategy::Cooperate);
+  util::Rng init_rng = master_rng_.split("initial-strategies");
+  decide_strategies(econ::CostModel{}, 0.0, init_rng);
+}
+
+void Network::set_behavior(ledger::NodeId v, BehaviorType b) {
+  RS_REQUIRE(v < behaviors_.size(), "node id out of range");
+  behaviors_[v] = b;
+}
+
+void Network::decide_strategies(const econ::CostModel& costs,
+                                double last_reward_per_stake,
+                                util::Rng& rng) {
+  const std::int64_t total = accounts_.total_stake();
+  for (std::size_t v = 0; v < behaviors_.size(); ++v) {
+    SelfishContext ctx;
+    ctx.stake = accounts_.stake(static_cast<ledger::NodeId>(v));
+    ctx.last_reward_per_stake = last_reward_per_stake;
+    if (total > 0) {
+      // P(at least one sub-user selected) = 1 - (1 - tau/W)^stake; a cheap
+      // upper estimate tau*s/W suffices for the decision rule.
+      const double w = static_cast<double>(total);
+      ctx.p_leader = std::min(1.0, 26.0 * static_cast<double>(ctx.stake) / w);
+      ctx.p_committee =
+          std::min(1.0, 13'000.0 * static_cast<double>(ctx.stake) / w);
+    }
+    strategies_[v] = choose_strategy(behaviors_[v], costs, ctx, rng);
+  }
+}
+
+void Network::set_strategies(std::vector<game::Strategy> strategies) {
+  RS_REQUIRE(strategies.size() == behaviors_.size(),
+             "strategy vector size mismatch");
+  strategies_ = std::move(strategies);
+}
+
+util::Rng Network::round_rng(ledger::Round round) const {
+  return master_rng_.split(0x726f756e64ULL ^ round);  // "round" ^ r
+}
+
+}  // namespace roleshare::sim

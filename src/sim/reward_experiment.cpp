@@ -1,0 +1,158 @@
+#include "sim/reward_experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "econ/foundation_schedule.hpp"
+#include "util/alias_sampler.hpp"
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace roleshare::sim {
+
+StakeSpec StakeSpec::uniform(std::int64_t lo, std::int64_t hi) {
+  StakeSpec s;
+  s.kind = Kind::Uniform;
+  s.a = static_cast<double>(lo);
+  s.b = static_cast<double>(hi);
+  return s;
+}
+
+StakeSpec StakeSpec::normal(double mean, double sigma) {
+  StakeSpec s;
+  s.kind = Kind::Normal;
+  s.a = mean;
+  s.b = sigma;
+  return s;
+}
+
+std::string StakeSpec::name() const { return make()->name(); }
+
+std::unique_ptr<util::StakeDistribution> StakeSpec::make() const {
+  if (kind == Kind::Uniform) {
+    return util::make_uniform_stake(static_cast<std::int64_t>(a),
+                                    static_cast<std::int64_t>(b));
+  }
+  return util::make_normal_stake(a, b);
+}
+
+namespace {
+
+/// Draws a role's member set by sub-user sampling: `tau` stake-weighted
+/// draws; distinct drawn nodes form the set. Returns the minimum stake
+/// among members (0 if none).
+std::int64_t sample_role_min_stake(
+    const util::AliasSampler& sampler, const std::vector<std::int64_t>& stakes,
+    std::uint64_t tau, util::Rng& rng,
+    std::unordered_set<std::size_t>& members_out) {
+  std::int64_t min_stake = 0;
+  for (std::uint64_t d = 0; d < tau; ++d) {
+    const std::size_t v = sampler.sample(rng);
+    members_out.insert(v);
+    if (min_stake == 0 || stakes[v] < min_stake) min_stake = stakes[v];
+  }
+  return min_stake;
+}
+
+}  // namespace
+
+RewardExperimentResult run_reward_experiment(
+    const RewardExperimentConfig& config) {
+  RS_REQUIRE(config.node_count > 2, "population too small");
+  RS_REQUIRE(config.runs > 0 && config.rounds_per_run > 0, "runs/rounds");
+
+  RewardExperimentResult result;
+  result.bi_per_round_mean.assign(config.rounds_per_run, 0.0);
+  result.foundation_per_round.assign(config.rounds_per_run, 0.0);
+  for (std::size_t r = 0; r < config.rounds_per_run; ++r) {
+    result.foundation_per_round[r] = ledger::to_algos(
+        econ::FoundationSchedule::reward_for_round(r + 1));
+  }
+
+  const econ::RewardOptimizer optimizer(config.optimizer);
+  util::RunningStats bi_stats;
+  util::RunningStats alpha_stats;
+  util::RunningStats beta_stats;
+  util::RunningStats stake_stats;
+
+  util::Rng master(config.seed);
+  const auto dist = config.stakes.make();
+
+  for (std::size_t run = 0; run < config.runs; ++run) {
+    util::Rng rng = master.split(run + 1);
+    std::vector<std::int64_t> stakes =
+        dist->sample_many(rng, config.node_count);
+    std::int64_t total_stake = 0;
+    for (const std::int64_t s : stakes) total_stake += s;
+
+    for (std::size_t round = 0; round < config.rounds_per_run; ++round) {
+      // Committee sampling (sub-user draws, alias table rebuilt per round
+      // because the churn below shifts weights).
+      std::vector<double> weights(stakes.begin(), stakes.end());
+      const util::AliasSampler sampler(weights);
+
+      std::unordered_set<std::size_t> leaders, committee;
+      const std::int64_t min_leader = sample_role_min_stake(
+          sampler, stakes, config.leader_stake, rng, leaders);
+      const std::int64_t min_committee = sample_role_min_stake(
+          sampler, stakes, config.committee_stake, rng, committee);
+
+      // Others: everyone else. s*_k is the min stake among others at or
+      // above the Fig-7(c) threshold; S_K excludes filtered nodes.
+      const std::int64_t threshold = config.min_other_stake.value_or(0);
+      std::int64_t min_other = 0;
+      std::int64_t others_stake = 0;
+      for (std::size_t v = 0; v < stakes.size(); ++v) {
+        if (leaders.contains(v) || committee.contains(v)) continue;
+        if (stakes[v] < threshold) continue;
+        others_stake += stakes[v];
+        if (min_other == 0 || stakes[v] < min_other) min_other = stakes[v];
+      }
+
+      econ::BoundInputs inputs;
+      inputs.stake_leaders = static_cast<double>(config.leader_stake);
+      inputs.stake_committee = static_cast<double>(config.committee_stake);
+      inputs.stake_others = static_cast<double>(others_stake);
+      inputs.min_stake_leader =
+          static_cast<double>(std::max<std::int64_t>(1, min_leader));
+      inputs.min_stake_committee =
+          static_cast<double>(std::max<std::int64_t>(1, min_committee));
+      inputs.min_stake_other =
+          static_cast<double>(std::max<std::int64_t>(1, min_other));
+
+      const econ::OptimizerResult opt = optimizer.optimize(inputs,
+                                                           config.costs);
+      if (!opt.feasible) {
+        ++result.infeasible_rounds;
+      } else {
+        const double bi_algos = opt.min_bi / 1e6;  // µAlgos -> Algos
+        result.bi_algos.push_back(bi_algos);
+        result.bi_per_round_mean[round] += bi_algos;
+        bi_stats.add(bi_algos);
+        alpha_stats.add(opt.split.alpha);
+        beta_stats.add(opt.split.beta);
+      }
+
+      // Transaction churn: stake-weighted parties exchange a few Algos.
+      for (std::size_t t = 0; t < config.tx_parties; ++t) {
+        const std::size_t v = sampler.sample(rng);
+        const std::int64_t delta = rng.uniform_int(config.tx_lo, config.tx_hi);
+        const std::int64_t updated = std::max<std::int64_t>(1, stakes[v] + delta);
+        total_stake += updated - stakes[v];
+        stakes[v] = updated;
+      }
+    }
+    stake_stats.add(static_cast<double>(total_stake));
+  }
+
+  for (double& m : result.bi_per_round_mean)
+    m /= static_cast<double>(config.runs);
+  result.mean_bi = bi_stats.mean();
+  result.mean_total_stake = stake_stats.mean();
+  result.mean_alpha = alpha_stats.mean();
+  result.mean_beta = beta_stats.mean();
+  return result;
+}
+
+}  // namespace roleshare::sim

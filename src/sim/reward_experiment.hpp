@@ -1,0 +1,73 @@
+// The Fig-6 / Fig-7 economic experiment (§V-B): a population of hundreds of
+// thousands of accounts with a configurable stake distribution, per-round
+// committee sampling (sub-user draws, exactly Algorand's committee-stake
+// accounting where S_L = tau_proposer and S_M = 3*tau_step + tau_final),
+// per-round transaction churn among stake-weighted parties, and per-round
+// computation of the minimal incentive-compatible reward B_i via
+// Algorithm 1 — compared against the Foundation's Table-III schedule.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "econ/optimizer.hpp"
+#include "util/distributions.hpp"
+
+namespace roleshare::sim {
+
+/// Copyable description of a stake distribution (the paper's U(1,200),
+/// N(100,20), N(100,10), N(2000,25)).
+struct StakeSpec {
+  enum class Kind : std::uint8_t { Uniform, Normal };
+  Kind kind = Kind::Uniform;
+  double a = 1;  // Uniform: lo; Normal: mean
+  double b = 50; // Uniform: hi; Normal: sigma
+
+  static StakeSpec uniform(std::int64_t lo, std::int64_t hi);
+  static StakeSpec normal(double mean, double sigma);
+
+  std::string name() const;
+  std::unique_ptr<util::StakeDistribution> make() const;
+};
+
+struct RewardExperimentConfig {
+  std::size_t node_count = 100'000;
+  std::uint64_t seed = 7;
+  StakeSpec stakes = StakeSpec::uniform(1, 200);
+  std::size_t runs = 200;
+  std::size_t rounds_per_run = 10;
+  econ::CostModel costs{};
+  econ::OptimizerConfig optimizer{};
+  /// Committee-stake expectations (paper: S_L = 26, S_M = 13,000).
+  std::uint64_t leader_stake = 26;
+  std::uint64_t committee_stake = 13'000;
+  /// Per-round transaction churn: `tx_parties` stake-weighted draws, each
+  /// moving U(tx_lo, tx_hi) Algos (negative = send, positive = receive).
+  std::size_t tx_parties = 1000;
+  std::int64_t tx_lo = -4;
+  std::int64_t tx_hi = 4;
+  /// Fig-7(c): Other nodes with stake < w are excluded from the reward set.
+  std::optional<std::int64_t> min_other_stake;
+};
+
+struct RewardExperimentResult {
+  /// Every computed per-round B_i (runs x rounds values), in Algos.
+  std::vector<double> bi_algos;
+  /// Per-round means across runs (length rounds_per_run), Algos.
+  std::vector<double> bi_per_round_mean;
+  /// Per-round Foundation schedule rewards for the same rounds, Algos.
+  std::vector<double> foundation_per_round;
+  double mean_bi = 0.0;    // overall mean, Algos
+  double mean_total_stake = 0.0;  // mean S_N across runs, Algos
+  std::size_t infeasible_rounds = 0;
+  /// Chosen splits observed (mean alpha/beta across rounds).
+  double mean_alpha = 0.0;
+  double mean_beta = 0.0;
+};
+
+RewardExperimentResult run_reward_experiment(
+    const RewardExperimentConfig& config);
+
+}  // namespace roleshare::sim

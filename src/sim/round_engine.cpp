@@ -1,0 +1,369 @@
+#include "sim/round_engine.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "consensus/binary_ba.hpp"
+#include "consensus/proposal.hpp"
+#include "consensus/reduction.hpp"
+#include "consensus/roles.hpp"
+#include "consensus/votes.hpp"
+#include "util/require.hpp"
+
+namespace roleshare::sim {
+
+namespace {
+
+using consensus::Role;
+using crypto::Hash256;
+using game::Strategy;
+using ledger::NodeId;
+
+/// Everything one voting step needs from the round.
+struct StepContext {
+  const Network* network = nullptr;
+  const consensus::ConsensusParams* params = nullptr;
+  const std::vector<std::int64_t>* stakes = nullptr;
+  std::int64_t total_stake = 0;
+  ledger::Round round = 0;
+  Hash256 prev_seed;
+  const net::RelaySet* relay_set = nullptr;
+  const net::GossipEngine* gossip = nullptr;
+  util::Rng* rng = nullptr;
+  /// Marked Committee for nodes that actually vote (observed roles).
+  std::vector<Role>* observed_roles = nullptr;
+  /// Marked Committee for every elected node, voting or not (true roles).
+  std::vector<Role>* true_roles = nullptr;
+};
+
+struct StepOutcome {
+  std::optional<Hash256> winner;
+  bool coin = false;
+};
+
+void mark_committee(std::vector<Role>& roles, NodeId v) {
+  if (roles[v] == Role::Other) roles[v] = Role::Committee;
+}
+
+/// Runs one voting step: elects the committee for `step`, collects votes
+/// from members for whom `value_of` returns a value, gossips each vote, and
+/// tallies each node's delay-filtered view against `quorum`.
+std::vector<StepOutcome> run_vote_step(
+    const StepContext& ctx, std::uint32_t step, std::uint64_t expected_stake,
+    double quorum,
+    const std::function<std::optional<Hash256>(NodeId)>& value_of) {
+  const std::size_t n = ctx.network->node_count();
+  const auto& strategies = ctx.network->strategies();
+
+  const consensus::Committee committee = consensus::elect_committee(
+      ctx.network->keys(), *ctx.stakes, ctx.round, step, ctx.prev_seed,
+      expected_stake, ctx.total_stake);
+
+  std::vector<consensus::Vote> votes;
+  std::vector<std::vector<net::TimeMs>> arrivals;
+  votes.reserve(committee.members.size());
+  for (const consensus::CommitteeMember& m : committee.members) {
+    if (ctx.true_roles != nullptr) mark_committee(*ctx.true_roles, m.node);
+    if (strategies[m.node] != Strategy::Cooperate) continue;
+    const std::optional<Hash256> value = value_of(m.node);
+    if (!value.has_value()) continue;
+    if (ctx.observed_roles != nullptr)
+      mark_committee(*ctx.observed_roles, m.node);
+    votes.push_back(consensus::make_vote(
+        m.node, ctx.network->keys()[m.node].public_key(), ctx.round, step,
+        *value, m.sortition));
+    arrivals.push_back(
+        ctx.gossip->propagate(m.node, 0.0, *ctx.relay_set, *ctx.rng));
+  }
+
+  // Every receiving node verifies each vote's sortition proof; the check
+  // is deterministic per vote, so the simulator performs it once per vote
+  // and shares the verdict across receivers (the per-node *cost* of
+  // verification is a model parameter, not re-simulated work).
+  const crypto::SortitionParams sparams{expected_stake, ctx.total_stake};
+  std::vector<bool> valid(votes.size());
+  for (std::size_t i = 0; i < votes.size(); ++i) {
+    valid[i] = consensus::verify_vote(votes[i], ctx.prev_seed,
+                                      (*ctx.stakes)[votes[i].voter], sparams);
+  }
+
+  // Per-node tally over valid votes that arrive within the step timeout.
+  const net::TimeMs deadline = ctx.params->step_timeout_ms;
+  std::vector<StepOutcome> out(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!ctx.relay_set->online[v]) continue;
+    consensus::VoteCounter counter(quorum);
+    for (std::size_t i = 0; i < votes.size(); ++i) {
+      if (!valid[i] || arrivals[i][v] > deadline) continue;
+      counter.add(votes[i]);
+    }
+    const consensus::TallyResult tally = counter.result();
+    out[v].winner = tally.winner;
+    out[v].coin = counter.common_coin().value_or(false);
+  }
+  return out;
+}
+
+}  // namespace
+
+RoundEngine::RoundEngine(Network& network, consensus::ConsensusParams params)
+    : network_(network), params_(params) {
+  params_.validate();
+}
+
+RoundResult RoundEngine::run_round() {
+  Network& net = network_;
+  const std::size_t n = net.node_count();
+  const ledger::Round round = net.chain().next_round();
+  util::Rng rng = net.round_rng(round);
+
+  const std::vector<std::int64_t> stakes = net.accounts().stakes();
+  std::int64_t total_stake = 0;
+  for (const std::int64_t s : stakes) total_stake += s;
+  RS_REQUIRE(total_stake > 0, "network has no stake");
+
+  RoundResult result;
+  result.round = round;
+  result.synchrony = net.synchrony().advance_round(rng);
+
+  const net::GossipEngine gossip(net.topology(), net.delays(),
+                                 net.synchrony().delay_factor());
+
+  // Relay set from this round's strategies: cooperators forward, online
+  // defectors receive only, offline nodes are absent.
+  const std::vector<Strategy>& strategies = net.strategies();
+  net::RelaySet relay;
+  relay.relays.assign(n, false);
+  relay.online.assign(n, false);
+  for (std::size_t v = 0; v < n; ++v) {
+    relay.online[v] = strategies[v] != Strategy::Offline;
+    relay.relays[v] = strategies[v] == Strategy::Cooperate;
+  }
+
+  const Hash256 prev_seed = net.chain().current_seed();
+  const Hash256 next_seed = net.chain().next_seed();
+  const Hash256 tip_hash = net.chain().tip().hash();
+  const ledger::Block empty_block =
+      ledger::Block::empty(round, tip_hash, next_seed);
+  const Hash256 empty_hash = empty_block.hash();
+
+  std::vector<Role> observed_roles(n, Role::Other);
+  std::vector<Role> true_roles(n, Role::Other);
+
+  // ---- Block proposal phase -------------------------------------------
+  const crypto::VrfInput proposer_input{round, consensus::kProposerStep,
+                                        prev_seed};
+  const crypto::SortitionParams proposer_params{
+      params_.expected_proposer_stake, total_stake};
+
+  std::vector<consensus::BlockProposal> proposals;
+  std::vector<std::vector<net::TimeMs>> proposal_arrivals;
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto sres = crypto::sortition(net.keys()[v], proposer_input,
+                                        stakes[v], proposer_params);
+    if (!sres.selected()) continue;
+    true_roles[v] = Role::Leader;
+    if (strategies[v] != Strategy::Cooperate) continue;
+    observed_roles[v] = Role::Leader;
+    ledger::Block block =
+        ledger::Block::make(round, tip_hash, next_seed,
+                            net.keys()[v].public_key(), net.txpool().peek(64));
+    proposals.push_back(consensus::make_proposal(
+        static_cast<NodeId>(v), net.keys()[v].public_key(), std::move(block),
+        sres));
+    proposal_arrivals.push_back(gossip.propagate(static_cast<NodeId>(v), 0.0,
+                                                 relay, rng));
+  }
+  result.proposals = proposals.size();
+
+  // Per-node proposal selection within the proposal timeout; also track
+  // whether a node ever receives each block body at all (needed to
+  // "extract" the block the votes certify).
+  std::vector<int> best_idx(n, -1);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!relay.online[v]) continue;
+    std::uint64_t best_priority = 0;
+    Hash256 best_hash;
+    for (std::size_t p = 0; p < proposals.size(); ++p) {
+      if (proposal_arrivals[p][v] > params_.proposal_timeout_ms) continue;
+      const Hash256 h = proposals[p].block_hash();
+      if (best_idx[v] < 0 || proposals[p].priority > best_priority ||
+          (proposals[p].priority == best_priority && h < best_hash)) {
+        best_idx[v] = static_cast<int>(p);
+        best_priority = proposals[p].priority;
+        best_hash = h;
+      }
+    }
+  }
+
+  StepContext ctx;
+  ctx.network = &net;
+  ctx.params = &params_;
+  ctx.stakes = &stakes;
+  ctx.total_stake = total_stake;
+  ctx.round = round;
+  ctx.prev_seed = prev_seed;
+  ctx.relay_set = &relay;
+  ctx.gossip = &gossip;
+  ctx.rng = &rng;
+  ctx.observed_roles = &observed_roles;
+  ctx.true_roles = &true_roles;
+
+  // ---- Reduction phase (2 steps) --------------------------------------
+  const double step_quorum = params_.step_quorum();
+  const auto step1 = run_vote_step(
+      ctx, consensus::kReductionStep1, params_.expected_step_stake,
+      step_quorum, [&](NodeId v) -> std::optional<Hash256> {
+        return consensus::reduction_step1_value(
+            best_idx[v] >= 0
+                ? std::optional<Hash256>(proposals[best_idx[v]].block_hash())
+                : std::nullopt,
+            empty_hash);
+      });
+
+  const auto step2 = run_vote_step(
+      ctx, consensus::kReductionStep2, params_.expected_step_stake,
+      step_quorum, [&](NodeId v) -> std::optional<Hash256> {
+        return step1[v].winner.value_or(empty_hash);
+      });
+
+  // ---- BinaryBA* -------------------------------------------------------
+  std::vector<consensus::BinaryBaState> ba;
+  ba.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    ba.emplace_back(step2[v].winner.value_or(empty_hash), empty_hash,
+                    params_.max_binary_iterations);
+  }
+  // Concluded nodes keep voting their value for 3 more sub-steps to pull
+  // stragglers over the line (Gilad et al., Alg. 8).
+  std::vector<int> post_votes(n, 0);
+
+  const std::uint32_t last_step = consensus::kFirstBinaryStep +
+                                  3 * params_.max_binary_iterations;
+  for (std::uint32_t step = consensus::kFirstBinaryStep; step < last_step;
+       ++step) {
+    bool any_running = false;
+    for (std::size_t v = 0; v < n; ++v)
+      if (relay.online[v] && ba[v].running()) any_running = true;
+    if (!any_running) break;
+
+    const auto outs = run_vote_step(
+        ctx, step, params_.expected_step_stake, step_quorum,
+        [&](NodeId v) -> std::optional<Hash256> {
+          if (ba[v].running() && ba[v].step_number() == step)
+            return ba[v].vote_value();
+          if (!ba[v].running() && post_votes[v] > 0) return ba[v].result();
+          return std::nullopt;
+        });
+
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!relay.online[v]) continue;
+      if (ba[v].running() && ba[v].step_number() == step) {
+        ba[v].advance(outs[v].winner, outs[v].coin);
+        if (!ba[v].running() && ba[v].status() != consensus::BaStatus::Exhausted)
+          post_votes[v] = 3;
+      } else if (!ba[v].running() && post_votes[v] > 0) {
+        --post_votes[v];
+      }
+    }
+  }
+
+  // ---- FINAL vote ------------------------------------------------------
+  const auto finals = run_vote_step(
+      ctx, consensus::kFinalStep, params_.expected_final_stake,
+      params_.final_quorum(), [&](NodeId v) -> std::optional<Hash256> {
+        if (ba[v].concluded_in_first_iteration() &&
+            ba[v].result() != empty_hash)
+          return ba[v].result();
+        return std::nullopt;
+      });
+
+  // ---- Outcomes --------------------------------------------------------
+  auto body_received = [&](NodeId v, const Hash256& h) {
+    if (h == empty_hash) return true;  // the empty block is derived locally
+    for (std::size_t p = 0; p < proposals.size(); ++p) {
+      if (proposals[p].block_hash() == h)
+        return proposal_arrivals[p][v] < net::kNever;
+    }
+    return false;
+  };
+
+  result.outcomes.assign(n, NodeOutcome::NoBlock);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!relay.online[v]) continue;
+    const auto id = static_cast<NodeId>(v);
+    if (finals[v].winner.has_value()) {
+      result.outcomes[v] = body_received(id, *finals[v].winner)
+                               ? NodeOutcome::Final
+                               : NodeOutcome::NoBlock;
+    } else if (ba[v].status() == consensus::BaStatus::ConcludedBlock ||
+               ba[v].status() == consensus::BaStatus::ConcludedEmpty) {
+      result.outcomes[v] = body_received(id, ba[v].result())
+                               ? NodeOutcome::Tentative
+                               : NodeOutcome::NoBlock;
+    }
+  }
+
+  std::size_t finals_count = 0, tentative_count = 0;
+  for (const NodeOutcome o : result.outcomes) {
+    if (o == NodeOutcome::Final) ++finals_count;
+    if (o == NodeOutcome::Tentative) ++tentative_count;
+  }
+  result.final_fraction = static_cast<double>(finals_count) /
+                          static_cast<double>(n);
+  result.tentative_fraction =
+      static_cast<double>(tentative_count) / static_cast<double>(n);
+  result.none_fraction =
+      1.0 - result.final_fraction - result.tentative_fraction;
+
+  // ---- Canonical chain append -----------------------------------------
+  // The chain advances with the plurality conclusion (weighting every
+  // online node equally); if no node concluded a block, the round yields
+  // the empty block so seeds keep evolving.
+  std::vector<std::pair<Hash256, std::size_t>> conclusion_counts;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!relay.online[v]) continue;
+    if (ba[v].status() != consensus::BaStatus::ConcludedBlock) continue;
+    const Hash256 h = ba[v].result();
+    auto it = std::find_if(conclusion_counts.begin(), conclusion_counts.end(),
+                           [&](const auto& e) { return e.first == h; });
+    if (it == conclusion_counts.end()) {
+      conclusion_counts.emplace_back(h, 1);
+    } else {
+      ++it->second;
+    }
+  }
+  const ledger::Block* agreed = nullptr;
+  std::size_t best_count = 0;
+  for (const auto& [hash, count] : conclusion_counts) {
+    if (count <= best_count) continue;
+    for (const consensus::BlockProposal& p : proposals) {
+      if (p.block_hash() == hash) {
+        agreed = &p.block;
+        best_count = count;
+        break;
+      }
+    }
+  }
+  if (agreed != nullptr) {
+    ledger::Block block = *agreed;
+    net.txpool().mark_included(block.transactions());
+    const bool ok = net.chain().append(std::move(block));
+    RS_ENSURE(ok, "agreed block must extend the chain");
+    result.non_empty_block = !net.chain().tip().is_empty();
+  } else {
+    const bool ok = net.chain().append(empty_block);
+    RS_ENSURE(ok, "empty block must extend the chain");
+  }
+
+  // ---- Role snapshots for the reward schemes and the strategic loop ----
+  std::vector<std::int64_t> reward_stakes = stakes;
+  for (std::size_t v = 0; v < n; ++v)
+    if (!relay.online[v]) reward_stakes[v] = 0;  // offline: never rewarded
+  result.roles_true.emplace(std::move(true_roles), reward_stakes);
+  result.roles.emplace(std::move(observed_roles), std::move(reward_stakes));
+
+  return result;
+}
+
+}  // namespace roleshare::sim

@@ -1,0 +1,66 @@
+// Drives one full round of Algorand over the simulated network:
+// sortition → block proposals → gossip → Reduction → BinaryBA* → FINAL
+// vote — then reports, per node, whether it extracted a final block, a
+// tentative block, or no block at all (the Fig-3 metric), plus the role
+// snapshot the reward schemes consume.
+//
+// The engine advances the protocol in lock-step steps: per step it elects
+// the committee, lets cooperative members emit votes, propagates each vote
+// through the relay subgraph (defectors receive but do not forward), and
+// feeds each node's delay-filtered view into that node's BA state machine.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "consensus/params.hpp"
+#include "econ/role_snapshot.hpp"
+#include "net/gossip.hpp"
+#include "sim/network.hpp"
+
+namespace roleshare::sim {
+
+/// Per-node outcome of one round (the Fig-3 categories).
+enum class NodeOutcome : std::uint8_t { Final, Tentative, NoBlock };
+
+struct RoundResult {
+  ledger::Round round = 0;
+  /// Outcome per node (offline nodes count as NoBlock).
+  std::vector<NodeOutcome> outcomes;
+  /// Fractions over all nodes.
+  double final_fraction = 0.0;
+  double tentative_fraction = 0.0;
+  double none_fraction = 0.0;
+  /// Whether the canonical chain advanced with a non-empty block.
+  bool non_empty_block = false;
+  /// Role snapshot of *observed* roles, aligned with node ids (defectors
+  /// hide their roles and appear as Others; offline nodes carry stake 0 so
+  /// schemes pay them nothing).
+  std::optional<econ::RoleSnapshot> roles;
+  /// Snapshot of *true* sortition roles including hidden (defecting)
+  /// leaders and committee members — what each node privately knows about
+  /// itself; feeds the strategic (game-theoretic) loop.
+  std::optional<econ::RoleSnapshot> roles_true;
+  /// Number of proposals actually broadcast.
+  std::size_t proposals = 0;
+  /// Synchrony state the round ran under.
+  net::SynchronyState synchrony = net::SynchronyState::Strong;
+};
+
+class RoundEngine {
+ public:
+  RoundEngine(Network& network, consensus::ConsensusParams params);
+
+  /// Runs the next round (chain height determines the round number),
+  /// appends the agreed block to the network's chain, and returns the
+  /// per-node outcomes.
+  RoundResult run_round();
+
+  const consensus::ConsensusParams& params() const { return params_; }
+
+ private:
+  Network& network_;
+  consensus::ConsensusParams params_;
+};
+
+}  // namespace roleshare::sim

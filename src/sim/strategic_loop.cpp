@@ -1,0 +1,95 @@
+#include "sim/strategic_loop.hpp"
+
+#include "econ/foundation_schedule.hpp"
+#include "econ/optimizer.hpp"
+#include "econ/role_based.hpp"
+#include "econ/stake_proportional.hpp"
+#include "game/best_response.hpp"
+#include "util/require.hpp"
+
+namespace roleshare::sim {
+
+StrategicLoopResult run_strategic_loop(const StrategicLoopConfig& config) {
+  RS_REQUIRE(config.rounds > 0, "at least one round");
+  Network net(config.network);
+  RoundEngine engine(net, consensus::ConsensusParams::scaled_for(
+                              net.accounts().total_stake()));
+
+  econ::StakeProportionalScheme foundation;
+  econ::RoleBasedScheme role_based(config.costs);
+
+  game::Profile profile(net.node_count(), config.initial);
+  StrategicLoopResult result;
+
+  for (std::size_t t = 0; t < config.rounds; ++t) {
+    net.set_strategies(profile);
+    const RoundResult round = engine.run_round();
+
+    StrategicRoundStats stats;
+    stats.round = round.round;
+    stats.final_fraction = round.final_fraction;
+    stats.non_empty_block = round.non_empty_block;
+    std::size_t coop = 0;
+    for (const game::Strategy s : profile)
+      if (s == game::Strategy::Cooperate) ++coop;
+    stats.cooperation_fraction =
+        static_cast<double>(coop) / static_cast<double>(profile.size());
+
+    // Rewards for this round, and the induced one-round game. Nodes know
+    // their *true* roles when reasoning about deviations.
+    const econ::RoleSnapshot& snap = *round.roles_true;
+    game::GameConfig game_config{snap,
+                                 config.costs,
+                                 game::SchemeKind::StakeProportional,
+                                 0.0,
+                                 econ::RewardSplit(0.02, 0.03),
+                                 {},
+                                 0.685};
+
+    if (config.scheme == SchemeChoice::FoundationStakeProportional) {
+      game_config.bi = static_cast<double>(
+          foundation.required_budget(round.round, snap));
+      stats.bi_algos = round.non_empty_block
+                           ? ledger::to_algos(static_cast<ledger::MicroAlgos>(
+                                 game_config.bi))
+                           : 0.0;
+    } else {
+      game_config.scheme = game::SchemeKind::RoleBased;
+      const ledger::MicroAlgos bi =
+          role_based.required_budget(round.round, snap);
+      game_config.bi = static_cast<double>(bi);
+      game_config.split = role_based.last_split();
+      // Liveness set Y: every online Other is needed to relay — the
+      // conservative assumption the Theorem-3 bounds were derived under.
+      game_config.sync_set.assign(snap.node_count(), false);
+      for (std::size_t v = 0; v < snap.node_count(); ++v) {
+        if (snap.role(static_cast<ledger::NodeId>(v)) ==
+                consensus::Role::Other &&
+            snap.stake(static_cast<ledger::NodeId>(v)) > 0)
+          game_config.sync_set[v] = true;
+      }
+      stats.bi_algos =
+          round.non_empty_block ? ledger::to_algos(bi) : 0.0;
+    }
+    result.total_reward_algos += stats.bi_algos;
+    result.rounds.push_back(stats);
+
+    // Myopic best responses for the next round (one sweep).
+    const game::AlgorandGame game(game_config);
+    game::Profile next = profile;
+    for (std::size_t v = 0; v < profile.size(); ++v) {
+      next[v] = game::best_response(game, profile,
+                                    static_cast<ledger::NodeId>(v));
+    }
+    profile = std::move(next);
+  }
+
+  std::size_t coop = 0;
+  for (const game::Strategy s : profile)
+    if (s == game::Strategy::Cooperate) ++coop;
+  result.final_cooperation =
+      static_cast<double>(coop) / static_cast<double>(profile.size());
+  return result;
+}
+
+}  // namespace roleshare::sim

@@ -1,0 +1,58 @@
+#include "util/alias_sampler.hpp"
+
+#include "util/require.hpp"
+
+namespace roleshare::util {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  RS_REQUIRE(!weights.empty(), "alias sampler needs weights");
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (const double w : weights) {
+    RS_REQUIRE(w >= 0.0, "negative weight");
+    total += w;
+  }
+  RS_REQUIRE(total > 0.0, "weights sum to zero");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities; split into under/over-full buckets.
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      large.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      small.push_back(l);
+    } else {
+      large.push_back(l);
+    }
+  }
+  for (const std::uint32_t i : large) prob_[i] = 1.0;
+  for (const std::uint32_t i : small) prob_[i] = 1.0;  // numeric leftovers
+}
+
+std::size_t AliasSampler::sample(Rng& rng) const {
+  const std::size_t n = prob_.size();
+  const auto i = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  return rng.uniform01() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace roleshare::util

@@ -1,0 +1,30 @@
+// Walker alias method: O(n) construction, O(1) weighted index draws.
+// Used to sample stake-weighted participants (committee members,
+// transaction parties) from populations of hundreds of thousands of nodes,
+// where per-draw linear scans would dominate the experiment runtime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace roleshare::util {
+
+class AliasSampler {
+ public:
+  /// Builds the table for the given non-negative weights (at least one must
+  /// be positive).
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  std::size_t size() const { return prob_.size(); }
+
+  /// Draws an index with probability weight[i] / sum(weights).
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace roleshare::util

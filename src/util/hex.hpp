@@ -1,0 +1,18 @@
+// Hex encoding/decoding for hashes, keys and proofs in logs and tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace roleshare::util {
+
+/// Lower-case hex string of the given bytes.
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Parses a hex string (even length, [0-9a-fA-F]) into bytes.
+/// Throws std::invalid_argument on malformed input.
+std::vector<std::uint8_t> from_hex(const std::string& hex);
+
+}  // namespace roleshare::util

@@ -1,0 +1,62 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/require.hpp"
+
+namespace roleshare::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  RS_REQUIRE(lo < hi, "histogram range");
+  RS_REQUIRE(bins > 0, "histogram needs bins");
+}
+
+void Histogram::add(double value) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto raw = static_cast<long long>(std::floor((value - lo_) / width));
+  raw = std::clamp(raw, 0LL, static_cast<long long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(raw)];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& values) {
+  for (const double v : values) add(v);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  RS_REQUIRE(bin < counts_.size(), "histogram bin index");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  RS_REQUIRE(bin < counts_.size(), "histogram bin index");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return bin_lo(bin) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (const std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        std::llround(static_cast<double>(counts_[i]) * static_cast<double>(width) /
+                     static_cast<double>(peak)));
+    std::snprintf(line, sizeof line, "[%8.2f, %8.2f) %8zu | ", bin_lo(i),
+                  bin_hi(i), counts_[i]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace roleshare::util

@@ -1,0 +1,39 @@
+// Fixed-bin histogram used to render the Fig-6 B_i distributions as
+// text-mode bar charts in benchmark output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace roleshare::util {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) into `bins` equal-width buckets; values outside the range
+  /// are counted in saturating edge buckets.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(const std::vector<double>& values);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const;
+  std::size_t total() const { return total_; }
+
+  /// Lower edge of bin i.
+  double bin_lo(std::size_t bin) const;
+  /// Upper edge of bin i.
+  double bin_hi(std::size_t bin) const;
+
+  /// Renders an ASCII bar chart, one row per bin, bar scaled to `width`.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace roleshare::util

@@ -1,0 +1,40 @@
+// Contract-checking helpers used across the RoleShare library.
+//
+// RS_REQUIRE is for preconditions on public API entry points: violations are
+// programming errors by the caller and raise std::invalid_argument.
+// RS_ENSURE is for internal invariants: violations indicate a bug inside the
+// library and raise std::logic_error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace roleshare::util {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw std::invalid_argument(std::string("precondition failed: ") + expr +
+                              " at " + file + ":" + std::to_string(line) +
+                              (msg.empty() ? "" : (" — " + msg)));
+}
+
+[[noreturn]] inline void ensure_failed(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  throw std::logic_error(std::string("invariant violated: ") + expr + " at " +
+                         file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace roleshare::util
+
+#define RS_REQUIRE(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::roleshare::util::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define RS_ENSURE(expr, msg)                                              \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::roleshare::util::ensure_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,95 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace roleshare::util {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double sq = 0.0;
+  for (const double x : xs) sq += (x - m) * (x - m);
+  return std::sqrt(sq / static_cast<double>(xs.size() - 1));
+}
+
+double trimmed_mean(std::vector<double> xs, double trim_fraction) {
+  RS_REQUIRE(trim_fraction >= 0.0 && trim_fraction < 0.5,
+             "trim fraction in [0, 0.5)");
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto cut = static_cast<std::size_t>(
+      std::floor(trim_fraction * static_cast<double>(xs.size())));
+  const std::size_t keep = xs.size() - 2 * cut;
+  if (keep == 0) return xs[xs.size() / 2];  // degenerate: fall back to median
+  double sum = 0.0;
+  for (std::size_t i = cut; i < cut + keep; ++i) sum += xs[i];
+  return sum / static_cast<double>(keep);
+}
+
+double percentile(std::vector<double> xs, double p) {
+  RS_REQUIRE(p >= 0.0 && p <= 100.0, "percentile in [0, 100]");
+  RS_REQUIRE(!xs.empty(), "percentile of empty sample");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double min_of(const std::vector<double>& xs) {
+  RS_REQUIRE(!xs.empty(), "min of empty sample");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(const std::vector<double>& xs) {
+  RS_REQUIRE(!xs.empty(), "max of empty sample");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.min = min_of(xs);
+  s.max = max_of(xs);
+  s.p25 = percentile(xs, 25.0);
+  s.median = percentile(xs, 50.0);
+  s.p75 = percentile(xs, 75.0);
+  return s;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace roleshare::util

@@ -1,0 +1,62 @@
+// Statistical aggregation used by the experiment runner.
+//
+// The paper reports 20%-trimmed means over 100 simulation runs (§III-C);
+// `trimmed_mean` implements exactly that: drop the top and bottom
+// `trim_fraction` of the sorted sample and average the rest.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace roleshare::util {
+
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+double stddev(const std::vector<double>& xs);
+
+/// Mean after discarding the lowest and highest trim_fraction of samples.
+/// trim_fraction in [0, 0.5). The paper uses 0.2.
+double trimmed_mean(std::vector<double> xs, double trim_fraction);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+
+/// Convenience bundle for benchmark output rows.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+/// Streaming mean/variance accumulator (Welford). Useful when per-sample
+/// storage is too large, e.g. 500k-node stake sweeps.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  // sample variance, 0 for n < 2
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace roleshare::util

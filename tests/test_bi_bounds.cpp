@@ -1,0 +1,167 @@
+#include "econ/bi_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace roleshare::econ {
+namespace {
+
+// The paper's §V-A numerical setting: S_L = 26, S_M = 13k, s*_l = s*_m = 1,
+// s*_k = 10, costs c_L=16, c_M=12, c_K=6, c_so=5 µAlgos, S_N ~ 50M Algos.
+BoundInputs paper_inputs() {
+  BoundInputs in;
+  in.stake_leaders = 26;
+  in.stake_committee = 13'000;
+  in.stake_others = 50'000'000.0 - 26 - 13'000;
+  in.min_stake_leader = 1;
+  in.min_stake_committee = 1;
+  in.min_stake_other = 10;
+  return in;
+}
+
+TEST(BiBounds, PaperPointEstimate) {
+  // At (alpha, beta) = (0.02, 0.03) the paper reports B_i ~ 5.2 Algos.
+  const BiBounds b =
+      compute_bi_bounds(RewardSplit(0.02, 0.03), paper_inputs(), CostModel{});
+  ASSERT_TRUE(b.feasible);
+  const double required_algos = b.required() / 1e6;
+  EXPECT_NEAR(required_algos, 5.26, 0.15);
+  // The third (online-node) bound dominates because S_K >> S_L, S_M.
+  EXPECT_DOUBLE_EQ(b.required(), b.online_bound);
+}
+
+TEST(BiBounds, OnlineBoundFormula) {
+  // online bound = (c_K - c_so) * S_K / (s*_k * gamma).
+  const BoundInputs in = paper_inputs();
+  const RewardSplit split(0.02, 0.03);
+  const BiBounds b = compute_bi_bounds(split, in, CostModel{});
+  const double expected =
+      (6.0 - 5.0) * in.stake_others / (10.0 * split.gamma());
+  EXPECT_NEAR(b.online_bound, expected, 1e-6);
+}
+
+TEST(BiBounds, LeaderBoundFormula) {
+  const BoundInputs in = paper_inputs();
+  const RewardSplit split(0.02, 0.03);
+  const BiBounds b = compute_bi_bounds(split, in, CostModel{});
+  const double margin = 0.02 / in.stake_leaders -
+                        split.gamma() / (in.stake_others + 1.0);
+  EXPECT_NEAR(b.leader_bound, (16.0 - 5.0) / (margin * 1.0), 1e-6);
+}
+
+TEST(BiBounds, CommitteeBoundFormula) {
+  const BoundInputs in = paper_inputs();
+  const RewardSplit split(0.02, 0.03);
+  const BiBounds b = compute_bi_bounds(split, in, CostModel{});
+  const double margin = 0.03 / in.stake_committee -
+                        split.gamma() / (in.stake_others + 1.0);
+  EXPECT_NEAR(b.committee_bound, (12.0 - 5.0) / (margin * 1.0), 1e-4);
+}
+
+TEST(BiBounds, InfeasibleWhenAlphaTooSmall) {
+  // Eq (8): alpha/S_L must exceed gamma/(S_K + s*_l). Tiny alpha with a
+  // small S_K violates it.
+  BoundInputs in = paper_inputs();
+  in.stake_others = 30;  // tiny online population
+  const BiBounds b =
+      compute_bi_bounds(RewardSplit(1e-6, 0.3), in, CostModel{});
+  EXPECT_FALSE(b.feasible);
+  EXPECT_TRUE(std::isinf(b.required()));
+}
+
+TEST(BiBounds, RequiredIsMaxOfThree) {
+  const BiBounds b =
+      compute_bi_bounds(RewardSplit(0.1, 0.1), paper_inputs(), CostModel{});
+  ASSERT_TRUE(b.feasible);
+  EXPECT_DOUBLE_EQ(
+      b.required(),
+      std::max({b.leader_bound, b.committee_bound, b.online_bound}));
+}
+
+TEST(BiBounds, OnlineBoundDecreasesWithGamma) {
+  // More gamma -> cheaper to keep online nodes cooperative.
+  const BoundInputs in = paper_inputs();
+  const BiBounds small_gamma =
+      compute_bi_bounds(RewardSplit(0.3, 0.3), in, CostModel{});
+  const BiBounds large_gamma =
+      compute_bi_bounds(RewardSplit(0.02, 0.02), in, CostModel{});
+  ASSERT_TRUE(small_gamma.feasible);
+  ASSERT_TRUE(large_gamma.feasible);
+  EXPECT_GT(small_gamma.online_bound, large_gamma.online_bound);
+}
+
+TEST(BiBounds, HigherMinOtherStakeLowersRequiredReward) {
+  // The Fig-7(c) effect: excluding tiny stakes (raising s*_k) shrinks B_i.
+  BoundInputs in = paper_inputs();
+  const RewardSplit split(0.02, 0.03);
+  const double base = compute_bi_bounds(split, in, CostModel{}).required();
+  in.min_stake_other = 30;
+  const BiBounds fb = compute_bi_bounds(split, in, CostModel{});
+  const double filtered = fb.required();
+  EXPECT_LT(filtered, base);
+  // The online bound scales exactly by 10/30; the overall requirement can
+  // only be held up by the (unchanged) leader/committee bounds.
+  EXPECT_NEAR(fb.online_bound, base * 10.0 / 30.0, base * 0.01);
+  EXPECT_GE(filtered, fb.online_bound);
+}
+
+TEST(BiBounds, LargerStakePoolNeedsProportionallyMoreReward) {
+  BoundInputs small = paper_inputs();
+  BoundInputs large = paper_inputs();
+  large.stake_others *= 20;
+  const RewardSplit split(0.02, 0.03);
+  const double b_small =
+      compute_bi_bounds(split, small, CostModel{}).required();
+  const double b_large =
+      compute_bi_bounds(split, large, CostModel{}).required();
+  EXPECT_NEAR(b_large / b_small, 20.0, 0.5);
+}
+
+TEST(BiBounds, SnapshotExtraction) {
+  using consensus::Role;
+  const RoleSnapshot snap(
+      {Role::Leader, Role::Committee, Role::Other, Role::Other}, {4, 6, 8, 2});
+  const BoundInputs in = BoundInputs::from_snapshot(snap);
+  EXPECT_DOUBLE_EQ(in.stake_leaders, 4);
+  EXPECT_DOUBLE_EQ(in.stake_committee, 6);
+  EXPECT_DOUBLE_EQ(in.stake_others, 10);
+  EXPECT_DOUBLE_EQ(in.min_stake_leader, 4);
+  EXPECT_DOUBLE_EQ(in.min_stake_committee, 6);
+  EXPECT_DOUBLE_EQ(in.min_stake_other, 2);
+}
+
+TEST(BiBounds, ValidateRejectsNonPositiveAggregates) {
+  BoundInputs in = paper_inputs();
+  in.stake_leaders = 0;
+  EXPECT_THROW(in.validate(), std::invalid_argument);
+  in = paper_inputs();
+  in.min_stake_other = 0;
+  EXPECT_THROW(in.validate(), std::invalid_argument);
+}
+
+// Sweep across splits: whenever feasible, all three bounds are positive
+// (rewards must always be positive to offset positive net costs).
+class SplitSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(SplitSweep, FeasibleBoundsArePositive) {
+  const auto [alpha, beta] = GetParam();
+  const BiBounds b =
+      compute_bi_bounds(RewardSplit(alpha, beta), paper_inputs(),
+                        CostModel{});
+  if (b.feasible) {
+    EXPECT_GT(b.leader_bound, 0.0);
+    EXPECT_GT(b.committee_bound, 0.0);
+    EXPECT_GT(b.online_bound, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Splits, SplitSweep,
+    ::testing::Values(std::pair{0.01, 0.01}, std::pair{0.02, 0.03},
+                      std::pair{0.1, 0.2}, std::pair{0.3, 0.3},
+                      std::pair{0.45, 0.45}, std::pair{0.8, 0.1}));
+
+}  // namespace
+}  // namespace roleshare::econ

@@ -1,0 +1,208 @@
+#include "ledger/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace roleshare::ledger {
+namespace {
+
+crypto::KeyPair key_of(std::uint64_t id) {
+  return crypto::KeyPair::derive(3000, id);
+}
+
+Transaction sample_txn(std::uint64_t nonce) {
+  return Transaction::create(key_of(0), key_of(1).public_key(),
+                             algos(2) + 123, 456, nonce);
+}
+
+TEST(Codec, EncoderPrimitivesRoundTrip) {
+  Encoder enc;
+  enc.put_u8(0xab);
+  enc.put_u32(0xdeadbeef);
+  enc.put_u64(0x0123456789abcdefULL);
+  enc.put_i64(-42);
+  const crypto::Hash256 h = crypto::HashBuilder("c").add_u64(9).build();
+  enc.put_hash(h);
+  const std::vector<std::uint8_t> blob = {1, 2, 3};
+  enc.put_bytes(blob);
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u8(), 0xab);
+  EXPECT_EQ(dec.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(dec.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(dec.get_i64(), -42);
+  EXPECT_EQ(dec.get_hash(), h);
+  EXPECT_EQ(dec.get_bytes(), blob);
+  EXPECT_TRUE(dec.done());
+  EXPECT_NO_THROW(dec.expect_done());
+}
+
+TEST(Codec, DecoderRejectsTruncation) {
+  Encoder enc;
+  enc.put_u64(7);
+  for (std::size_t cut = 0; cut < 8; ++cut) {
+    Decoder dec(std::span(enc.bytes()).first(cut));
+    EXPECT_THROW(dec.get_u64(), DecodeError) << "cut=" << cut;
+  }
+}
+
+TEST(Codec, DecoderRejectsLengthBomb) {
+  Encoder enc;
+  enc.put_u32(0xffffffffu);  // absurd length prefix
+  Decoder dec(enc.bytes());
+  EXPECT_THROW(dec.get_bytes(), DecodeError);
+}
+
+TEST(Codec, TransactionRoundTrip) {
+  const Transaction txn = sample_txn(7);
+  const auto bytes = encode_transaction(txn);
+  const Transaction back = decode_transaction(bytes);
+  EXPECT_EQ(back.id(), txn.id());
+  EXPECT_EQ(back.signature(), txn.signature());
+  EXPECT_EQ(back.amount(), txn.amount());
+  EXPECT_EQ(back.fee(), txn.fee());
+  EXPECT_EQ(back.nonce(), txn.nonce());
+  EXPECT_TRUE(back.verify_signature());
+}
+
+TEST(Codec, TransactionEncodingIsDeterministic) {
+  const Transaction txn = sample_txn(9);
+  EXPECT_EQ(encode_transaction(txn), encode_transaction(txn));
+}
+
+TEST(Codec, TransactionRejectsWrongTag) {
+  auto bytes = encode_transaction(sample_txn(1));
+  bytes[0] = 0x7f;
+  EXPECT_THROW(decode_transaction(bytes), DecodeError);
+}
+
+TEST(Codec, TransactionRejectsTrailingBytes) {
+  auto bytes = encode_transaction(sample_txn(1));
+  bytes.push_back(0);
+  EXPECT_THROW(decode_transaction(bytes), DecodeError);
+}
+
+TEST(Codec, TamperedTransactionFailsSignature) {
+  auto bytes = encode_transaction(sample_txn(1));
+  bytes[70] ^= 0x01;  // flip a bit inside the amount/receiver region
+  // Structure still parses (unless the flip hits a validated field), but
+  // the signature must no longer verify.
+  try {
+    const Transaction back = decode_transaction(bytes);
+    EXPECT_FALSE(back.verify_signature());
+  } catch (const DecodeError&) {
+    SUCCEED();  // structural rejection is fine too
+  }
+}
+
+TEST(Codec, EmptyBlockRoundTrip) {
+  const Block block =
+      Block::empty(5, crypto::HashBuilder("p").build(),
+                   crypto::HashBuilder("s").build());
+  const Block back = decode_block(encode_block(block));
+  EXPECT_EQ(back.hash(), block.hash());
+  EXPECT_TRUE(back.is_empty());
+  EXPECT_EQ(back.round(), 5u);
+}
+
+TEST(Codec, FullBlockRoundTrip) {
+  std::vector<Transaction> txns;
+  for (std::uint64_t i = 0; i < 5; ++i) txns.push_back(sample_txn(i));
+  const Block block =
+      Block::make(9, crypto::HashBuilder("p").build(),
+                  crypto::HashBuilder("s").build(), key_of(2).public_key(),
+                  txns);
+  const Block back = decode_block(encode_block(block));
+  EXPECT_EQ(back.hash(), block.hash());
+  EXPECT_EQ(back.transactions().size(), 5u);
+  EXPECT_EQ(back.total_fees(), block.total_fees());
+  EXPECT_EQ(back.proposer(), block.proposer());
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(back.transactions()[i].verify_signature());
+    EXPECT_EQ(back.transactions()[i].id(), txns[i].id());
+  }
+}
+
+TEST(Codec, BlockHashStableAcrossCodecRoundTrips) {
+  // Hash-over-content must be invariant under serialize/deserialize —
+  // otherwise votes cast on a hash would not match relayed blocks.
+  const Block block =
+      Block::make(3, crypto::HashBuilder("p2").build(),
+                  crypto::HashBuilder("s2").build(), key_of(3).public_key(),
+                  {sample_txn(1), sample_txn(2)});
+  Block current = block;
+  for (int i = 0; i < 3; ++i) {
+    current = decode_block(encode_block(current));
+    EXPECT_EQ(current.hash(), block.hash());
+  }
+}
+
+TEST(Codec, BlockRejectsUnknownVariant) {
+  auto bytes = encode_block(Block::empty(1, crypto::Hash256::zero(),
+                                         crypto::Hash256::zero()));
+  bytes[1 + 8 + 32 + 32] = 0x09;  // variant byte after tag+round+2 hashes
+  EXPECT_THROW(decode_block(bytes), DecodeError);
+}
+
+TEST(Codec, BlockRejectsTruncatedTransactionList) {
+  const Block block =
+      Block::make(1, crypto::Hash256::zero(), crypto::Hash256::zero(),
+                  key_of(2).public_key(), {sample_txn(1), sample_txn(2)});
+  auto bytes = encode_block(block);
+  bytes.resize(bytes.size() - 10);
+  EXPECT_THROW(decode_block(bytes), DecodeError);
+}
+
+TEST(Codec, CrossTypeDecodingRejected) {
+  const auto txn_bytes = encode_transaction(sample_txn(1));
+  EXPECT_THROW(decode_block(txn_bytes), DecodeError);
+  const auto block_bytes = encode_block(
+      Block::empty(1, crypto::Hash256::zero(), crypto::Hash256::zero()));
+  EXPECT_THROW(decode_transaction(block_bytes), DecodeError);
+}
+
+TEST(Codec, FuzzedInputsNeverCrash) {
+  // Random byte strings must either decode or throw DecodeError — never
+  // crash or hang. (Property-style sweep.)
+  util::Rng rng(404);
+  for (int i = 0; i < 500; ++i) {
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 300));
+    std::vector<std::uint8_t> junk(len);
+    for (auto& b : junk)
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    try {
+      (void)decode_transaction(junk);
+    } catch (const DecodeError&) {
+    }
+    try {
+      (void)decode_block(junk);
+    } catch (const DecodeError&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Codec, MutatedValidMessagesNeverCrash) {
+  // Bit-flip fuzzing on a valid block: every mutation either decodes to
+  // something (whose signature checks will catch tampering) or throws.
+  const Block block =
+      Block::make(2, crypto::Hash256::zero(), crypto::Hash256::zero(),
+                  key_of(2).public_key(), {sample_txn(1)});
+  const auto bytes = encode_block(block);
+  util::Rng rng(405);
+  for (int i = 0; i < 300; ++i) {
+    auto mutated = bytes;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+    mutated[pos] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    try {
+      (void)decode_block(mutated);
+    } catch (const DecodeError&) {
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace roleshare::ledger

@@ -1,0 +1,88 @@
+#include "consensus/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace roleshare::consensus {
+namespace {
+
+TEST(Params, PaperDefaults) {
+  const ConsensusParams p;
+  EXPECT_EQ(p.expected_proposer_stake, 26u);   // S_L = 26 (paper §V-B)
+  EXPECT_EQ(p.expected_step_stake, 1000u);     // S_STEP = 1k
+  EXPECT_EQ(p.expected_final_stake, 10'000u);  // S_FINAL = 10k
+  // S_M = S_STEP * 3 + S_FINAL = 13k, as used for the committee stake.
+  EXPECT_EQ(p.expected_committee_stake_per_round(), 13'000u);
+  EXPECT_DOUBLE_EQ(p.step_timeout_ms, 20'000.0);  // 20 s vote timeout
+}
+
+TEST(Params, QuorumsFollowThresholds) {
+  ConsensusParams p;
+  p.expected_step_stake = 1000;
+  p.step_threshold = 0.685;
+  EXPECT_DOUBLE_EQ(p.step_quorum(), 685.0);
+  p.expected_final_stake = 10'000;
+  p.final_threshold = 0.74;
+  EXPECT_DOUBLE_EQ(p.final_quorum(), 7400.0);
+}
+
+TEST(Params, ValidateAcceptsDefaults) {
+  const ConsensusParams p;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Params, ValidateRejectsBadThresholds) {
+  ConsensusParams p;
+  p.step_threshold = 0.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.step_threshold = 1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = ConsensusParams{};
+  p.final_threshold = 0.3;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Params, ValidateRejectsZeroExpectations) {
+  ConsensusParams p;
+  p.expected_proposer_stake = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = ConsensusParams{};
+  p.expected_step_stake = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = ConsensusParams{};
+  p.max_binary_iterations = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Params, ScaledForUsesAbsoluteTargetsAtScale) {
+  // Large stake pools hit the absolute sub-user targets (40 step / 80
+  // final) that balance quorum reliability against committee size.
+  const ConsensusParams p = ConsensusParams::scaled_for(10'000);
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.expected_step_stake, 40u);
+  EXPECT_EQ(p.expected_final_stake, 80u);
+  EXPECT_EQ(p.expected_proposer_stake, 10u);
+  // Committees stay a small fraction of total stake.
+  EXPECT_LT(p.expected_final_stake, 10'000u / 10);
+}
+
+TEST(Params, ScaledForSmallStakeUsesFractions) {
+  const ConsensusParams p = ConsensusParams::scaled_for(600);
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.expected_step_stake, 12u);   // 2% of 600, above floor 10
+  EXPECT_EQ(p.expected_final_stake, 36u);  // 6% of 600
+}
+
+TEST(Params, ScaledForTinyNetworksStaysValid) {
+  const ConsensusParams p = ConsensusParams::scaled_for(40);
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_LE(p.expected_final_stake, 40u);
+  EXPECT_GE(p.expected_step_stake, 10u);
+}
+
+TEST(Params, ScaledForRejectsNonPositiveStake) {
+  EXPECT_THROW(ConsensusParams::scaled_for(0), std::invalid_argument);
+  EXPECT_THROW(ConsensusParams::scaled_for(-5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace roleshare::consensus

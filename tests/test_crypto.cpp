@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "crypto/hash.hpp"
+#include "crypto/keypair.hpp"
+#include "crypto/vrf.hpp"
+#include "util/hex.hpp"
+
+namespace roleshare::crypto {
+namespace {
+
+TEST(Hash256, ZeroHash) {
+  EXPECT_TRUE(Hash256::zero().is_zero());
+  EXPECT_FALSE(HashBuilder("t").add_u64(1).build().is_zero());
+}
+
+TEST(Hash256, RatioInUnitInterval) {
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const Hash256 h = HashBuilder("ratio").add_u64(i).build();
+    EXPECT_GE(h.ratio(), 0.0);
+    EXPECT_LT(h.ratio(), 1.0);
+  }
+}
+
+TEST(Hash256, RatioRoughlyUniform) {
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    sum += HashBuilder("u").add_u64(i).build().ratio();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Hash256, HexRoundTrip) {
+  const Hash256 h = HashBuilder("hex").add_u64(99).build();
+  EXPECT_EQ(h.to_hex().size(), 64u);
+  EXPECT_EQ(h.short_hex(), h.to_hex().substr(0, 8));
+  const auto bytes = util::from_hex(h.to_hex());
+  EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), h.bytes().begin()));
+}
+
+TEST(Hash256, OrderingIsTotal) {
+  const Hash256 a = HashBuilder("o").add_u64(1).build();
+  const Hash256 b = HashBuilder("o").add_u64(2).build();
+  EXPECT_NE(a, b);
+  EXPECT_TRUE((a < b) != (b < a));
+}
+
+TEST(HashBuilder, DomainSeparation) {
+  const Hash256 a = HashBuilder("domain-a").add_u64(7).build();
+  const Hash256 b = HashBuilder("domain-b").add_u64(7).build();
+  EXPECT_NE(a, b);
+}
+
+TEST(HashBuilder, LengthPrefixPreventsAmbiguity) {
+  // ("ab", "c") must differ from ("a", "bc").
+  const Hash256 a = HashBuilder("t").add("ab").add("c").build();
+  const Hash256 b = HashBuilder("t").add("a").add("bc").build();
+  EXPECT_NE(a, b);
+}
+
+TEST(HashBuilder, Deterministic) {
+  const Hash256 a = HashBuilder("t").add_u64(1).add("x").build();
+  const Hash256 b = HashBuilder("t").add_u64(1).add("x").build();
+  EXPECT_EQ(a, b);
+}
+
+TEST(KeyPair, DerivationIsDeterministic) {
+  const KeyPair a = KeyPair::derive(42, 7);
+  const KeyPair b = KeyPair::derive(42, 7);
+  EXPECT_EQ(a.public_key(), b.public_key());
+}
+
+TEST(KeyPair, DistinctNodesDistinctKeys) {
+  EXPECT_NE(KeyPair::derive(42, 1).public_key(),
+            KeyPair::derive(42, 2).public_key());
+  EXPECT_NE(KeyPair::derive(1, 7).public_key(),
+            KeyPair::derive(2, 7).public_key());
+}
+
+TEST(Signature, SignVerifyRoundTrip) {
+  const KeyPair key = KeyPair::derive(1, 1);
+  const Hash256 msg = HashBuilder("msg").add("hello").build();
+  const Signature sig = key.sign(msg);
+  EXPECT_TRUE(verify(key.public_key(), msg, sig));
+}
+
+TEST(Signature, WrongMessageFails) {
+  const KeyPair key = KeyPair::derive(1, 1);
+  const Hash256 msg = HashBuilder("msg").add("hello").build();
+  const Hash256 other = HashBuilder("msg").add("world").build();
+  EXPECT_FALSE(verify(key.public_key(), other, key.sign(msg)));
+}
+
+TEST(Signature, WrongKeyFails) {
+  const KeyPair a = KeyPair::derive(1, 1);
+  const KeyPair b = KeyPair::derive(1, 2);
+  const Hash256 msg = HashBuilder("msg").add("hello").build();
+  EXPECT_FALSE(verify(b.public_key(), msg, a.sign(msg)));
+}
+
+TEST(Vrf, EvaluateVerifyRoundTrip) {
+  const KeyPair key = KeyPair::derive(5, 3);
+  const VrfInput input{10, 2, HashBuilder("seed").add_u64(9).build()};
+  const VrfOutput out = vrf_evaluate(key, input);
+  EXPECT_TRUE(vrf_verify(key.public_key(), input, out));
+}
+
+TEST(Vrf, VerifyRejectsWrongKey) {
+  const KeyPair a = KeyPair::derive(5, 3);
+  const KeyPair b = KeyPair::derive(5, 4);
+  const VrfInput input{10, 2, HashBuilder("seed").add_u64(9).build()};
+  EXPECT_FALSE(vrf_verify(b.public_key(), input, vrf_evaluate(a, input)));
+}
+
+TEST(Vrf, VerifyRejectsTamperedOutput) {
+  const KeyPair key = KeyPair::derive(5, 3);
+  const VrfInput input{10, 2, HashBuilder("seed").add_u64(9).build()};
+  VrfOutput out = vrf_evaluate(key, input);
+  out.output = HashBuilder("tamper").build();
+  EXPECT_FALSE(vrf_verify(key.public_key(), input, out));
+}
+
+TEST(Vrf, DifferentInputsDifferentOutputs) {
+  const KeyPair key = KeyPair::derive(5, 3);
+  const Hash256 seed = HashBuilder("seed").add_u64(9).build();
+  const VrfOutput a = vrf_evaluate(key, VrfInput{10, 1, seed});
+  const VrfOutput b = vrf_evaluate(key, VrfInput{10, 2, seed});
+  const VrfOutput c = vrf_evaluate(key, VrfInput{11, 1, seed});
+  EXPECT_NE(a.output, b.output);
+  EXPECT_NE(a.output, c.output);
+}
+
+TEST(Vrf, RatioIsDeterministicPerKeyAndInput) {
+  const KeyPair key = KeyPair::derive(5, 3);
+  const VrfInput input{1, 1, Hash256::zero()};
+  EXPECT_DOUBLE_EQ(vrf_evaluate(key, input).ratio(),
+                   vrf_evaluate(key, input).ratio());
+}
+
+}  // namespace
+}  // namespace roleshare::crypto

@@ -1,0 +1,131 @@
+#include "util/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace roleshare::util {
+namespace {
+
+TEST(UniformStake, StaysInRange) {
+  Rng rng(1);
+  UniformStake dist(1, 50);
+  for (int i = 0; i < 5000; ++i) {
+    const auto s = dist.sample(rng);
+    EXPECT_GE(s, 1);
+    EXPECT_LE(s, 50);
+  }
+}
+
+TEST(UniformStake, MeanMatches) {
+  Rng rng(2);
+  UniformStake dist(1, 200);
+  const auto samples = dist.sample_many(rng, 50000);
+  double sum = 0;
+  for (const auto s : samples) sum += static_cast<double>(s);
+  EXPECT_NEAR(sum / 50000.0, 100.5, 1.5);
+}
+
+TEST(UniformStake, Name) {
+  EXPECT_EQ(UniformStake(1, 200).name(), "U(1,200)");
+}
+
+TEST(UniformStake, RejectsNonPositive) {
+  EXPECT_THROW(UniformStake(0, 10), std::invalid_argument);
+  EXPECT_THROW(UniformStake(5, 4), std::invalid_argument);
+}
+
+TEST(NormalStake, MeanAndClamp) {
+  Rng rng(3);
+  NormalStake dist(100, 10);
+  const auto samples = dist.sample_many(rng, 50000);
+  double sum = 0;
+  for (const auto s : samples) {
+    EXPECT_GE(s, 1);
+    sum += static_cast<double>(s);
+  }
+  EXPECT_NEAR(sum / 50000.0, 100.0, 0.5);
+}
+
+TEST(NormalStake, ClampsAtMinStake) {
+  Rng rng(4);
+  NormalStake dist(0.0, 1.0, 5);  // almost every draw clamps
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(dist.sample(rng), 5);
+}
+
+TEST(NormalStake, NameFormatsIntegers) {
+  EXPECT_EQ(NormalStake(100, 20).name(), "N(100,20)");
+  EXPECT_EQ(NormalStake(2000, 25).name(), "N(2000,25)");
+}
+
+TEST(ConstantStake, AlwaysSame) {
+  Rng rng(5);
+  ConstantStake dist(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(dist.sample(rng), 42);
+  EXPECT_EQ(dist.name(), "Const(42)");
+}
+
+TEST(Factories, ProduceCorrectTypes) {
+  Rng rng(6);
+  EXPECT_EQ(make_uniform_stake(1, 5)->name(), "U(1,5)");
+  EXPECT_EQ(make_normal_stake(10, 2)->name(), "N(10,2)");
+  EXPECT_EQ(make_constant_stake(3)->sample(rng), 3);
+}
+
+TEST(SampleMany, ReturnsRequestedCount) {
+  Rng rng(7);
+  UniformStake dist(1, 10);
+  EXPECT_EQ(dist.sample_many(rng, 123).size(), 123u);
+  EXPECT_TRUE(dist.sample_many(rng, 0).empty());
+}
+
+// Paper-parameterized sweep: the four Fig-6 stake distributions all produce
+// strictly positive stakes and plausible means.
+struct DistCase {
+  const char* name;
+  double expected_mean;
+  double tolerance;
+};
+
+class PaperDistributions : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaperDistributions, PositiveStakesAndExpectedMean) {
+  Rng rng(100 + GetParam());
+  std::unique_ptr<StakeDistribution> dist;
+  double expected = 0, tol = 0;
+  switch (GetParam()) {
+    case 0:
+      dist = make_uniform_stake(1, 200);
+      expected = 100.5;
+      tol = 2;
+      break;
+    case 1:
+      dist = make_normal_stake(100, 20);
+      expected = 100;
+      tol = 1;
+      break;
+    case 2:
+      dist = make_normal_stake(100, 10);
+      expected = 100;
+      tol = 1;
+      break;
+    case 3:
+      dist = make_normal_stake(2000, 25);
+      expected = 2000;
+      tol = 2;
+      break;
+  }
+  const auto samples = dist->sample_many(rng, 20000);
+  double sum = 0;
+  for (const auto s : samples) {
+    ASSERT_GE(s, 1);
+    sum += static_cast<double>(s);
+  }
+  EXPECT_NEAR(sum / 20000.0, expected, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig6Distros, PaperDistributions,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace roleshare::util

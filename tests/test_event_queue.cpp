@@ -1,0 +1,99 @@
+#include "net/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace roleshare::net {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 30.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(5, [&] { order.push_back(1); });
+  q.schedule_at(5, [&] { order.push_back(2); });
+  q.schedule_at(5, [&] { order.push_back(3); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  double fired_at = -1;
+  q.schedule_at(10, [&] {});
+  q.run_all();  // clock now at 10
+  q.schedule_in(5, [&] { fired_at = q.now(); });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(EventQueue, HandlersCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) q.schedule_in(1, chain);
+  };
+  q.schedule_at(0, chain);
+  q.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0})
+    q.schedule_at(t, [&fired, &q] { fired.push_back(q.now()); });
+  q.run_until(2.5);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.now(), 2.5);
+  EXPECT_EQ(q.pending(), 2u);
+  q.run_all();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(EventQueue, RunUntilAdvancesIdleClock) {
+  EventQueue q;
+  q.run_until(100);
+  EXPECT_DOUBLE_EQ(q.now(), 100.0);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue q;
+  q.schedule_at(10, [] {});
+  q.run_all();
+  EXPECT_THROW(q.schedule_at(5, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_in(-1, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  q.schedule_at(1, [] {});
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ResetClearsEverything) {
+  EventQueue q;
+  q.schedule_at(10, [] {});
+  q.run_until(3);
+  q.reset();
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace roleshare::net

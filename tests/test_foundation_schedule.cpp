@@ -1,0 +1,80 @@
+#include "econ/foundation_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace roleshare::econ {
+namespace {
+
+using ledger::algos;
+
+TEST(Schedule, TableThreeValues) {
+  // Table III: 10, 13, 16, 19, 22, 25, 28, 31, 34, 36, 38, 38 M Algos.
+  const std::array<std::uint64_t, 12> expected = {10, 13, 16, 19, 22, 25,
+                                                  28, 31, 34, 36, 38, 38};
+  for (std::size_t p = 1; p <= 12; ++p) {
+    EXPECT_EQ(FoundationSchedule::period_total(p),
+              algos(static_cast<std::int64_t>(expected[p - 1]) * 1'000'000))
+        << "period " << p;
+  }
+}
+
+TEST(Schedule, PeriodBoundaries) {
+  EXPECT_EQ(FoundationSchedule::period_for_round(1), 1u);
+  EXPECT_EQ(FoundationSchedule::period_for_round(500'000), 1u);
+  EXPECT_EQ(FoundationSchedule::period_for_round(500'001), 2u);
+  EXPECT_EQ(FoundationSchedule::period_for_round(1'000'000), 2u);
+  EXPECT_EQ(FoundationSchedule::period_for_round(6'000'000), 12u);
+}
+
+TEST(Schedule, FlatTailAfterPeriodTwelve) {
+  EXPECT_EQ(FoundationSchedule::period_for_round(6'000'001), 12u);
+  EXPECT_EQ(FoundationSchedule::period_for_round(100'000'000), 12u);
+  EXPECT_EQ(FoundationSchedule::reward_for_round(100'000'000),
+            FoundationSchedule::reward_for_round(6'000'000));
+}
+
+TEST(Schedule, PerRoundRewardPeriodOneIsTwentyAlgos) {
+  // 10M Algos / 500k blocks = 20 Algos per round (paper §III-B).
+  EXPECT_EQ(FoundationSchedule::reward_for_round(1), algos(20));
+  EXPECT_EQ(FoundationSchedule::reward_for_round(499'999), algos(20));
+}
+
+TEST(Schedule, PerRoundRewardIsNondecreasing) {
+  ledger::MicroAlgos prev = 0;
+  for (std::size_t p = 1; p <= 12; ++p) {
+    const ledger::Round round = (p - 1) * 500'000 + 1;
+    const auto r = FoundationSchedule::reward_for_round(round);
+    EXPECT_GE(r, prev) << "period " << p;
+    prev = r;
+  }
+}
+
+TEST(Schedule, CumulativeAcrossPeriodBoundary) {
+  // Through round 500,001: all of period 1 (10M) + one round of period 2.
+  const auto cumulative = FoundationSchedule::cumulative_through(500'001);
+  EXPECT_EQ(cumulative,
+            algos(10'000'000) + FoundationSchedule::reward_for_round(500'001));
+}
+
+TEST(Schedule, CumulativeWholeScheduleBelowPoolCeiling) {
+  // Total projected emission over 12 periods: 310M Algos (the Table-III
+  // row sums to 310), well inside the 1.75B ceiling.
+  const auto total = FoundationSchedule::cumulative_through(6'000'000);
+  EXPECT_EQ(total, algos(310'000'000));
+  EXPECT_LT(total, algos(1'750'000'000));
+}
+
+TEST(Schedule, RejectsRoundZero) {
+  EXPECT_THROW(FoundationSchedule::period_for_round(0),
+               std::invalid_argument);
+  EXPECT_THROW(FoundationSchedule::cumulative_through(0),
+               std::invalid_argument);
+}
+
+TEST(Schedule, RejectsBadPeriod) {
+  EXPECT_THROW(FoundationSchedule::period_total(0), std::invalid_argument);
+  EXPECT_THROW(FoundationSchedule::period_total(13), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace roleshare::econ

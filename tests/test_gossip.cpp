@@ -1,0 +1,215 @@
+#include "net/gossip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace roleshare::net {
+namespace {
+
+// Ring topology 0 -> 1 -> 2 -> ... -> n-1 -> 0 makes path lengths exact.
+Topology ring(std::size_t n) {
+  std::vector<std::vector<ledger::NodeId>> adj(n);
+  for (std::size_t v = 0; v < n; ++v)
+    adj[v].push_back(static_cast<ledger::NodeId>((v + 1) % n));
+  return Topology::from_adjacency(std::move(adj));
+}
+
+TEST(Gossip, FullCooperationReachesEveryone) {
+  util::Rng rng(1);
+  const Topology t = ring(10);
+  const ConstantDelay delay(10.0);
+  const GossipEngine engine(t, delay);
+  const RelaySet relay = RelaySet::all_cooperative(10);
+  const auto arrivals = engine.propagate(0, 0.0, relay, rng);
+  for (std::size_t v = 0; v < 10; ++v) {
+    EXPECT_DOUBLE_EQ(arrivals[v], 10.0 * static_cast<double>(v));
+  }
+  EXPECT_DOUBLE_EQ(GossipEngine::reach_fraction(arrivals, relay, 90.0), 1.0);
+}
+
+TEST(Gossip, DefectorReceivesButDoesNotRelay) {
+  util::Rng rng(1);
+  const Topology t = ring(5);
+  const ConstantDelay delay(1.0);
+  const GossipEngine engine(t, delay);
+  RelaySet relay = RelaySet::all_cooperative(5);
+  relay.relays[2] = false;  // node 2 defects
+  const auto arrivals = engine.propagate(0, 0.0, relay, rng);
+  EXPECT_DOUBLE_EQ(arrivals[1], 1.0);
+  EXPECT_DOUBLE_EQ(arrivals[2], 2.0);  // still receives
+  EXPECT_EQ(arrivals[3], kNever);      // cut off behind the defector
+  EXPECT_EQ(arrivals[4], kNever);
+}
+
+TEST(Gossip, OfflineNodeNeverReceives) {
+  util::Rng rng(1);
+  const Topology t = ring(4);
+  const ConstantDelay delay(1.0);
+  const GossipEngine engine(t, delay);
+  RelaySet relay = RelaySet::all_cooperative(4);
+  relay.online[1] = false;
+  const auto arrivals = engine.propagate(0, 0.0, relay, rng);
+  EXPECT_EQ(arrivals[1], kNever);
+  EXPECT_EQ(arrivals[2], kNever);  // ring is cut
+}
+
+TEST(Gossip, OfflineOriginSendsNothing) {
+  util::Rng rng(1);
+  const Topology t = ring(4);
+  const ConstantDelay delay(1.0);
+  const GossipEngine engine(t, delay);
+  RelaySet relay = RelaySet::all_cooperative(4);
+  relay.online[0] = false;
+  const auto arrivals = engine.propagate(0, 0.0, relay, rng);
+  for (const auto a : arrivals) EXPECT_EQ(a, kNever);
+}
+
+TEST(Gossip, DefectingOriginStillTransmits) {
+  // A defector that *originates* a message (e.g. its own transaction)
+  // still sends it; it only refuses to forward others' traffic.
+  util::Rng rng(1);
+  const Topology t = ring(4);
+  const ConstantDelay delay(1.0);
+  const GossipEngine engine(t, delay);
+  RelaySet relay = RelaySet::all_cooperative(4);
+  relay.relays[0] = false;
+  const auto arrivals = engine.propagate(0, 0.0, relay, rng);
+  EXPECT_DOUBLE_EQ(arrivals[1], 1.0);
+}
+
+TEST(Gossip, StartOffsetShiftsArrivals) {
+  util::Rng rng(1);
+  const Topology t = ring(3);
+  const ConstantDelay delay(2.0);
+  const GossipEngine engine(t, delay);
+  const RelaySet relay = RelaySet::all_cooperative(3);
+  const auto arrivals = engine.propagate(0, 100.0, relay, rng);
+  EXPECT_DOUBLE_EQ(arrivals[0], 100.0);
+  EXPECT_DOUBLE_EQ(arrivals[1], 102.0);
+}
+
+TEST(Gossip, DelayFactorScalesArrivals) {
+  util::Rng rng(1);
+  const Topology t = ring(3);
+  const ConstantDelay delay(2.0);
+  const GossipEngine slow(t, delay, 4.0);
+  const RelaySet relay = RelaySet::all_cooperative(3);
+  const auto arrivals = slow.propagate(0, 0.0, relay, rng);
+  EXPECT_DOUBLE_EQ(arrivals[1], 8.0);
+  EXPECT_DOUBLE_EQ(arrivals[2], 16.0);
+}
+
+TEST(Gossip, RemovingRelaysNeverImprovesReachability) {
+  // Monotonicity: on a fixed topology with constant delays, disabling a
+  // relay cannot make any node reachable sooner.
+  util::Rng rng1(5);
+  const Topology t = [&] {
+    util::Rng trng(99);
+    return Topology::random_k_out(60, 4, trng);
+  }();
+  const ConstantDelay delay(1.0);
+  const GossipEngine engine(t, delay);
+
+  const RelaySet full = RelaySet::all_cooperative(60);
+  const auto base = engine.propagate(0, 0.0, full, rng1);
+
+  RelaySet degraded = full;
+  util::Rng pick(7);
+  for (int i = 0; i < 15; ++i)
+    degraded.relays[static_cast<std::size_t>(pick.uniform_int(1, 59))] = false;
+  util::Rng rng2(5);
+  const auto worse = engine.propagate(0, 0.0, degraded, rng2);
+  for (std::size_t v = 0; v < 60; ++v) {
+    EXPECT_GE(worse[v], base[v]) << "node " << v;
+  }
+}
+
+TEST(Gossip, ReachFractionCountsOnlineOnly) {
+  RelaySet relay;
+  relay.relays = {true, true, true, true};
+  relay.online = {true, true, false, true};
+  const std::vector<TimeMs> arrivals = {0.0, 5.0, 1.0, kNever};
+  // Online: nodes 0, 1, 3; reached by t=6: nodes 0 and 1.
+  EXPECT_DOUBLE_EQ(GossipEngine::reach_fraction(arrivals, relay, 6.0),
+                   2.0 / 3.0);
+}
+
+TEST(Gossip, RandomTopologyFullReachUnderStrongSynchrony) {
+  util::Rng trng(11);
+  const Topology t = Topology::random_k_out(200, 5, trng);
+  const UniformDelay delay(20.0, 120.0);
+  const GossipEngine engine(t, delay);
+  const RelaySet relay = RelaySet::all_cooperative(200);
+  util::Rng rng(12);
+  const auto arrivals = engine.propagate(0, 0.0, relay, rng);
+  // In a 5-out random digraph a node has in-degree 0 with probability
+  // ~e^-5, so a handful of the 200 nodes can be unreachable; strong
+  // synchrony still reaches (nearly) everyone within a generous deadline.
+  EXPECT_GE(GossipEngine::reach_fraction(arrivals, relay, 10'000.0), 0.97);
+}
+
+TEST(Gossip, TotalLossOnRingCutsPropagation) {
+  // On a ring there is exactly one path; near-certain loss severs it.
+  util::Rng rng(21);
+  const Topology t = ring(6);
+  const ConstantDelay delay(1.0);
+  const GossipEngine lossy(t, delay, 1.0, 0.99);
+  const RelaySet relay = RelaySet::all_cooperative(6);
+  const auto arrivals = lossy.propagate(0, 0.0, relay, rng);
+  std::size_t reached = 0;
+  for (const auto a : arrivals)
+    if (a < kNever) ++reached;
+  EXPECT_LT(reached, 6u);
+}
+
+TEST(Gossip, RedundantTopologyMasksModerateLoss) {
+  // A 5-out digraph has enough path diversity that 10% per-hop loss barely
+  // dents reachability.
+  util::Rng trng(22);
+  const Topology t = Topology::random_k_out(150, 5, trng);
+  const ConstantDelay delay(1.0);
+  const GossipEngine lossy(t, delay, 1.0, 0.10);
+  const RelaySet relay = RelaySet::all_cooperative(150);
+  util::Rng rng(23);
+  const auto arrivals = lossy.propagate(0, 0.0, relay, rng);
+  EXPECT_GE(GossipEngine::reach_fraction(arrivals, relay, 1e9), 0.9);
+}
+
+TEST(Gossip, LossDegradesMonotonically) {
+  util::Rng trng(24);
+  const Topology t = Topology::random_k_out(150, 4, trng);
+  const ConstantDelay delay(1.0);
+  const RelaySet relay = RelaySet::all_cooperative(150);
+  double prev_reach = 1.1;
+  for (const double loss : {0.0, 0.3, 0.6, 0.9}) {
+    const GossipEngine engine(t, delay, 1.0, loss);
+    double reach = 0.0;
+    for (std::uint64_t s = 0; s < 8; ++s) {
+      util::Rng rng(30 + s);
+      const auto arrivals = engine.propagate(0, 0.0, relay, rng);
+      reach += GossipEngine::reach_fraction(arrivals, relay, 1e9);
+    }
+    reach /= 8;
+    EXPECT_LE(reach, prev_reach + 0.05) << "loss=" << loss;
+    prev_reach = reach;
+  }
+}
+
+TEST(Gossip, RejectsBadLossProbability) {
+  util::Rng rng(25);
+  const Topology t = ring(3);
+  const ConstantDelay delay(1.0);
+  EXPECT_THROW(GossipEngine(t, delay, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(GossipEngine(t, delay, 1.0, -0.1), std::invalid_argument);
+}
+
+TEST(Gossip, SizeMismatchRejected) {
+  util::Rng rng(1);
+  const Topology t = ring(3);
+  const ConstantDelay delay(1.0);
+  const GossipEngine engine(t, delay);
+  RelaySet relay = RelaySet::all_cooperative(2);
+  EXPECT_THROW(engine.propagate(0, 0.0, relay, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace roleshare::net

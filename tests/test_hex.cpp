@@ -1,0 +1,44 @@
+#include "util/hex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace roleshare::util {
+namespace {
+
+TEST(Hex, EncodeBasic) {
+  const std::vector<std::uint8_t> bytes = {0x00, 0x0f, 0xa5, 0xff};
+  EXPECT_EQ(to_hex(bytes), "000fa5ff");
+}
+
+TEST(Hex, EncodeEmpty) {
+  EXPECT_EQ(to_hex(std::vector<std::uint8_t>{}), "");
+}
+
+TEST(Hex, DecodeBasic) {
+  EXPECT_EQ(from_hex("000fa5ff"),
+            (std::vector<std::uint8_t>{0x00, 0x0f, 0xa5, 0xff}));
+}
+
+TEST(Hex, DecodeUppercase) {
+  EXPECT_EQ(from_hex("DEADBEEF"),
+            (std::vector<std::uint8_t>{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Hex, RoundTripAllByteValues) {
+  std::vector<std::uint8_t> all(256);
+  for (int i = 0; i < 256; ++i) all[i] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(from_hex(to_hex(all)), all);
+}
+
+TEST(Hex, RejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Hex, RejectsNonHexCharacters) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+  EXPECT_THROW(from_hex("  "), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace roleshare::util

@@ -1,0 +1,163 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace roleshare::sim {
+namespace {
+
+NetworkConfig small_config() {
+  NetworkConfig config;
+  config.node_count = 60;
+  config.seed = 11;
+  config.fan_out = 5;
+  return config;
+}
+
+TEST(Network, BuildsAccountsAndKeys) {
+  const Network net(small_config());
+  EXPECT_EQ(net.node_count(), 60u);
+  EXPECT_EQ(net.accounts().size(), 60u);
+  EXPECT_EQ(net.keys().size(), 60u);
+  for (std::size_t v = 0; v < 60; ++v) {
+    const auto stake = net.accounts().stake(static_cast<ledger::NodeId>(v));
+    EXPECT_GE(stake, 1);
+    EXPECT_LE(stake, 50);  // default U(1, 50)
+  }
+}
+
+TEST(Network, KeysMatchAccounts) {
+  const Network net(small_config());
+  for (std::size_t v = 0; v < net.node_count(); ++v) {
+    EXPECT_EQ(net.accounts().account(static_cast<ledger::NodeId>(v)).key,
+              net.keys()[v].public_key());
+  }
+}
+
+TEST(Network, DeterministicForSeed) {
+  const Network a(small_config());
+  const Network b(small_config());
+  EXPECT_EQ(a.accounts().stakes(), b.accounts().stakes());
+  for (std::size_t v = 0; v < a.node_count(); ++v)
+    EXPECT_EQ(a.behavior(static_cast<ledger::NodeId>(v)),
+              b.behavior(static_cast<ledger::NodeId>(v)));
+}
+
+TEST(Network, DifferentSeedsDiffer) {
+  NetworkConfig other = small_config();
+  other.seed = 12;
+  const Network a(small_config());
+  const Network b(other);
+  EXPECT_NE(a.accounts().stakes(), b.accounts().stakes());
+}
+
+TEST(Network, DefectionRateAssignsScriptedDefectors) {
+  NetworkConfig config = small_config();
+  config.defection_rate = 0.25;
+  const Network net(config);
+  std::size_t defectors = 0;
+  for (std::size_t v = 0; v < net.node_count(); ++v)
+    if (net.behavior(static_cast<ledger::NodeId>(v)) ==
+        BehaviorType::ScriptedDefect)
+      ++defectors;
+  EXPECT_EQ(defectors, 15u);  // 25% of 60
+}
+
+TEST(Network, FaultyRateAssignsOfflineNodes) {
+  NetworkConfig config = small_config();
+  config.defection_rate = 0.1;
+  config.faulty_rate = 0.1;
+  const Network net(config);
+  std::size_t defect = 0, faulty = 0;
+  for (std::size_t v = 0; v < net.node_count(); ++v) {
+    const auto b = net.behavior(static_cast<ledger::NodeId>(v));
+    if (b == BehaviorType::ScriptedDefect) ++defect;
+    if (b == BehaviorType::Faulty) ++faulty;
+  }
+  EXPECT_EQ(defect, 6u);
+  EXPECT_EQ(faulty, 6u);
+}
+
+TEST(Network, StrategiesFollowBehaviors) {
+  NetworkConfig config = small_config();
+  config.defection_rate = 0.2;
+  Network net(config);
+  for (std::size_t v = 0; v < net.node_count(); ++v) {
+    const auto b = net.behavior(static_cast<ledger::NodeId>(v));
+    const auto s = net.strategies()[v];
+    if (b == BehaviorType::Honest) {
+      EXPECT_EQ(s, game::Strategy::Cooperate);
+    }
+    if (b == BehaviorType::ScriptedDefect) {
+      EXPECT_EQ(s, game::Strategy::Defect);
+    }
+    if (b == BehaviorType::Faulty) {
+      EXPECT_EQ(s, game::Strategy::Offline);
+    }
+  }
+}
+
+TEST(Network, SelfishResidualReactsToRewards) {
+  NetworkConfig config = small_config();
+  config.selfish_residual = true;
+  Network net(config);
+  util::Rng rng(1);
+  // No rewards observed: all selfish nodes defect.
+  net.decide_strategies(econ::CostModel{}, 0.0, rng);
+  for (std::size_t v = 0; v < net.node_count(); ++v) {
+    if (net.behavior(static_cast<ledger::NodeId>(v)) ==
+        BehaviorType::Selfish) {
+      EXPECT_EQ(net.strategies()[v], game::Strategy::Defect);
+    }
+  }
+  // Generous observed rate: they cooperate.
+  net.decide_strategies(econ::CostModel{}, 100.0, rng);
+  for (std::size_t v = 0; v < net.node_count(); ++v) {
+    if (net.behavior(static_cast<ledger::NodeId>(v)) ==
+        BehaviorType::Selfish) {
+      EXPECT_EQ(net.strategies()[v], game::Strategy::Cooperate);
+    }
+  }
+}
+
+TEST(Network, SetBehaviorOverrides) {
+  Network net(small_config());
+  net.set_behavior(3, BehaviorType::Faulty);
+  EXPECT_EQ(net.behavior(3), BehaviorType::Faulty);
+  EXPECT_THROW(net.set_behavior(999, BehaviorType::Honest),
+               std::invalid_argument);
+}
+
+TEST(Network, RoundRngIsPerRoundDeterministic) {
+  const Network net(small_config());
+  util::Rng a = net.round_rng(5);
+  util::Rng b = net.round_rng(5);
+  util::Rng c = net.round_rng(6);
+  EXPECT_EQ(a(), b());
+  util::Rng a2 = net.round_rng(5);
+  EXPECT_NE(a2(), c());
+}
+
+TEST(Network, TopologyHasConfiguredFanOut) {
+  const Network net(small_config());
+  EXPECT_EQ(net.topology().node_count(), 60u);
+  EXPECT_EQ(net.topology().fan_out(), 5u);
+}
+
+TEST(Network, RejectsBadRates) {
+  NetworkConfig config = small_config();
+  config.defection_rate = 0.8;
+  config.faulty_rate = 0.5;  // sum > 1
+  EXPECT_THROW(Network{config}, std::invalid_argument);
+  config = small_config();
+  config.node_count = 2;
+  EXPECT_THROW(Network{config}, std::invalid_argument);
+}
+
+TEST(Network, GenesisChainReady) {
+  const Network net(small_config());
+  EXPECT_EQ(net.chain().height(), 1u);
+  EXPECT_EQ(net.chain().next_round(), 1u);
+}
+
+}  // namespace
+}  // namespace roleshare::sim

@@ -1,0 +1,96 @@
+#include "consensus/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace roleshare::consensus {
+namespace {
+
+// Reduction decision rules are pure; fabricate votes without sortition by
+// constructing committee-verified voters once.
+struct Fixture {
+  crypto::Hash256 empty = crypto::HashBuilder("empty").build();
+  crypto::Hash256 block_a = crypto::HashBuilder("block-a").build();
+  crypto::Hash256 block_b = crypto::HashBuilder("block-b").build();
+  std::vector<crypto::KeyPair> keys;
+  crypto::SortitionParams params{3'000, 10'000};
+  crypto::Hash256 seed = crypto::HashBuilder("rseed").build();
+
+  Fixture() {
+    std::uint64_t id = 0;
+    while (keys.size() < 6) {
+      const auto key = crypto::KeyPair::derive(777, id++);
+      const crypto::VrfInput input{1, 1, seed};
+      if (crypto::sortition(key, input, 100, params).selected())
+        keys.push_back(key);
+    }
+  }
+
+  Vote vote(std::size_t idx, const crypto::Hash256& value) const {
+    const crypto::VrfInput input{1, 1, seed};
+    const auto res = crypto::sortition(keys[idx], input, 100, params);
+    return make_vote(static_cast<ledger::NodeId>(idx),
+                     keys[idx].public_key(), 1, 1, value, res);
+  }
+};
+
+TEST(Reduction, Step1VotesForBestProposal) {
+  const Fixture f;
+  EXPECT_EQ(reduction_step1_value(f.block_a, f.empty), f.block_a);
+}
+
+TEST(Reduction, Step1FallsBackToEmpty) {
+  const Fixture f;
+  EXPECT_EQ(reduction_step1_value(std::nullopt, f.empty), f.empty);
+}
+
+TEST(Reduction, Step2PassesQuorumWinner) {
+  const Fixture f;
+  std::vector<Vote> votes;
+  for (std::size_t i = 0; i < 4; ++i) votes.push_back(f.vote(i, f.block_a));
+  EXPECT_EQ(reduction_step2_value(votes, 1.0, f.empty), f.block_a);
+}
+
+TEST(Reduction, Step2EmptyWithoutQuorum) {
+  const Fixture f;
+  std::vector<Vote> votes = {f.vote(0, f.block_a)};
+  EXPECT_EQ(reduction_step2_value(votes, 1e9, f.empty), f.empty);
+}
+
+TEST(Reduction, Step2EmptyOnNoVotes) {
+  const Fixture f;
+  EXPECT_EQ(reduction_step2_value({}, 1.0, f.empty), f.empty);
+}
+
+TEST(Reduction, SplitVotesBelowQuorumYieldEmpty) {
+  const Fixture f;
+  std::vector<Vote> votes;
+  std::uint64_t half = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const Vote v = f.vote(i, i % 2 == 0 ? f.block_a : f.block_b);
+    if (i % 2 == 0) half += v.weight;
+    votes.push_back(v);
+  }
+  // Quorum above either side's weight: nobody wins.
+  EXPECT_EQ(reduction_step2_value(votes, 1e9, f.empty), f.empty);
+}
+
+TEST(Reduction, OutputMirrorsStep2Semantics) {
+  const Fixture f;
+  std::vector<Vote> votes;
+  for (std::size_t i = 0; i < 5; ++i) votes.push_back(f.vote(i, f.block_b));
+  EXPECT_EQ(reduction_output(votes, 1.0, f.empty), f.block_b);
+  EXPECT_EQ(reduction_output({}, 1.0, f.empty), f.empty);
+}
+
+TEST(Reduction, OutputIsOneOfProposedOrEmpty) {
+  // The reduction guarantee: at most one non-empty hash can emerge.
+  const Fixture f;
+  std::vector<Vote> votes;
+  for (std::size_t i = 0; i < 6; ++i)
+    votes.push_back(f.vote(i, i < 4 ? f.block_a : f.block_b));
+  const crypto::Hash256 out = reduction_output(votes, 1.0, f.empty);
+  EXPECT_TRUE(out == f.block_a || out == f.empty);
+}
+
+}  // namespace
+}  // namespace roleshare::consensus

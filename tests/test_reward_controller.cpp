@@ -1,0 +1,138 @@
+#include "econ/reward_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "econ/role_based.hpp"
+#include "econ/stake_proportional.hpp"
+
+namespace roleshare::econ {
+namespace {
+
+using consensus::Role;
+using ledger::algos;
+
+struct Fixture {
+  ledger::AccountTable accounts;
+  std::vector<Role> roles;
+  std::vector<std::int64_t> stakes;
+
+  Fixture() {
+    const std::vector<Role> layout = {Role::Leader, Role::Committee,
+                                      Role::Committee, Role::Other,
+                                      Role::Other, Role::Other};
+    const std::vector<std::int64_t> amounts = {5, 10, 12, 20, 30, 25};
+    for (std::size_t v = 0; v < layout.size(); ++v) {
+      accounts.add_account(crypto::KeyPair::derive(9000, v).public_key(),
+                           algos(amounts[v]));
+      roles.push_back(layout[v]);
+      stakes.push_back(amounts[v]);
+    }
+  }
+
+  RoleSnapshot snapshot() const { return RoleSnapshot(roles, stakes); }
+};
+
+TEST(RewardController, SettleCreditsAccounts) {
+  Fixture f;
+  RewardController controller(std::make_unique<StakeProportionalScheme>());
+  const auto report =
+      controller.settle_round(1, f.snapshot(), 0, f.accounts);
+  EXPECT_EQ(report.injected, algos(20));
+  EXPECT_EQ(report.requested, algos(20));
+  EXPECT_EQ(report.from_foundation, algos(20));
+  EXPECT_EQ(report.from_fees, 0);
+  EXPECT_FALSE(report.fee_pool_tapped);
+  // Stake-proportional over S_N=102: node 4 (stake 30) gains ~5.88 Algos.
+  EXPECT_GT(f.accounts.balance(4), algos(35));
+}
+
+TEST(RewardController, MoneyConservation) {
+  Fixture f;
+  RewardController controller(std::make_unique<StakeProportionalScheme>());
+  ledger::MicroAlgos balances_before = 0;
+  for (std::size_t v = 0; v < f.accounts.size(); ++v)
+    balances_before += f.accounts.balance(static_cast<ledger::NodeId>(v));
+
+  ledger::MicroAlgos distributed = 0, fees_paid = 0;
+  for (ledger::Round r = 1; r <= 10; ++r) {
+    const auto report =
+        controller.settle_round(r, f.snapshot(), 1234, f.accounts);
+    distributed += report.distributed;
+    fees_paid += 1234;
+  }
+  ledger::MicroAlgos balances_after = 0;
+  for (std::size_t v = 0; v < f.accounts.size(); ++v)
+    balances_after += f.accounts.balance(static_cast<ledger::NodeId>(v));
+  // Accounts grew exactly by what was distributed.
+  EXPECT_EQ(balances_after - balances_before, distributed);
+  // Pools hold everything else: emitted + fees == distributed + balances.
+  EXPECT_EQ(controller.foundation_pool().emitted() + fees_paid,
+            distributed + controller.foundation_pool().balance() +
+                controller.fee_pool().balance());
+}
+
+TEST(RewardController, FeePoolAccumulatesDuringBootstrap) {
+  Fixture f;
+  RewardController controller(std::make_unique<StakeProportionalScheme>());
+  controller.settle_round(1, f.snapshot(), algos(3), f.accounts);
+  // Fees are not used while the Foundation pool is solvent; dust may add.
+  EXPECT_GE(controller.fee_pool().balance(), algos(3));
+}
+
+TEST(RewardController, FeePoolFundsRewardsAfterExhaustion) {
+  Fixture f;
+  // Tiny ceiling: the Foundation pool dies after round 1.
+  RewardController controller(std::make_unique<StakeProportionalScheme>(),
+                              /*use_fee_pool=*/true,
+                              /*ceiling=*/algos(20));
+  controller.settle_round(1, f.snapshot(), algos(50), f.accounts);
+  EXPECT_TRUE(controller.foundation_pool().exhausted());
+
+  const auto report =
+      controller.settle_round(2, f.snapshot(), algos(50), f.accounts);
+  EXPECT_EQ(report.from_foundation, 0);
+  EXPECT_GT(report.from_fees, 0);
+  EXPECT_TRUE(report.fee_pool_tapped);
+  EXPECT_GT(report.distributed, 0);
+}
+
+TEST(RewardController, FeePhaseDisabledLeavesRewardsUnfunded) {
+  Fixture f;
+  RewardController controller(std::make_unique<StakeProportionalScheme>(),
+                              /*use_fee_pool=*/false,
+                              /*ceiling=*/algos(20));
+  controller.settle_round(1, f.snapshot(), algos(50), f.accounts);
+  const auto report =
+      controller.settle_round(2, f.snapshot(), algos(50), f.accounts);
+  EXPECT_EQ(report.from_foundation, 0);
+  EXPECT_EQ(report.from_fees, 0);
+  EXPECT_EQ(report.distributed, 0);
+}
+
+TEST(RewardController, RoleBasedSchemeRequestsFarLessThanSchedule) {
+  Fixture f;
+  RewardController controller(
+      std::make_unique<RoleBasedScheme>(CostModel{}));
+  const auto report =
+      controller.settle_round(1, f.snapshot(), 0, f.accounts);
+  EXPECT_GT(report.requested, 0);
+  EXPECT_LT(report.requested, algos(20) / 100);  // pennies vs 20 Algos
+  // The unspent emission stays banked for future rounds.
+  EXPECT_GT(controller.foundation_pool().balance(),
+            algos(20) - algos(1));
+}
+
+TEST(RewardController, RejectsMismatchedAccounts) {
+  Fixture f;
+  RewardController controller(std::make_unique<StakeProportionalScheme>());
+  const RoleSnapshot wrong({Role::Other}, {5});
+  EXPECT_THROW(controller.settle_round(1, wrong, 0, f.accounts),
+               std::invalid_argument);
+}
+
+TEST(RewardController, RejectsNullScheme) {
+  EXPECT_THROW(RewardController(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace roleshare::econ

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "econ/role_based.hpp"
+#include "econ/stake_proportional.hpp"
+
+namespace roleshare::econ {
+namespace {
+
+using consensus::Role;
+using ledger::algos;
+
+RoleSnapshot snapshot() {
+  // leaders: stakes {2, 3}; committee: {5, 5}; others: {10, 20, 5}.
+  return RoleSnapshot(
+      {Role::Leader, Role::Leader, Role::Committee, Role::Committee,
+       Role::Other, Role::Other, Role::Other},
+      {2, 3, 5, 5, 10, 20, 5});
+}
+
+TEST(StakeProportional, BudgetFollowsSchedule) {
+  StakeProportionalScheme scheme;
+  const RoleSnapshot s = snapshot();
+  EXPECT_EQ(scheme.required_budget(1, s), algos(20));
+  EXPECT_EQ(scheme.required_budget(500'001, s), algos(26));  // 13M / 500k
+}
+
+TEST(StakeProportional, SharesAreStakeProportionalAndRoleBlind) {
+  StakeProportionalScheme scheme;
+  const RoleSnapshot s = snapshot();  // S_N = 50
+  const Payouts p = scheme.distribute(1, s, algos(50));
+  // r_i = B_i / S_N = 1 Algo per stake unit, same rate for every role.
+  EXPECT_EQ(p.amounts[0], algos(2));
+  EXPECT_EQ(p.amounts[2], algos(5));
+  EXPECT_EQ(p.amounts[5], algos(20));
+  EXPECT_EQ(p.total, algos(50));
+}
+
+TEST(StakeProportional, NeverExceedsBudget) {
+  StakeProportionalScheme scheme;
+  const RoleSnapshot s = snapshot();
+  const Payouts p = scheme.distribute(1, s, 997);  // awkward remainder
+  EXPECT_LE(p.total, 997);
+}
+
+TEST(StakeProportional, ZeroBudgetZeroPayouts) {
+  StakeProportionalScheme scheme;
+  const Payouts p = scheme.distribute(1, snapshot(), 0);
+  EXPECT_EQ(p.total, 0);
+  for (const auto amount : p.amounts) EXPECT_EQ(amount, 0);
+}
+
+TEST(StakeProportional, ZeroStakeNodeGetsNothing) {
+  StakeProportionalScheme scheme;
+  const RoleSnapshot s({Role::Other, Role::Other}, {0, 10});
+  const Payouts p = scheme.distribute(1, s, algos(10));
+  EXPECT_EQ(p.amounts[0], 0);
+  EXPECT_EQ(p.amounts[1], algos(10));
+}
+
+TEST(RoleBased, FixedSplitDividesPots) {
+  const RewardSplit split(0.2, 0.3);  // gamma = 0.5
+  RoleBasedScheme scheme(CostModel{}, split);
+  const RoleSnapshot s = snapshot();  // S_L=5, S_M=10, S_K=35
+  const ledger::MicroAlgos budget = algos(100);
+  const Payouts p = scheme.distribute(1, s, budget);
+
+  // Leader pot: 20 Algos over S_L=5 -> 4 Algos per stake unit.
+  EXPECT_EQ(p.amounts[0], algos(8));
+  EXPECT_EQ(p.amounts[1], algos(12));
+  // Committee pot: 30 Algos over S_M=10 -> 3 Algos per stake.
+  EXPECT_EQ(p.amounts[2], algos(15));
+  EXPECT_EQ(p.amounts[3], algos(15));
+  // Gamma pot: 50 Algos over S_K=35.
+  EXPECT_NEAR(static_cast<double>(p.amounts[4]),
+              static_cast<double>(budget) * 0.5 * 10 / 35, 2.0);
+  EXPECT_LE(p.total, budget);
+  // All but integer dust is disbursed.
+  EXPECT_GT(p.total, budget - 10);
+}
+
+TEST(RoleBased, LeaderRatePerStakeExceedsOthersWhenAlphaGenerous) {
+  const RewardSplit split(0.3, 0.3);
+  RoleBasedScheme scheme(CostModel{}, split);
+  const RoleSnapshot s = snapshot();
+  const Payouts p = scheme.distribute(1, s, algos(100));
+  const double leader_rate = static_cast<double>(p.amounts[0]) / 2.0;
+  const double other_rate = static_cast<double>(p.amounts[4]) / 10.0;
+  EXPECT_GT(leader_rate, other_rate);
+}
+
+TEST(RoleBased, AdaptiveBudgetSatisfiesTheoremThreeBounds) {
+  RoleBasedScheme scheme(CostModel{});
+  const RoleSnapshot s = snapshot();
+  const ledger::MicroAlgos budget = scheme.required_budget(1, s);
+  ASSERT_TRUE(scheme.last_feasible());
+  ASSERT_GT(budget, 0);
+  const BiBounds bounds = compute_bi_bounds(
+      scheme.last_split(), BoundInputs::from_snapshot(s), CostModel{});
+  ASSERT_TRUE(bounds.feasible);
+  EXPECT_GT(static_cast<double>(budget), bounds.required() * 0.999);
+}
+
+TEST(RoleBased, DegenerateRoundPaysNothing) {
+  RoleBasedScheme scheme(CostModel{});
+  const RoleSnapshot no_leader(
+      {Role::Committee, Role::Other, Role::Other}, {5, 5, 5});
+  EXPECT_EQ(scheme.required_budget(1, no_leader), 0);
+  EXPECT_FALSE(scheme.last_feasible());
+}
+
+TEST(RoleBased, MinOtherStakeFilterExcludesSmallHolders) {
+  const RewardSplit split(0.2, 0.3);
+  RoleBasedScheme scheme(CostModel{}, split, std::int64_t{10});
+  const RoleSnapshot s = snapshot();  // others: 10, 20, 5 -> 5 filtered out
+  const Payouts p = scheme.distribute(1, s, algos(100));
+  EXPECT_EQ(p.amounts[6], 0);  // stake-5 other gets nothing
+  // Gamma pot divides over S_K = 30 now.
+  EXPECT_NEAR(static_cast<double>(p.amounts[4]),
+              static_cast<double>(algos(100)) * 0.5 * 10 / 30, 2.0);
+}
+
+TEST(RoleBased, PayoutsSumWithinBudgetAcrossBudgets) {
+  const RewardSplit split(0.1, 0.2);
+  RoleBasedScheme scheme(CostModel{}, split);
+  const RoleSnapshot s = snapshot();
+  for (const ledger::MicroAlgos b :
+       {ledger::MicroAlgos{1}, ledger::MicroAlgos{999},
+        ledger::MicroAlgos{12'345'678}, algos(1000)}) {
+    const Payouts p = scheme.distribute(1, s, b);
+    ledger::MicroAlgos sum = 0;
+    for (const auto amount : p.amounts) sum += amount;
+    EXPECT_EQ(sum, p.total);
+    EXPECT_LE(sum, b);
+  }
+}
+
+TEST(RewardSplit, Validation) {
+  EXPECT_THROW(RewardSplit(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(RewardSplit(0.5, 0.5), std::invalid_argument);
+  EXPECT_THROW(RewardSplit(-0.1, 0.2), std::invalid_argument);
+  const RewardSplit ok(0.02, 0.03);
+  EXPECT_NEAR(ok.gamma(), 0.95, 1e-12);
+}
+
+TEST(Schemes, Names) {
+  EXPECT_EQ(StakeProportionalScheme{}.name(),
+            "foundation-stake-proportional");
+  EXPECT_EQ(RoleBasedScheme(CostModel{}).name(), "role-based-adaptive");
+  EXPECT_EQ(RoleBasedScheme(CostModel{}, RewardSplit(0.1, 0.1)).name(),
+            "role-based-fixed-split");
+}
+
+}  // namespace
+}  // namespace roleshare::econ

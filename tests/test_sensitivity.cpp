@@ -1,0 +1,111 @@
+#include "econ/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "econ/optimizer.hpp"
+
+namespace roleshare::econ {
+namespace {
+
+BoundInputs paper_inputs() {
+  BoundInputs in;
+  in.stake_leaders = 26;
+  in.stake_committee = 13'000;
+  in.stake_others = 50'000'000.0 - 26 - 13'000;
+  in.min_stake_leader = 1;
+  in.min_stake_committee = 1;
+  in.min_stake_other = 10;
+  return in;
+}
+
+// Finite-difference cross-check of a closed-form partial: re-optimizes at
+// a perturbed input and compares slopes.
+template <typename Perturb>
+double finite_difference(const BoundInputs& in, const CostModel& costs,
+                         Perturb&& perturb, double h) {
+  const RewardOptimizer opt;
+  BoundInputs plus = in;
+  perturb(plus, h);
+  BoundInputs minus = in;
+  perturb(minus, -h);
+  const double f_plus = opt.optimize(plus, costs).min_bi;
+  const double f_minus = opt.optimize(minus, costs).min_bi;
+  return (f_plus - f_minus) / (2.0 * h);
+}
+
+TEST(Sensitivity, BiMatchesOptimizer) {
+  const RewardOptimizer opt;
+  const Sensitivity s = compute_sensitivity(paper_inputs(), CostModel{});
+  const OptimizerResult r = opt.optimize(paper_inputs(), CostModel{});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(s.bi, r.min_bi, r.min_bi * 1e-4);
+}
+
+TEST(Sensitivity, CostPartialsAreClosedForm) {
+  const BoundInputs in = paper_inputs();
+  const Sensitivity s = compute_sensitivity(in, CostModel{});
+  EXPECT_DOUBLE_EQ(s.d_cost_leader, in.stake_leaders / 1.0);
+  EXPECT_DOUBLE_EQ(s.d_cost_committee, in.stake_committee / 1.0);
+  EXPECT_GT(s.d_cost_other, 0.0);
+  EXPECT_LT(s.d_cost_sortition, 0.0);
+  // Sortition-cost relief cancels all three cooperation-cost exposures.
+  EXPECT_NEAR(s.d_cost_sortition,
+              -(s.d_cost_leader + s.d_cost_committee + s.d_cost_other),
+              1e-9);
+}
+
+TEST(Sensitivity, LeaderCostPartialMatchesFiniteDifference) {
+  const BoundInputs in = paper_inputs();
+  const Sensitivity s = compute_sensitivity(in, CostModel{});
+  // Perturb c_L via from_role_costs.
+  const RewardOptimizer opt;
+  const double h = 0.01;
+  const double f_plus =
+      opt.optimize(in, CostModel::from_role_costs(16 + h, 12, 6, 5)).min_bi;
+  const double f_minus =
+      opt.optimize(in, CostModel::from_role_costs(16 - h, 12, 6, 5)).min_bi;
+  EXPECT_NEAR((f_plus - f_minus) / (2 * h), s.d_cost_leader,
+              std::abs(s.d_cost_leader) * 0.01 + 1.0);
+}
+
+TEST(Sensitivity, StakePartialMatchesFiniteDifference) {
+  const BoundInputs in = paper_inputs();
+  const Sensitivity s = compute_sensitivity(in, CostModel{});
+  const double fd = finite_difference(
+      in, CostModel{},
+      [](BoundInputs& b, double h) { b.stake_others += h * 1e4; }, 1.0);
+  EXPECT_NEAR(fd / 1e4, s.d_stake_others,
+              std::abs(s.d_stake_others) * 0.01 + 1e-9);
+}
+
+TEST(Sensitivity, MinStakePartialMatchesFiniteDifference) {
+  const BoundInputs in = paper_inputs();
+  const Sensitivity s = compute_sensitivity(in, CostModel{});
+  const double fd = finite_difference(
+      in, CostModel{},
+      [](BoundInputs& b, double h) { b.min_stake_other += h; }, 0.01);
+  EXPECT_NEAR(fd, s.d_min_stake_other,
+              std::abs(s.d_min_stake_other) * 0.01);
+}
+
+TEST(Sensitivity, DustFloorElasticityNearMinusOne) {
+  // When the online bound dominates (paper regime), B ~ 1/s*_k, so the
+  // elasticity is ~ -1: doubling the floor halves the reward — exactly
+  // the Fig-7(c) observation.
+  const Sensitivity s = compute_sensitivity(paper_inputs(), CostModel{});
+  EXPECT_NEAR(s.elasticity_min_stake_other, -1.0, 0.05);
+}
+
+TEST(Sensitivity, MoreStakeMeansMoreReward) {
+  const Sensitivity s = compute_sensitivity(paper_inputs(), CostModel{});
+  EXPECT_GT(s.d_stake_others, 0.0);
+}
+
+TEST(Sensitivity, ValidatesInputs) {
+  BoundInputs in = paper_inputs();
+  in.stake_committee = 0;
+  EXPECT_THROW(compute_sensitivity(in, CostModel{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace roleshare::econ

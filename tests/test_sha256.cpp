@@ -1,0 +1,81 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/hex.hpp"
+
+namespace roleshare::crypto {
+namespace {
+
+std::string hex_of(const Digest& d) { return util::to_hex(d); }
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_of(sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_of(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_of(sha256(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(hex_of(ctx.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Sha256 ctx;
+  ctx.update("hello ");
+  ctx.update("wor");
+  ctx.update("ld");
+  EXPECT_EQ(ctx.finalize(), sha256("hello world"));
+}
+
+TEST(Sha256, BlockBoundaryLengths) {
+  // Lengths around the 64-byte block and 56-byte padding boundary.
+  for (const std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 128u}) {
+    const std::string msg(len, 'x');
+    Sha256 incremental;
+    for (const char c : msg)
+      incremental.update(std::string_view(&c, 1));
+    EXPECT_EQ(incremental.finalize(), sha256(msg)) << "len=" << len;
+  }
+}
+
+TEST(Sha256, UpdateU64IsLittleEndian) {
+  Sha256 a;
+  a.update_u64(0x0102030405060708ULL);
+  const std::uint8_t bytes[8] = {8, 7, 6, 5, 4, 3, 2, 1};
+  Sha256 b;
+  b.update(std::span<const std::uint8_t>(bytes, 8));
+  EXPECT_EQ(a.finalize(), b.finalize());
+}
+
+TEST(Sha256, ReuseAfterFinalizeThrows) {
+  Sha256 ctx;
+  ctx.update("x");
+  (void)ctx.finalize();
+  EXPECT_THROW(ctx.update("y"), std::invalid_argument);
+  EXPECT_THROW(ctx.finalize(), std::invalid_argument);
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  EXPECT_NE(sha256("a"), sha256("b"));
+  EXPECT_NE(sha256(""), sha256(std::string(1, '\0')));
+}
+
+}  // namespace
+}  // namespace roleshare::crypto

@@ -1,0 +1,179 @@
+#include "crypto/sortition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace roleshare::crypto {
+namespace {
+
+TEST(BinomialInversion, ZeroStakeNeverSelected) {
+  EXPECT_EQ(binomial_inversion(0.5, 0, 0.1), 0u);
+}
+
+TEST(BinomialInversion, ZeroProbabilityNeverSelected) {
+  EXPECT_EQ(binomial_inversion(0.99, 100, 0.0), 0u);
+}
+
+TEST(BinomialInversion, FullProbabilitySelectsAll) {
+  EXPECT_EQ(binomial_inversion(0.3, 17, 1.0), 17u);
+}
+
+TEST(BinomialInversion, MonotoneInRatio) {
+  std::uint64_t prev = 0;
+  for (double r = 0.0; r < 1.0; r += 0.01) {
+    const std::uint64_t j = binomial_inversion(r, 50, 0.1);
+    EXPECT_GE(j, prev);
+    prev = j;
+  }
+}
+
+TEST(BinomialInversion, NeverExceedsStake) {
+  for (double r : {0.0, 0.5, 0.999999}) {
+    EXPECT_LE(binomial_inversion(r, 5, 0.9), 5u);
+  }
+}
+
+TEST(BinomialInversion, MatchesBinomialExpectation) {
+  // Inverting the CDF at uniform ratios reproduces the binomial mean w*p.
+  util::Rng rng(1);
+  const std::int64_t stake = 40;
+  const double p = 0.05;
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    sum += static_cast<double>(
+        binomial_inversion(rng.uniform01(), stake, p));
+  EXPECT_NEAR(sum / n, static_cast<double>(stake) * p, 0.05);
+}
+
+TEST(BinomialInversion, RejectsBadArguments) {
+  EXPECT_THROW(binomial_inversion(1.0, 5, 0.5), std::invalid_argument);
+  EXPECT_THROW(binomial_inversion(-0.1, 5, 0.5), std::invalid_argument);
+  EXPECT_THROW(binomial_inversion(0.5, -1, 0.5), std::invalid_argument);
+  EXPECT_THROW(binomial_inversion(0.5, 5, 1.5), std::invalid_argument);
+}
+
+TEST(Sortition, ProofVerifies) {
+  const KeyPair key = KeyPair::derive(3, 0);
+  const VrfInput input{5, 1, HashBuilder("s").add_u64(1).build()};
+  const SortitionParams params{100, 1000};
+  const SortitionResult res = sortition(key, input, 500, params);
+  EXPECT_EQ(verify_sortition(key.public_key(), input, res.vrf, 500, params),
+            res.sub_users);
+}
+
+TEST(Sortition, ForgedProofYieldsZero) {
+  const KeyPair key = KeyPair::derive(3, 0);
+  const KeyPair other = KeyPair::derive(3, 1);
+  const VrfInput input{5, 1, HashBuilder("s").add_u64(1).build()};
+  const SortitionParams params{100, 1000};
+  const SortitionResult res = sortition(key, input, 500, params);
+  EXPECT_EQ(verify_sortition(other.public_key(), input, res.vrf, 500, params),
+            0u);
+}
+
+TEST(Sortition, ExpectedSelectedStakeMatchesTau) {
+  // Across many nodes, the sum of selected sub-users concentrates on tau.
+  const std::int64_t node_stake = 20;
+  const std::size_t nodes = 500;
+  const std::int64_t total = node_stake * static_cast<std::int64_t>(nodes);
+  const std::uint64_t tau = 1000;
+  const SortitionParams params{tau, total};
+
+  double grand_total = 0;
+  const int rounds = 40;
+  for (int r = 0; r < rounds; ++r) {
+    const VrfInput input{static_cast<std::uint64_t>(r), 1,
+                         HashBuilder("seed").add_u64(r).build()};
+    std::uint64_t selected = 0;
+    for (std::size_t v = 0; v < nodes; ++v) {
+      const KeyPair key = KeyPair::derive(9, v);
+      selected += sortition(key, input, node_stake, params).sub_users;
+    }
+    grand_total += static_cast<double>(selected);
+  }
+  const double mean_selected = grand_total / rounds;
+  EXPECT_NEAR(mean_selected, static_cast<double>(tau), 40.0);
+}
+
+TEST(Sortition, ZeroStakeNodeNeverSelected) {
+  const KeyPair key = KeyPair::derive(3, 0);
+  const VrfInput input{5, 1, Hash256::zero()};
+  const SortitionParams params{100, 1000};
+  EXPECT_EQ(sortition(key, input, 0, params).sub_users, 0u);
+}
+
+TEST(Sortition, SelectionMonotoneInStake) {
+  // For a fixed VRF ratio, more stake can only mean more sub-users.
+  // Verified via the inversion function directly.
+  for (const double ratio : {0.1, 0.4, 0.7, 0.95}) {
+    std::uint64_t prev = 0;
+    for (std::int64_t stake = 1; stake <= 256; stake *= 2) {
+      const std::uint64_t j = binomial_inversion(ratio, stake, 0.02);
+      EXPECT_GE(j, prev) << "ratio=" << ratio << " stake=" << stake;
+      prev = j;
+    }
+  }
+}
+
+TEST(Sortition, PriorityZeroWhenNotSelected) {
+  SortitionResult res;
+  res.sub_users = 0;
+  EXPECT_EQ(res.priority(), 0u);
+}
+
+TEST(Sortition, PriorityNondecreasingInSubUsers) {
+  // Priority is a max over per-sub-user hashes, so more sub-users can only
+  // raise it.
+  const KeyPair key = KeyPair::derive(4, 0);
+  const VrfInput input{1, 0, Hash256::zero()};
+  const VrfOutput vrf = vrf_evaluate(key, input);
+  std::uint64_t prev = 0;
+  for (std::uint64_t j = 1; j <= 8; ++j) {
+    SortitionResult res{j, vrf};
+    EXPECT_GE(res.priority(), prev);
+    prev = res.priority();
+  }
+}
+
+TEST(Sortition, RejectsBadParams) {
+  const KeyPair key = KeyPair::derive(3, 0);
+  const VrfInput input{5, 1, Hash256::zero()};
+  EXPECT_THROW(sortition(key, input, 10, SortitionParams{0, 100}),
+               std::invalid_argument);
+  EXPECT_THROW(sortition(key, input, 10, SortitionParams{10, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(sortition(key, input, 200, SortitionParams{10, 100}),
+               std::invalid_argument);
+}
+
+// Parameterized: selection frequency tracks stake share across stake sizes.
+class SortitionStakeSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SortitionStakeSweep, SelectionRateTracksStake) {
+  const std::int64_t stake = GetParam();
+  const std::int64_t total = 10'000;
+  const std::uint64_t tau = 500;
+  const SortitionParams params{tau, total};
+  const KeyPair key = KeyPair::derive(11, 0);
+
+  double selected = 0;
+  const int rounds = 3000;
+  for (int r = 0; r < rounds; ++r) {
+    const VrfInput input{static_cast<std::uint64_t>(r), 2,
+                         HashBuilder("x").add_u64(r).build()};
+    selected +=
+        static_cast<double>(sortition(key, input, stake, params).sub_users);
+  }
+  const double expected = static_cast<double>(stake) *
+                          static_cast<double>(tau) /
+                          static_cast<double>(total);
+  EXPECT_NEAR(selected / rounds, expected, expected * 0.25 + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Stakes, SortitionStakeSweep,
+                         ::testing::Values(1, 5, 20, 100, 400));
+
+}  // namespace
+}  // namespace roleshare::crypto

@@ -1,0 +1,151 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "util/alias_sampler.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace roleshare::util {
+namespace {
+
+TEST(Stats, MeanBasic) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, StddevOfConstantIsZero) {
+  EXPECT_DOUBLE_EQ(stddev({5, 5, 5, 5}), 0.0);
+}
+
+TEST(Stats, StddevKnownValue) {
+  // Sample stddev of {2,4,4,4,5,5,7,9} is sqrt(32/7).
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, TrimmedMeanDropsOutliers) {
+  // 10 values; 20% trim removes 2 from each end.
+  std::vector<double> xs = {-1000, 1, 2, 3, 4, 5, 6, 7, 8, 1000};
+  EXPECT_NEAR(trimmed_mean(xs, 0.2), (2 + 3 + 4 + 5 + 6 + 7) / 6.0, 1e-12);
+}
+
+TEST(Stats, TrimmedMeanZeroTrimIsMean) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(trimmed_mean(xs, 0.0), mean(xs));
+}
+
+TEST(Stats, TrimmedMeanRejectsBadFraction) {
+  EXPECT_THROW(trimmed_mean({1.0}, 0.5), std::invalid_argument);
+  EXPECT_THROW(trimmed_mean({1.0}, -0.1), std::invalid_argument);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 95), 7.0);
+}
+
+TEST(Stats, SummaryConsistency) {
+  const std::vector<double> xs = {3, 1, 4, 1, 5, 9, 2, 6};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 9);
+  EXPECT_DOUBLE_EQ(s.mean, mean(xs));
+  EXPECT_LE(s.p25, s.median);
+  EXPECT_LE(s.median, s.p75);
+}
+
+TEST(RunningStats, MatchesBatchStats) {
+  const std::vector<double> xs = {1.5, 2.5, -3, 8, 0.25, 4};
+  RunningStats rs;
+  for (const double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), -3);
+  EXPECT_DOUBLE_EQ(rs.max(), 8);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.add(5);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(2), 6.0);
+}
+
+TEST(Histogram, CountsValues) {
+  Histogram h(0.0, 10.0, 5);
+  h.add_all({1, 3, 5, 5.5, 9.9});
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 2u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, SaturatesAtEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100);
+  h.add(100);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, RenderShowsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string render = h.render(10);
+  EXPECT_NE(render.find('#'), std::string::npos);
+  EXPECT_NE(render.find('\n'), std::string::npos);
+}
+
+TEST(AliasSampler, MatchesWeights) {
+  Rng rng(77);
+  const std::vector<double> weights = {2.0, 0.0, 3.0, 5.0};
+  AliasSampler sampler(weights);
+  std::array<int, 4> counts{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.2, 0.015);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.5, 0.015);
+}
+
+TEST(AliasSampler, UniformWeights) {
+  Rng rng(78);
+  AliasSampler sampler(std::vector<double>(10, 1.0));
+  std::array<int, 10> counts{};
+  for (int i = 0; i < 50000; ++i) ++counts[sampler.sample(rng)];
+  for (const int c : counts)
+    EXPECT_NEAR(c / 50000.0, 0.1, 0.02);
+}
+
+TEST(AliasSampler, RejectsDegenerateInput) {
+  EXPECT_THROW(AliasSampler({}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler({1.0, -1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace roleshare::util

@@ -1,0 +1,121 @@
+#include "net/synchrony.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/delay_model.hpp"
+
+namespace roleshare::net {
+namespace {
+
+TEST(Synchrony, StartsStrong) {
+  SynchronyController ctrl(SynchronyConfig{});
+  EXPECT_EQ(ctrl.state(), SynchronyState::Strong);
+  EXPECT_DOUBLE_EQ(ctrl.delay_factor(), 1.0);
+}
+
+TEST(Synchrony, ZeroProbabilityStaysStrong) {
+  SynchronyController ctrl(SynchronyConfig{0.0, 4.0, 3});
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ctrl.advance_round(rng), SynchronyState::Strong);
+  }
+}
+
+TEST(Synchrony, CertainDegradationIsBounded) {
+  // With degrade probability 1 the controller still returns to Strong
+  // within max_degraded_rounds — the weak-synchrony boundedness guarantee.
+  SynchronyController ctrl(SynchronyConfig{1.0, 4.0, 3});
+  util::Rng rng(2);
+  int longest_degraded_run = 0, current = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (ctrl.advance_round(rng) == SynchronyState::Degraded) {
+      ++current;
+      longest_degraded_run = std::max(longest_degraded_run, current);
+    } else {
+      current = 0;
+    }
+  }
+  EXPECT_LE(longest_degraded_run, 3);
+  EXPECT_GT(longest_degraded_run, 0);
+}
+
+TEST(Synchrony, DelayFactorAppliesWhenDegraded) {
+  SynchronyController ctrl(SynchronyConfig{0.0, 5.5, 3});
+  ctrl.force(SynchronyState::Degraded);
+  EXPECT_DOUBLE_EQ(ctrl.delay_factor(), 5.5);
+  ctrl.force(SynchronyState::Strong);
+  EXPECT_DOUBLE_EQ(ctrl.delay_factor(), 1.0);
+}
+
+TEST(Synchrony, DegradeFrequencyMatchesProbability) {
+  SynchronyController ctrl(SynchronyConfig{0.2, 4.0, 1});
+  util::Rng rng(3);
+  int degraded = 0;
+  const int rounds = 20000;
+  for (int i = 0; i < rounds; ++i) {
+    if (ctrl.advance_round(rng) == SynchronyState::Degraded) ++degraded;
+  }
+  // With max run 1, state alternates; expected degraded fraction is close
+  // to p/(1+p) for small p. Loose bounds suffice here.
+  const double frac = static_cast<double>(degraded) / rounds;
+  EXPECT_GT(frac, 0.1);
+  EXPECT_LT(frac, 0.3);
+}
+
+TEST(Synchrony, RejectsBadConfig) {
+  EXPECT_THROW(SynchronyController(SynchronyConfig{-0.1, 4.0, 3}),
+               std::invalid_argument);
+  EXPECT_THROW(SynchronyController(SynchronyConfig{0.5, 0.5, 3}),
+               std::invalid_argument);
+}
+
+TEST(DelayModels, UniformStaysInRange) {
+  util::Rng rng(1);
+  const UniformDelay d(20.0, 120.0);
+  for (int i = 0; i < 1000; ++i) {
+    const TimeMs t = d.sample(rng, 0, 1);
+    EXPECT_GE(t, 20.0);
+    EXPECT_LT(t, 120.0);
+  }
+}
+
+TEST(DelayModels, UniformDegenerateRange) {
+  util::Rng rng(1);
+  const UniformDelay d(50.0, 50.0);
+  EXPECT_DOUBLE_EQ(d.sample(rng, 0, 1), 50.0);
+}
+
+TEST(DelayModels, ExponentialMean) {
+  util::Rng rng(2);
+  const ExponentialDelay d(10.0, 40.0);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng, 0, 1);
+  EXPECT_NEAR(sum / n, 50.0, 1.5);
+}
+
+TEST(DelayModels, ConstantIsConstant) {
+  util::Rng rng(3);
+  const ConstantDelay d(7.0);
+  EXPECT_DOUBLE_EQ(d.sample(rng, 0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(d.sample(rng, 5, 9), 7.0);
+}
+
+TEST(DelayModels, FactoriesAndNames) {
+  EXPECT_NE(make_uniform_delay(1, 2)->name().find("UniformDelay"),
+            std::string::npos);
+  EXPECT_NE(make_exponential_delay(1, 2)->name().find("ExpDelay"),
+            std::string::npos);
+  EXPECT_NE(make_constant_delay(1)->name().find("ConstDelay"),
+            std::string::npos);
+}
+
+TEST(DelayModels, RejectBadParameters) {
+  EXPECT_THROW(UniformDelay(-1.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(UniformDelay(5.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ExponentialDelay(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ConstantDelay(-2.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace roleshare::net

@@ -1,0 +1,77 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace roleshare::net {
+namespace {
+
+TEST(Topology, KOutDegreesAndNoSelfLoops) {
+  util::Rng rng(1);
+  const Topology t = Topology::random_k_out(50, 5, rng);
+  EXPECT_EQ(t.node_count(), 50u);
+  EXPECT_EQ(t.fan_out(), 5u);
+  for (ledger::NodeId v = 0; v < 50; ++v) {
+    const auto out = t.out_neighbors(v);
+    EXPECT_EQ(out.size(), 5u);
+    std::set<ledger::NodeId> unique(out.begin(), out.end());
+    EXPECT_EQ(unique.size(), 5u) << "duplicate edge at node " << v;
+    EXPECT_FALSE(unique.contains(v)) << "self loop at node " << v;
+    for (const auto to : out) EXPECT_LT(to, 50u);
+  }
+}
+
+TEST(Topology, ReverseAdjacencyIsConsistent) {
+  util::Rng rng(2);
+  const Topology t = Topology::random_k_out(30, 4, rng);
+  // v in in_neighbors(w)  <=>  w in out_neighbors(v)
+  std::size_t forward_edges = 0, reverse_edges = 0;
+  for (ledger::NodeId v = 0; v < 30; ++v) {
+    forward_edges += t.out_neighbors(v).size();
+    reverse_edges += t.in_neighbors(v).size();
+    for (const auto w : t.out_neighbors(v)) {
+      const auto in = t.in_neighbors(w);
+      EXPECT_NE(std::find(in.begin(), in.end(), v), in.end());
+    }
+  }
+  EXPECT_EQ(forward_edges, reverse_edges);
+}
+
+TEST(Topology, DeterministicForSameSeed) {
+  util::Rng rng1(3), rng2(3);
+  const Topology a = Topology::random_k_out(20, 3, rng1);
+  const Topology b = Topology::random_k_out(20, 3, rng2);
+  for (ledger::NodeId v = 0; v < 20; ++v) {
+    const auto oa = a.out_neighbors(v);
+    const auto ob = b.out_neighbors(v);
+    EXPECT_TRUE(std::equal(oa.begin(), oa.end(), ob.begin(), ob.end()));
+  }
+}
+
+TEST(Topology, RejectsFanOutTooLarge) {
+  util::Rng rng(4);
+  EXPECT_THROW(Topology::random_k_out(5, 5, rng), std::invalid_argument);
+  EXPECT_THROW(Topology::random_k_out(0, 0, rng), std::invalid_argument);
+}
+
+TEST(Topology, FromAdjacencyPreservesEdges) {
+  const Topology t = Topology::from_adjacency({{1, 2}, {2}, {0}});
+  EXPECT_EQ(t.node_count(), 3u);
+  EXPECT_EQ(t.out_neighbors(0).size(), 2u);
+  EXPECT_EQ(t.out_neighbors(1).size(), 1u);
+  EXPECT_EQ(t.in_neighbors(2).size(), 2u);
+}
+
+TEST(Topology, FromAdjacencyRejectsOutOfRange) {
+  EXPECT_THROW(Topology::from_adjacency({{5}}), std::invalid_argument);
+}
+
+TEST(Topology, NodeIdBoundsChecked) {
+  const Topology t = Topology::from_adjacency({{1}, {0}});
+  EXPECT_THROW(t.out_neighbors(2), std::invalid_argument);
+  EXPECT_THROW(t.in_neighbors(9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace roleshare::net

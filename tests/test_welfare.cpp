@@ -1,0 +1,118 @@
+#include "game/welfare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "game/best_response.hpp"
+
+namespace roleshare::game {
+namespace {
+
+using consensus::Role;
+using econ::CostModel;
+using econ::RoleSnapshot;
+
+GameConfig config(SchemeKind scheme, double bi_algos) {
+  return GameConfig{
+      RoleSnapshot({Role::Leader, Role::Committee, Role::Committee,
+                    Role::Other, Role::Other},
+                   {5, 10, 12, 20, 30}),
+      CostModel{},
+      scheme,
+      bi_algos * 1e6,
+      econ::RewardSplit(0.2, 0.3),
+      {},
+      0.685};
+}
+
+TEST(Welfare, AllCooperateAccounting) {
+  const AlgorandGame game(config(SchemeKind::StakeProportional, 10));
+  const ProfileMetrics m = cooperative_benchmark(game);
+  EXPECT_TRUE(m.block_created);
+  EXPECT_DOUBLE_EQ(m.cooperation_rate, 1.0);
+  // Costs: c_L + 2 c_M + 2 c_K = 16 + 24 + 12 = 52 µAlgos.
+  EXPECT_NEAR(m.total_cost, 52.0, 1e-9);
+  // Stake-proportional distributes the whole B_i: expenditure = 10 Algos.
+  EXPECT_NEAR(m.designer_expenditure, 10e6, 1e-3);
+  EXPECT_NEAR(m.social_welfare, 10e6 - 52.0, 1e-3);
+}
+
+TEST(Welfare, AllDefectAccounting) {
+  const AlgorandGame game(config(SchemeKind::StakeProportional, 10));
+  const ProfileMetrics m =
+      analyze_profile(game, all_defect(game.player_count()));
+  EXPECT_FALSE(m.block_created);
+  EXPECT_DOUBLE_EQ(m.cooperation_rate, 0.0);
+  EXPECT_NEAR(m.total_cost, 25.0, 1e-9);  // 5 x c_so
+  EXPECT_NEAR(m.designer_expenditure, 0.0, 1e-9);
+  EXPECT_NEAR(m.social_welfare, -25.0, 1e-9);
+}
+
+TEST(Welfare, RoleBasedExpenditureEqualsBiWhenBlockCreated) {
+  const AlgorandGame game(config(SchemeKind::RoleBased, 3));
+  const ProfileMetrics m = cooperative_benchmark(game);
+  ASSERT_TRUE(m.block_created);
+  // alpha+beta+gamma pots all paid out in full under all-C.
+  EXPECT_NEAR(m.designer_expenditure, 3e6, 1.0);
+}
+
+TEST(Welfare, MixedProfileCountsCooperators) {
+  const AlgorandGame game(config(SchemeKind::StakeProportional, 10));
+  Profile p = all_cooperate(game.player_count());
+  p[3] = Strategy::Defect;
+  p[4] = Strategy::Offline;
+  const ProfileMetrics m = analyze_profile(game, p);
+  EXPECT_DOUBLE_EQ(m.cooperation_rate, 0.6);
+  // Costs: 16 + 12 + 12 + 5 + 5 = 50.
+  EXPECT_NEAR(m.total_cost, 50.0, 1e-9);
+}
+
+TEST(Welfare, AnarchyRatioCollapseIsInfinite) {
+  const AlgorandGame game(config(SchemeKind::StakeProportional, 10));
+  EXPECT_TRUE(std::isinf(
+      anarchy_ratio(game, all_defect(game.player_count()))));
+}
+
+TEST(Welfare, AnarchyRatioOfBenchmarkIsOne) {
+  const AlgorandGame game(config(SchemeKind::StakeProportional, 10));
+  EXPECT_NEAR(anarchy_ratio(game, all_cooperate(game.player_count())), 1.0,
+              1e-12);
+}
+
+TEST(Welfare, AnarchyRatioDegenerateBothNonPositive) {
+  // With no reward even all-C has negative welfare; ratio defined as 1.
+  const AlgorandGame game(config(SchemeKind::StakeProportional, 0));
+  EXPECT_DOUBLE_EQ(anarchy_ratio(game, all_defect(game.player_count())),
+                   1.0);
+}
+
+TEST(Welfare, UnraveledEquilibriumEconomics) {
+  // The free-riding paradox of no-punishment reward sharing: the
+  // best-response fixpoint from all-C either (a) keeps the block alive via
+  // a pivotal rump, in which case defectors' saved costs make welfare
+  // *no lower* than the benchmark — the designer funds free-riders — or
+  // (b) kills the block, destroying all welfare.
+  const AlgorandGame game(config(SchemeKind::StakeProportional, 10));
+  const DynamicsResult dyn =
+      best_response_dynamics(game, all_cooperate(game.player_count()));
+  ASSERT_TRUE(dyn.converged);
+  const ProfileMetrics eq = analyze_profile(game, dyn.profile);
+  const ProfileMetrics best = cooperative_benchmark(game);
+  EXPECT_LT(eq.cooperation_rate, 1.0);  // all-C never survives (Thm 2)
+  if (eq.block_created) {
+    EXPECT_GE(eq.social_welfare + 1e-9, best.social_welfare);
+    EXPECT_LT(eq.total_cost, best.total_cost);  // costs dodged, not saved
+  } else {
+    EXPECT_LT(eq.social_welfare, 0.0);
+  }
+}
+
+TEST(Welfare, SizeMismatchRejected) {
+  const AlgorandGame game(config(SchemeKind::StakeProportional, 10));
+  EXPECT_THROW(analyze_profile(game, Profile(2, Strategy::Cooperate)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace roleshare::game
