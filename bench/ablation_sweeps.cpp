@@ -8,11 +8,14 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "sim/experiment_runner.hpp"
 #include "sim/round_engine.hpp"
 
 using namespace roleshare;
 
 namespace {
+
+std::size_t g_threads = 1;  // --threads knob, shared by every cell
 
 struct Cell {
   double final_pct = 0;
@@ -22,31 +25,41 @@ struct Cell {
 Cell run_cell(std::size_t nodes, std::size_t fan_out, double defection,
               std::uint64_t tau_step, double threshold, std::size_t rounds,
               std::uint64_t seed) {
-  Cell cell;
   constexpr std::size_t kSeeds = 4;  // average out run-to-run variance
-  for (std::size_t s = 0; s < kSeeds; ++s) {
-    sim::NetworkConfig config;
-    config.node_count = nodes;
-    config.seed = seed + 7919 * s;
-    config.fan_out = fan_out;
-    config.defection_rate = defection;
-    sim::Network net(config);
+  const sim::ExperimentSpec spec{kSeeds, rounds, seed, g_threads};
+  Cell cell;
+  sim::run_and_reduce(
+      spec,
+      [&](std::size_t, util::Rng& rng) {
+        sim::NetworkConfig config;
+        config.node_count = nodes;
+        config.seed = rng.seed_material();
+        config.fan_out = fan_out;
+        config.defection_rate = defection;
+        sim::Network net(config);
 
-    consensus::ConsensusParams params =
-        consensus::ConsensusParams::scaled_for(net.accounts().total_stake());
-    if (tau_step != 0) {
-      params.expected_step_stake = tau_step;
-      params.expected_final_stake = tau_step * 2;
-    }
-    if (threshold > 0) params.step_threshold = threshold;
+        consensus::ConsensusParams params =
+            consensus::ConsensusParams::scaled_for(
+                net.accounts().total_stake());
+        if (tau_step != 0) {
+          params.expected_step_stake = tau_step;
+          params.expected_final_stake = tau_step * 2;
+        }
+        if (threshold > 0) params.step_threshold = threshold;
 
-    sim::RoundEngine engine(net, params);
-    for (std::size_t r = 0; r < rounds; ++r) {
-      const sim::RoundResult result = engine.run_round();
-      cell.final_pct += result.final_fraction * 100;
-      cell.none_pct += result.none_fraction * 100;
-    }
-  }
+        sim::RoundEngine engine(net, params);
+        Cell partial;
+        for (std::size_t r = 0; r < rounds; ++r) {
+          const sim::RoundResult result = engine.run_round();
+          partial.final_pct += result.final_fraction * 100;
+          partial.none_pct += result.none_fraction * 100;
+        }
+        return partial;
+      },
+      [&](std::size_t, Cell partial) {
+        cell.final_pct += partial.final_pct;
+        cell.none_pct += partial.none_pct;
+      });
   cell.final_pct /= static_cast<double>(rounds * kSeeds);
   cell.none_pct /= static_cast<double>(rounds * kSeeds);
   return cell;
@@ -59,9 +72,12 @@ int main(int argc, char** argv) {
       bench::arg_int(argc, argv, "nodes", 250));
   const auto rounds = static_cast<std::size_t>(
       bench::arg_int(argc, argv, "rounds", 8));
+  g_threads = bench::arg_threads(argc, argv);
 
   bench::print_header("Ablations", "committee size, fan-out, threshold");
-  std::printf("nodes=%zu rounds=%zu stakes=U(1,50)\n", nodes, rounds);
+  std::printf("nodes=%zu rounds=%zu threads=%zu stakes=U(1,50)\n", nodes,
+              rounds, g_threads);
+  const bench::WallTimer timer;
 
   std::printf("\n--- A) expected step-committee stake (tau) vs defection ---\n");
   std::printf("%8s", "tau\\def");
@@ -102,5 +118,11 @@ int main(int argc, char** argv) {
   }
   std::printf("Algorand's T=0.685 balances safety margin against liveness\n"
               "under partial defection; higher T starves quorums.\n");
+
+  bench::emit_json("ablation_sweeps",
+                   {{"nodes", static_cast<double>(nodes)},
+                    {"rounds", static_cast<double>(rounds)},
+                    {"threads", static_cast<double>(g_threads)},
+                    {"wall_ms", timer.elapsed_ms()}});
   return 0;
 }

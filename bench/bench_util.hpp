@@ -1,11 +1,16 @@
 // Shared helpers for the table/figure reproduction binaries: consistent
-// headers and simple argument parsing (--key=value overrides so the same
-// binary can be run at paper scale or smoke-test scale).
+// headers, simple argument parsing (--key=value overrides so the same
+// binary can be run at paper scale or smoke-test scale), wall-clock
+// timing, and machine-readable BENCH_*.json result files for the perf
+// trajectory.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace roleshare::bench {
 
@@ -27,6 +32,46 @@ inline long long arg_int(int argc, char** argv, const std::string& name,
       return std::atoll(arg.substr(prefix.size()).c_str());
   }
   return fallback;
+}
+
+/// The unified `--threads=N` knob every runner-backed binary exposes
+/// (0 = all hardware threads; default 1 keeps output comparable with the
+/// serial baselines).
+inline std::size_t arg_threads(int argc, char** argv) {
+  return static_cast<std::size_t>(arg_int(argc, argv, "threads", 1));
+}
+
+/// Wall-clock stopwatch for the BENCH_*.json timing fields.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_ms() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Writes BENCH_<name>.json next to the binary's working directory:
+/// a flat object of numeric fields (timings, config, headline results) so
+/// the perf trajectory can be tracked without scraping stdout.
+inline void emit_json(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& fields) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"%s\"", name.c_str());
+  for (const auto& [key, value] : fields)
+    std::fprintf(out, ",\n  \"%s\": %.17g", key.c_str(), value);
+  std::fprintf(out, "\n}\n");
+  std::fclose(out);
+  std::printf("\n[bench] wrote %s\n", path.c_str());
 }
 
 }  // namespace roleshare::bench

@@ -23,11 +23,18 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(bench::arg_int(argc, argv, "runs", 40));
   const auto rounds =
       static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 10));
+  const std::size_t threads = bench::arg_threads(argc, argv);
 
   bench::print_header("Figure 6", "distribution of computed B_i per round");
-  std::printf("nodes=%zu runs=%zu rounds/run=%zu tx-churn=1000x U(-4,4) "
-              "(paper: 500k nodes; scale with --nodes)\n",
-              nodes, runs, rounds);
+  std::printf("nodes=%zu runs=%zu rounds/run=%zu threads=%zu tx-churn=1000x "
+              "U(-4,4) (paper: 500k nodes; scale with --nodes)\n",
+              nodes, runs, rounds, threads);
+  const bench::WallTimer timer;
+  std::vector<std::pair<std::string, double>> json_fields = {
+      {"nodes", static_cast<double>(nodes)},
+      {"runs", static_cast<double>(runs)},
+      {"rounds", static_cast<double>(rounds)},
+      {"threads", static_cast<double>(threads)}};
 
   const sim::StakeSpec specs[] = {
       sim::StakeSpec::uniform(1, 200), sim::StakeSpec::normal(100, 20),
@@ -41,9 +48,12 @@ int main(int argc, char** argv) {
     config.stakes = specs[i];
     config.runs = runs;
     config.rounds_per_run = rounds;
+    config.threads = threads;
 
     const sim::RewardExperimentResult result =
         sim::run_reward_experiment(config);
+    json_fields.emplace_back("mean_bi_" + std::string(1, panel[i]),
+                             result.mean_bi);
     const util::Summary summary = util::summarize(result.bi_algos);
 
     std::printf("\n--- Fig 6(%c): stakes %s ---\n", panel[i],
@@ -63,6 +73,9 @@ int main(int argc, char** argv) {
     hist.add_all(result.bi_algos);
     std::printf("%s", hist.render(40).c_str());
   }
+
+  json_fields.emplace_back("wall_ms", timer.elapsed_ms());
+  bench::emit_json("fig6_bi_distributions", json_fields);
 
   std::printf("\nShape check: mean B_i must be largest for U(1,200) and\n"
               "shrink for tighter distributions; N(2000,25) cheapest per\n"

@@ -22,13 +22,14 @@ sim::RewardExperimentResult run_for(const sim::StakeSpec& spec,
                                     std::size_t nodes, std::size_t runs,
                                     std::size_t rounds,
                                     std::optional<std::int64_t> min_stake,
-                                    std::uint64_t seed) {
+                                    std::uint64_t seed, std::size_t threads) {
   sim::RewardExperimentConfig config;
   config.node_count = nodes;
   config.seed = seed;
   config.stakes = spec;
   config.runs = runs;
   config.rounds_per_run = rounds;
+  config.threads = threads;
   config.min_other_stake = min_stake;
   return sim::run_reward_experiment(config);
 }
@@ -42,9 +43,12 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(bench::arg_int(argc, argv, "runs", 30));
   const auto rounds =
       static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 10));
+  const std::size_t threads = bench::arg_threads(argc, argv);
 
   bench::print_header("Figure 7", "our adaptive reward vs Foundation schedule");
-  std::printf("nodes=%zu runs=%zu rounds/run=%zu\n", nodes, runs, rounds);
+  std::printf("nodes=%zu runs=%zu rounds/run=%zu threads=%zu\n", nodes, runs,
+              rounds, threads);
+  const bench::WallTimer timer;
 
   const sim::StakeSpec specs[] = {
       sim::StakeSpec::uniform(1, 200), sim::StakeSpec::normal(100, 20),
@@ -58,7 +62,7 @@ int main(int argc, char** argv) {
   std::vector<sim::RewardExperimentResult> results;
   for (std::size_t i = 0; i < 3; ++i)
     results.push_back(run_for(specs[i], nodes, runs, rounds, std::nullopt,
-                              2000 + i));
+                              2000 + i, threads));
   for (std::size_t r = 0; r < rounds; ++r) {
     std::printf("%6zu %12.1f", r + 1, results[0].foundation_per_round[r]);
     for (const auto& result : results)
@@ -89,8 +93,8 @@ int main(int argc, char** argv) {
   const std::int64_t filters[] = {3, 5, 7};
   std::vector<sim::RewardExperimentResult> filtered;
   for (std::size_t i = 0; i < 3; ++i)
-    filtered.push_back(
-        run_for(specs[0], nodes, runs, rounds, filters[i], 3000 + i));
+    filtered.push_back(run_for(specs[0], nodes, runs, rounds, filters[i],
+                               3000 + i, threads));
   std::printf("%6s %12s %12s %12s %12s\n", "round", "U(1,200)", "U3", "U5",
               "U7");
   double acc_base = 0;
@@ -104,6 +108,18 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+
+  bench::emit_json(
+      "fig7_reward_comparison",
+      {{"nodes", static_cast<double>(nodes)},
+       {"runs", static_cast<double>(runs)},
+       {"rounds", static_cast<double>(rounds)},
+       {"threads", static_cast<double>(threads)},
+       {"mean_bi_u1_200", results[0].mean_bi},
+       {"mean_bi_n100_20", results[1].mean_bi},
+       {"mean_bi_n100_10", results[2].mean_bi},
+       {"mean_bi_u1_200_w7", filtered[2].mean_bi},
+       {"wall_ms", timer.elapsed_ms()}});
 
   std::printf("\nShape check: ours << Foundation and flat across the\n"
               "horizon; U7 < U5 < U3 < U(1,200) (higher w, smaller B_i).\n");

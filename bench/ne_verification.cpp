@@ -7,11 +7,23 @@
 #include "econ/optimizer.hpp"
 #include "game/best_response.hpp"
 #include "game/equilibrium.hpp"
+#include "sim/experiment_runner.hpp"
 #include "util/distributions.hpp"
 
 using namespace roleshare;
 
 namespace {
+
+/// Per-game verification verdicts, reduced by summation across games.
+struct GameVerdicts {
+  bool lemma1 = false;
+  bool thm1 = false;
+  bool thm2 = false;
+  bool feasible = false;
+  bool thm3 = false;
+  bool thm3_below_fails = false;
+  bool brd_fixpoint = false;
+};
 
 // Samples a role snapshot: a few leaders/committee members, many others.
 econ::RoleSnapshot sample_snapshot(util::Rng& rng, std::size_t n) {
@@ -36,65 +48,87 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(bench::arg_int(argc, argv, "games", 25));
   const auto players =
       static_cast<std::size_t>(bench::arg_int(argc, argv, "players", 60));
+  const std::size_t threads = bench::arg_threads(argc, argv);
 
   bench::print_header("NE verification",
                       "Lemma 1, Theorems 1-3 on sampled games");
-  std::printf("games=%zu players=%zu stakes=U(1,50)\n\n", games, players);
+  std::printf("games=%zu players=%zu threads=%zu stakes=U(1,50)\n\n", games,
+              players, threads);
 
-  util::Rng rng(99);
   const econ::CostModel costs;
   std::size_t lemma1_ok = 0, thm1_ok = 0, thm2_ok = 0, thm3_ok = 0,
-              thm3_below_fails = 0, brd_fixpoint = 0;
+              thm3_below_fails = 0, brd_fixpoint = 0, feasible_games = 0;
+  const bench::WallTimer timer;
 
-  for (std::size_t g = 0; g < games; ++g) {
-    econ::RoleSnapshot snap = sample_snapshot(rng, players);
+  // Each sampled game is an independent "run" of the shared engine: game g
+  // draws from root.split(g), so the set of verified instances does not
+  // depend on thread count.
+  const sim::ExperimentSpec spec{games, 1, 99, threads};
+  sim::run_and_reduce(
+      spec,
+      [&](std::size_t, util::Rng& rng) {
+        GameVerdicts verdicts;
+        econ::RoleSnapshot snap = sample_snapshot(rng, players);
 
-    // --- G_Al (stake-proportional), Theorems 1-2 + Lemma 1.
-    const game::GameConfig gal{snap,
-                               costs,
-                               game::SchemeKind::StakeProportional,
-                               20e6,
-                               econ::RewardSplit(0.02, 0.03),
-                               {},
-                               0.685};
-    const game::AlgorandGame game_al(gal);
-    util::Rng lemma_rng = rng.split(g);
-    if (game::verify_lemma1(game_al, lemma_rng, 8).holds) ++lemma1_ok;
-    if (game::verify_theorem1(game_al).holds) ++thm1_ok;
-    if (game::verify_theorem2(game_al).holds) ++thm2_ok;
-
-    // --- G_Al+ (role-based), Theorem 3 with Y = all Others.
-    std::vector<bool> sync_set(snap.node_count(), false);
-    for (std::size_t v = 0; v < snap.node_count(); ++v)
-      if (snap.role(static_cast<ledger::NodeId>(v)) == consensus::Role::Other)
-        sync_set[v] = true;
-
-    const econ::RewardOptimizer optimizer;
-    const econ::OptimizerResult opt = optimizer.optimize(snap, costs);
-    if (!opt.feasible) continue;
-
-    const game::GameConfig galplus{snap,
+        // --- G_Al (stake-proportional), Theorems 1-2 + Lemma 1.
+        const game::GameConfig gal{snap,
                                    costs,
-                                   game::SchemeKind::RoleBased,
-                                   opt.min_bi,
-                                   opt.split,
-                                   sync_set,
+                                   game::SchemeKind::StakeProportional,
+                                   20e6,
+                                   econ::RewardSplit(0.02, 0.03),
+                                   {},
                                    0.685};
-    const game::AlgorandGame game_plus(galplus);
-    if (game::verify_theorem3(game_plus).holds) ++thm3_ok;
+        const game::AlgorandGame game_al(gal);
+        util::Rng lemma_rng = rng.split("lemma1");
+        verdicts.lemma1 = game::verify_lemma1(game_al, lemma_rng, 8).holds;
+        verdicts.thm1 = game::verify_theorem1(game_al).holds;
+        verdicts.thm2 = game::verify_theorem2(game_al).holds;
 
-    game::GameConfig starved = galplus;
-    starved.bi = opt.min_bi * 0.2;
-    const game::AlgorandGame game_starved(starved);
-    if (!game::verify_theorem3(game_starved).holds) ++thm3_below_fails;
+        // --- G_Al+ (role-based), Theorem 3 with Y = all Others.
+        std::vector<bool> sync_set(snap.node_count(), false);
+        for (std::size_t v = 0; v < snap.node_count(); ++v)
+          if (snap.role(static_cast<ledger::NodeId>(v)) ==
+              consensus::Role::Other)
+            sync_set[v] = true;
 
-    // Best-response dynamics from the Theorem-3 profile: must be a
-    // fixpoint under the optimizer's B_i.
-    const game::Profile start = game::theorem3_profile(game_plus);
-    const game::DynamicsResult dyn =
-        game::best_response_dynamics(game_plus, start, 10);
-    if (dyn.converged && dyn.total_moves == 0) ++brd_fixpoint;
-  }
+        const econ::RewardOptimizer optimizer;
+        const econ::OptimizerResult opt = optimizer.optimize(snap, costs);
+        if (!opt.feasible) return verdicts;
+        verdicts.feasible = true;
+
+        const game::GameConfig galplus{snap,
+                                       costs,
+                                       game::SchemeKind::RoleBased,
+                                       opt.min_bi,
+                                       opt.split,
+                                       sync_set,
+                                       0.685};
+        const game::AlgorandGame game_plus(galplus);
+        verdicts.thm3 = game::verify_theorem3(game_plus).holds;
+
+        game::GameConfig starved = galplus;
+        starved.bi = opt.min_bi * 0.2;
+        const game::AlgorandGame game_starved(starved);
+        verdicts.thm3_below_fails =
+            !game::verify_theorem3(game_starved).holds;
+
+        // Best-response dynamics from the Theorem-3 profile: must be a
+        // fixpoint under the optimizer's B_i.
+        const game::Profile start = game::theorem3_profile(game_plus);
+        const game::DynamicsResult dyn =
+            game::best_response_dynamics(game_plus, start, 10);
+        verdicts.brd_fixpoint = dyn.converged && dyn.total_moves == 0;
+        return verdicts;
+      },
+      [&](std::size_t, GameVerdicts v) {
+        lemma1_ok += v.lemma1 ? 1 : 0;
+        thm1_ok += v.thm1 ? 1 : 0;
+        thm2_ok += v.thm2 ? 1 : 0;
+        feasible_games += v.feasible ? 1 : 0;
+        thm3_ok += v.thm3 ? 1 : 0;
+        thm3_below_fails += v.thm3_below_fails ? 1 : 0;
+        brd_fixpoint += v.brd_fixpoint ? 1 : 0;
+      });
 
   std::printf("%-58s %zu/%zu\n", "Lemma 1 (Offline dominated by Defect):",
               lemma1_ok, games);
@@ -104,12 +138,23 @@ int main(int argc, char** argv) {
               thm2_ok, games);
   std::printf("%-58s %zu/%zu\n",
               "Theorem 3 (profile is NE at Algorithm-1 B_i):", thm3_ok,
-              games);
+              feasible_games);
   std::printf("%-58s %zu/%zu\n",
               "Theorem 3 fails when B_i starved to 20%:", thm3_below_fails,
-              games);
+              feasible_games);
   std::printf("%-58s %zu/%zu\n",
               "Theorem-3 profile is a best-response fixpoint:", brd_fixpoint,
-              games);
+              feasible_games);
+  if (feasible_games < games)
+    std::printf("(Algorithm 1 infeasible on %zu/%zu sampled games)\n",
+                games - feasible_games, games);
+
+  bench::emit_json("ne_verification",
+                   {{"games", static_cast<double>(games)},
+                    {"players", static_cast<double>(players)},
+                    {"threads", static_cast<double>(threads)},
+                    {"feasible_games", static_cast<double>(feasible_games)},
+                    {"thm3_ok", static_cast<double>(thm3_ok)},
+                    {"wall_ms", timer.elapsed_ms()}});
   return 0;
 }

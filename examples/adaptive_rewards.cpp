@@ -3,10 +3,16 @@
 // incentive compatibility requires — more when small-stake nodes flood in,
 // less when they leave or are filtered out (the paper's closing argument).
 //
-//   $ ./adaptive_rewards
+//   $ ./adaptive_rewards [--runs=3] [--threads=1]
+//
+// Each scenario is a Monte-Carlo experiment over independently sampled
+// populations on the shared ExperimentRunner engine (run k draws from
+// root.split(k)); the reported B_i is the mean across runs.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "econ/optimizer.hpp"
+#include "sim/experiment_runner.hpp"
 #include "util/distributions.hpp"
 
 using namespace roleshare;
@@ -36,48 +42,85 @@ econ::BoundInputs inputs_for(const util::StakeDistribution& dist,
   return in;
 }
 
-void report(const char* scenario, const econ::OptimizerResult& r) {
-  if (!r.feasible) {
+struct ScenarioOutcome {
+  double bi_algos = 0;
+  double alpha = 0;
+  double beta = 0;
+  bool feasible = false;
+};
+
+void report(const char* scenario, const util::StakeDistribution& dist,
+            std::int64_t min_other, std::size_t nodes, std::size_t runs,
+            std::size_t threads, std::uint64_t root_seed) {
+  const econ::RewardOptimizer optimizer;
+  const econ::CostModel costs;
+
+  double bi = 0, alpha = 0, beta = 0;
+  std::size_t feasible_runs = 0;
+  sim::run_and_reduce(
+      sim::ExperimentSpec{runs, 1, root_seed, threads},
+      [&](std::size_t, util::Rng& rng) {
+        const econ::OptimizerResult r =
+            optimizer.optimize(inputs_for(dist, nodes, min_other, rng), costs);
+        ScenarioOutcome outcome;
+        outcome.feasible = r.feasible;
+        if (r.feasible) {
+          outcome.bi_algos = r.min_bi / 1e6;
+          outcome.alpha = r.split.alpha;
+          outcome.beta = r.split.beta;
+        }
+        return outcome;
+      },
+      [&](std::size_t, ScenarioOutcome outcome) {
+        if (!outcome.feasible) return;
+        ++feasible_runs;
+        bi += outcome.bi_algos;
+        alpha += outcome.alpha;
+        beta += outcome.beta;
+      });
+
+  if (feasible_runs == 0) {
     std::printf("%-46s infeasible\n", scenario);
     return;
   }
-  std::printf("%-46s B_i = %8.2f Algos  (a=%.4f b=%.4f g=%.3f)\n", scenario,
-              r.min_bi / 1e6, r.split.alpha, r.split.beta, r.split.gamma());
+  const double n = static_cast<double>(feasible_runs);
+  std::printf("%-46s B_i = %8.2f Algos  (a=%.4f b=%.4f g=%.3f)", scenario,
+              bi / n, alpha / n, beta / n, 1.0 - alpha / n - beta / n);
+  if (feasible_runs < runs)
+    std::printf("  [%zu/%zu runs feasible]", feasible_runs, runs);
+  std::printf("\n");
 }
 
 }  // namespace
 
-int main() {
-  util::Rng rng(31);
-  const econ::RewardOptimizer optimizer;
-  const econ::CostModel costs;
+int main(int argc, char** argv) {
+  const auto runs =
+      static_cast<std::size_t>(bench::arg_int(argc, argv, "runs", 3));
+  const std::size_t threads = bench::arg_threads(argc, argv);
   const std::size_t nodes = 100'000;
 
   std::printf("Algorithm 1 on a %zu-node economy (Foundation per-round "
-              "schedule pays 20 Algos in period 1):\n\n",
-              nodes);
+              "schedule pays 20 Algos in period 1); %zu sampled populations "
+              "per scenario (threads=%zu):\n\n",
+              nodes, runs, threads);
 
   // Scenario 1: launch phase, healthy mid-size stakes.
-  report("launch: stakes N(100,10)",
-         optimizer.optimize(
-             inputs_for(util::NormalStake(100, 10), nodes, 0, rng), costs));
+  report("launch: stakes N(100,10)", util::NormalStake(100, 10), 0, nodes,
+         runs, threads, 31);
 
   // Scenario 2: an influx of dust accounts drags s*_k to 1.
-  report("dust influx: stakes U(1,200)",
-         optimizer.optimize(
-             inputs_for(util::UniformStake(1, 200), nodes, 0, rng), costs));
+  report("dust influx: stakes U(1,200)", util::UniformStake(1, 200), 0,
+         nodes, runs, threads, 32);
 
   // Scenario 3: the designer filters stakes < 7 from the reward set
   // (Fig 7-c's U_7 lever) instead of paying for the dust.
-  report("dust influx + reward floor w=7",
-         optimizer.optimize(
-             inputs_for(util::UniformStake(1, 200), nodes, 7, rng), costs));
+  report("dust influx + reward floor w=7", util::UniformStake(1, 200), 7,
+         nodes, runs, threads, 33);
 
   // Scenario 4: mature network, stakes concentrate (paper: N(2000,25),
   // >1B Algos in circulation).
-  report("mature: stakes N(2000,25)",
-         optimizer.optimize(
-             inputs_for(util::NormalStake(2000, 25), nodes, 0, rng), costs));
+  report("mature: stakes N(2000,25)", util::NormalStake(2000, 25), 0, nodes,
+         runs, threads, 34);
 
   std::printf("\nReading: the required reward tracks S_K / s*_k. The\n"
               "Foundation can adapt per round instead of paying the flat\n"

@@ -3,16 +3,28 @@
 // relaying gossip — and the network slides from final consensus through
 // tentative blocks into no consensus at all.
 //
-//   $ ./defection_cascade [defection steps are fixed: 0..40%]
+//   $ ./defection_cascade [--runs=5] [--rounds=12] [--threads=1]
+//
+// Runs execute on the shared ExperimentRunner engine; --threads=N spreads
+// them across cores with bit-identical aggregates.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "sim/defection_experiment.hpp"
 
 using namespace roleshare;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto runs =
+      static_cast<std::size_t>(bench::arg_int(argc, argv, "runs", 5));
+  const auto rounds =
+      static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 12));
+  const std::size_t threads = bench::arg_threads(argc, argv);
+
   std::printf("Defection cascade on a 300-node network, stakes U(1,50),\n"
-              "fan-out 5; 5 runs x 12 rounds per defection level.\n\n");
+              "fan-out 5; %zu runs x %zu rounds per defection level "
+              "(threads=%zu).\n\n",
+              runs, rounds, threads);
   std::printf("%10s %10s %12s %10s %18s\n", "defection", "final%",
               "tentative%", "none%", "chain progress");
 
@@ -21,8 +33,9 @@ int main() {
     config.network.node_count = 300;
     config.network.seed = 7;
     config.network.defection_rate = rate;
-    config.runs = 5;
-    config.rounds = 12;
+    config.runs = runs;
+    config.rounds = rounds;
+    config.threads = threads;
 
     const sim::DefectionSeries series = sim::run_defection_experiment(config);
     double final_pct = 0, tentative_pct = 0, none_pct = 0;

@@ -1,50 +1,70 @@
-// Incentive loop: the paper's thesis in one run. A network of fully
-// rational nodes plays myopic best responses round after round:
+// Incentive loop: the paper's thesis in one experiment. Networks of fully
+// rational nodes play myopic best responses round after round:
 //  * under the Foundation's stake-proportional rewards, cooperation
 //    unravels (Theorem 2) and consensus collapses with it (Fig 3);
 //  * under the role-based scheme with Algorithm-1 rewards, cooperation is
 //    self-enforcing (Theorem 3) — at a fraction of the cost.
 //
-//   $ ./incentive_loop
+//   $ ./incentive_loop [--runs=3] [--rounds=12] [--threads=1]
+//
+// A Monte-Carlo ensemble of independent loops on the shared
+// ExperimentRunner engine; --threads=N fans the runs out across cores with
+// bit-identical aggregates.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "sim/strategic_loop.hpp"
 
 using namespace roleshare;
 
 namespace {
 
-void run_and_print(const char* title, sim::SchemeChoice scheme) {
-  sim::StrategicLoopConfig config;
-  config.network.node_count = 150;
-  config.network.seed = 99;
-  config.rounds = 12;
-  config.scheme = scheme;
+void run_and_print(const char* title, sim::SchemeChoice scheme,
+                   std::size_t runs, std::size_t rounds,
+                   std::size_t threads) {
+  sim::StrategicEnsembleConfig config;
+  config.base.network.node_count = 150;
+  config.base.network.seed = 99;
+  config.base.rounds = rounds;
+  config.base.scheme = scheme;
+  config.runs = runs;
+  config.threads = threads;
 
-  const sim::StrategicLoopResult result = sim::run_strategic_loop(config);
+  const sim::StrategicEnsembleResult result =
+      sim::run_strategic_ensemble(config);
   std::printf("\n== %s ==\n", title);
   std::printf("%6s %14s %10s %14s\n", "round", "cooperating%", "final%",
               "reward(Algos)");
-  for (const sim::StrategicRoundStats& r : result.rounds) {
-    std::printf("%6llu %14.1f %10.1f %14.4f\n",
-                static_cast<unsigned long long>(r.round),
-                r.cooperation_fraction * 100, r.final_fraction * 100,
-                r.bi_algos);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::printf("%6zu %14.1f %10.1f %14.4f\n", r + 1,
+                result.cooperation_series[r] * 100,
+                result.final_series[r] * 100, result.reward_series[r]);
   }
-  std::printf("total paid: %.4f Algos | cooperation at horizon: %.0f%%\n",
-              result.total_reward_algos, result.final_cooperation * 100);
+  std::printf("mean total paid: %.4f Algos | cooperation at horizon: "
+              "%.0f%%\n",
+              result.mean_total_reward_algos,
+              result.mean_final_cooperation * 100);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto runs =
+      static_cast<std::size_t>(bench::arg_int(argc, argv, "runs", 3));
+  const auto rounds =
+      static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 12));
+  const std::size_t threads = bench::arg_threads(argc, argv);
+
   std::printf("150 rational nodes, stakes U(1,50), myopic best-response\n"
-              "updates between rounds; everyone starts cooperative.\n");
+              "updates between rounds; everyone starts cooperative.\n"
+              "%zu independent runs per scheme (threads=%zu).\n",
+              runs, threads);
 
   run_and_print("Foundation stake-proportional rewards (Eq 3)",
-                sim::SchemeChoice::FoundationStakeProportional);
+                sim::SchemeChoice::FoundationStakeProportional, runs, rounds,
+                threads);
   run_and_print("Role-based rewards + Algorithm 1 (Eq 5)",
-                sim::SchemeChoice::RoleBasedAdaptive);
+                sim::SchemeChoice::RoleBasedAdaptive, runs, rounds, threads);
 
   std::printf("\nReading: the Foundation pays 20 Algos per round and still\n"
               "loses the network; the role-based mechanism pays orders of\n"

@@ -1,0 +1,59 @@
+#include "sim/aggregators.hpp"
+
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace roleshare::sim {
+
+PerRoundSamples::PerRoundSamples(std::size_t rounds) : samples_(rounds) {
+  RS_REQUIRE(rounds > 0, "aggregator needs at least one round");
+}
+
+std::size_t PerRoundSamples::count(std::size_t round_index) const {
+  RS_REQUIRE(round_index < samples_.size(), "round index");
+  return samples_[round_index].size();
+}
+
+const std::vector<double>& PerRoundSamples::samples(
+    std::size_t round_index) const {
+  RS_REQUIRE(round_index < samples_.size(), "round index");
+  return samples_[round_index];
+}
+
+void PerRoundSamples::record(std::size_t round_index, double value) {
+  RS_REQUIRE(round_index < samples_.size(), "round index");
+  samples_[round_index].push_back(value);
+}
+
+void PerRoundSamples::merge(const PerRoundSamples& other) {
+  RS_REQUIRE(other.samples_.size() == samples_.size(),
+             "merging aggregators with different round counts");
+  for (std::size_t r = 0; r < samples_.size(); ++r) {
+    samples_[r].insert(samples_[r].end(), other.samples_[r].begin(),
+                       other.samples_[r].end());
+  }
+}
+
+std::vector<double> PerRoundSamples::trimmed_mean_series(
+    double trim_fraction) const {
+  std::vector<double> out(samples_.size());
+  for (std::size_t r = 0; r < samples_.size(); ++r)
+    out[r] = util::trimmed_mean(samples_[r], trim_fraction);
+  return out;
+}
+
+std::vector<double> PerRoundSamples::mean_series() const {
+  std::vector<double> out(samples_.size());
+  for (std::size_t r = 0; r < samples_.size(); ++r)
+    out[r] = util::mean(samples_[r]);
+  return out;
+}
+
+std::vector<double> PerRoundSamples::percentile_series(double p) const {
+  std::vector<double> out(samples_.size());
+  for (std::size_t r = 0; r < samples_.size(); ++r)
+    out[r] = util::percentile(samples_[r], p);
+  return out;
+}
+
+}  // namespace roleshare::sim

@@ -1,0 +1,43 @@
+// Reusable reduction hooks for the experiment runner.
+//
+// Every figure in the paper is a Monte-Carlo aggregate over independent
+// runs: per-round series reduced by the 20%-trimmed mean (§III-C) or by
+// percentiles. PerRoundSamples is the shared sample matrix behind
+// OutcomeMetrics and the bench tables; it keeps samples in insertion
+// order, so merging per-run partials in run-index order reproduces a
+// serial execution bit for bit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace roleshare::sim {
+
+class PerRoundSamples {
+ public:
+  explicit PerRoundSamples(std::size_t rounds);
+
+  std::size_t rounds() const { return samples_.size(); }
+  std::size_t count(std::size_t round_index) const;
+  const std::vector<double>& samples(std::size_t round_index) const;
+
+  void record(std::size_t round_index, double value);
+
+  /// Appends every sample of `other` (same round count required) in round
+  /// order — the run-index-ordered reduction step.
+  void merge(const PerRoundSamples& other);
+
+  /// Per-round trimmed mean (the paper's §III-C reduction).
+  std::vector<double> trimmed_mean_series(double trim_fraction) const;
+
+  /// Per-round arithmetic mean.
+  std::vector<double> mean_series() const;
+
+  /// Per-round linear-interpolated percentile, p in [0, 100].
+  std::vector<double> percentile_series(double p) const;
+
+ private:
+  std::vector<std::vector<double>> samples_;
+};
+
+}  // namespace roleshare::sim

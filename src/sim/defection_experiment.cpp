@@ -1,43 +1,78 @@
 #include "sim/defection_experiment.hpp"
 
+#include "sim/experiment_runner.hpp"
 #include "sim/round_engine.hpp"
-#include "util/require.hpp"
 
 namespace roleshare::sim {
 
+namespace {
+
+/// What one run contributes to the aggregate: per-round outcome
+/// percentages plus the liveness flag. Small and trivially movable so the
+/// thread-pool fan-out stays cheap.
+struct DefectionRun {
+  struct RoundFractions {
+    double final_pct = 0.0;
+    double tentative_pct = 0.0;
+    double none_pct = 0.0;
+  };
+  std::vector<RoundFractions> rounds;
+  bool progress = false;
+};
+
+DefectionRun execute_run(const DefectionExperimentConfig& config,
+                         std::uint64_t run_seed) {
+  NetworkConfig net_config = config.network;
+  net_config.seed = run_seed;
+  Network network(net_config);
+
+  consensus::ConsensusParams params = config.params;
+  if (config.scale_params_to_stake) {
+    params = consensus::ConsensusParams::scaled_for(
+        network.accounts().total_stake());
+    params.step_threshold = config.params.step_threshold;
+    params.final_threshold = config.params.final_threshold;
+    params.max_binary_iterations = config.params.max_binary_iterations;
+    params.proposal_timeout_ms = config.params.proposal_timeout_ms;
+    params.step_timeout_ms = config.params.step_timeout_ms;
+  }
+
+  RoundEngine engine(network, params);
+  DefectionRun run;
+  run.rounds.reserve(config.rounds);
+  for (std::size_t r = 0; r < config.rounds; ++r) {
+    const RoundResult result = engine.run_round();
+    run.rounds.push_back({result.final_fraction * 100.0,
+                          result.tentative_fraction * 100.0,
+                          result.none_fraction * 100.0});
+    run.progress = run.progress || result.non_empty_block;
+  }
+  return run;
+}
+
+}  // namespace
+
 DefectionSeries run_defection_experiment(
     const DefectionExperimentConfig& config) {
-  RS_REQUIRE(config.runs > 0, "at least one run");
-  RS_REQUIRE(config.rounds > 0, "at least one round");
-
+  const ExperimentSpec spec{config.runs, config.rounds, config.network.seed,
+                            config.threads};
   OutcomeMetrics metrics(config.rounds);
   std::size_t runs_with_progress = 0;
 
-  for (std::size_t run = 0; run < config.runs; ++run) {
-    NetworkConfig net_config = config.network;
-    net_config.seed = config.network.seed + 0x9e3779b9ULL * (run + 1);
-    Network network(net_config);
-
-    consensus::ConsensusParams params = config.params;
-    if (config.scale_params_to_stake) {
-      params = consensus::ConsensusParams::scaled_for(
-          network.accounts().total_stake());
-      params.step_threshold = config.params.step_threshold;
-      params.final_threshold = config.params.final_threshold;
-      params.max_binary_iterations = config.params.max_binary_iterations;
-      params.proposal_timeout_ms = config.params.proposal_timeout_ms;
-      params.step_timeout_ms = config.params.step_timeout_ms;
-    }
-
-    RoundEngine engine(network, params);
-    bool progress = false;
-    for (std::size_t r = 0; r < config.rounds; ++r) {
-      const RoundResult result = engine.run_round();
-      metrics.record(r, result);
-      progress = progress || result.non_empty_block;
-    }
-    if (progress) ++runs_with_progress;
-  }
+  run_and_reduce(
+      spec,
+      [&config](std::size_t, util::Rng& rng) {
+        // The network rebuilds its stream from a scalar seed, so hand it
+        // this run's seed material (== root.split(run)).
+        return execute_run(config, rng.seed_material());
+      },
+      [&](std::size_t, DefectionRun run) {
+        for (std::size_t r = 0; r < run.rounds.size(); ++r) {
+          metrics.record(r, run.rounds[r].final_pct,
+                         run.rounds[r].tentative_pct, run.rounds[r].none_pct);
+        }
+        if (run.progress) ++runs_with_progress;
+      });
 
   DefectionSeries series;
   series.rounds = metrics.aggregate(config.trim_fraction);

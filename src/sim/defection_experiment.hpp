@@ -10,9 +10,14 @@
 namespace roleshare::sim {
 
 struct DefectionExperimentConfig {
-  NetworkConfig network;  // template; seed is offset per run
+  /// Network template; its seed is the experiment's *root* seed — run k
+  /// simulates with the independent stream root.split(k).
+  NetworkConfig network;
   std::size_t runs = 100;
   std::size_t rounds = 50;
+  /// Worker threads for the run fan-out (0 = all hardware threads).
+  /// Aggregates are bit-identical for every thread count.
+  std::size_t threads = 1;
   double trim_fraction = 0.2;
   /// When true the consensus committee expectations are re-scaled to each
   /// run's total stake (required for small simulated networks).
@@ -27,7 +32,8 @@ struct DefectionSeries {
   double runs_with_progress = 0.0;
 };
 
-/// Runs the experiment. Deterministic in config.network.seed.
+/// Runs the experiment on the shared ExperimentRunner engine.
+/// Deterministic in config.network.seed, independent of config.threads.
 DefectionSeries run_defection_experiment(
     const DefectionExperimentConfig& config);
 

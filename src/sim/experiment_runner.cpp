@@ -1,0 +1,12 @@
+// The experiment runner is header-only templates over ThreadPool; this
+// translation unit exists to give the header a home in the library target
+// and to type-check it stand-alone.
+#include "sim/experiment_runner.hpp"
+
+namespace roleshare::sim {
+
+// Instantiation smoke check: keeps the template compiling for the most
+// common result shape even when no consumer in this TU uses it.
+template class ExperimentRunner<double>;
+
+}  // namespace roleshare::sim

@@ -1,0 +1,140 @@
+// The one runs×rounds engine behind every figure, bench and example.
+//
+// An experiment is `runs` independent simulations of `rounds` rounds each,
+// reduced to an aggregate. The runner owns the three invariants every
+// consumer used to re-implement by hand:
+//
+//  1. Seeding — run k's randomness is the stream root.split(k), where root
+//     is Rng(root_seed). Streams are independent by construction; there is
+//     no additive seed offsetting (which can collide across experiments
+//     whose root seeds are close together).
+//  2. Parallelism — runs execute across a fixed-size ThreadPool
+//     (`threads` knob; 0 = all hardware threads, 1 = inline serial).
+//  3. Determinism — per-run results are stored at their run index and the
+//     reduction is applied in run-index order on the calling thread, so a
+//     parallel execution is bit-identical to a serial one.
+//
+// See DESIGN.md ("Experiment orchestration") for the contract new
+// experiments must follow.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace roleshare::sim {
+
+struct ExperimentSpec {
+  std::size_t runs = 1;
+  /// Rounds per run. The runner itself does not loop over rounds — that is
+  /// the run body's job — but the value travels with the spec so every
+  /// consumer reads it from one place.
+  std::size_t rounds = 1;
+  std::uint64_t root_seed = 0;
+  /// Worker threads for the run fan-out; 0 = all hardware threads.
+  std::size_t threads = 1;
+};
+
+/// Throws std::invalid_argument unless runs >= 1 and rounds >= 1.
+inline void validate(const ExperimentSpec& spec) {
+  RS_REQUIRE(spec.runs > 0, "experiment needs at least one run");
+  RS_REQUIRE(spec.rounds > 0, "experiment needs at least one round");
+}
+
+/// Run k's independent RNG stream: Rng(root_seed).split(k).
+inline util::Rng rng_for_run(std::uint64_t root_seed, std::size_t run_index) {
+  return util::Rng(root_seed).split(run_index);
+}
+
+/// Seed material of rng_for_run — for components that take a scalar seed
+/// (NetworkConfig) and rebuild the stream themselves.
+inline std::uint64_t seed_for_run(std::uint64_t root_seed,
+                                  std::size_t run_index) {
+  return util::Rng(root_seed).derive_seed(run_index);
+}
+
+/// Executes run_fn(run_index, rng) for every run of the spec and returns
+/// the per-run results indexed by run (independent of execution order).
+/// The result type must be default-constructible and movable. Exceptions
+/// thrown by run bodies are rethrown for the lowest failing run index.
+template <typename RunFn>
+auto run_experiment(const ExperimentSpec& spec, RunFn&& run_fn) {
+  validate(spec);
+  using Result = std::invoke_result_t<RunFn&, std::size_t, util::Rng&>;
+  static_assert(!std::is_void_v<Result>,
+                "run_fn must return the run's result");
+  static_assert(!std::is_same_v<Result, bool>,
+                "bool results share packed bits in std::vector<bool>, which "
+                "is a data race under the parallel fan-out — wrap the flag "
+                "in a struct");
+  std::vector<Result> results(spec.runs);
+  const auto execute_one = [&](std::size_t run) {
+    util::Rng rng = rng_for_run(spec.root_seed, run);
+    results[run] = run_fn(run, rng);
+  };
+  const std::size_t threads =
+      util::ThreadPool::resolve_thread_count(spec.threads);
+  if (threads <= 1 || spec.runs <= 1) {
+    // Same failure semantics as the pool: every run is attempted, the
+    // lowest failing run's exception surfaces.
+    std::exception_ptr first_error;
+    for (std::size_t run = 0; run < spec.runs; ++run) {
+      try {
+        execute_one(run);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallel_for_indexed(spec.runs, execute_one);
+  }
+  return results;
+}
+
+/// run_experiment + a reduction applied in run-index order on the calling
+/// thread: reduce(run_index, result&&). This is the only sanctioned way to
+/// fold per-run results into an aggregate — it makes threads=N output
+/// bit-identical to threads=1.
+template <typename RunFn, typename Reducer>
+void run_and_reduce(const ExperimentSpec& spec, RunFn&& run_fn,
+                    Reducer&& reduce) {
+  auto results = run_experiment(spec, std::forward<RunFn>(run_fn));
+  for (std::size_t run = 0; run < results.size(); ++run)
+    reduce(run, std::move(results[run]));
+}
+
+/// Object form of the same engine, for call sites that pass the spec
+/// around or run several bodies under one configuration.
+template <typename RunResult>
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(ExperimentSpec spec) : spec_(spec) {
+    validate(spec_);
+  }
+
+  const ExperimentSpec& spec() const { return spec_; }
+
+  template <typename RunFn>
+  std::vector<RunResult> run(RunFn&& run_fn) const {
+    return run_experiment(spec_, std::forward<RunFn>(run_fn));
+  }
+
+  template <typename RunFn, typename Reducer>
+  void run_and_reduce(RunFn&& run_fn, Reducer&& reduce) const {
+    sim::run_and_reduce(spec_, std::forward<RunFn>(run_fn),
+                        std::forward<Reducer>(reduce));
+  }
+
+ private:
+  ExperimentSpec spec_;
+};
+
+}  // namespace roleshare::sim

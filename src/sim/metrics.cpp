@@ -1,39 +1,46 @@
 #include "sim/metrics.hpp"
 
-#include "util/require.hpp"
-#include "util/stats.hpp"
-
 namespace roleshare::sim {
 
 OutcomeMetrics::OutcomeMetrics(std::size_t rounds)
-    : per_round_final_(rounds),
-      per_round_tentative_(rounds),
-      per_round_none_(rounds) {
-  RS_REQUIRE(rounds > 0, "metrics need at least one round");
-}
+    : final_(rounds), tentative_(rounds), none_(rounds) {}
 
 void OutcomeMetrics::record(std::size_t round_index,
                             const RoundResult& result) {
-  RS_REQUIRE(round_index < per_round_final_.size(), "round index");
-  per_round_final_[round_index].push_back(result.final_fraction * 100.0);
-  per_round_tentative_[round_index].push_back(result.tentative_fraction *
-                                              100.0);
-  per_round_none_[round_index].push_back(result.none_fraction * 100.0);
+  record(round_index, result.final_fraction * 100.0,
+         result.tentative_fraction * 100.0, result.none_fraction * 100.0);
+}
+
+void OutcomeMetrics::record(std::size_t round_index, double final_pct,
+                            double tentative_pct, double none_pct) {
+  final_.record(round_index, final_pct);
+  tentative_.record(round_index, tentative_pct);
+  none_.record(round_index, none_pct);
+}
+
+void OutcomeMetrics::merge(const OutcomeMetrics& other) {
+  final_.merge(other.final_);
+  tentative_.merge(other.tentative_);
+  none_.merge(other.none_);
 }
 
 std::size_t OutcomeMetrics::runs_recorded(std::size_t round_index) const {
-  RS_REQUIRE(round_index < per_round_final_.size(), "round index");
-  return per_round_final_[round_index].size();
+  return final_.count(round_index);
 }
 
 std::vector<RoundAggregate> OutcomeMetrics::aggregate(
     double trim_fraction) const {
-  std::vector<RoundAggregate> out(per_round_final_.size());
+  const std::vector<double> final_series =
+      final_.trimmed_mean_series(trim_fraction);
+  const std::vector<double> tentative_series =
+      tentative_.trimmed_mean_series(trim_fraction);
+  const std::vector<double> none_series =
+      none_.trimmed_mean_series(trim_fraction);
+  std::vector<RoundAggregate> out(final_series.size());
   for (std::size_t r = 0; r < out.size(); ++r) {
-    out[r].final_pct = util::trimmed_mean(per_round_final_[r], trim_fraction);
-    out[r].tentative_pct =
-        util::trimmed_mean(per_round_tentative_[r], trim_fraction);
-    out[r].none_pct = util::trimmed_mean(per_round_none_[r], trim_fraction);
+    out[r].final_pct = final_series[r];
+    out[r].tentative_pct = tentative_series[r];
+    out[r].none_pct = none_series[r];
   }
   return out;
 }

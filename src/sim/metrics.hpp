@@ -1,10 +1,13 @@
 // Aggregation of per-round outcomes across simulation runs — the paper's
 // 20%-trimmed-mean methodology (§III-C) producing the Fig-3 series.
+// Built on the reusable PerRoundSamples aggregator so per-run partials can
+// be merged in run-index order by the experiment runner.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "sim/aggregators.hpp"
 #include "sim/round_engine.hpp"
 
 namespace roleshare::sim {
@@ -23,16 +26,25 @@ class OutcomeMetrics {
   /// Records one run's result for `round_index` (0-based).
   void record(std::size_t round_index, const RoundResult& result);
 
-  std::size_t rounds() const { return per_round_final_.size(); }
+  /// Same, from already-computed percentages (0..100) — the form per-run
+  /// partials carry across the thread-pool boundary.
+  void record(std::size_t round_index, double final_pct, double tentative_pct,
+              double none_pct);
+
+  /// Appends every sample of `other` in round order (run-index-ordered
+  /// reduction; requires equal round counts).
+  void merge(const OutcomeMetrics& other);
+
+  std::size_t rounds() const { return final_.rounds(); }
   std::size_t runs_recorded(std::size_t round_index) const;
 
   /// Trimmed-mean series over all recorded runs (percentages, 0..100).
   std::vector<RoundAggregate> aggregate(double trim_fraction = 0.2) const;
 
  private:
-  std::vector<std::vector<double>> per_round_final_;
-  std::vector<std::vector<double>> per_round_tentative_;
-  std::vector<std::vector<double>> per_round_none_;
+  PerRoundSamples final_;
+  PerRoundSamples tentative_;
+  PerRoundSamples none_;
 };
 
 }  // namespace roleshare::sim

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "econ/foundation_schedule.hpp"
+#include "sim/experiment_runner.hpp"
 #include "util/alias_sampler.hpp"
 #include "util/require.hpp"
 #include "util/stats.hpp"
@@ -55,12 +56,92 @@ std::int64_t sample_role_min_stake(
   return min_stake;
 }
 
+/// One run's contribution: every per-round optimizer outcome, in round
+/// order, so the reduction can replay them exactly as a serial loop would.
+struct RewardRun {
+  std::vector<double> bi_algos;      // feasible rounds only, round order
+  std::vector<double> per_round_bi;  // length rounds_per_run, 0 = infeasible
+  std::vector<double> alphas;        // feasible rounds only
+  std::vector<double> betas;
+  double total_stake = 0.0;
+  std::size_t infeasible = 0;
+};
+
+RewardRun execute_run(const RewardExperimentConfig& config,
+                      const econ::RewardOptimizer& optimizer,
+                      const util::StakeDistribution& dist, util::Rng& rng) {
+  RewardRun run;
+  run.per_round_bi.assign(config.rounds_per_run, 0.0);
+
+  std::vector<std::int64_t> stakes = dist.sample_many(rng, config.node_count);
+  std::int64_t total_stake = 0;
+  for (const std::int64_t s : stakes) total_stake += s;
+
+  for (std::size_t round = 0; round < config.rounds_per_run; ++round) {
+    // Committee sampling (sub-user draws, alias table rebuilt per round
+    // because the churn below shifts weights).
+    std::vector<double> weights(stakes.begin(), stakes.end());
+    const util::AliasSampler sampler(weights);
+
+    std::unordered_set<std::size_t> leaders, committee;
+    const std::int64_t min_leader = sample_role_min_stake(
+        sampler, stakes, config.leader_stake, rng, leaders);
+    const std::int64_t min_committee = sample_role_min_stake(
+        sampler, stakes, config.committee_stake, rng, committee);
+
+    // Others: everyone else. s*_k is the min stake among others at or
+    // above the Fig-7(c) threshold; S_K excludes filtered nodes.
+    const std::int64_t threshold = config.min_other_stake.value_or(0);
+    std::int64_t min_other = 0;
+    std::int64_t others_stake = 0;
+    for (std::size_t v = 0; v < stakes.size(); ++v) {
+      if (leaders.contains(v) || committee.contains(v)) continue;
+      if (stakes[v] < threshold) continue;
+      others_stake += stakes[v];
+      if (min_other == 0 || stakes[v] < min_other) min_other = stakes[v];
+    }
+
+    econ::BoundInputs inputs;
+    inputs.stake_leaders = static_cast<double>(config.leader_stake);
+    inputs.stake_committee = static_cast<double>(config.committee_stake);
+    inputs.stake_others = static_cast<double>(others_stake);
+    inputs.min_stake_leader =
+        static_cast<double>(std::max<std::int64_t>(1, min_leader));
+    inputs.min_stake_committee =
+        static_cast<double>(std::max<std::int64_t>(1, min_committee));
+    inputs.min_stake_other =
+        static_cast<double>(std::max<std::int64_t>(1, min_other));
+
+    const econ::OptimizerResult opt = optimizer.optimize(inputs, config.costs);
+    if (!opt.feasible) {
+      ++run.infeasible;
+    } else {
+      const double bi_algos = opt.min_bi / 1e6;  // µAlgos -> Algos
+      run.bi_algos.push_back(bi_algos);
+      run.per_round_bi[round] = bi_algos;
+      run.alphas.push_back(opt.split.alpha);
+      run.betas.push_back(opt.split.beta);
+    }
+
+    // Transaction churn: stake-weighted parties exchange a few Algos.
+    for (std::size_t t = 0; t < config.tx_parties; ++t) {
+      const std::size_t v = sampler.sample(rng);
+      const std::int64_t delta = rng.uniform_int(config.tx_lo, config.tx_hi);
+      const std::int64_t updated =
+          std::max<std::int64_t>(1, stakes[v] + delta);
+      total_stake += updated - stakes[v];
+      stakes[v] = updated;
+    }
+  }
+  run.total_stake = static_cast<double>(total_stake);
+  return run;
+}
+
 }  // namespace
 
 RewardExperimentResult run_reward_experiment(
     const RewardExperimentConfig& config) {
   RS_REQUIRE(config.node_count > 2, "population too small");
-  RS_REQUIRE(config.runs > 0 && config.rounds_per_run > 0, "runs/rounds");
 
   RewardExperimentResult result;
   result.bi_per_round_mean.assign(config.rounds_per_run, 0.0);
@@ -71,80 +152,33 @@ RewardExperimentResult run_reward_experiment(
   }
 
   const econ::RewardOptimizer optimizer(config.optimizer);
+  const auto dist = config.stakes.make();
   util::RunningStats bi_stats;
   util::RunningStats alpha_stats;
   util::RunningStats beta_stats;
   util::RunningStats stake_stats;
 
-  util::Rng master(config.seed);
-  const auto dist = config.stakes.make();
-
-  for (std::size_t run = 0; run < config.runs; ++run) {
-    util::Rng rng = master.split(run + 1);
-    std::vector<std::int64_t> stakes =
-        dist->sample_many(rng, config.node_count);
-    std::int64_t total_stake = 0;
-    for (const std::int64_t s : stakes) total_stake += s;
-
-    for (std::size_t round = 0; round < config.rounds_per_run; ++round) {
-      // Committee sampling (sub-user draws, alias table rebuilt per round
-      // because the churn below shifts weights).
-      std::vector<double> weights(stakes.begin(), stakes.end());
-      const util::AliasSampler sampler(weights);
-
-      std::unordered_set<std::size_t> leaders, committee;
-      const std::int64_t min_leader = sample_role_min_stake(
-          sampler, stakes, config.leader_stake, rng, leaders);
-      const std::int64_t min_committee = sample_role_min_stake(
-          sampler, stakes, config.committee_stake, rng, committee);
-
-      // Others: everyone else. s*_k is the min stake among others at or
-      // above the Fig-7(c) threshold; S_K excludes filtered nodes.
-      const std::int64_t threshold = config.min_other_stake.value_or(0);
-      std::int64_t min_other = 0;
-      std::int64_t others_stake = 0;
-      for (std::size_t v = 0; v < stakes.size(); ++v) {
-        if (leaders.contains(v) || committee.contains(v)) continue;
-        if (stakes[v] < threshold) continue;
-        others_stake += stakes[v];
-        if (min_other == 0 || stakes[v] < min_other) min_other = stakes[v];
-      }
-
-      econ::BoundInputs inputs;
-      inputs.stake_leaders = static_cast<double>(config.leader_stake);
-      inputs.stake_committee = static_cast<double>(config.committee_stake);
-      inputs.stake_others = static_cast<double>(others_stake);
-      inputs.min_stake_leader =
-          static_cast<double>(std::max<std::int64_t>(1, min_leader));
-      inputs.min_stake_committee =
-          static_cast<double>(std::max<std::int64_t>(1, min_committee));
-      inputs.min_stake_other =
-          static_cast<double>(std::max<std::int64_t>(1, min_other));
-
-      const econ::OptimizerResult opt = optimizer.optimize(inputs,
-                                                           config.costs);
-      if (!opt.feasible) {
-        ++result.infeasible_rounds;
-      } else {
-        const double bi_algos = opt.min_bi / 1e6;  // µAlgos -> Algos
-        result.bi_algos.push_back(bi_algos);
-        result.bi_per_round_mean[round] += bi_algos;
-        bi_stats.add(bi_algos);
-        alpha_stats.add(opt.split.alpha);
-        beta_stats.add(opt.split.beta);
-      }
-
-      // Transaction churn: stake-weighted parties exchange a few Algos.
-      for (std::size_t t = 0; t < config.tx_parties; ++t) {
-        const std::size_t v = sampler.sample(rng);
-        const std::int64_t delta = rng.uniform_int(config.tx_lo, config.tx_hi);
-        const std::int64_t updated = std::max<std::int64_t>(1, stakes[v] + delta);
-        total_stake += updated - stakes[v];
-        stakes[v] = updated;
-      }
-    }
-    stake_stats.add(static_cast<double>(total_stake));
-  }
+  const ExperimentSpec spec{config.runs, config.rounds_per_run, config.seed,
+                            config.threads};
+  run_and_reduce(
+      spec,
+      [&](std::size_t, util::Rng& rng) {
+        return execute_run(config, optimizer, *dist, rng);
+      },
+      [&](std::size_t, RewardRun run) {
+        // Replayed in run order, feeding the streaming stats in exactly
+        // the sample order a serial loop would produce.
+        for (const double bi : run.bi_algos) {
+          result.bi_algos.push_back(bi);
+          bi_stats.add(bi);
+        }
+        for (std::size_t r = 0; r < config.rounds_per_run; ++r)
+          result.bi_per_round_mean[r] += run.per_round_bi[r];
+        for (const double a : run.alphas) alpha_stats.add(a);
+        for (const double b : run.betas) beta_stats.add(b);
+        stake_stats.add(run.total_stake);
+        result.infeasible_rounds += run.infeasible;
+      });
 
   for (double& m : result.bi_per_round_mean)
     m /= static_cast<double>(config.runs);

@@ -34,10 +34,14 @@ struct StakeSpec {
 
 struct RewardExperimentConfig {
   std::size_t node_count = 100'000;
+  /// Root seed; run k draws from the independent stream root.split(k).
   std::uint64_t seed = 7;
   StakeSpec stakes = StakeSpec::uniform(1, 200);
   std::size_t runs = 200;
   std::size_t rounds_per_run = 10;
+  /// Worker threads for the run fan-out (0 = all hardware threads).
+  /// Aggregates are bit-identical for every thread count.
+  std::size_t threads = 1;
   econ::CostModel costs{};
   econ::OptimizerConfig optimizer{};
   /// Committee-stake expectations (paper: S_L = 26, S_M = 13,000).

@@ -1,16 +1,24 @@
 #include "sim/strategic_loop.hpp"
 
+#include <optional>
+
 #include "econ/foundation_schedule.hpp"
 #include "econ/optimizer.hpp"
 #include "econ/role_based.hpp"
 #include "econ/stake_proportional.hpp"
 #include "game/best_response.hpp"
+#include "sim/experiment_runner.hpp"
 #include "util/require.hpp"
+#include "util/thread_pool.hpp"
 
 namespace roleshare::sim {
 
 StrategicLoopResult run_strategic_loop(const StrategicLoopConfig& config) {
   RS_REQUIRE(config.rounds > 0, "at least one round");
+  const std::size_t threads =
+      util::ThreadPool::resolve_thread_count(config.threads);
+  std::optional<util::ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
   Network net(config.network);
   RoundEngine engine(net, consensus::ConsensusParams::scaled_for(
                               net.accounts().total_stake()));
@@ -74,12 +82,19 @@ StrategicLoopResult run_strategic_loop(const StrategicLoopConfig& config) {
     result.total_reward_algos += stats.bi_algos;
     result.rounds.push_back(stats);
 
-    // Myopic best responses for the next round (one sweep).
+    // Myopic best responses for the next round (one sweep). Each node's
+    // response reads only the frozen previous profile and writes its own
+    // slot, so the population iteration fans out across the pool.
     const game::AlgorandGame game(game_config);
     game::Profile next = profile;
-    for (std::size_t v = 0; v < profile.size(); ++v) {
+    const auto respond = [&](std::size_t v) {
       next[v] = game::best_response(game, profile,
                                     static_cast<ledger::NodeId>(v));
+    };
+    if (pool) {
+      pool->parallel_for_indexed(profile.size(), respond);
+    } else {
+      for (std::size_t v = 0; v < profile.size(); ++v) respond(v);
     }
     profile = std::move(next);
   }
@@ -90,6 +105,48 @@ StrategicLoopResult run_strategic_loop(const StrategicLoopConfig& config) {
   result.final_cooperation =
       static_cast<double>(coop) / static_cast<double>(profile.size());
   return result;
+}
+
+StrategicEnsembleResult run_strategic_ensemble(
+    const StrategicEnsembleConfig& config) {
+  RS_REQUIRE(config.base.rounds > 0, "at least one round");
+  const ExperimentSpec spec{config.runs, config.base.rounds,
+                            config.base.network.seed, config.threads};
+
+  StrategicEnsembleResult out;
+  out.cooperation_series.assign(config.base.rounds, 0.0);
+  out.final_series.assign(config.base.rounds, 0.0);
+  out.reward_series.assign(config.base.rounds, 0.0);
+
+  run_and_reduce(
+      spec,
+      [&config](std::size_t, util::Rng& rng) {
+        StrategicLoopConfig run_config = config.base;
+        run_config.network.seed = rng.seed_material();
+        // Run-level parallelism owns the cores; keep the inner sweep
+        // serial so nested pools don't oversubscribe.
+        run_config.threads = 1;
+        return run_strategic_loop(run_config);
+      },
+      [&](std::size_t, StrategicLoopResult run) {
+        for (std::size_t r = 0; r < run.rounds.size(); ++r) {
+          out.cooperation_series[r] += run.rounds[r].cooperation_fraction;
+          out.final_series[r] += run.rounds[r].final_fraction;
+          out.reward_series[r] += run.rounds[r].bi_algos;
+        }
+        out.mean_total_reward_algos += run.total_reward_algos;
+        out.mean_final_cooperation += run.final_cooperation;
+      });
+
+  const double runs = static_cast<double>(config.runs);
+  for (std::size_t r = 0; r < config.base.rounds; ++r) {
+    out.cooperation_series[r] /= runs;
+    out.final_series[r] /= runs;
+    out.reward_series[r] /= runs;
+  }
+  out.mean_total_reward_algos /= runs;
+  out.mean_final_cooperation /= runs;
+  return out;
 }
 
 }  // namespace roleshare::sim

@@ -35,6 +35,11 @@ struct StrategicLoopConfig {
   econ::CostModel costs{};
   /// Strategy profile nodes start from (default: everyone cooperates).
   game::Strategy initial = game::Strategy::Cooperate;
+  /// Worker threads for the per-round best-response sweep over the
+  /// population (0 = all hardware threads). Each node's best response
+  /// depends only on the previous profile, so the sweep parallelizes
+  /// without changing results.
+  std::size_t threads = 1;
 };
 
 struct StrategicRoundStats {
@@ -53,5 +58,30 @@ struct StrategicLoopResult {
 };
 
 StrategicLoopResult run_strategic_loop(const StrategicLoopConfig& config);
+
+/// Monte-Carlo ensemble of independent strategic loops on the shared
+/// ExperimentRunner engine — the runs×rounds view of the paper's headline
+/// claim (population iterations fan out across the thread pool; run k
+/// uses the stream root.split(k) where root is base.network.seed).
+struct StrategicEnsembleConfig {
+  /// Template for every run; its network.seed is the ensemble root seed.
+  StrategicLoopConfig base;
+  std::size_t runs = 8;
+  /// Worker threads for the run fan-out (0 = all hardware threads).
+  /// Aggregates are bit-identical for every thread count.
+  std::size_t threads = 1;
+};
+
+struct StrategicEnsembleResult {
+  /// Per-round means across runs.
+  std::vector<double> cooperation_series;  // fraction playing C
+  std::vector<double> final_series;        // fraction extracting final
+  std::vector<double> reward_series;       // Algos paid
+  double mean_total_reward_algos = 0.0;
+  double mean_final_cooperation = 0.0;
+};
+
+StrategicEnsembleResult run_strategic_ensemble(
+    const StrategicEnsembleConfig& config);
 
 }  // namespace roleshare::sim

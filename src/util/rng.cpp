@@ -39,14 +39,16 @@ Rng::result_type Rng::operator()() {
   return result;
 }
 
-Rng Rng::split(std::uint64_t label) const {
+std::uint64_t Rng::derive_seed(std::uint64_t label) const {
   // Mix seed material and label through SplitMix64 twice so that adjacent
   // labels produce unrelated child seeds.
   std::uint64_t sm = seed_material_ ^ (0xa0761d6478bd642fULL * (label + 1));
   const std::uint64_t first = splitmix64(sm);
   const std::uint64_t second = splitmix64(sm);
-  return Rng(first ^ rotl(second, 29));
+  return first ^ rotl(second, 29);
 }
+
+Rng Rng::split(std::uint64_t label) const { return Rng(derive_seed(label)); }
 
 Rng Rng::split(std::string_view label) const {
   // FNV-1a over the label, then delegate to the integer split.

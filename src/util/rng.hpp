@@ -34,6 +34,14 @@ class Rng {
   [[nodiscard]] Rng split(std::uint64_t label) const;
   [[nodiscard]] Rng split(std::string_view label) const;
 
+  /// Seed material split(label) seeds its child stream from. Exposed for
+  /// components that take a scalar seed and build their own stream from it
+  /// (e.g. NetworkConfig): Rng(parent.derive_seed(k)) == parent.split(k).
+  [[nodiscard]] std::uint64_t derive_seed(std::uint64_t label) const;
+
+  /// The seed this stream was constructed from.
+  std::uint64_t seed_material() const { return seed_material_; }
+
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 

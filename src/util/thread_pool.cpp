@@ -1,0 +1,98 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace roleshare::util {
+
+std::size_t ThreadPool::resolve_thread_count(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  RS_REQUIRE(threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RS_REQUIRE(!stopping_, "submit on a stopping pool");
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for_indexed(
+    std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  std::vector<std::exception_ptr> errors(n);
+  const std::size_t fan_out = std::min(workers_.size(), n);
+  if (fan_out <= 1) {
+    // Inline serial path — same error semantics as the parallel one.
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> live{fan_out};
+    std::mutex done_mutex;
+    std::condition_variable done;
+    const auto claim_loop = [&] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        try {
+          body(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+      if (live.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done.notify_all();
+      }
+    };
+    for (std::size_t w = 0; w < fan_out; ++w) submit(claim_loop);
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done.wait(lock, [&] { return live.load() == 0; });
+  }
+  for (std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace roleshare::util

@@ -1,0 +1,58 @@
+// Fixed-size worker pool used by the experiment runner to spread
+// independent simulation runs across cores.
+//
+// The pool is deliberately minimal: tasks are plain std::function<void()>,
+// there is no work stealing, and `parallel_for_indexed` is the only
+// batching primitive — experiments need exactly "run body(i) for every i,
+// wait for all, surface failures deterministically" and nothing more.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace roleshare::util {
+
+class ThreadPool {
+ public:
+  /// Resolves a user-facing `threads=` knob: 0 means "all hardware
+  /// threads" (never less than 1), any other value is taken as-is.
+  static std::size_t resolve_thread_count(std::size_t requested);
+
+  /// Starts `threads` workers (>= 1). A single-worker pool executes
+  /// `parallel_for_indexed` inline on the calling thread.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task. Tasks must not outlive the pool; the destructor
+  /// drains the queue before joining the workers.
+  void submit(std::function<void()> task);
+
+  /// Runs body(i) for every i in [0, n), distributing indices across the
+  /// workers, and blocks until all indices have finished. Every index is
+  /// attempted even when earlier ones throw; afterwards the exception of
+  /// the *lowest* failing index is rethrown, so the surfaced error does
+  /// not depend on scheduling order.
+  void parallel_for_indexed(std::size_t n,
+                            const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  bool stopping_ = false;
+};
+
+}  // namespace roleshare::util

@@ -1,0 +1,192 @@
+#include "sim/experiment_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/defection_experiment.hpp"
+#include "sim/reward_experiment.hpp"
+#include "sim/strategic_loop.hpp"
+
+namespace roleshare::sim {
+namespace {
+
+TEST(ExperimentSpec, Validation) {
+  EXPECT_NO_THROW(validate(ExperimentSpec{1, 1, 0, 1}));
+  EXPECT_THROW(validate(ExperimentSpec{0, 1, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(validate(ExperimentSpec{1, 0, 0, 1}), std::invalid_argument);
+}
+
+TEST(ExperimentRunner, RunRngIsRootSplitOfRunIndex) {
+  util::Rng root(1234);
+  for (const std::size_t run : {0u, 1u, 17u}) {
+    util::Rng expected = root.split(run);
+    util::Rng actual = rng_for_run(1234, run);
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(expected(), actual());
+    EXPECT_EQ(seed_for_run(1234, run), root.derive_seed(run));
+  }
+}
+
+TEST(ExperimentRunner, ResultsIndexedByRunRegardlessOfExecutionOrder) {
+  const auto body = [](std::size_t run, util::Rng& rng) {
+    return static_cast<double>(run) + rng.uniform01();
+  };
+  ExperimentSpec serial{32, 1, 9, 1};
+  ExperimentSpec parallel = serial;
+  parallel.threads = 4;
+  const std::vector<double> a = run_experiment(serial, body);
+  const std::vector<double> b = run_experiment(parallel, body);
+  ASSERT_EQ(a.size(), 32u);
+  ASSERT_EQ(b.size(), 32u);
+  for (std::size_t run = 0; run < a.size(); ++run) {
+    EXPECT_GE(a[run], static_cast<double>(run));
+    EXPECT_LT(a[run], static_cast<double>(run) + 1.0);
+    EXPECT_EQ(a[run], b[run]) << "run " << run;  // bitwise
+  }
+}
+
+TEST(ExperimentRunner, ReduceRunsInRunIndexOrder) {
+  ExperimentSpec spec{16, 1, 3, 4};
+  std::vector<std::size_t> reduce_order;
+  run_and_reduce(
+      spec, [](std::size_t run, util::Rng&) { return run; },
+      [&](std::size_t run, std::size_t result) {
+        EXPECT_EQ(run, result);
+        reduce_order.push_back(run);
+      });
+  ASSERT_EQ(reduce_order.size(), 16u);
+  for (std::size_t i = 0; i < reduce_order.size(); ++i)
+    EXPECT_EQ(reduce_order[i], i);
+}
+
+TEST(ExperimentRunner, WorkerExceptionPropagates) {
+  for (const std::size_t threads : {1u, 4u}) {
+    ExperimentSpec spec{8, 1, 3, threads};
+    std::atomic<int> attempts{0};
+    EXPECT_THROW(
+        run_experiment(spec,
+                       [&](std::size_t run, util::Rng&) -> int {
+                         ++attempts;
+                         if (run == 2) throw std::runtime_error("boom");
+                         return 0;
+                       }),
+        std::runtime_error);
+    EXPECT_EQ(attempts.load(), 8);
+  }
+}
+
+TEST(ExperimentRunner, ObjectFormMatchesFreeFunction) {
+  const ExperimentRunner<std::uint64_t> runner(ExperimentSpec{4, 1, 77, 2});
+  const auto via_object =
+      runner.run([](std::size_t, util::Rng& rng) { return rng(); });
+  const auto via_free = run_experiment(
+      ExperimentSpec{4, 1, 77, 1},
+      [](std::size_t, util::Rng& rng) { return rng(); });
+  EXPECT_EQ(via_object, via_free);
+}
+
+// The acceptance-criteria experiments: parallel aggregates must be
+// byte-identical to serial ones.
+
+DefectionExperimentConfig small_defection_config(std::size_t threads) {
+  DefectionExperimentConfig config;
+  config.network.node_count = 60;
+  config.network.seed = 42;
+  config.network.defection_rate = 0.15;
+  config.runs = 6;
+  config.rounds = 4;
+  config.threads = threads;
+  return config;
+}
+
+TEST(ExperimentRunner, DefectionExperimentBitIdenticalAcrossThreadCounts) {
+  const DefectionSeries serial =
+      run_defection_experiment(small_defection_config(1));
+  const DefectionSeries parallel =
+      run_defection_experiment(small_defection_config(4));
+  ASSERT_EQ(serial.rounds.size(), parallel.rounds.size());
+  for (std::size_t r = 0; r < serial.rounds.size(); ++r) {
+    EXPECT_EQ(serial.rounds[r].final_pct, parallel.rounds[r].final_pct);
+    EXPECT_EQ(serial.rounds[r].tentative_pct,
+              parallel.rounds[r].tentative_pct);
+    EXPECT_EQ(serial.rounds[r].none_pct, parallel.rounds[r].none_pct);
+  }
+  EXPECT_EQ(serial.runs_with_progress, parallel.runs_with_progress);
+}
+
+RewardExperimentConfig small_reward_config(std::size_t threads) {
+  RewardExperimentConfig config;
+  config.node_count = 2'000;
+  config.seed = 7;
+  config.runs = 5;
+  config.rounds_per_run = 3;
+  config.threads = threads;
+  return config;
+}
+
+TEST(ExperimentRunner, RewardExperimentBitIdenticalAcrossThreadCounts) {
+  const RewardExperimentResult serial =
+      run_reward_experiment(small_reward_config(1));
+  const RewardExperimentResult parallel =
+      run_reward_experiment(small_reward_config(4));
+  EXPECT_EQ(serial.bi_algos, parallel.bi_algos);  // element-wise bitwise
+  EXPECT_EQ(serial.bi_per_round_mean, parallel.bi_per_round_mean);
+  EXPECT_EQ(serial.mean_bi, parallel.mean_bi);
+  EXPECT_EQ(serial.mean_total_stake, parallel.mean_total_stake);
+  EXPECT_EQ(serial.mean_alpha, parallel.mean_alpha);
+  EXPECT_EQ(serial.mean_beta, parallel.mean_beta);
+  EXPECT_EQ(serial.infeasible_rounds, parallel.infeasible_rounds);
+}
+
+TEST(ExperimentRunner, StrategicEnsembleBitIdenticalAcrossThreadCounts) {
+  StrategicEnsembleConfig config;
+  config.base.network.node_count = 60;
+  config.base.network.seed = 5;
+  config.base.rounds = 3;
+  config.base.scheme = SchemeChoice::RoleBasedAdaptive;
+  config.runs = 4;
+  config.threads = 1;
+  const StrategicEnsembleResult serial = run_strategic_ensemble(config);
+  config.threads = 4;
+  const StrategicEnsembleResult parallel = run_strategic_ensemble(config);
+  EXPECT_EQ(serial.cooperation_series, parallel.cooperation_series);
+  EXPECT_EQ(serial.final_series, parallel.final_series);
+  EXPECT_EQ(serial.reward_series, parallel.reward_series);
+  EXPECT_EQ(serial.mean_total_reward_algos,
+            parallel.mean_total_reward_algos);
+}
+
+TEST(OutcomeMetrics, MergeMatchesDirectRecording) {
+  OutcomeMetrics direct(2), left(2), right(2);
+  direct.record(0, 80.0, 15.0, 5.0);
+  direct.record(0, 60.0, 30.0, 10.0);
+  left.record(0, 80.0, 15.0, 5.0);
+  right.record(0, 60.0, 30.0, 10.0);
+  left.merge(right);
+  EXPECT_EQ(left.runs_recorded(0), direct.runs_recorded(0));
+  const auto a = direct.aggregate(0.0);
+  const auto b = left.aggregate(0.0);
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    EXPECT_EQ(a[r].final_pct, b[r].final_pct);
+    EXPECT_EQ(a[r].tentative_pct, b[r].tentative_pct);
+    EXPECT_EQ(a[r].none_pct, b[r].none_pct);
+  }
+}
+
+TEST(PerRoundSamples, MergePreservesInsertionOrder) {
+  PerRoundSamples a(2), b(2);
+  a.record(0, 1.0);
+  a.record(1, 2.0);
+  b.record(0, 3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 2u);
+  EXPECT_EQ(a.samples(0), (std::vector<double>{1.0, 3.0}));
+  EXPECT_EQ(a.count(1), 1u);
+  PerRoundSamples mismatched(3);
+  EXPECT_THROW(a.merge(mismatched), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace roleshare::sim

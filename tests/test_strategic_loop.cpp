@@ -82,6 +82,26 @@ TEST(StrategicLoop, AllDefectStartCannotRecover) {
   }
 }
 
+TEST(StrategicLoop, ParallelBestResponseSweepMatchesSerial) {
+  // The per-node best-response sweep reads only the frozen previous
+  // profile, so threads must not change any per-round statistic.
+  StrategicLoopConfig serial =
+      base_config(SchemeChoice::RoleBasedAdaptive, 77);
+  StrategicLoopConfig parallel = serial;
+  parallel.threads = 4;
+  const StrategicLoopResult a = run_strategic_loop(serial);
+  const StrategicLoopResult b = run_strategic_loop(parallel);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].cooperation_fraction,
+              b.rounds[i].cooperation_fraction);
+    EXPECT_EQ(a.rounds[i].final_fraction, b.rounds[i].final_fraction);
+    EXPECT_EQ(a.rounds[i].bi_algos, b.rounds[i].bi_algos);
+  }
+  EXPECT_EQ(a.final_cooperation, b.final_cooperation);
+  EXPECT_EQ(a.total_reward_algos, b.total_reward_algos);
+}
+
 TEST(StrategicLoop, Deterministic) {
   const auto a =
       run_strategic_loop(base_config(SchemeChoice::RoleBasedAdaptive, 75));
