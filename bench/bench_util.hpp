@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -41,6 +42,14 @@ inline std::size_t arg_threads(int argc, char** argv) {
   return static_cast<std::size_t>(arg_int(argc, argv, "threads", 1));
 }
 
+/// The `--inner-threads=N` knob: within-run worker threads for the round
+/// engine's per-node loops (0 = all hardware threads). Forced serial by
+/// the experiment runner whenever `--threads` makes the run fan-out
+/// parallel, so the two knobs can never oversubscribe the machine.
+inline std::size_t arg_inner_threads(int argc, char** argv) {
+  return static_cast<std::size_t>(arg_int(argc, argv, "inner-threads", 1));
+}
+
 /// Wall-clock stopwatch for the BENCH_*.json timing fields.
 class WallTimer {
  public:
@@ -54,22 +63,96 @@ class WallTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// One BENCH_*.json field value: a number or a string. Implicit
+/// constructors keep the brace-initialized call sites that predate string
+/// support compiling unchanged.
+class JsonValue {
+ public:
+  /// One constrained template instead of per-type overloads: any
+  /// arithmetic type (int64_t stakes, size_t counts, doubles) converts
+  /// without overload-rank ambiguity.
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+  JsonValue(T v) : num_(static_cast<double>(v)) {}       // NOLINT(runtime/explicit)
+  JsonValue(std::string v)                               // NOLINT(runtime/explicit)
+      : str_(std::move(v)), is_string_(true) {}
+  JsonValue(const char* v) : str_(v), is_string_(true) {} // NOLINT(runtime/explicit)
+
+  bool is_string() const { return is_string_; }
+  double number() const { return num_; }
+  const std::string& string() const { return str_; }
+
+ private:
+  double num_ = 0.0;
+  std::string str_;
+  bool is_string_ = false;
+};
+
+using JsonFields = std::vector<std::pair<std::string, JsonValue>>;
+
+/// Escapes a string for a JSON literal (quotes, backslashes, control
+/// characters).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Git SHA from the build-time-generated rs_git_sha.h (cmake/git_sha.cmake
+/// refreshes it on every build, so incremental rebuilds after new commits
+/// stamp the right SHA); "unknown" outside the CMake build or a git
+/// checkout. Always present so the perf trajectory can key on it.
+#if __has_include("rs_git_sha.h")
+#include "rs_git_sha.h"
+#endif
+inline const char* git_sha() {
+#ifdef RS_GIT_SHA
+  return RS_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
 /// Writes BENCH_<name>.json next to the binary's working directory:
-/// a flat object of numeric fields (timings, config, headline results) so
-/// the perf trajectory can be tracked without scraping stdout.
-inline void emit_json(
-    const std::string& name,
-    const std::vector<std::pair<std::string, double>>& fields) {
+/// a flat object of numeric and string fields (timings, config, headline
+/// results) so the perf trajectory can be tracked without scraping stdout.
+/// The building git SHA is appended to every file automatically.
+inline void emit_json(const std::string& name, const JsonFields& fields) {
   const std::string path = "BENCH_" + name + ".json";
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(out, "{\n  \"bench\": \"%s\"", name.c_str());
-  for (const auto& [key, value] : fields)
-    std::fprintf(out, ",\n  \"%s\": %.17g", key.c_str(), value);
-  std::fprintf(out, "\n}\n");
+  std::fprintf(out, "{\n  \"bench\": \"%s\"", json_escape(name).c_str());
+  for (const auto& [key, value] : fields) {
+    if (value.is_string()) {
+      std::fprintf(out, ",\n  \"%s\": \"%s\"", json_escape(key).c_str(),
+                   json_escape(value.string()).c_str());
+    } else {
+      std::fprintf(out, ",\n  \"%s\": %.17g", json_escape(key).c_str(),
+                   value.number());
+    }
+  }
+  std::fprintf(out, ",\n  \"git_sha\": \"%s\"\n}\n",
+               json_escape(git_sha()).c_str());
   std::fclose(out);
   std::printf("\n[bench] wrote %s\n", path.c_str());
 }

@@ -9,6 +9,9 @@
 //
 // Runs execute on the shared ExperimentRunner engine: --threads=N spreads
 // the Monte-Carlo runs across N cores (0 = all) with bit-identical output.
+// --inner-threads=N instead parallelizes each run's per-node round-engine
+// loops — the knob for single-run latency at large --nodes; also
+// bit-identical, and forced serial while --threads is parallel.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -24,21 +27,24 @@ int main(int argc, char** argv) {
   const auto rounds =
       static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 30));
   const std::size_t threads = bench::arg_threads(argc, argv);
+  const std::size_t inner_threads = bench::arg_inner_threads(argc, argv);
 
   bench::print_header("Figure 3", "block extraction vs. defection rate");
-  std::printf("nodes=%zu runs=%zu rounds=%zu threads=%zu stakes=U(1,50) "
-              "fanout=5 (override with --nodes/--runs/--rounds/--threads)\n",
-              nodes, runs, rounds, threads);
+  std::printf("nodes=%zu runs=%zu rounds=%zu threads=%zu inner-threads=%zu "
+              "stakes=U(1,50) fanout=5 (override with "
+              "--nodes/--runs/--rounds/--threads/--inner-threads)\n",
+              nodes, runs, rounds, threads, inner_threads);
 
   const double rates[] = {0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
   const char panel[] = {'a', 'b', 'c', 'd', 'e', 'f'};
 
   const bench::WallTimer timer;
-  std::vector<std::pair<std::string, double>> json_fields = {
+  bench::JsonFields json_fields = {
       {"nodes", static_cast<double>(nodes)},
       {"runs", static_cast<double>(runs)},
       {"rounds", static_cast<double>(rounds)},
-      {"threads", static_cast<double>(threads)}};
+      {"threads", static_cast<double>(threads)},
+      {"inner_threads", static_cast<double>(inner_threads)}};
 
   for (std::size_t i = 0; i < 6; ++i) {
     sim::DefectionExperimentConfig config;
@@ -54,6 +60,7 @@ int main(int argc, char** argv) {
     config.runs = runs;
     config.rounds = rounds;
     config.threads = threads;
+    config.inner_threads = inner_threads;
 
     const sim::DefectionSeries series = sim::run_defection_experiment(config);
 

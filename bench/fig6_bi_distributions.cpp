@@ -24,17 +24,20 @@ int main(int argc, char** argv) {
   const auto rounds =
       static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 10));
   const std::size_t threads = bench::arg_threads(argc, argv);
+  const std::size_t inner_threads = bench::arg_inner_threads(argc, argv);
 
   bench::print_header("Figure 6", "distribution of computed B_i per round");
-  std::printf("nodes=%zu runs=%zu rounds/run=%zu threads=%zu tx-churn=1000x "
-              "U(-4,4) (paper: 500k nodes; scale with --nodes)\n",
-              nodes, runs, rounds, threads);
+  std::printf("nodes=%zu runs=%zu rounds/run=%zu threads=%zu "
+              "inner-threads=%zu tx-churn=1000x U(-4,4) "
+              "(paper: 500k nodes; scale with --nodes)\n",
+              nodes, runs, rounds, threads, inner_threads);
   const bench::WallTimer timer;
-  std::vector<std::pair<std::string, double>> json_fields = {
+  bench::JsonFields json_fields = {
       {"nodes", static_cast<double>(nodes)},
       {"runs", static_cast<double>(runs)},
       {"rounds", static_cast<double>(rounds)},
-      {"threads", static_cast<double>(threads)}};
+      {"threads", static_cast<double>(threads)},
+      {"inner_threads", static_cast<double>(inner_threads)}};
 
   const sim::StakeSpec specs[] = {
       sim::StakeSpec::uniform(1, 200), sim::StakeSpec::normal(100, 20),
@@ -49,6 +52,7 @@ int main(int argc, char** argv) {
     config.runs = runs;
     config.rounds_per_run = rounds;
     config.threads = threads;
+    config.inner_threads = inner_threads;
 
     const sim::RewardExperimentResult result =
         sim::run_reward_experiment(config);

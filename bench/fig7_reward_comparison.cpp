@@ -22,7 +22,8 @@ sim::RewardExperimentResult run_for(const sim::StakeSpec& spec,
                                     std::size_t nodes, std::size_t runs,
                                     std::size_t rounds,
                                     std::optional<std::int64_t> min_stake,
-                                    std::uint64_t seed, std::size_t threads) {
+                                    std::uint64_t seed, std::size_t threads,
+                                    std::size_t inner_threads) {
   sim::RewardExperimentConfig config;
   config.node_count = nodes;
   config.seed = seed;
@@ -30,6 +31,7 @@ sim::RewardExperimentResult run_for(const sim::StakeSpec& spec,
   config.runs = runs;
   config.rounds_per_run = rounds;
   config.threads = threads;
+  config.inner_threads = inner_threads;
   config.min_other_stake = min_stake;
   return sim::run_reward_experiment(config);
 }
@@ -44,10 +46,12 @@ int main(int argc, char** argv) {
   const auto rounds =
       static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 10));
   const std::size_t threads = bench::arg_threads(argc, argv);
+  const std::size_t inner_threads = bench::arg_inner_threads(argc, argv);
 
   bench::print_header("Figure 7", "our adaptive reward vs Foundation schedule");
-  std::printf("nodes=%zu runs=%zu rounds/run=%zu threads=%zu\n", nodes, runs,
-              rounds, threads);
+  std::printf("nodes=%zu runs=%zu rounds/run=%zu threads=%zu "
+              "inner-threads=%zu\n",
+              nodes, runs, rounds, threads, inner_threads);
   const bench::WallTimer timer;
 
   const sim::StakeSpec specs[] = {
@@ -62,7 +66,7 @@ int main(int argc, char** argv) {
   std::vector<sim::RewardExperimentResult> results;
   for (std::size_t i = 0; i < 3; ++i)
     results.push_back(run_for(specs[i], nodes, runs, rounds, std::nullopt,
-                              2000 + i, threads));
+                              2000 + i, threads, inner_threads));
   for (std::size_t r = 0; r < rounds; ++r) {
     std::printf("%6zu %12.1f", r + 1, results[0].foundation_per_round[r]);
     for (const auto& result : results)
@@ -94,7 +98,7 @@ int main(int argc, char** argv) {
   std::vector<sim::RewardExperimentResult> filtered;
   for (std::size_t i = 0; i < 3; ++i)
     filtered.push_back(run_for(specs[0], nodes, runs, rounds, filters[i],
-                               3000 + i, threads));
+                               3000 + i, threads, inner_threads));
   std::printf("%6s %12s %12s %12s %12s\n", "round", "U(1,200)", "U3", "U5",
               "U7");
   double acc_base = 0;
@@ -115,6 +119,7 @@ int main(int argc, char** argv) {
        {"runs", static_cast<double>(runs)},
        {"rounds", static_cast<double>(rounds)},
        {"threads", static_cast<double>(threads)},
+       {"inner_threads", static_cast<double>(inner_threads)},
        {"mean_bi_u1_200", results[0].mean_bi},
        {"mean_bi_n100_20", results[1].mean_bi},
        {"mean_bi_n100_10", results[2].mean_bi},

@@ -1,0 +1,140 @@
+// P1 — single-run round-engine latency: the within-run parallelism bench.
+//
+// Unlike the figure benches (many runs fanned out with --threads), this
+// measures what the inner executor buys on ONE run at paper-scale node
+// counts: the same network simulated for --rounds rounds, once with the
+// per-node loops serial (inner-threads=1) and once across the inner pool
+// (--inner-threads, default 0 = all hardware threads). The two passes must
+// produce bit-identical per-round fractions — the determinism contract —
+// and the JSON records both wall times plus the speedup for the perf
+// trajectory. On a 4+-core machine at >=100k nodes the expected speedup
+// is >1.5x (sortition VRFs, vote verification, per-node tallies and the
+// gossip fan-out all scale; the serial remainder is the committee scan and
+// chain append).
+//
+//   $ ./round_latency --nodes=100000 --rounds=3 --inner-threads=0
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/round_engine.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace roleshare;
+
+namespace {
+
+struct PassResult {
+  std::vector<double> final_fractions;
+  std::vector<double> none_fractions;
+  /// Full per-node outcome vectors and proposal counts, kept so the
+  /// determinism gate compares the complete round result, not just the
+  /// derived fractions.
+  std::vector<std::vector<sim::NodeOutcome>> outcomes;
+  std::vector<std::size_t> proposals;
+  double wall_ms = 0.0;
+};
+
+PassResult run_pass(std::size_t nodes, std::size_t rounds,
+                    std::uint64_t seed, double defection_rate,
+                    std::size_t inner_threads) {
+  sim::NetworkConfig config;
+  config.node_count = nodes;
+  config.seed = seed;
+  config.defection_rate = defection_rate;
+  sim::Network net(config);
+
+  const std::size_t workers =
+      util::ThreadPool::resolve_thread_count(inner_threads);
+  std::optional<util::ThreadPool> pool;
+  if (workers > 1) pool.emplace(workers);
+  sim::RoundEngine engine(net,
+                          consensus::ConsensusParams::scaled_for(
+                              net.accounts().total_stake()),
+                          pool ? &*pool : nullptr);
+
+  PassResult pass;
+  const bench::WallTimer timer;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    sim::RoundResult result = engine.run_round();
+    pass.final_fractions.push_back(result.final_fraction);
+    pass.none_fractions.push_back(result.none_fraction);
+    pass.outcomes.push_back(std::move(result.outcomes));
+    pass.proposals.push_back(result.proposals);
+  }
+  pass.wall_ms = timer.elapsed_ms();
+  return pass;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto nodes = static_cast<std::size_t>(
+      bench::arg_int(argc, argv, "nodes", 100'000));
+  const auto rounds =
+      static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 3));
+  const auto seed =
+      static_cast<std::uint64_t>(bench::arg_int(argc, argv, "seed", 404));
+  // Unlike the figure benches, the parallel pass defaults to all hardware
+  // threads — measuring the speedup is this binary's whole point.
+  const auto inner_threads = static_cast<std::size_t>(
+      bench::arg_int(argc, argv, "inner-threads", 0));
+  const std::size_t workers =
+      util::ThreadPool::resolve_thread_count(inner_threads);
+
+  bench::print_header("Round latency",
+                      "single-run wall time, serial vs inner-parallel");
+  std::printf("nodes=%zu rounds=%zu defection=5%% inner-threads=%zu "
+              "(%zu workers; override with --nodes/--rounds/"
+              "--inner-threads)\n",
+              nodes, rounds, inner_threads, workers);
+
+  std::printf("\nserial pass (inner-threads=1)...\n");
+  const PassResult serial = run_pass(nodes, rounds, seed, 0.05, 1);
+  std::printf("  wall: %.0f ms (%.0f ms/round)\n", serial.wall_ms,
+              serial.wall_ms / static_cast<double>(rounds));
+
+  std::printf("parallel pass (%zu workers)...\n", workers);
+  const PassResult parallel = run_pass(nodes, rounds, seed, 0.05,
+                                       inner_threads);
+  std::printf("  wall: %.0f ms (%.0f ms/round)\n", parallel.wall_ms,
+              parallel.wall_ms / static_cast<double>(rounds));
+
+  // Determinism gate: the parallel pass must reproduce the serial pass
+  // bit for bit — per-node outcomes and proposal counts included, not
+  // just the derived fractions — or the speedup is meaningless.
+  bool identical = true;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    identical = identical &&
+                serial.final_fractions[r] == parallel.final_fractions[r] &&
+                serial.none_fractions[r] == parallel.none_fractions[r] &&
+                serial.proposals[r] == parallel.proposals[r] &&
+                serial.outcomes[r] == parallel.outcomes[r];
+  }
+  const double speedup =
+      parallel.wall_ms > 0.0 ? serial.wall_ms / parallel.wall_ms : 0.0;
+  std::printf("\nbit-identical aggregates: %s | speedup: %.2fx\n",
+              identical ? "yes" : "NO — BUG", speedup);
+
+  bench::emit_json("round_latency",
+                   {{"nodes", static_cast<double>(nodes)},
+                    {"rounds", static_cast<double>(rounds)},
+                    {"inner_threads", static_cast<double>(inner_threads)},
+                    {"workers", static_cast<double>(workers)},
+                    {"wall_ms_serial", serial.wall_ms},
+                    {"wall_ms_parallel", parallel.wall_ms},
+                    {"speedup", speedup},
+                    {"bit_identical", identical ? "yes" : "no"},
+                    {"wall_ms", serial.wall_ms + parallel.wall_ms}});
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "ERROR: inner-parallel aggregates diverged from serial\n");
+    return 1;
+  }
+  std::printf("\nShape check: speedup > 1.5x expected at >=100k nodes on\n"
+              "4+ cores; ~1.0x on a single-core machine is normal.\n");
+  return 0;
+}

@@ -5,11 +5,13 @@
 //  * under the role-based scheme with Algorithm-1 rewards, cooperation is
 //    self-enforcing (Theorem 3) — at a fraction of the cost.
 //
-//   $ ./incentive_loop [--runs=3] [--rounds=12] [--threads=1]
+//   $ ./incentive_loop [--runs=3] [--rounds=12] [--threads=1] \
+//                      [--inner-threads=1]
 //
 // A Monte-Carlo ensemble of independent loops on the shared
-// ExperimentRunner engine; --threads=N fans the runs out across cores with
-// bit-identical aggregates.
+// ExperimentRunner engine; --threads=N fans the runs out across cores,
+// --inner-threads=N instead parallelizes each run's per-node loops (round
+// engine + best-response sweep). Both keep aggregates bit-identical.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -20,8 +22,8 @@ using namespace roleshare;
 namespace {
 
 void run_and_print(const char* title, sim::SchemeChoice scheme,
-                   std::size_t runs, std::size_t rounds,
-                   std::size_t threads) {
+                   std::size_t runs, std::size_t rounds, std::size_t threads,
+                   std::size_t inner_threads) {
   sim::StrategicEnsembleConfig config;
   config.base.network.node_count = 150;
   config.base.network.seed = 99;
@@ -29,6 +31,7 @@ void run_and_print(const char* title, sim::SchemeChoice scheme,
   config.base.scheme = scheme;
   config.runs = runs;
   config.threads = threads;
+  config.inner_threads = inner_threads;
 
   const sim::StrategicEnsembleResult result =
       sim::run_strategic_ensemble(config);
@@ -54,17 +57,20 @@ int main(int argc, char** argv) {
   const auto rounds =
       static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 12));
   const std::size_t threads = bench::arg_threads(argc, argv);
+  const std::size_t inner_threads = bench::arg_inner_threads(argc, argv);
 
   std::printf("150 rational nodes, stakes U(1,50), myopic best-response\n"
               "updates between rounds; everyone starts cooperative.\n"
-              "%zu independent runs per scheme (threads=%zu).\n",
-              runs, threads);
+              "%zu independent runs per scheme (threads=%zu, "
+              "inner-threads=%zu).\n",
+              runs, threads, inner_threads);
 
   run_and_print("Foundation stake-proportional rewards (Eq 3)",
                 sim::SchemeChoice::FoundationStakeProportional, runs, rounds,
-                threads);
+                threads, inner_threads);
   run_and_print("Role-based rewards + Algorithm 1 (Eq 5)",
-                sim::SchemeChoice::RoleBasedAdaptive, runs, rounds, threads);
+                sim::SchemeChoice::RoleBasedAdaptive, runs, rounds, threads,
+                inner_threads);
 
   std::printf("\nReading: the Foundation pays 20 Algos per round and still\n"
               "loses the network; the role-based mechanism pays orders of\n"

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Markdown link/anchor checker for the repo docs (stdlib only).
+
+Validates, for each given markdown file (default: README.md DESIGN.md
+ROADMAP.md):
+  * relative file links point at files that exist;
+  * intra-document anchors (#section) match a heading in the target file,
+    using GitHub's anchor slug rules (lowercase, punctuation stripped,
+    spaces to hyphens, duplicate slugs suffixed -1, -2, ...).
+
+External links (http/https/mailto) are not fetched — CI must not depend
+on the network. Exit code 0 = all links valid, 1 = at least one broken.
+
+Usage: scripts/check_markdown_links.py [file.md ...]
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+DEFAULT_FILES = ["README.md", "DESIGN.md", "ROADMAP.md"]
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def github_slug(heading: str, seen: dict[str, int]) -> str:
+    """GitHub's heading -> anchor transformation."""
+    # Drop inline code/emphasis markers (underscores stay: GitHub keeps
+    # them), then strip everything that is not a word character, space or
+    # hyphen.
+    text = re.sub(r"[`*]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    slug = text.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def anchors_of(path: Path) -> set[str]:
+    seen: dict[str, int] = {}
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            anchors.add(github_slug(match.group(2), seen))
+    return anchors
+
+
+def links_of(path: Path) -> list[str]:
+    links: list[str] = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        links.extend(m.group(1) for m in LINK_RE.finditer(line))
+    return links
+
+
+def check_file(md: Path, repo_root: Path) -> list[str]:
+    errors: list[str] = []
+    own_anchors: set[str] | None = None
+    for target in links_of(md):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if not path_part:  # pure intra-document anchor
+            if own_anchors is None:
+                own_anchors = anchors_of(md)
+            if anchor not in own_anchors:
+                errors.append(f"{md}: broken anchor '#{anchor}'")
+            continue
+        linked = (md.parent / path_part).resolve()
+        if not linked.exists():
+            errors.append(f"{md}: missing file '{path_part}'")
+            continue
+        if anchor and linked.suffix == ".md":
+            if anchor not in anchors_of(linked):
+                errors.append(
+                    f"{md}: anchor '#{anchor}' not found in '{path_part}'")
+    _ = repo_root
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    names = argv[1:] or DEFAULT_FILES
+    errors: list[str] = []
+    for name in names:
+        md = Path(name) if Path(name).is_absolute() else repo_root / name
+        if not md.exists():
+            errors.append(f"{md}: file not found")
+            continue
+        errors.extend(check_file(md, repo_root))
+    if errors:
+        print("markdown link check FAILED:", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print(f"markdown link check OK ({', '.join(names)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

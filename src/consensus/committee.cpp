@@ -25,7 +25,8 @@ Committee elect_committee(const std::vector<crypto::KeyPair>& keys,
                           std::uint64_t round, std::uint32_t step,
                           const crypto::Hash256& prev_seed,
                           std::uint64_t expected_stake,
-                          std::int64_t total_stake) {
+                          std::int64_t total_stake,
+                          const util::InnerExecutor& exec) {
   RS_REQUIRE(keys.size() == stakes.size(), "keys/stakes size mismatch");
   Committee committee;
   committee.round = round;
@@ -33,11 +34,14 @@ Committee elect_committee(const std::vector<crypto::KeyPair>& keys,
 
   const crypto::VrfInput input{round, step, prev_seed};
   const crypto::SortitionParams params{expected_stake, total_stake};
-  for (std::size_t i = 0; i < keys.size(); ++i) {
-    const auto result = crypto::sortition(keys[i], input, stakes[i], params);
-    if (result.selected()) {
+  // The VRF evaluations are the expensive part; the winner collection is a
+  // cheap serial scan in node order, which keeps `members` deterministic.
+  const std::vector<crypto::SortitionResult> draws =
+      crypto::sortition_batch(keys, input, stakes, params, exec);
+  for (std::size_t i = 0; i < draws.size(); ++i) {
+    if (draws[i].selected()) {
       committee.members.push_back(CommitteeMember{
-          static_cast<ledger::NodeId>(i), result.sub_users, result});
+          static_cast<ledger::NodeId>(i), draws[i].sub_users, draws[i]});
     }
   }
   return committee;

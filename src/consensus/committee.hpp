@@ -33,11 +33,15 @@ struct Committee {
 
 /// Elects the committee for (round, step) given every node's key and stake.
 /// `expected_stake` is tau for the step's role; `total_stake` is W.
+/// The per-node VRF draws fan out across `exec` (default: serial); members
+/// are collected in node order afterwards, so the elected committee is
+/// identical for every executor.
 Committee elect_committee(const std::vector<crypto::KeyPair>& keys,
                           const std::vector<std::int64_t>& stakes,
                           std::uint64_t round, std::uint32_t step,
                           const crypto::Hash256& prev_seed,
                           std::uint64_t expected_stake,
-                          std::int64_t total_stake);
+                          std::int64_t total_stake,
+                          const util::InnerExecutor& exec = {});
 
 }  // namespace roleshare::consensus

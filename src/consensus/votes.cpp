@@ -30,6 +30,24 @@ bool verify_vote(const Vote& vote, const crypto::Hash256& prev_seed,
   return sub_users > 0 && sub_users == vote.weight;
 }
 
+std::vector<std::uint8_t> verify_votes(std::span<const Vote> votes,
+                                       const crypto::Hash256& prev_seed,
+                                       const std::vector<std::int64_t>& stakes,
+                                       const crypto::SortitionParams& params,
+                                       const util::InnerExecutor& exec) {
+  std::vector<std::uint8_t> valid(votes.size(), 0);
+  exec.for_each_chunk(votes.size(), [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      RS_REQUIRE(votes[i].voter < stakes.size(), "voter id out of range");
+      valid[i] = verify_vote(votes[i], prev_seed, stakes[votes[i].voter],
+                             params)
+                     ? 1
+                     : 0;
+    }
+  });
+  return valid;
+}
+
 VoteCounter::VoteCounter(double quorum) : quorum_(quorum) {
   RS_REQUIRE(quorum > 0.0, "quorum must be positive");
 }

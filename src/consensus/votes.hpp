@@ -35,6 +35,17 @@ Vote make_vote(ledger::NodeId voter, const crypto::PublicKey& key,
 bool verify_vote(const Vote& vote, const crypto::Hash256& prev_seed,
                  std::int64_t stake, const crypto::SortitionParams& params);
 
+/// Verifies a batch of votes, fanning the per-vote proof checks out across
+/// `exec`. Verdicts are written at their vote index (std::uint8_t, not
+/// bool — std::vector<bool> packs bits and would race under the fan-out),
+/// so the result is identical for every executor. `stakes` is indexed by
+/// voter id.
+std::vector<std::uint8_t> verify_votes(std::span<const Vote> votes,
+                                       const crypto::Hash256& prev_seed,
+                                       const std::vector<std::int64_t>& stakes,
+                                       const crypto::SortitionParams& params,
+                                       const util::InnerExecutor& exec = {});
+
 /// Result of tallying one step.
 struct TallyResult {
   /// Value whose verified weight exceeded the quorum, if any.

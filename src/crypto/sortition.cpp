@@ -62,6 +62,19 @@ SortitionResult sortition(const KeyPair& key, const VrfInput& input,
   return SortitionResult{j, vrf};
 }
 
+std::vector<SortitionResult> sortition_batch(
+    const std::vector<KeyPair>& keys, const VrfInput& input,
+    const std::vector<std::int64_t>& stakes, const SortitionParams& params,
+    const util::InnerExecutor& exec) {
+  RS_REQUIRE(keys.size() == stakes.size(), "keys/stakes size mismatch");
+  std::vector<SortitionResult> results(keys.size());
+  exec.for_each_chunk(keys.size(), [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v)
+      results[v] = sortition(keys[v], input, stakes[v], params);
+  });
+  return results;
+}
+
 std::uint64_t verify_sortition(const PublicKey& pk, const VrfInput& input,
                                const VrfOutput& vrf, std::int64_t stake,
                                const SortitionParams& params) {

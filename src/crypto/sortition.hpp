@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "crypto/vrf.hpp"
+#include "util/thread_pool.hpp"
 
 namespace roleshare::crypto {
 
@@ -41,6 +43,15 @@ std::uint64_t binomial_inversion(double ratio, std::int64_t stake,
 /// Requires 0 < params.expected_stake and stake <= params.total_stake.
 SortitionResult sortition(const KeyPair& key, const VrfInput& input,
                           std::int64_t stake, const SortitionParams& params);
+
+/// Runs sortition for every key at once — the per-round "each node draws
+/// locally" loop, batched so it can fan out across the inner executor.
+/// Results are written at their node index, so the output is identical for
+/// every executor (serial included). Requires keys.size() == stakes.size().
+std::vector<SortitionResult> sortition_batch(
+    const std::vector<KeyPair>& keys, const VrfInput& input,
+    const std::vector<std::int64_t>& stakes, const SortitionParams& params,
+    const util::InnerExecutor& exec = {});
 
 /// Verifies a sortition proof allegedly produced by `pk` and recomputes the
 /// winning sub-user count. Returns 0 sub-users if the proof is invalid.

@@ -21,7 +21,8 @@ struct DefectionRun {
 };
 
 DefectionRun execute_run(const DefectionExperimentConfig& config,
-                         std::uint64_t run_seed) {
+                         std::uint64_t run_seed,
+                         util::ThreadPool* inner_pool) {
   NetworkConfig net_config = config.network;
   net_config.seed = run_seed;
   Network network(net_config);
@@ -37,7 +38,7 @@ DefectionRun execute_run(const DefectionExperimentConfig& config,
     params.step_timeout_ms = config.params.step_timeout_ms;
   }
 
-  RoundEngine engine(network, params);
+  RoundEngine engine(network, params, inner_pool);
   DefectionRun run;
   run.rounds.reserve(config.rounds);
   for (std::size_t r = 0; r < config.rounds; ++r) {
@@ -55,16 +56,16 @@ DefectionRun execute_run(const DefectionExperimentConfig& config,
 DefectionSeries run_defection_experiment(
     const DefectionExperimentConfig& config) {
   const ExperimentSpec spec{config.runs, config.rounds, config.network.seed,
-                            config.threads};
+                            config.threads, config.inner_threads};
   OutcomeMetrics metrics(config.rounds);
   std::size_t runs_with_progress = 0;
 
   run_and_reduce(
       spec,
-      [&config](std::size_t, util::Rng& rng) {
+      [&config](std::size_t, util::Rng& rng, const RunContext& ctx) {
         // The network rebuilds its stream from a scalar seed, so hand it
         // this run's seed material (== root.split(run)).
-        return execute_run(config, rng.seed_material());
+        return execute_run(config, rng.seed_material(), ctx.inner_pool);
       },
       [&](std::size_t, DefectionRun run) {
         for (std::size_t r = 0; r < run.rounds.size(); ++r) {

@@ -18,6 +18,10 @@ struct DefectionExperimentConfig {
   /// Worker threads for the run fan-out (0 = all hardware threads).
   /// Aggregates are bit-identical for every thread count.
   std::size_t threads = 1;
+  /// Worker threads for each run's per-node round-engine loops (0 = all
+  /// hardware threads). Forced serial while the run fan-out is parallel;
+  /// aggregates are bit-identical for every inner thread count too.
+  std::size_t inner_threads = 1;
   double trim_fraction = 0.2;
   /// When true the consensus committee expectations are re-scaled to each
   /// run's total stake (required for small simulated networks).

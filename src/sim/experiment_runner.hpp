@@ -10,9 +10,15 @@
 //     whose root seeds are close together).
 //  2. Parallelism — runs execute across a fixed-size ThreadPool
 //     (`threads` knob; 0 = all hardware threads, 1 = inline serial).
+//     Within a run, the `inner_threads` knob fans the run body's per-node
+//     loops out instead — but never both at once: when the outer fan-out
+//     is parallel, inner parallelism is forced serial so outer runs ×
+//     inner nodes share the machine without oversubscription.
 //  3. Determinism — per-run results are stored at their run index and the
 //     reduction is applied in run-index order on the calling thread, so a
-//     parallel execution is bit-identical to a serial one.
+//     parallel execution is bit-identical to a serial one. Inner loops
+//     follow the InnerExecutor contract, so `inner_threads` does not
+//     change results either.
 //
 // See DESIGN.md ("Experiment orchestration") for the contract new
 // experiments must follow.
@@ -20,6 +26,7 @@
 
 #include <cstdint>
 #include <exception>
+#include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -39,6 +46,38 @@ struct ExperimentSpec {
   std::uint64_t root_seed = 0;
   /// Worker threads for the run fan-out; 0 = all hardware threads.
   std::size_t threads = 1;
+  /// Worker threads for each run's *inner* per-node loops (round engine
+  /// node loops etc.); 0 = all hardware threads. Ignored (forced 1)
+  /// whenever the outer fan-out is parallel — see resolve_parallelism.
+  std::size_t inner_threads = 1;
+};
+
+/// What the engine actually launches after applying the
+/// no-oversubscription policy: exactly one of the two levels may be > 1.
+struct ResolvedParallelism {
+  std::size_t outer = 1;
+  std::size_t inner = 1;
+};
+
+/// Resolves the two thread knobs (0 = hardware threads each) against the
+/// nested-parallelism contract: the outer run fan-out owns the cores when
+/// it is parallel (outer > 1 with more than one run), and only otherwise
+/// may the inner per-node fan-out activate. This keeps worker count at
+/// max(outer, inner), never outer × inner.
+inline ResolvedParallelism resolve_parallelism(const ExperimentSpec& spec) {
+  ResolvedParallelism r;
+  r.outer = util::ThreadPool::resolve_thread_count(spec.threads);
+  r.inner = util::ThreadPool::resolve_thread_count(spec.inner_threads);
+  if (r.outer > 1 && spec.runs > 1) r.inner = 1;
+  return r;
+}
+
+/// Hands a run body the shared inner pool (nullptr = run inner loops
+/// serial). The pool outlives every run body invocation; successive runs
+/// reuse it, so "outer runs × inner nodes" share one set of workers.
+struct RunContext {
+  util::ThreadPool* inner_pool = nullptr;
+  std::size_t inner_threads = 1;  // resolved count backing inner_pool
 };
 
 /// Throws std::invalid_argument unless runs >= 1 and rounds >= 1.
@@ -59,28 +98,75 @@ inline std::uint64_t seed_for_run(std::uint64_t root_seed,
   return util::Rng(root_seed).derive_seed(run_index);
 }
 
-/// Executes run_fn(run_index, rng) for every run of the spec and returns
-/// the per-run results indexed by run (independent of execution order).
-/// The result type must be default-constructible and movable. Exceptions
-/// thrown by run bodies are rethrown for the lowest failing run index.
+namespace detail {
+
+/// Invokes a run body with or without the RunContext, whichever signature
+/// it accepts — legacy two-argument bodies keep working unchanged.
+template <typename RunFn>
+decltype(auto) invoke_run_fn(RunFn& run_fn, std::size_t run, util::Rng& rng,
+                             const RunContext& ctx) {
+  if constexpr (std::is_invocable_v<RunFn&, std::size_t, util::Rng&,
+                                    const RunContext&>) {
+    return run_fn(run, rng, ctx);
+  } else {
+    (void)ctx;
+    return run_fn(run, rng);
+  }
+}
+
+// Lazily selects the result type so only the signature the body actually
+// has gets instantiated.
+template <typename RunFn, typename = void>
+struct run_result {
+  using type = std::invoke_result_t<RunFn&, std::size_t, util::Rng&>;
+};
+template <typename RunFn>
+struct run_result<RunFn,
+                  std::enable_if_t<std::is_invocable_v<
+                      RunFn&, std::size_t, util::Rng&, const RunContext&>>> {
+  using type =
+      std::invoke_result_t<RunFn&, std::size_t, util::Rng&, const RunContext&>;
+};
+
+template <typename RunFn>
+using run_result_t = typename run_result<RunFn>::type;
+
+}  // namespace detail
+
+/// Executes run_fn(run_index, rng[, run_context]) for every run of the
+/// spec and returns the per-run results indexed by run (independent of
+/// execution order). Bodies that take the optional `const RunContext&`
+/// receive the shared inner pool for their within-run node loops; the
+/// no-oversubscription policy of resolve_parallelism decides whether that
+/// pool exists. The result type must be default-constructible and movable.
+/// Exceptions thrown by run bodies are rethrown for the lowest failing run
+/// index.
 template <typename RunFn>
 auto run_experiment(const ExperimentSpec& spec, RunFn&& run_fn) {
   validate(spec);
-  using Result = std::invoke_result_t<RunFn&, std::size_t, util::Rng&>;
+  using Result = detail::run_result_t<RunFn>;
   static_assert(!std::is_void_v<Result>,
                 "run_fn must return the run's result");
   static_assert(!std::is_same_v<Result, bool>,
                 "bool results share packed bits in std::vector<bool>, which "
                 "is a data race under the parallel fan-out — wrap the flag "
                 "in a struct");
+  // A body that cannot receive the RunContext gets no inner pool either —
+  // its workers would only ever idle.
+  constexpr bool kTakesContext =
+      std::is_invocable_v<RunFn&, std::size_t, util::Rng&, const RunContext&>;
+  const ResolvedParallelism par = resolve_parallelism(spec);
+  std::optional<util::ThreadPool> inner_pool;
+  if (kTakesContext && par.inner > 1) inner_pool.emplace(par.inner);
+  const RunContext ctx{inner_pool ? &*inner_pool : nullptr,
+                       kTakesContext ? par.inner : 1};
+
   std::vector<Result> results(spec.runs);
   const auto execute_one = [&](std::size_t run) {
     util::Rng rng = rng_for_run(spec.root_seed, run);
-    results[run] = run_fn(run, rng);
+    results[run] = detail::invoke_run_fn(run_fn, run, rng, ctx);
   };
-  const std::size_t threads =
-      util::ThreadPool::resolve_thread_count(spec.threads);
-  if (threads <= 1 || spec.runs <= 1) {
+  if (par.outer <= 1 || spec.runs <= 1) {
     // Same failure semantics as the pool: every run is attempted, the
     // lowest failing run's exception surfaces.
     std::exception_ptr first_error;
@@ -93,7 +179,7 @@ auto run_experiment(const ExperimentSpec& spec, RunFn&& run_fn) {
     }
     if (first_error) std::rethrow_exception(first_error);
   } else {
-    util::ThreadPool pool(threads);
+    util::ThreadPool pool(par.outer);
     pool.parallel_for_indexed(spec.runs, execute_one);
   }
   return results;

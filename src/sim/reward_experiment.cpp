@@ -69,7 +69,8 @@ struct RewardRun {
 
 RewardRun execute_run(const RewardExperimentConfig& config,
                       const econ::RewardOptimizer& optimizer,
-                      const util::StakeDistribution& dist, util::Rng& rng) {
+                      const util::StakeDistribution& dist, util::Rng& rng,
+                      const util::InnerExecutor& exec) {
   RewardRun run;
   run.per_round_bi.assign(config.rounds_per_run, 0.0);
 
@@ -90,15 +91,29 @@ RewardRun execute_run(const RewardExperimentConfig& config,
         sampler, stakes, config.committee_stake, rng, committee);
 
     // Others: everyone else. s*_k is the min stake among others at or
-    // above the Fig-7(c) threshold; S_K excludes filtered nodes.
+    // above the Fig-7(c) threshold; S_K excludes filtered nodes. The
+    // O(node_count) scan fans out in chunks; the partials (integer sum and
+    // min) merge exactly, so the result is identical for every executor.
     const std::int64_t threshold = config.min_other_stake.value_or(0);
+    const std::size_t chunks = util::InnerExecutor::chunk_count(stakes.size());
+    std::vector<std::int64_t> chunk_min(chunks, 0);
+    std::vector<std::int64_t> chunk_sum(chunks, 0);
+    exec.for_each_chunk(
+        stakes.size(), [&](std::size_t c, std::size_t begin, std::size_t end) {
+          for (std::size_t v = begin; v < end; ++v) {
+            if (leaders.contains(v) || committee.contains(v)) continue;
+            if (stakes[v] < threshold) continue;
+            chunk_sum[c] += stakes[v];
+            if (chunk_min[c] == 0 || stakes[v] < chunk_min[c])
+              chunk_min[c] = stakes[v];
+          }
+        });
     std::int64_t min_other = 0;
     std::int64_t others_stake = 0;
-    for (std::size_t v = 0; v < stakes.size(); ++v) {
-      if (leaders.contains(v) || committee.contains(v)) continue;
-      if (stakes[v] < threshold) continue;
-      others_stake += stakes[v];
-      if (min_other == 0 || stakes[v] < min_other) min_other = stakes[v];
+    for (std::size_t c = 0; c < chunks; ++c) {
+      others_stake += chunk_sum[c];
+      if (chunk_min[c] != 0 && (min_other == 0 || chunk_min[c] < min_other))
+        min_other = chunk_min[c];
     }
 
     econ::BoundInputs inputs;
@@ -159,11 +174,12 @@ RewardExperimentResult run_reward_experiment(
   util::RunningStats stake_stats;
 
   const ExperimentSpec spec{config.runs, config.rounds_per_run, config.seed,
-                            config.threads};
+                            config.threads, config.inner_threads};
   run_and_reduce(
       spec,
-      [&](std::size_t, util::Rng& rng) {
-        return execute_run(config, optimizer, *dist, rng);
+      [&](std::size_t, util::Rng& rng, const RunContext& ctx) {
+        return execute_run(config, optimizer, *dist, rng,
+                           util::InnerExecutor(ctx.inner_pool));
       },
       [&](std::size_t, RewardRun run) {
         // Replayed in run order, feeding the streaming stats in exactly

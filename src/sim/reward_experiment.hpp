@@ -42,6 +42,12 @@ struct RewardExperimentConfig {
   /// Worker threads for the run fan-out (0 = all hardware threads).
   /// Aggregates are bit-identical for every thread count.
   std::size_t threads = 1;
+  /// Worker threads for each run's per-node scans (the O(node_count)
+  /// role-partition pass each round); 0 = all hardware threads. Forced
+  /// serial while the run fan-out is parallel. The per-chunk partials are
+  /// integer sums and minima, so the merged result is exact and identical
+  /// for every inner thread count.
+  std::size_t inner_threads = 1;
   econ::CostModel costs{};
   econ::OptimizerConfig optimizer{};
   /// Committee-stake expectations (paper: S_L = 26, S_M = 13,000).

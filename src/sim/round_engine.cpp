@@ -29,7 +29,11 @@ struct StepContext {
   Hash256 prev_seed;
   const net::RelaySet* relay_set = nullptr;
   const net::GossipEngine* gossip = nullptr;
-  util::Rng* rng = nullptr;
+  /// Root of the round's gossip randomness; each (step, origin) propagation
+  /// draws from the independent stream gossip_root.split(step).split(origin)
+  /// so the fan-out order cannot change any sampled delay.
+  const util::Rng* gossip_root = nullptr;
+  const util::InnerExecutor* exec = nullptr;
   /// Marked Committee for nodes that actually vote (observed roles).
   std::vector<Role>* observed_roles = nullptr;
   /// Marked Committee for every elected node, voting or not (true roles).
@@ -45,9 +49,16 @@ void mark_committee(std::vector<Role>& roles, NodeId v) {
   if (roles[v] == Role::Other) roles[v] = Role::Committee;
 }
 
+/// Independent delay stream for one (step, origin) propagation.
+util::Rng origin_stream(const util::Rng& gossip_root, std::uint32_t step,
+                        NodeId origin) {
+  return gossip_root.split(step).split(origin);
+}
+
 /// Runs one voting step: elects the committee for `step`, collects votes
 /// from members for whom `value_of` returns a value, gossips each vote, and
-/// tallies each node's delay-filtered view against `quorum`.
+/// tallies each node's delay-filtered view against `quorum`. All per-node
+/// and per-vote loops fan out across ctx.exec.
 std::vector<StepOutcome> run_vote_step(
     const StepContext& ctx, std::uint32_t step, std::uint64_t expected_stake,
     double quorum,
@@ -57,10 +68,9 @@ std::vector<StepOutcome> run_vote_step(
 
   const consensus::Committee committee = consensus::elect_committee(
       ctx.network->keys(), *ctx.stakes, ctx.round, step, ctx.prev_seed,
-      expected_stake, ctx.total_stake);
+      expected_stake, ctx.total_stake, *ctx.exec);
 
   std::vector<consensus::Vote> votes;
-  std::vector<std::vector<net::TimeMs>> arrivals;
   votes.reserve(committee.members.size());
   for (const consensus::CommitteeMember& m : committee.members) {
     if (ctx.true_roles != nullptr) mark_committee(*ctx.true_roles, m.node);
@@ -72,42 +82,49 @@ std::vector<StepOutcome> run_vote_step(
     votes.push_back(consensus::make_vote(
         m.node, ctx.network->keys()[m.node].public_key(), ctx.round, step,
         *value, m.sortition));
-    arrivals.push_back(
-        ctx.gossip->propagate(m.node, 0.0, *ctx.relay_set, *ctx.rng));
   }
+
+  // One Dijkstra per vote, each on its own (step, voter) delay stream —
+  // the heavy, irregular items, claimed per index.
+  std::vector<std::vector<net::TimeMs>> arrivals(votes.size());
+  ctx.exec->for_each_index(votes.size(), [&](std::size_t i) {
+    util::Rng rng = origin_stream(*ctx.gossip_root, step, votes[i].voter);
+    arrivals[i] =
+        ctx.gossip->propagate(votes[i].voter, 0.0, *ctx.relay_set, rng);
+  });
 
   // Every receiving node verifies each vote's sortition proof; the check
   // is deterministic per vote, so the simulator performs it once per vote
   // and shares the verdict across receivers (the per-node *cost* of
   // verification is a model parameter, not re-simulated work).
   const crypto::SortitionParams sparams{expected_stake, ctx.total_stake};
-  std::vector<bool> valid(votes.size());
-  for (std::size_t i = 0; i < votes.size(); ++i) {
-    valid[i] = consensus::verify_vote(votes[i], ctx.prev_seed,
-                                      (*ctx.stakes)[votes[i].voter], sparams);
-  }
+  const std::vector<std::uint8_t> valid = consensus::verify_votes(
+      votes, ctx.prev_seed, *ctx.stakes, sparams, *ctx.exec);
 
   // Per-node tally over valid votes that arrive within the step timeout.
   const net::TimeMs deadline = ctx.params->step_timeout_ms;
   std::vector<StepOutcome> out(n);
-  for (std::size_t v = 0; v < n; ++v) {
-    if (!ctx.relay_set->online[v]) continue;
-    consensus::VoteCounter counter(quorum);
-    for (std::size_t i = 0; i < votes.size(); ++i) {
-      if (!valid[i] || arrivals[i][v] > deadline) continue;
-      counter.add(votes[i]);
+  ctx.exec->for_each_chunk(n, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      if (!ctx.relay_set->online[v]) continue;
+      consensus::VoteCounter counter(quorum);
+      for (std::size_t i = 0; i < votes.size(); ++i) {
+        if (valid[i] == 0 || arrivals[i][v] > deadline) continue;
+        counter.add(votes[i]);
+      }
+      const consensus::TallyResult tally = counter.result();
+      out[v].winner = tally.winner;
+      out[v].coin = counter.common_coin().value_or(false);
     }
-    const consensus::TallyResult tally = counter.result();
-    out[v].winner = tally.winner;
-    out[v].coin = counter.common_coin().value_or(false);
-  }
+  });
   return out;
 }
 
 }  // namespace
 
-RoundEngine::RoundEngine(Network& network, consensus::ConsensusParams params)
-    : network_(network), params_(params) {
+RoundEngine::RoundEngine(Network& network, consensus::ConsensusParams params,
+                         util::ThreadPool* inner_pool)
+    : network_(network), params_(params), exec_(inner_pool) {
   params_.validate();
 }
 
@@ -116,6 +133,11 @@ RoundResult RoundEngine::run_round() {
   const std::size_t n = net.node_count();
   const ledger::Round round = net.chain().next_round();
   util::Rng rng = net.round_rng(round);
+  // All gossip-delay randomness hangs off this independent child stream,
+  // split per (step, origin); `rng` itself only feeds the round-level
+  // synchrony draw. split() derives from seed material, not stream
+  // position, so the two cannot interfere.
+  const util::Rng gossip_root = rng.split("gossip");
 
   const std::vector<std::int64_t> stakes = net.accounts().stakes();
   std::int64_t total_stake = 0;
@@ -156,11 +178,14 @@ RoundResult RoundEngine::run_round() {
   const crypto::SortitionParams proposer_params{
       params_.expected_proposer_stake, total_stake};
 
+  // Per-node sortition draws fan out across the executor; the winner scan
+  // that builds proposals stays serial in node order (few winners).
+  const std::vector<crypto::SortitionResult> proposer_draws =
+      crypto::sortition_batch(net.keys(), proposer_input, stakes,
+                              proposer_params, exec_);
   std::vector<consensus::BlockProposal> proposals;
-  std::vector<std::vector<net::TimeMs>> proposal_arrivals;
   for (std::size_t v = 0; v < n; ++v) {
-    const auto sres = crypto::sortition(net.keys()[v], proposer_input,
-                                        stakes[v], proposer_params);
+    const crypto::SortitionResult& sres = proposer_draws[v];
     if (!sres.selected()) continue;
     true_roles[v] = Role::Leader;
     if (strategies[v] != Strategy::Cooperate) continue;
@@ -171,30 +196,39 @@ RoundResult RoundEngine::run_round() {
     proposals.push_back(consensus::make_proposal(
         static_cast<NodeId>(v), net.keys()[v].public_key(), std::move(block),
         sres));
-    proposal_arrivals.push_back(gossip.propagate(static_cast<NodeId>(v), 0.0,
-                                                 relay, rng));
   }
   result.proposals = proposals.size();
+
+  // One gossip propagation per proposal, each on its own origin stream.
+  std::vector<std::vector<net::TimeMs>> proposal_arrivals(proposals.size());
+  exec_.for_each_index(proposals.size(), [&](std::size_t p) {
+    util::Rng prng = origin_stream(gossip_root, consensus::kProposerStep,
+                                   proposals[p].proposer);
+    proposal_arrivals[p] =
+        gossip.propagate(proposals[p].proposer, 0.0, relay, prng);
+  });
 
   // Per-node proposal selection within the proposal timeout; also track
   // whether a node ever receives each block body at all (needed to
   // "extract" the block the votes certify).
   std::vector<int> best_idx(n, -1);
-  for (std::size_t v = 0; v < n; ++v) {
-    if (!relay.online[v]) continue;
-    std::uint64_t best_priority = 0;
-    Hash256 best_hash;
-    for (std::size_t p = 0; p < proposals.size(); ++p) {
-      if (proposal_arrivals[p][v] > params_.proposal_timeout_ms) continue;
-      const Hash256 h = proposals[p].block_hash();
-      if (best_idx[v] < 0 || proposals[p].priority > best_priority ||
-          (proposals[p].priority == best_priority && h < best_hash)) {
-        best_idx[v] = static_cast<int>(p);
-        best_priority = proposals[p].priority;
-        best_hash = h;
+  exec_.for_each_chunk(n, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      if (!relay.online[v]) continue;
+      std::uint64_t best_priority = 0;
+      Hash256 best_hash;
+      for (std::size_t p = 0; p < proposals.size(); ++p) {
+        if (proposal_arrivals[p][v] > params_.proposal_timeout_ms) continue;
+        const Hash256 h = proposals[p].block_hash();
+        if (best_idx[v] < 0 || proposals[p].priority > best_priority ||
+            (proposals[p].priority == best_priority && h < best_hash)) {
+          best_idx[v] = static_cast<int>(p);
+          best_priority = proposals[p].priority;
+          best_hash = h;
+        }
       }
     }
-  }
+  });
 
   StepContext ctx;
   ctx.network = &net;
@@ -205,7 +239,8 @@ RoundResult RoundEngine::run_round() {
   ctx.prev_seed = prev_seed;
   ctx.relay_set = &relay;
   ctx.gossip = &gossip;
-  ctx.rng = &rng;
+  ctx.gossip_root = &gossip_root;
+  ctx.exec = &exec_;
   ctx.observed_roles = &observed_roles;
   ctx.true_roles = &true_roles;
 
@@ -256,16 +291,21 @@ RoundResult RoundEngine::run_round() {
           return std::nullopt;
         });
 
-    for (std::size_t v = 0; v < n; ++v) {
-      if (!relay.online[v]) continue;
-      if (ba[v].running() && ba[v].step_number() == step) {
-        ba[v].advance(outs[v].winner, outs[v].coin);
-        if (!ba[v].running() && ba[v].status() != consensus::BaStatus::Exhausted)
-          post_votes[v] = 3;
-      } else if (!ba[v].running() && post_votes[v] > 0) {
-        --post_votes[v];
+    // Each node's BA state machine advances independently (ba[v] and
+    // post_votes[v] are only touched at index v).
+    exec_.for_each_chunk(n, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t v = begin; v < end; ++v) {
+        if (!relay.online[v]) continue;
+        if (ba[v].running() && ba[v].step_number() == step) {
+          ba[v].advance(outs[v].winner, outs[v].coin);
+          if (!ba[v].running() &&
+              ba[v].status() != consensus::BaStatus::Exhausted)
+            post_votes[v] = 3;
+        } else if (!ba[v].running() && post_votes[v] > 0) {
+          --post_votes[v];
+        }
       }
-    }
+    });
   }
 
   // ---- FINAL vote ------------------------------------------------------
@@ -289,20 +329,22 @@ RoundResult RoundEngine::run_round() {
   };
 
   result.outcomes.assign(n, NodeOutcome::NoBlock);
-  for (std::size_t v = 0; v < n; ++v) {
-    if (!relay.online[v]) continue;
-    const auto id = static_cast<NodeId>(v);
-    if (finals[v].winner.has_value()) {
-      result.outcomes[v] = body_received(id, *finals[v].winner)
-                               ? NodeOutcome::Final
-                               : NodeOutcome::NoBlock;
-    } else if (ba[v].status() == consensus::BaStatus::ConcludedBlock ||
-               ba[v].status() == consensus::BaStatus::ConcludedEmpty) {
-      result.outcomes[v] = body_received(id, ba[v].result())
-                               ? NodeOutcome::Tentative
-                               : NodeOutcome::NoBlock;
+  exec_.for_each_chunk(n, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      if (!relay.online[v]) continue;
+      const auto id = static_cast<NodeId>(v);
+      if (finals[v].winner.has_value()) {
+        result.outcomes[v] = body_received(id, *finals[v].winner)
+                                 ? NodeOutcome::Final
+                                 : NodeOutcome::NoBlock;
+      } else if (ba[v].status() == consensus::BaStatus::ConcludedBlock ||
+                 ba[v].status() == consensus::BaStatus::ConcludedEmpty) {
+        result.outcomes[v] = body_received(id, ba[v].result())
+                                 ? NodeOutcome::Tentative
+                                 : NodeOutcome::NoBlock;
+      }
     }
-  }
+  });
 
   std::size_t finals_count = 0, tentative_count = 0;
   for (const NodeOutcome o : result.outcomes) {

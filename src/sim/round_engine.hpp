@@ -8,6 +8,14 @@
 // the committee, lets cooperative members emit votes, propagates each vote
 // through the relay subgraph (defectors receive but do not forward), and
 // feeds each node's delay-filtered view into that node's BA state machine.
+//
+// Within-run parallelism: every per-node loop (sortition draws, vote
+// verification, per-node tallies, gossip fan-out, BA advancement) runs
+// through a util::InnerExecutor over the pool handed to the constructor.
+// Randomness that those loops consume comes from per-origin streams
+// round_rng.split("gossip").split(step).split(origin) — one independent
+// stream per (step, origin) — so the engine's output is bit-identical for
+// every inner worker count, including fully serial (DESIGN.md §4).
 #pragma once
 
 #include <optional>
@@ -17,6 +25,7 @@
 #include "econ/role_snapshot.hpp"
 #include "net/gossip.hpp"
 #include "sim/network.hpp"
+#include "util/thread_pool.hpp"
 
 namespace roleshare::sim {
 
@@ -49,7 +58,11 @@ struct RoundResult {
 
 class RoundEngine {
  public:
-  RoundEngine(Network& network, consensus::ConsensusParams params);
+  /// `inner_pool` (optional, borrowed, must outlive the engine) fans the
+  /// per-node loops of each round out across its workers; nullptr runs
+  /// them inline. Results are bit-identical either way.
+  RoundEngine(Network& network, consensus::ConsensusParams params,
+              util::ThreadPool* inner_pool = nullptr);
 
   /// Runs the next round (chain height determines the round number),
   /// appends the agreed block to the network's chain, and returns the
@@ -57,10 +70,12 @@ class RoundEngine {
   RoundResult run_round();
 
   const consensus::ConsensusParams& params() const { return params_; }
+  const util::InnerExecutor& executor() const { return exec_; }
 
  private:
   Network& network_;
   consensus::ConsensusParams params_;
+  util::InnerExecutor exec_;
 };
 
 }  // namespace roleshare::sim

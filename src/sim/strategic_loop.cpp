@@ -14,14 +14,23 @@
 namespace roleshare::sim {
 
 StrategicLoopResult run_strategic_loop(const StrategicLoopConfig& config) {
-  RS_REQUIRE(config.rounds > 0, "at least one round");
   const std::size_t threads =
       util::ThreadPool::resolve_thread_count(config.threads);
   std::optional<util::ThreadPool> pool;
   if (threads > 1) pool.emplace(threads);
+  return run_strategic_loop(config, pool ? &*pool : nullptr);
+}
+
+StrategicLoopResult run_strategic_loop(const StrategicLoopConfig& config,
+                                       util::ThreadPool* inner_pool) {
+  RS_REQUIRE(config.rounds > 0, "at least one round");
   Network net(config.network);
-  RoundEngine engine(net, consensus::ConsensusParams::scaled_for(
-                              net.accounts().total_stake()));
+  // The round engine's per-node loops and the best-response sweep below
+  // share the one caller-owned pool — never two pools in one run.
+  RoundEngine engine(net,
+                     consensus::ConsensusParams::scaled_for(
+                         net.accounts().total_stake()),
+                     inner_pool);
 
   econ::StakeProportionalScheme foundation;
   econ::RoleBasedScheme role_based(config.costs);
@@ -87,15 +96,12 @@ StrategicLoopResult run_strategic_loop(const StrategicLoopConfig& config) {
     // slot, so the population iteration fans out across the pool.
     const game::AlgorandGame game(game_config);
     game::Profile next = profile;
-    const auto respond = [&](std::size_t v) {
+    // Per-index claiming, not chunks: each best response is a heavy game
+    // evaluation, and populations are often smaller than a single chunk.
+    engine.executor().for_each_index(profile.size(), [&](std::size_t v) {
       next[v] = game::best_response(game, profile,
                                     static_cast<ledger::NodeId>(v));
-    };
-    if (pool) {
-      pool->parallel_for_indexed(profile.size(), respond);
-    } else {
-      for (std::size_t v = 0; v < profile.size(); ++v) respond(v);
-    }
+    });
     profile = std::move(next);
   }
 
@@ -111,7 +117,8 @@ StrategicEnsembleResult run_strategic_ensemble(
     const StrategicEnsembleConfig& config) {
   RS_REQUIRE(config.base.rounds > 0, "at least one round");
   const ExperimentSpec spec{config.runs, config.base.rounds,
-                            config.base.network.seed, config.threads};
+                            config.base.network.seed, config.threads,
+                            config.inner_threads};
 
   StrategicEnsembleResult out;
   out.cooperation_series.assign(config.base.rounds, 0.0);
@@ -120,13 +127,12 @@ StrategicEnsembleResult run_strategic_ensemble(
 
   run_and_reduce(
       spec,
-      [&config](std::size_t, util::Rng& rng) {
+      [&config](std::size_t, util::Rng& rng, const RunContext& ctx) {
         StrategicLoopConfig run_config = config.base;
         run_config.network.seed = rng.seed_material();
-        // Run-level parallelism owns the cores; keep the inner sweep
-        // serial so nested pools don't oversubscribe.
-        run_config.threads = 1;
-        return run_strategic_loop(run_config);
+        // The engine already applied the no-oversubscription policy:
+        // ctx.inner_pool is the (possibly null) shared within-run pool.
+        return run_strategic_loop(run_config, ctx.inner_pool);
       },
       [&](std::size_t, StrategicLoopResult run) {
         for (std::size_t r = 0; r < run.rounds.size(); ++r) {

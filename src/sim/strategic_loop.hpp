@@ -35,10 +35,10 @@ struct StrategicLoopConfig {
   econ::CostModel costs{};
   /// Strategy profile nodes start from (default: everyone cooperates).
   game::Strategy initial = game::Strategy::Cooperate;
-  /// Worker threads for the per-round best-response sweep over the
-  /// population (0 = all hardware threads). Each node's best response
-  /// depends only on the previous profile, so the sweep parallelizes
-  /// without changing results.
+  /// Within-run worker threads (0 = all hardware threads). One pool serves
+  /// both per-round workloads — the round engine's per-node loops
+  /// (sortition, gossip, tallies) and the best-response sweep over the
+  /// population. Neither changes results for any thread count.
   std::size_t threads = 1;
 };
 
@@ -59,17 +59,28 @@ struct StrategicLoopResult {
 
 StrategicLoopResult run_strategic_loop(const StrategicLoopConfig& config);
 
+/// Same loop, but running its within-run parallelism on a caller-owned
+/// pool (nullptr = serial) instead of creating one from config.threads —
+/// the hook the ensemble uses to share a single inner pool across runs.
+StrategicLoopResult run_strategic_loop(const StrategicLoopConfig& config,
+                                       util::ThreadPool* inner_pool);
+
 /// Monte-Carlo ensemble of independent strategic loops on the shared
 /// ExperimentRunner engine — the runs×rounds view of the paper's headline
 /// claim (population iterations fan out across the thread pool; run k
 /// uses the stream root.split(k) where root is base.network.seed).
 struct StrategicEnsembleConfig {
   /// Template for every run; its network.seed is the ensemble root seed.
+  /// base.threads is ignored — the ensemble's two knobs below decide the
+  /// parallelism level per the no-oversubscription contract.
   StrategicLoopConfig base;
   std::size_t runs = 8;
   /// Worker threads for the run fan-out (0 = all hardware threads).
   /// Aggregates are bit-identical for every thread count.
   std::size_t threads = 1;
+  /// Worker threads for each run's inner per-node loops (0 = all hardware
+  /// threads); forced serial while the run fan-out is parallel.
+  std::size_t inner_threads = 1;
 };
 
 struct StrategicEnsembleResult {

@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <utility>
@@ -52,6 +53,54 @@ void ThreadPool::worker_loop() {
     }
     task();
   }
+}
+
+std::size_t InnerExecutor::chunk_length(std::size_t n) {
+  if (n == 0) return 0;
+  // Chunk size from n alone: aim for kTargetChunks chunks but keep every
+  // chunk at least kMinChunk indices (the last may be shorter). This is
+  // the canonical formula; chunk_count derives from it.
+  const std::size_t target = (n + kTargetChunks - 1) / kTargetChunks;
+  return std::max(kMinChunk, target);
+}
+
+std::size_t InnerExecutor::chunk_count(std::size_t n) {
+  if (n == 0) return 0;
+  const std::size_t chunk = chunk_length(n);
+  return (n + chunk - 1) / chunk;
+}
+
+void InnerExecutor::for_each_index(
+    std::size_t n, const std::function<void(std::size_t)>& body) const {
+  if (n == 0) return;
+  if (!parallel()) {
+    // Inline, but with the pool's error semantics: every index attempted,
+    // lowest failing index's exception rethrown.
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+  pool_->parallel_for_indexed(n, body);
+}
+
+void InnerExecutor::for_each_chunk(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body)
+    const {
+  if (n == 0) return;
+  const std::size_t chunk = chunk_length(n);
+  const auto run_chunk = [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    body(c, begin, std::min(n, begin + chunk));
+  };
+  for_each_index(chunk_count(n), run_chunk);
 }
 
 void ThreadPool::parallel_for_indexed(

@@ -1,0 +1,67 @@
+// BENCH_*.json emission: numeric + string fields, escaping, and the
+// always-present git_sha provenance field.
+#include "bench_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace roleshare::bench {
+namespace {
+
+std::string read_and_remove(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::remove(path.c_str());
+  return buffer.str();
+}
+
+TEST(BenchUtil, EmitJsonWritesNumericAndStringFields) {
+  emit_json("test_mixed", {{"nodes", 100.0},
+                           {"threads", std::size_t{4}},
+                           {"stakes", "U(1,200)"},
+                           {"wall_ms", 12.5}});
+  const std::string json = read_and_remove("BENCH_test_mixed.json");
+  EXPECT_NE(json.find("\"bench\": \"test_mixed\""), std::string::npos);
+  EXPECT_NE(json.find("\"nodes\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"stakes\": \"U(1,200)\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_ms\": 12.5"), std::string::npos);
+}
+
+TEST(BenchUtil, EmitJsonAlwaysRecordsGitSha) {
+  emit_json("test_sha", {});
+  const std::string json = read_and_remove("BENCH_test_sha.json");
+  EXPECT_NE(json.find("\"git_sha\": \""), std::string::npos);
+  // The baked-in value itself is available programmatically too.
+  EXPECT_NE(json.find(git_sha()), std::string::npos);
+}
+
+TEST(BenchUtil, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(BenchUtil, EmitJsonEscapesStringValues) {
+  emit_json("test_escape", {{"label", "quote\"and\\slash"}});
+  const std::string json = read_and_remove("BENCH_test_escape.json");
+  EXPECT_NE(json.find("\"label\": \"quote\\\"and\\\\slash\""),
+            std::string::npos);
+}
+
+TEST(BenchUtil, ArgParsingReadsInnerThreads) {
+  const char* argv_c[] = {"prog", "--threads=3", "--inner-threads=5"};
+  char** argv = const_cast<char**>(argv_c);
+  EXPECT_EQ(arg_threads(3, argv), 3u);
+  EXPECT_EQ(arg_inner_threads(3, argv), 5u);
+  EXPECT_EQ(arg_inner_threads(1, argv), 1u);  // default
+}
+
+}  // namespace
+}  // namespace roleshare::bench
