@@ -6,6 +6,7 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -146,6 +147,11 @@ inline void emit_json(const std::string& name, const JsonFields& fields) {
     if (value.is_string()) {
       std::fprintf(out, ",\n  \"%s\": \"%s\"", json_escape(key).c_str(),
                    json_escape(value.string()).c_str());
+    } else if (!std::isfinite(value.number())) {
+      // JSON has no NaN/Infinity literal; null keeps the file parseable
+      // (NaN legitimately reaches here via PerRoundSamples' empty-round
+      // semantics under churn).
+      std::fprintf(out, ",\n  \"%s\": null", json_escape(key).c_str());
     } else {
       std::fprintf(out, ",\n  \"%s\": %.17g", json_escape(key).c_str(),
                    value.number());

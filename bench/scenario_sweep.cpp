@@ -1,0 +1,222 @@
+// S1 — scenario-diversity sweep: the behaviour-policy layer
+// (sim/scenario_policy.hpp) driven across its three reactive policies ×
+// defection levels, on the shared ExperimentRunner engine.
+//
+//   scripted  — the Fig-3 baseline: a fixed fraction defects by script.
+//   adaptive  — the same cohort re-decides every round via
+//               game::best_response against the observed Foundation
+//               reward (§III-C unraveling from actual payoffs).
+//   stake     — defection probability falls linearly with stake
+//               percentile (tests the claim that large stakeholders stay
+//               honest); level L maps to P(defect)=2L at the bottom, 0 at
+//               the top, so the population mean matches the scripted rate.
+//   churn     — scripted defection plus a join/leave schedule; the live
+//               population varies per round and all consensus loops index
+//               live nodes only.
+//
+// The binary self-checks the engine contract on every invocation: each
+// policy is re-run serially (--threads=1) at the middle level and must
+// reproduce the sweep's aggregates bit for bit, and churn cells must
+// show round-varying live-node counts. Exit 1 on either failure.
+//
+//   $ ./scenario_sweep --nodes=120 --runs=6 --rounds=8 --threads=0
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/defection_experiment.hpp"
+
+using namespace roleshare;
+
+namespace {
+
+constexpr double kLevels[] = {0.05, 0.15, 0.30};
+constexpr std::size_t kCheckedLevel = 1;  // middle level, serially re-run
+
+struct PolicyCase {
+  const char* name;
+  sim::PolicyKind kind;
+  bool churn;
+};
+
+constexpr PolicyCase kPolicies[] = {
+    {"scripted", sim::PolicyKind::Scripted, false},
+    {"adaptive", sim::PolicyKind::AdaptiveDefect, false},
+    {"stake", sim::PolicyKind::StakeCorrelatedDefect, false},
+    {"churn", sim::PolicyKind::Scripted, true},
+};
+
+sim::DefectionExperimentConfig make_config(
+    const PolicyCase& policy, double level, std::size_t nodes,
+    std::size_t runs, std::size_t rounds, std::uint64_t seed,
+    std::size_t threads, std::size_t inner_threads) {
+  sim::DefectionExperimentConfig config;
+  config.network.node_count = nodes;
+  config.network.seed = seed;
+  config.runs = runs;
+  config.rounds = rounds;
+  config.threads = threads;
+  config.inner_threads = inner_threads;
+  config.policy.kind = policy.kind;
+  switch (policy.kind) {
+    case sim::PolicyKind::Scripted:
+    case sim::PolicyKind::AdaptiveDefect:
+      config.network.defection_rate = level;
+      break;
+    case sim::PolicyKind::StakeCorrelatedDefect:
+      // Linear percentile curve whose population mean equals `level`.
+      config.policy.defect_at_bottom = std::min(1.0, 2.0 * level);
+      config.policy.defect_at_top = 0.0;
+      break;
+  }
+  if (policy.churn) {
+    config.policy.churn.leave_probability = 0.06;
+    config.policy.churn.join_probability = 0.12;
+    config.policy.churn.min_live =
+        std::max<std::size_t>(4, nodes / 4);
+  }
+  return config;
+}
+
+double series_mean(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+double mean_final_pct(const sim::DefectionSeries& series) {
+  double sum = 0.0;
+  for (const sim::RoundAggregate& agg : series.rounds) sum += agg.final_pct;
+  return series.rounds.empty()
+             ? 0.0
+             : sum / static_cast<double>(series.rounds.size());
+}
+
+bool bit_identical(const sim::DefectionSeries& a,
+                   const sim::DefectionSeries& b) {
+  if (a.rounds.size() != b.rounds.size()) return false;
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    if (a.rounds[r].final_pct != b.rounds[r].final_pct ||
+        a.rounds[r].tentative_pct != b.rounds[r].tentative_pct ||
+        a.rounds[r].none_pct != b.rounds[r].none_pct)
+      return false;
+  }
+  return a.runs_with_progress == b.runs_with_progress &&
+         a.live_series == b.live_series &&
+         a.cooperation_series == b.cooperation_series &&
+         a.min_live == b.min_live && a.max_live == b.max_live;
+}
+
+std::string join_series(const std::vector<double>& xs) {
+  std::string out;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out += ",";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", xs[i]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto nodes = static_cast<std::size_t>(
+      bench::arg_int(argc, argv, "nodes", 120));
+  const auto runs =
+      static_cast<std::size_t>(bench::arg_int(argc, argv, "runs", 6));
+  const auto rounds =
+      static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 8));
+  const auto seed =
+      static_cast<std::uint64_t>(bench::arg_int(argc, argv, "seed", 99));
+  const std::size_t threads = bench::arg_threads(argc, argv);
+  const std::size_t inner_threads = bench::arg_inner_threads(argc, argv);
+
+  bench::print_header("Scenario sweep",
+                      "behaviour policies x defection levels");
+  std::printf("nodes=%zu runs=%zu rounds=%zu threads=%zu inner-threads=%zu "
+              "(override with --nodes/--runs/--rounds/--threads/"
+              "--inner-threads)\n\n",
+              nodes, runs, rounds, threads, inner_threads);
+  std::printf("%10s %7s %8s %7s %13s %10s\n", "policy", "level", "final%",
+              "coop%", "live min..max", "progress");
+
+  const bench::WallTimer timer;
+  bench::JsonFields json_fields = {
+      {"nodes", static_cast<double>(nodes)},
+      {"runs", static_cast<double>(runs)},
+      {"rounds", static_cast<double>(rounds)},
+      {"threads", static_cast<double>(threads)},
+      {"inner_threads", static_cast<double>(inner_threads)}};
+
+  bool all_identical = true;
+  bool churn_varies = true;
+  for (const PolicyCase& policy : kPolicies) {
+    for (std::size_t i = 0; i < std::size(kLevels); ++i) {
+      const double level = kLevels[i];
+      const sim::DefectionExperimentConfig config =
+          make_config(policy, level, nodes, runs, rounds, seed + i, threads,
+                      inner_threads);
+      const sim::DefectionSeries series =
+          sim::run_defection_experiment(config);
+
+      const double final_pct = mean_final_pct(series);
+      const double coop_pct = series_mean(series.cooperation_series);
+      std::printf("%10s %6.0f%% %8.1f %7.1f %6zu..%-6zu %9.0f%%\n",
+                  policy.name, level * 100, final_pct, coop_pct,
+                  series.min_live, series.max_live,
+                  series.runs_with_progress * 100);
+
+      const std::string tag = std::string(policy.name) + "_" +
+                              std::to_string(static_cast<int>(level * 100));
+      json_fields.emplace_back("mean_final_pct_" + tag, final_pct);
+      json_fields.emplace_back("mean_coop_pct_" + tag, coop_pct);
+      if (policy.churn) {
+        json_fields.emplace_back("live_min_" + tag,
+                                 static_cast<double>(series.min_live));
+        json_fields.emplace_back("live_max_" + tag,
+                                 static_cast<double>(series.max_live));
+        json_fields.emplace_back("live_series_" + tag,
+                                 join_series(series.live_series));
+        // The whole point of churn: the live population must actually
+        // vary across (runs, rounds).
+        churn_varies = churn_varies && series.min_live < series.max_live;
+      }
+
+      // Engine contract self-check: the middle level of every policy is
+      // re-run fully serial and must match the sweep bit for bit.
+      if (i == kCheckedLevel) {
+        sim::DefectionExperimentConfig serial = config;
+        serial.threads = 1;
+        serial.inner_threads = 1;
+        all_identical = all_identical &&
+                        bit_identical(series,
+                                      sim::run_defection_experiment(serial));
+      }
+    }
+  }
+
+  std::printf("\nbit-identical to serial: %s | churn live counts vary: %s\n",
+              all_identical ? "yes" : "NO — BUG",
+              churn_varies ? "yes" : "NO — BUG");
+  json_fields.emplace_back("bit_identical", all_identical ? "yes" : "no");
+  json_fields.emplace_back("churn_live_varies", churn_varies ? "yes" : "no");
+  json_fields.emplace_back("wall_ms", timer.elapsed_ms());
+  bench::emit_json("scenario_sweep", json_fields);
+
+  if (!all_identical || !churn_varies) {
+    std::fprintf(stderr, "ERROR: scenario engine self-check failed "
+                         "(bit_identical=%d churn_varies=%d)\n",
+                 all_identical ? 1 : 0, churn_varies ? 1 : 0);
+    return 1;
+  }
+  std::printf("\nShape check: adaptive final%% should fall below scripted at\n"
+              "the same level once candidates learn defection pays; stake-\n"
+              "correlated keeps whales honest, softening the collapse; churn\n"
+              "shrinks and regrows the live population without breaking\n"
+              "determinism.\n");
+  return 0;
+}

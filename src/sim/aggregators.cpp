@@ -1,27 +1,45 @@
 #include "sim/aggregators.hpp"
 
+#include <limits>
+
 #include "util/require.hpp"
 #include "util/stats.hpp"
 
 namespace roleshare::sim {
+
+namespace {
+
+/// The deterministic reduction of a round nobody recorded a sample for.
+constexpr double empty_round_value() {
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace
 
 PerRoundSamples::PerRoundSamples(std::size_t rounds) : samples_(rounds) {
   RS_REQUIRE(rounds > 0, "aggregator needs at least one round");
 }
 
 std::size_t PerRoundSamples::count(std::size_t round_index) const {
-  RS_REQUIRE(round_index < samples_.size(), "round index");
+  RS_REQUIRE(round_index < samples_.size(),
+             "round index past the aggregator's round count");
   return samples_[round_index].size();
+}
+
+bool PerRoundSamples::empty_round(std::size_t round_index) const {
+  return count(round_index) == 0;
 }
 
 const std::vector<double>& PerRoundSamples::samples(
     std::size_t round_index) const {
-  RS_REQUIRE(round_index < samples_.size(), "round index");
+  RS_REQUIRE(round_index < samples_.size(),
+             "round index past the aggregator's round count");
   return samples_[round_index];
 }
 
 void PerRoundSamples::record(std::size_t round_index, double value) {
-  RS_REQUIRE(round_index < samples_.size(), "round index");
+  RS_REQUIRE(round_index < samples_.size(),
+             "round index past the aggregator's round count");
   samples_[round_index].push_back(value);
 }
 
@@ -37,22 +55,29 @@ void PerRoundSamples::merge(const PerRoundSamples& other) {
 std::vector<double> PerRoundSamples::trimmed_mean_series(
     double trim_fraction) const {
   std::vector<double> out(samples_.size());
-  for (std::size_t r = 0; r < samples_.size(); ++r)
-    out[r] = util::trimmed_mean(samples_[r], trim_fraction);
+  for (std::size_t r = 0; r < samples_.size(); ++r) {
+    out[r] = samples_[r].empty()
+                 ? empty_round_value()
+                 : util::trimmed_mean(samples_[r], trim_fraction);
+  }
   return out;
 }
 
 std::vector<double> PerRoundSamples::mean_series() const {
   std::vector<double> out(samples_.size());
-  for (std::size_t r = 0; r < samples_.size(); ++r)
-    out[r] = util::mean(samples_[r]);
+  for (std::size_t r = 0; r < samples_.size(); ++r) {
+    out[r] =
+        samples_[r].empty() ? empty_round_value() : util::mean(samples_[r]);
+  }
   return out;
 }
 
 std::vector<double> PerRoundSamples::percentile_series(double p) const {
   std::vector<double> out(samples_.size());
-  for (std::size_t r = 0; r < samples_.size(); ++r)
-    out[r] = util::percentile(samples_[r], p);
+  for (std::size_t r = 0; r < samples_.size(); ++r) {
+    out[r] = samples_[r].empty() ? empty_round_value()
+                                 : util::percentile(samples_[r], p);
+  }
   return out;
 }
 

@@ -6,6 +6,14 @@
 // OutcomeMetrics and the bench tables; it keeps samples in insertion
 // order, so merging per-run partials in run-index order reproduces a
 // serial execution bit for bit.
+//
+// Empty-round semantics: a round with zero recorded samples — reachable
+// once a scenario records conditionally, e.g. churn emptying a cohort —
+// reduces to quiet NaN in every *_series method, deterministically.
+// util::stats is never invoked on an empty vector (percentile would
+// throw; mean / trimmed_mean would silently fabricate 0.0, which is
+// indistinguishable from a real zero). Consumers must skip or map the
+// NaN explicitly (bench::emit_json writes it as JSON null).
 #pragma once
 
 #include <cstddef>
@@ -19,21 +27,26 @@ class PerRoundSamples {
 
   std::size_t rounds() const { return samples_.size(); }
   std::size_t count(std::size_t round_index) const;
+  /// True when round_index has no samples (its series entries are NaN).
+  bool empty_round(std::size_t round_index) const;
   const std::vector<double>& samples(std::size_t round_index) const;
 
   void record(std::size_t round_index, double value);
 
   /// Appends every sample of `other` (same round count required) in round
-  /// order — the run-index-ordered reduction step.
+  /// order — the run-index-ordered reduction step. Per-round counts may
+  /// differ between the two operands (runs of different lengths).
   void merge(const PerRoundSamples& other);
 
-  /// Per-round trimmed mean (the paper's §III-C reduction).
+  /// Per-round trimmed mean (the paper's §III-C reduction); NaN for
+  /// empty rounds.
   std::vector<double> trimmed_mean_series(double trim_fraction) const;
 
-  /// Per-round arithmetic mean.
+  /// Per-round arithmetic mean; NaN for empty rounds.
   std::vector<double> mean_series() const;
 
-  /// Per-round linear-interpolated percentile, p in [0, 100].
+  /// Per-round linear-interpolated percentile, p in [0, 100]; NaN for
+  /// empty rounds.
   std::vector<double> percentile_series(double p) const;
 
  private:

@@ -1,5 +1,9 @@
 #include "sim/defection_experiment.hpp"
 
+#include <algorithm>
+#include <optional>
+
+#include "sim/aggregators.hpp"
 #include "sim/experiment_runner.hpp"
 #include "sim/round_engine.hpp"
 
@@ -15,6 +19,8 @@ struct DefectionRun {
     double final_pct = 0.0;
     double tentative_pct = 0.0;
     double none_pct = 0.0;
+    double live = 0.0;      // live-node count this round
+    double coop_pct = 0.0;  // % of live nodes playing Cooperate
   };
   std::vector<RoundFractions> rounds;
   bool progress = false;
@@ -39,14 +45,39 @@ DefectionRun execute_run(const DefectionExperimentConfig& config,
   }
 
   RoundEngine engine(network, params, inner_pool);
+  // The policy layer only engages when it changes anything; a disabled
+  // policy keeps the run bit-identical to the pre-policy experiment.
+  std::optional<ScenarioPolicy> policy;
+  if (config.policy.enabled()) {
+    ScenarioPolicyConfig policy_config = config.policy;
+    // Adaptive candidates must best-respond in the game this run's
+    // consensus actually plays.
+    policy_config.committee_threshold = params.step_threshold;
+    policy.emplace(policy_config, network);
+  }
+
   DefectionRun run;
   run.rounds.reserve(config.rounds);
+  RoundResult last;
   for (std::size_t r = 0; r < config.rounds; ++r) {
-    const RoundResult result = engine.run_round();
+    if (policy)
+      policy->begin_round(r, r > 0 ? &last : nullptr, engine.executor());
+    RoundResult result = engine.run_round();
+    std::size_t coop = 0;
+    const auto& strategies = network.strategies();
+    for (std::size_t v = 0; v < strategies.size(); ++v) {
+      if (network.live(static_cast<ledger::NodeId>(v)) &&
+          strategies[v] == game::Strategy::Cooperate)
+        ++coop;
+    }
     run.rounds.push_back({result.final_fraction * 100.0,
                           result.tentative_fraction * 100.0,
-                          result.none_fraction * 100.0});
+                          result.none_fraction * 100.0,
+                          static_cast<double>(result.live_count),
+                          100.0 * static_cast<double>(coop) /
+                              static_cast<double>(result.live_count)});
     run.progress = run.progress || result.non_empty_block;
+    last = std::move(result);
   }
   return run;
 }
@@ -58,7 +89,11 @@ DefectionSeries run_defection_experiment(
   const ExperimentSpec spec{config.runs, config.rounds, config.network.seed,
                             config.threads, config.inner_threads};
   OutcomeMetrics metrics(config.rounds);
+  PerRoundSamples live_samples(config.rounds);
+  PerRoundSamples coop_samples(config.rounds);
   std::size_t runs_with_progress = 0;
+  std::size_t min_live = 0, max_live = 0;
+  bool any_live = false;
 
   run_and_reduce(
       spec,
@@ -71,6 +106,12 @@ DefectionSeries run_defection_experiment(
         for (std::size_t r = 0; r < run.rounds.size(); ++r) {
           metrics.record(r, run.rounds[r].final_pct,
                          run.rounds[r].tentative_pct, run.rounds[r].none_pct);
+          live_samples.record(r, run.rounds[r].live);
+          coop_samples.record(r, run.rounds[r].coop_pct);
+          const auto live = static_cast<std::size_t>(run.rounds[r].live);
+          min_live = any_live ? std::min(min_live, live) : live;
+          max_live = any_live ? std::max(max_live, live) : live;
+          any_live = true;
         }
         if (run.progress) ++runs_with_progress;
       });
@@ -79,6 +120,10 @@ DefectionSeries run_defection_experiment(
   series.rounds = metrics.aggregate(config.trim_fraction);
   series.runs_with_progress = static_cast<double>(runs_with_progress) /
                               static_cast<double>(config.runs);
+  series.live_series = live_samples.mean_series();
+  series.cooperation_series = coop_samples.mean_series();
+  series.min_live = min_live;
+  series.max_live = max_live;
   return series;
 }
 

@@ -1,11 +1,18 @@
 // The Fig-3 experiment: how the share of nodes extracting final /
 // tentative / no blocks evolves per round as a fraction of the network
 // defects. Multiple independent runs, trimmed-mean aggregation.
+//
+// PR 3 generalizes it into the scenario engine: a ScenarioPolicyConfig
+// slots a behaviour-policy layer (adaptive best-response defection,
+// stake-correlated defection, churn) in front of every round, with the
+// default (scripted, no churn) bit-identical to the original Fig-3
+// semantics.
 #pragma once
 
 #include "consensus/params.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
+#include "sim/scenario_policy.hpp"
 
 namespace roleshare::sim {
 
@@ -27,6 +34,10 @@ struct DefectionExperimentConfig {
   /// run's total stake (required for small simulated networks).
   bool scale_params_to_stake = true;
   consensus::ConsensusParams params{};
+  /// Behaviour-policy layer applied per run (adaptive / stake-correlated
+  /// defection, churn). The default — scripted, no churn — leaves every
+  /// aggregate bit-identical to the pre-policy experiment.
+  ScenarioPolicyConfig policy{};
 };
 
 struct DefectionSeries {
@@ -34,10 +45,20 @@ struct DefectionSeries {
   /// Fraction of runs in which the chain gained at least one non-empty
   /// block (network-level liveness indicator).
   double runs_with_progress = 0.0;
+  /// Mean live-node count per round across runs — round-varying under
+  /// churn, constant node_count otherwise.
+  std::vector<double> live_series;
+  /// Smallest / largest live count observed in any (run, round).
+  std::size_t min_live = 0;
+  std::size_t max_live = 0;
+  /// Mean fraction of live nodes playing Cooperate per round — the
+  /// series that shows adaptive defection unraveling (or not).
+  std::vector<double> cooperation_series;
 };
 
 /// Runs the experiment on the shared ExperimentRunner engine.
-/// Deterministic in config.network.seed, independent of config.threads.
+/// Deterministic in config.network.seed, independent of config.threads
+/// and config.inner_threads.
 DefectionSeries run_defection_experiment(
     const DefectionExperimentConfig& config);
 

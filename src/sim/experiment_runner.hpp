@@ -24,6 +24,7 @@
 // experiments must follow.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <exception>
 #include <optional>
@@ -61,14 +62,23 @@ struct ResolvedParallelism {
 
 /// Resolves the two thread knobs (0 = hardware threads each) against the
 /// nested-parallelism contract: the outer run fan-out owns the cores when
-/// it is parallel (outer > 1 with more than one run), and only otherwise
-/// may the inner per-node fan-out activate. This keeps worker count at
-/// max(outer, inner), never outer × inner.
+/// it is parallel, and only otherwise may the inner per-node fan-out
+/// activate. This keeps worker count at max(outer, inner), never
+/// outer × inner.
+///
+/// The outer level is clamped to the run count BEFORE the
+/// oversubscription check: an experiment can never use more outer
+/// workers than it has runs, so e.g. a single-run workload with
+/// threads=0 (the round_latency shape) resolves to outer=1 and keeps its
+/// inner parallelism — without the caller having to remember to pass
+/// threads=1. The clamp is also what upholds the "exactly one level may
+/// be > 1" contract for consumers that read `outer` directly.
 inline ResolvedParallelism resolve_parallelism(const ExperimentSpec& spec) {
   ResolvedParallelism r;
-  r.outer = util::ThreadPool::resolve_thread_count(spec.threads);
+  r.outer = std::min(util::ThreadPool::resolve_thread_count(spec.threads),
+                     std::max<std::size_t>(spec.runs, 1));
   r.inner = util::ThreadPool::resolve_thread_count(spec.inner_threads);
-  if (r.outer > 1 && spec.runs > 1) r.inner = 1;
+  if (r.outer > 1) r.inner = 1;
   return r;
 }
 

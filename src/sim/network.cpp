@@ -58,6 +58,8 @@ Network::Network(const NetworkConfig& config)
   }
 
   strategies_.assign(config.node_count, game::Strategy::Cooperate);
+  live_mask_.assign(config.node_count, 1);
+  live_count_ = config.node_count;
   util::Rng init_rng = master_rng_.split("initial-strategies");
   decide_strategies(econ::CostModel{}, 0.0, init_rng);
 }
@@ -65,6 +67,18 @@ Network::Network(const NetworkConfig& config)
 void Network::set_behavior(ledger::NodeId v, BehaviorType b) {
   RS_REQUIRE(v < behaviors_.size(), "node id out of range");
   behaviors_[v] = b;
+}
+
+void Network::set_live(ledger::NodeId v, bool is_live) {
+  RS_REQUIRE(v < live_mask_.size(), "node id out of range");
+  const std::uint8_t next = is_live ? 1 : 0;
+  if (live_mask_[v] == next) return;
+  live_mask_[v] = next;
+  if (is_live) {
+    ++live_count_;
+  } else {
+    --live_count_;
+  }
 }
 
 void Network::decide_strategies(const econ::CostModel& costs,

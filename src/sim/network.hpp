@@ -60,6 +60,16 @@ class Network {
   BehaviorType behavior(ledger::NodeId v) const { return behaviors_.at(v); }
   void set_behavior(ledger::NodeId v, BehaviorType b);
 
+  /// Churn support: whether node v is currently part of the network.
+  /// Departed nodes keep their keys, account and behaviour but do not
+  /// participate in sortition, gossip or rewards until they rejoin — the
+  /// round engine indexes live nodes through this mask.
+  bool live(ledger::NodeId v) const { return live_mask_.at(v) != 0; }
+  const std::vector<std::uint8_t>& live_mask() const { return live_mask_; }
+  void set_live(ledger::NodeId v, bool is_live);
+  /// Number of live nodes (== node_count() until churn removes some).
+  std::size_t live_count() const { return live_count_; }
+
   /// The strategy each node plays in the upcoming round.
   const std::vector<game::Strategy>& strategies() const {
     return strategies_;
@@ -91,6 +101,8 @@ class Network {
   net::SynchronyController synchrony_;
   std::vector<BehaviorType> behaviors_;
   std::vector<game::Strategy> strategies_;
+  std::vector<std::uint8_t> live_mask_;
+  std::size_t live_count_ = 0;
 };
 
 }  // namespace roleshare::sim

@@ -139,27 +139,37 @@ RoundResult RoundEngine::run_round() {
   // position, so the two cannot interfere.
   const util::Rng gossip_root = rng.split("gossip");
 
-  const std::vector<std::int64_t> stakes = net.accounts().stakes();
+  // Departed (non-live) nodes leave the active stake pool entirely: with
+  // stake 0 sortition can never elect them, and the committee expectations
+  // are measured against live stake only. Node ids stay stable — every
+  // per-node vector below remains indexed by the full population.
+  const std::vector<std::uint8_t>& live = net.live_mask();
+  std::vector<std::int64_t> stakes = net.accounts().stakes();
   std::int64_t total_stake = 0;
-  for (const std::int64_t s : stakes) total_stake += s;
-  RS_REQUIRE(total_stake > 0, "network has no stake");
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!live[v]) stakes[v] = 0;
+    total_stake += stakes[v];
+  }
+  RS_REQUIRE(total_stake > 0,
+             "network has no live stake — churn floor left no live nodes");
 
   RoundResult result;
   result.round = round;
+  result.live_count = net.live_count();
   result.synchrony = net.synchrony().advance_round(rng);
 
   const net::GossipEngine gossip(net.topology(), net.delays(),
                                  net.synchrony().delay_factor());
 
   // Relay set from this round's strategies: cooperators forward, online
-  // defectors receive only, offline nodes are absent.
+  // defectors receive only, offline and departed nodes are absent.
   const std::vector<Strategy>& strategies = net.strategies();
   net::RelaySet relay;
   relay.relays.assign(n, false);
   relay.online.assign(n, false);
   for (std::size_t v = 0; v < n; ++v) {
-    relay.online[v] = strategies[v] != Strategy::Offline;
-    relay.relays[v] = strategies[v] == Strategy::Cooperate;
+    relay.online[v] = live[v] && strategies[v] != Strategy::Offline;
+    relay.relays[v] = live[v] && strategies[v] == Strategy::Cooperate;
   }
 
   const Hash256 prev_seed = net.chain().current_seed();
@@ -346,15 +356,16 @@ RoundResult RoundEngine::run_round() {
     }
   });
 
+  // Fractions over the live population (live_count > 0 is implied by the
+  // live-stake check above); without churn this is the full node count.
   std::size_t finals_count = 0, tentative_count = 0;
   for (const NodeOutcome o : result.outcomes) {
     if (o == NodeOutcome::Final) ++finals_count;
     if (o == NodeOutcome::Tentative) ++tentative_count;
   }
-  result.final_fraction = static_cast<double>(finals_count) /
-                          static_cast<double>(n);
-  result.tentative_fraction =
-      static_cast<double>(tentative_count) / static_cast<double>(n);
+  const auto live_n = static_cast<double>(result.live_count);
+  result.final_fraction = static_cast<double>(finals_count) / live_n;
+  result.tentative_fraction = static_cast<double>(tentative_count) / live_n;
   result.none_fraction =
       1.0 - result.final_fraction - result.tentative_fraction;
 

@@ -34,9 +34,14 @@ enum class NodeOutcome : std::uint8_t { Final, Tentative, NoBlock };
 
 struct RoundResult {
   ledger::Round round = 0;
-  /// Outcome per node (offline nodes count as NoBlock).
+  /// Outcome per node, indexed by node id over the FULL population
+  /// (offline and departed nodes count as NoBlock).
   std::vector<NodeOutcome> outcomes;
-  /// Fractions over all nodes.
+  /// Nodes present (live) this round — round-varying under churn; the
+  /// denominator of the outcome fractions below. Equals outcomes.size()
+  /// on churn-free networks.
+  std::size_t live_count = 0;
+  /// Fractions over the live population.
   double final_fraction = 0.0;
   double tentative_fraction = 0.0;
   double none_fraction = 0.0;

@@ -37,8 +37,25 @@ StrategicLoopResult run_strategic_loop(const StrategicLoopConfig& config,
 
   game::Profile profile(net.node_count(), config.initial);
   StrategicLoopResult result;
+  // Churn state: per-(round, node) streams off the shared scenario-policy
+  // root, so a strategic loop and a policy-driven defection run with the
+  // same seed see the same join/leave pattern.
+  const util::Rng policy_root = scenario_policy_root(config.network.seed);
+  std::vector<std::uint8_t> was_live(net.node_count(), 1);
 
   for (std::size_t t = 0; t < config.rounds; ++t) {
+    if (config.churn.enabled()) {
+      apply_churn(net, config.churn, policy_root, t);
+      for (std::size_t v = 0; v < profile.size(); ++v) {
+        const auto id = static_cast<ledger::NodeId>(v);
+        if (!net.live(id)) {
+          profile[v] = game::Strategy::Offline;
+        } else if (!was_live[v]) {
+          profile[v] = config.initial;  // rejoined: restart from the seed
+        }
+        was_live[v] = net.live(id) ? 1 : 0;
+      }
+    }
     net.set_strategies(profile);
     const RoundResult round = engine.run_round();
 
@@ -46,11 +63,12 @@ StrategicLoopResult run_strategic_loop(const StrategicLoopConfig& config,
     stats.round = round.round;
     stats.final_fraction = round.final_fraction;
     stats.non_empty_block = round.non_empty_block;
+    stats.live = round.live_count;
     std::size_t coop = 0;
     for (const game::Strategy s : profile)
       if (s == game::Strategy::Cooperate) ++coop;
     stats.cooperation_fraction =
-        static_cast<double>(coop) / static_cast<double>(profile.size());
+        static_cast<double>(coop) / static_cast<double>(round.live_count);
 
     // Rewards for this round, and the induced one-round game. Nodes know
     // their *true* roles when reasoning about deviations.
@@ -99,8 +117,9 @@ StrategicLoopResult run_strategic_loop(const StrategicLoopConfig& config,
     // Per-index claiming, not chunks: each best response is a heavy game
     // evaluation, and populations are often smaller than a single chunk.
     engine.executor().for_each_index(profile.size(), [&](std::size_t v) {
-      next[v] = game::best_response(game, profile,
-                                    static_cast<ledger::NodeId>(v));
+      const auto id = static_cast<ledger::NodeId>(v);
+      if (!net.live(id)) return;  // departed nodes stay Offline
+      next[v] = game::best_response(game, profile, id);
     });
     profile = std::move(next);
   }
@@ -109,7 +128,7 @@ StrategicLoopResult run_strategic_loop(const StrategicLoopConfig& config,
   for (const game::Strategy s : profile)
     if (s == game::Strategy::Cooperate) ++coop;
   result.final_cooperation =
-      static_cast<double>(coop) / static_cast<double>(profile.size());
+      static_cast<double>(coop) / static_cast<double>(net.live_count());
   return result;
 }
 

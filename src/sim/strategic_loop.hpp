@@ -22,6 +22,7 @@
 
 #include "game/game_model.hpp"
 #include "sim/round_engine.hpp"
+#include "sim/scenario_policy.hpp"
 
 namespace roleshare::sim {
 
@@ -40,14 +41,19 @@ struct StrategicLoopConfig {
   /// (sortition, gossip, tallies) and the best-response sweep over the
   /// population. Neither changes results for any thread count.
   std::size_t threads = 1;
+  /// Optional churn schedule: nodes leave/join between rounds on
+  /// deterministic per-(round, node) streams (scenario_policy.hpp).
+  /// Departed nodes play Offline; rejoining nodes restart from `initial`.
+  ChurnSchedule churn{};
 };
 
 struct StrategicRoundStats {
   ledger::Round round = 0;
-  double cooperation_fraction = 0.0;  // share of nodes playing C
+  double cooperation_fraction = 0.0;  // share of live nodes playing C
   double final_fraction = 0.0;        // share extracting a final block
   double bi_algos = 0.0;              // reward paid this round
   bool non_empty_block = false;
+  std::size_t live = 0;               // live-node count (churn)
 };
 
 struct StrategicLoopResult {

@@ -25,7 +25,7 @@ double stddev(const std::vector<double>& xs) {
 double trimmed_mean(std::vector<double> xs, double trim_fraction) {
   RS_REQUIRE(trim_fraction >= 0.0 && trim_fraction < 0.5,
              "trim fraction in [0, 0.5)");
-  if (xs.empty()) return 0.0;
+  RS_REQUIRE(!xs.empty(), "trimmed mean of empty sample");
   std::sort(xs.begin(), xs.end());
   const auto cut = static_cast<std::size_t>(
       std::floor(trim_fraction * static_cast<double>(xs.size())));

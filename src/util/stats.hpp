@@ -10,13 +10,17 @@
 
 namespace roleshare::util {
 
+/// Arithmetic mean; 0 for an empty sample (callers that must distinguish
+/// "no samples" from a true zero guard before calling — see
+/// sim::PerRoundSamples' empty-round semantics).
 double mean(const std::vector<double>& xs);
 
 /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
 double stddev(const std::vector<double>& xs);
 
 /// Mean after discarding the lowest and highest trim_fraction of samples.
-/// trim_fraction in [0, 0.5). The paper uses 0.2.
+/// trim_fraction in [0, 0.5); the sample must be non-empty. The paper
+/// uses 0.2.
 double trimmed_mean(std::vector<double> xs, double trim_fraction);
 
 /// Linear-interpolated percentile, p in [0, 100].

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
@@ -162,8 +163,10 @@ TEST(OutcomeMetrics, MergeMatchesDirectRecording) {
   OutcomeMetrics direct(2), left(2), right(2);
   direct.record(0, 80.0, 15.0, 5.0);
   direct.record(0, 60.0, 30.0, 10.0);
+  direct.record(1, 90.0, 10.0, 0.0);
   left.record(0, 80.0, 15.0, 5.0);
   right.record(0, 60.0, 30.0, 10.0);
+  right.record(1, 90.0, 10.0, 0.0);
   left.merge(right);
   EXPECT_EQ(left.runs_recorded(0), direct.runs_recorded(0));
   const auto a = direct.aggregate(0.0);
@@ -186,6 +189,85 @@ TEST(PerRoundSamples, MergePreservesInsertionOrder) {
   EXPECT_EQ(a.count(1), 1u);
   PerRoundSamples mismatched(3);
   EXPECT_THROW(a.merge(mismatched), std::invalid_argument);
+}
+
+TEST(PerRoundSamples, MergeWithAsymmetricPerRoundCounts) {
+  // Runs of different lengths: the left operand recorded rounds {0, 1},
+  // the right only round 1 plus extra samples for round 2 the left never
+  // saw. Merge must append per round without requiring equal counts.
+  PerRoundSamples a(3), b(3);
+  a.record(0, 1.0);
+  a.record(1, 2.0);
+  b.record(1, 4.0);
+  b.record(2, 8.0);
+  b.record(2, 16.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 1u);
+  EXPECT_EQ(a.count(1), 2u);
+  EXPECT_EQ(a.count(2), 2u);
+  EXPECT_EQ(a.samples(1), (std::vector<double>{2.0, 4.0}));
+  EXPECT_EQ(a.samples(2), (std::vector<double>{8.0, 16.0}));
+  // The merged matrix reduces normally; no round is empty here.
+  const auto means = a.mean_series();
+  EXPECT_DOUBLE_EQ(means[0], 1.0);
+  EXPECT_DOUBLE_EQ(means[1], 3.0);
+  EXPECT_DOUBLE_EQ(means[2], 12.0);
+}
+
+TEST(PerRoundSamples, EmptyRoundsReduceToNaNDeterministically) {
+  // A round with zero samples (churn emptying a cohort) must yield quiet
+  // NaN in every series — never UB, a throw, or a fabricated 0.0.
+  PerRoundSamples samples(3);
+  samples.record(0, 5.0);
+  samples.record(2, 7.0);
+  EXPECT_TRUE(samples.empty_round(1));
+  EXPECT_FALSE(samples.empty_round(0));
+  for (const auto& series :
+       {samples.trimmed_mean_series(0.2), samples.mean_series(),
+        samples.percentile_series(50.0)}) {
+    ASSERT_EQ(series.size(), 3u);
+    EXPECT_EQ(series[0], 5.0);
+    EXPECT_TRUE(std::isnan(series[1]));
+    EXPECT_EQ(series[2], 7.0);
+  }
+}
+
+TEST(ResolveParallelism, OuterClampedToRunCount) {
+  // A single-run workload must not let the outer level block inner
+  // parallelism (the round_latency shape), and more generally outer can
+  // never exceed the run count.
+  ExperimentSpec single;
+  single.runs = 1;
+  single.threads = 8;
+  single.inner_threads = 4;
+  const ResolvedParallelism a = resolve_parallelism(single);
+  EXPECT_EQ(a.outer, 1u);
+  EXPECT_EQ(a.inner, 4u);
+
+  ExperimentSpec few;
+  few.runs = 3;
+  few.threads = 16;
+  few.inner_threads = 4;
+  const ResolvedParallelism b = resolve_parallelism(few);
+  EXPECT_EQ(b.outer, 3u);
+  EXPECT_EQ(b.inner, 1u);  // outer still parallel -> inner forced serial
+
+  // Exactly one level may ever be > 1 — for every combination.
+  for (const std::size_t runs : {1u, 2u, 7u}) {
+    for (const std::size_t threads : {0u, 1u, 2u, 8u}) {
+      for (const std::size_t inner : {0u, 1u, 2u, 8u}) {
+        ExperimentSpec spec;
+        spec.runs = runs;
+        spec.threads = threads;
+        spec.inner_threads = inner;
+        const ResolvedParallelism par = resolve_parallelism(spec);
+        EXPECT_TRUE(par.outer == 1 || par.inner == 1)
+            << "runs=" << runs << " threads=" << threads
+            << " inner=" << inner;
+        EXPECT_LE(par.outer, runs);
+      }
+    }
+  }
 }
 
 }  // namespace

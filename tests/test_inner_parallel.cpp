@@ -164,6 +164,55 @@ TEST(RoundEngine, InnerPoolBitIdenticalToSerial) {
   }
 }
 
+TEST(ScenarioPolicies, BitIdenticalAcrossInnerThreads) {
+  // Every behaviour policy (adaptive best-response, stake-correlated,
+  // churn) must be a pure function of the seed: inner_threads ∈ {1, 2, hw}
+  // may not change a single aggregate, live count or cooperation share.
+  auto run_with = [](sim::PolicyKind kind, bool churn, std::size_t inner) {
+    sim::DefectionExperimentConfig config;
+    config.network.node_count = 70;
+    config.network.seed = 37;
+    config.runs = 2;
+    config.rounds = 4;
+    config.inner_threads = inner;
+    config.policy.kind = kind;
+    if (kind == sim::PolicyKind::StakeCorrelatedDefect) {
+      config.policy.defect_at_bottom = 0.5;
+    } else {
+      config.network.defection_rate = 0.2;
+    }
+    if (churn) {
+      config.policy.churn.leave_probability = 0.1;
+      config.policy.churn.join_probability = 0.2;
+      config.policy.churn.min_live = 20;
+    }
+    return sim::run_defection_experiment(config);
+  };
+  for (const sim::PolicyKind kind :
+       {sim::PolicyKind::AdaptiveDefect,
+        sim::PolicyKind::StakeCorrelatedDefect}) {
+    for (const bool churn : {false, true}) {
+      const sim::DefectionSeries baseline = run_with(kind, churn, 1);
+      for (const std::size_t inner : kInnerSettings) {
+        const sim::DefectionSeries series = run_with(kind, churn, inner);
+        ASSERT_EQ(series.rounds.size(), baseline.rounds.size());
+        for (std::size_t r = 0; r < series.rounds.size(); ++r) {
+          EXPECT_EQ(series.rounds[r].final_pct, baseline.rounds[r].final_pct)
+              << "kind=" << static_cast<int>(kind) << " churn=" << churn
+              << " inner=" << inner << " round=" << r;
+          EXPECT_EQ(series.rounds[r].tentative_pct,
+                    baseline.rounds[r].tentative_pct);
+          EXPECT_EQ(series.rounds[r].none_pct, baseline.rounds[r].none_pct);
+        }
+        EXPECT_EQ(series.live_series, baseline.live_series);
+        EXPECT_EQ(series.cooperation_series, baseline.cooperation_series);
+        EXPECT_EQ(series.min_live, baseline.min_live);
+        EXPECT_EQ(series.max_live, baseline.max_live);
+      }
+    }
+  }
+}
+
 TEST(DefectionExperiment, BitIdenticalAcrossInnerThreads) {
   auto run_with = [](std::size_t inner) {
     sim::DefectionExperimentConfig config;
