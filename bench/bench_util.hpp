@@ -9,10 +9,15 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include <sys/resource.h>
 
 namespace roleshare::bench {
 
@@ -32,6 +37,18 @@ inline long long arg_int(int argc, char** argv, const std::string& name,
     const std::string arg = argv[i];
     if (arg.rfind(prefix, 0) == 0)
       return std::atoll(arg.substr(prefix.size()).c_str());
+  }
+  return fallback;
+}
+
+/// Parses "--name=value" from argv as a string; returns fallback when
+/// absent (e.g. --agg=streaming, --partial-out=shard0.json).
+inline std::string arg_string(int argc, char** argv, const std::string& name,
+                              const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
   }
   return fallback;
 }
@@ -131,10 +148,44 @@ inline const char* git_sha() {
 #endif
 }
 
+/// Peak resident set size of this process in bytes (getrusage); the
+/// BENCH_*.json field that tracks the exact-vs-streaming accumulator
+/// memory win over time. 0 where the platform reports nothing useful.
+inline double peak_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#ifdef __APPLE__
+  return static_cast<double>(usage.ru_maxrss);  // already bytes
+#else
+  return static_cast<double>(usage.ru_maxrss) * 1024.0;  // Linux: KiB
+#endif
+}
+
+/// Reads a whole file; throws std::runtime_error naming the path when it
+/// cannot be opened (shard partials, series snapshots).
+inline std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Writes a whole file; throws std::runtime_error naming the path on
+/// failure.
+inline void write_text_file(const std::string& path,
+                            const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << content;
+  if (!out) throw std::runtime_error("short write to " + path);
+}
+
 /// Writes BENCH_<name>.json next to the binary's working directory:
 /// a flat object of numeric and string fields (timings, config, headline
 /// results) so the perf trajectory can be tracked without scraping stdout.
-/// The building git SHA is appended to every file automatically.
+/// The building git SHA and the process's peak RSS are appended to every
+/// file automatically.
 inline void emit_json(const std::string& name, const JsonFields& fields) {
   const std::string path = "BENCH_" + name + ".json";
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -157,6 +208,7 @@ inline void emit_json(const std::string& name, const JsonFields& fields) {
                    value.number());
     }
   }
+  std::fprintf(out, ",\n  \"peak_rss_bytes\": %.17g", peak_rss_bytes());
   std::fprintf(out, ",\n  \"git_sha\": \"%s\"\n}\n",
                json_escape(git_sha()).c_str());
   std::fclose(out);

@@ -12,12 +12,58 @@
 // --inner-threads=N instead parallelizes each run's per-node round-engine
 // loops — the knob for single-run latency at large --nodes; also
 // bit-identical, and forced serial while --threads is parallel.
+//
+// Aggregation / sharding knobs (see DESIGN.md "Accumulators & sharding"):
+//   --agg={exact,streaming}   reduction backend; streaming caps the
+//                             accumulator state at O(rounds) memory.
+//   --run-begin=B --run-end=E execute only global runs [B, E) — one shard
+//                             of a multi-process sweep.
+//   --partial-out=FILE        write the shard's mergeable partial (JSON)
+//                             instead of a figure; feed the files from
+//                             all shards to merge_partials.
+//   --series-out=FILE         also write the deterministic series
+//                             snapshot the CI shard-smoke job diffs
+//                             against a merged run.
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
+#include "shard_util.hpp"
 #include "sim/defection_experiment.hpp"
 
 using namespace roleshare;
+
+namespace {
+
+constexpr double kRates[] = {0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
+constexpr char kPanels[] = {'a', 'b', 'c', 'd', 'e', 'f'};
+constexpr double kTrim = 0.2;
+
+sim::DefectionExperimentConfig panel_config(
+    std::size_t i, std::size_t nodes, std::size_t runs, std::size_t rounds,
+    std::size_t threads, std::size_t inner_threads, sim::AggBackend agg,
+    sim::RunShard shard) {
+  sim::DefectionExperimentConfig config;
+  config.network.node_count = nodes;
+  config.network.seed = 42 + i;
+  config.network.defection_rate = kRates[i];
+  // Mild weak-synchrony churn so the tentative-then-recover pattern the
+  // paper highlights (Fig 3-c, rounds 17-20) can emerge; degradation
+  // deepens with defection as in the paper's narrative.
+  config.network.synchrony.degrade_probability = 0.05 + kRates[i] / 2.0;
+  config.network.synchrony.degraded_delay_factor = 25.0;
+  config.network.synchrony.max_degraded_rounds = 2;
+  config.runs = runs;
+  config.rounds = rounds;
+  config.threads = threads;
+  config.inner_threads = inner_threads;
+  config.trim_fraction = kTrim;
+  config.agg = agg;
+  config.shard = shard;
+  return config;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const auto nodes = static_cast<std::size_t>(
@@ -28,15 +74,46 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 30));
   const std::size_t threads = bench::arg_threads(argc, argv);
   const std::size_t inner_threads = bench::arg_inner_threads(argc, argv);
+  const sim::AggBackend agg = bench::arg_agg(argc, argv);
+  const sim::RunShard shard = bench::arg_run_shard(argc, argv, runs);
+  const std::string partial_out =
+      bench::arg_string(argc, argv, "partial-out", "");
+  const std::string series_out =
+      bench::arg_string(argc, argv, "series-out", "");
 
   bench::print_header("Figure 3", "block extraction vs. defection rate");
   std::printf("nodes=%zu runs=%zu rounds=%zu threads=%zu inner-threads=%zu "
-              "stakes=U(1,50) fanout=5 (override with "
-              "--nodes/--runs/--rounds/--threads/--inner-threads)\n",
-              nodes, runs, rounds, threads, inner_threads);
+              "agg=%s stakes=U(1,50) fanout=5 (override with "
+              "--nodes/--runs/--rounds/--threads/--inner-threads/--agg; "
+              "shard with --run-begin/--run-end + --partial-out)\n",
+              nodes, runs, rounds, threads, inner_threads,
+              sim::to_string(agg));
 
-  const double rates[] = {0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
-  const char panel[] = {'a', 'b', 'c', 'd', 'e', 'f'};
+  if (!partial_out.empty()) {
+    // Shard-worker mode: execute the run window, write the mergeable
+    // partial, and stop — merge_partials folds the shards into the
+    // figure.
+    std::size_t begin = 0, end = 0;
+    util::json::Value panels = util::json::Value::array();
+    for (std::size_t i = 0; i < 6; ++i) {
+      const sim::DefectionPartial partial = sim::run_defection_partial(
+          panel_config(i, nodes, runs, rounds, threads, inner_threads, agg,
+                       shard));
+      begin = partial.run_begin();
+      end = partial.run_end();
+      util::json::Value panel = util::json::Value::object();
+      panel.set("rate_pct", kRates[i] * 100.0);
+      panel.set("partial", partial.to_json());
+      panels.push_back(std::move(panel));
+    }
+    util::json::Value doc = bench::shard_document_header(
+        "fig3_defection", nodes, runs, rounds, agg, kTrim, begin, end);
+    doc.set("panels", std::move(panels));
+    bench::write_text_file(partial_out, doc.dump() + "\n");
+    std::printf("\n[shard] wrote partial for runs [%zu, %zu) of %zu to %s\n",
+                begin, end, runs, partial_out.c_str());
+    return 0;
+  }
 
   const bench::WallTimer timer;
   bench::JsonFields json_fields = {
@@ -44,45 +121,47 @@ int main(int argc, char** argv) {
       {"runs", static_cast<double>(runs)},
       {"rounds", static_cast<double>(rounds)},
       {"threads", static_cast<double>(threads)},
-      {"inner_threads", static_cast<double>(inner_threads)}};
+      {"inner_threads", static_cast<double>(inner_threads)},
+      {"agg", sim::to_string(agg)}};
 
+  std::size_t accumulator_bytes = 0;
+  std::size_t begin = 0, end = runs;
+  util::json::Value series_panels = util::json::Value::array();
   for (std::size_t i = 0; i < 6; ++i) {
-    sim::DefectionExperimentConfig config;
-    config.network.node_count = nodes;
-    config.network.seed = 42 + i;
-    config.network.defection_rate = rates[i];
-    // Mild weak-synchrony churn so the tentative-then-recover pattern the
-    // paper highlights (Fig 3-c, rounds 17-20) can emerge; degradation
-    // deepens with defection as in the paper's narrative.
-    config.network.synchrony.degrade_probability = 0.05 + rates[i] / 2.0;
-    config.network.synchrony.degraded_delay_factor = 25.0;
-    config.network.synchrony.max_degraded_rounds = 2;
-    config.runs = runs;
-    config.rounds = rounds;
-    config.threads = threads;
-    config.inner_threads = inner_threads;
+    const sim::DefectionExperimentConfig config = panel_config(
+        i, nodes, runs, rounds, threads, inner_threads, agg, shard);
+    const sim::DefectionPartial partial = sim::run_defection_partial(config);
+    begin = partial.run_begin();
+    end = partial.run_end();
+    const sim::DefectionSeries series = partial.finalize(kTrim);
+    accumulator_bytes += series.accumulator_bytes;
 
-    const sim::DefectionSeries series = sim::run_defection_experiment(config);
-
-    std::printf("\n--- Fig 3(%c): defection rate %.0f%% ---\n", panel[i],
-                rates[i] * 100);
-    std::printf("%6s %10s %12s %10s\n", "round", "final%", "tentative%",
-                "none%");
-    for (std::size_t r = 0; r < series.rounds.size(); ++r) {
-      const sim::RoundAggregate& agg = series.rounds[r];
-      std::printf("%6zu %10.1f %12.1f %10.1f\n", r + 1, agg.final_pct,
-                  agg.tentative_pct, agg.none_pct);
-    }
-    double mean_final = 0;
-    for (const auto& agg : series.rounds) mean_final += agg.final_pct;
-    mean_final /= static_cast<double>(series.rounds.size());
+    std::printf("\n--- Fig 3(%c): defection rate %.0f%% ---\n", kPanels[i],
+                kRates[i] * 100);
+    bench::print_defection_table(series);
+    const double mean_final = bench::mean_final_pct(series);
     std::printf("mean final%% = %.1f | runs with chain progress = %.0f%%\n",
                 mean_final, series.runs_with_progress * 100);
     json_fields.emplace_back(
-        "mean_final_pct_" + std::to_string(static_cast<int>(rates[i] * 100)),
+        "mean_final_pct_" + std::to_string(static_cast<int>(kRates[i] * 100)),
         mean_final);
+
+    util::json::Value panel = util::json::Value::object();
+    panel.set("rate_pct", kRates[i] * 100.0);
+    panel.set("series", bench::defection_series_json(series));
+    series_panels.push_back(std::move(panel));
   }
 
+  if (!series_out.empty()) {
+    util::json::Value doc = bench::shard_document_header(
+        "fig3_defection", nodes, runs, rounds, agg, kTrim, begin, end);
+    doc.set("panels", std::move(series_panels));
+    bench::write_text_file(series_out, doc.dump() + "\n");
+    std::printf("\n[series] wrote %s\n", series_out.c_str());
+  }
+
+  json_fields.emplace_back("accumulator_bytes",
+                           static_cast<double>(accumulator_bytes));
   json_fields.emplace_back("wall_ms", timer.elapsed_ms());
   bench::emit_json("fig3_defection", json_fields);
 

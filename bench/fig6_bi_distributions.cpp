@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "shard_util.hpp"
 #include "sim/reward_experiment.hpp"
 #include "util/histogram.hpp"
 #include "util/stats.hpp"
@@ -25,19 +26,25 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 10));
   const std::size_t threads = bench::arg_threads(argc, argv);
   const std::size_t inner_threads = bench::arg_inner_threads(argc, argv);
+  const sim::AggBackend agg = bench::arg_agg(argc, argv);
+  const sim::RunShard shard = bench::arg_run_shard(argc, argv, runs);
 
   bench::print_header("Figure 6", "distribution of computed B_i per round");
   std::printf("nodes=%zu runs=%zu rounds/run=%zu threads=%zu "
-              "inner-threads=%zu tx-churn=1000x U(-4,4) "
-              "(paper: 500k nodes; scale with --nodes)\n",
-              nodes, runs, rounds, threads, inner_threads);
+              "inner-threads=%zu agg=%s tx-churn=1000x U(-4,4) "
+              "(paper: 500k nodes; scale with --nodes; shard with "
+              "--run-begin/--run-end)\n",
+              nodes, runs, rounds, threads, inner_threads,
+              sim::to_string(agg));
   const bench::WallTimer timer;
   bench::JsonFields json_fields = {
       {"nodes", static_cast<double>(nodes)},
       {"runs", static_cast<double>(runs)},
       {"rounds", static_cast<double>(rounds)},
       {"threads", static_cast<double>(threads)},
-      {"inner_threads", static_cast<double>(inner_threads)}};
+      {"inner_threads", static_cast<double>(inner_threads)},
+      {"agg", sim::to_string(agg)}};
+  std::size_t accumulator_bytes = 0;
 
   const sim::StakeSpec specs[] = {
       sim::StakeSpec::uniform(1, 200), sim::StakeSpec::normal(100, 20),
@@ -53,31 +60,48 @@ int main(int argc, char** argv) {
     config.rounds_per_run = rounds;
     config.threads = threads;
     config.inner_threads = inner_threads;
+    config.agg = agg;
+    config.shard = shard;
 
     const sim::RewardExperimentResult result =
         sim::run_reward_experiment(config);
     json_fields.emplace_back("mean_bi_" + std::string(1, panel[i]),
                              result.mean_bi);
-    const util::Summary summary = util::summarize(result.bi_algos);
+    accumulator_bytes += result.accumulator_bytes;
 
     std::printf("\n--- Fig 6(%c): stakes %s ---\n", panel[i],
                 specs[i].name().c_str());
-    std::printf("mean S_N = %.1fM Algos | feasible rounds = %zu | "
-                "infeasible = %zu\n",
-                result.mean_total_stake / 1e6, result.bi_algos.size(),
-                result.infeasible_rounds);
-    std::printf("B_i Algos: mean=%.2f sd=%.2f min=%.2f p25=%.2f med=%.2f "
-                "p75=%.2f max=%.2f\n",
-                summary.mean, summary.stddev, summary.min, summary.p25,
-                summary.median, summary.p75, summary.max);
+    std::printf("mean S_N = %.1fM Algos | infeasible = %zu\n",
+                result.mean_total_stake / 1e6, result.infeasible_rounds);
     std::printf("mean split: alpha=%.4f beta=%.4f gamma=%.4f\n",
                 result.mean_alpha, result.mean_beta,
                 1.0 - result.mean_alpha - result.mean_beta);
+    if (agg == sim::AggBackend::Streaming) {
+      // Streaming backend: the raw sample list is deliberately not
+      // materialized — report the per-round means it does keep.
+      std::printf("B_i Algos mean=%.2f (streaming backend: raw samples not "
+                  "materialized, accumulator holds %.1f KiB)\n",
+                  result.mean_bi,
+                  static_cast<double>(result.accumulator_bytes) / 1024.0);
+      continue;
+    }
+    if (result.bi_algos.empty()) {
+      std::printf("B_i Algos: no feasible rounds — nothing to plot\n");
+      continue;
+    }
+    const util::Summary summary = util::summarize(result.bi_algos);
+    std::printf("B_i Algos (%zu feasible rounds): mean=%.2f sd=%.2f "
+                "min=%.2f p25=%.2f med=%.2f p75=%.2f max=%.2f\n",
+                result.bi_algos.size(), summary.mean, summary.stddev,
+                summary.min, summary.p25, summary.median, summary.p75,
+                summary.max);
     util::Histogram hist(summary.min * 0.95, summary.max * 1.05 + 1e-9, 12);
     hist.add_all(result.bi_algos);
     std::printf("%s", hist.render(40).c_str());
   }
 
+  json_fields.emplace_back("accumulator_bytes",
+                           static_cast<double>(accumulator_bytes));
   json_fields.emplace_back("wall_ms", timer.elapsed_ms());
   bench::emit_json("fig6_bi_distributions", json_fields);
 

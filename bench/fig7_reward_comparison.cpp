@@ -12,26 +12,36 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "shard_util.hpp"
 #include "sim/reward_experiment.hpp"
 
 using namespace roleshare;
 
 namespace {
 
+struct RunKnobs {
+  std::size_t threads = 1;
+  std::size_t inner_threads = 1;
+  sim::AggBackend agg = sim::AggBackend::Exact;
+  sim::RunShard shard{};
+};
+
 sim::RewardExperimentResult run_for(const sim::StakeSpec& spec,
                                     std::size_t nodes, std::size_t runs,
                                     std::size_t rounds,
                                     std::optional<std::int64_t> min_stake,
-                                    std::uint64_t seed, std::size_t threads,
-                                    std::size_t inner_threads) {
+                                    std::uint64_t seed,
+                                    const RunKnobs& knobs) {
   sim::RewardExperimentConfig config;
   config.node_count = nodes;
   config.seed = seed;
   config.stakes = spec;
   config.runs = runs;
   config.rounds_per_run = rounds;
-  config.threads = threads;
-  config.inner_threads = inner_threads;
+  config.threads = knobs.threads;
+  config.inner_threads = knobs.inner_threads;
+  config.agg = knobs.agg;
+  config.shard = knobs.shard;
   config.min_other_stake = min_stake;
   return sim::run_reward_experiment(config);
 }
@@ -45,13 +55,17 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(bench::arg_int(argc, argv, "runs", 30));
   const auto rounds =
       static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 10));
-  const std::size_t threads = bench::arg_threads(argc, argv);
-  const std::size_t inner_threads = bench::arg_inner_threads(argc, argv);
+  RunKnobs knobs;
+  knobs.threads = bench::arg_threads(argc, argv);
+  knobs.inner_threads = bench::arg_inner_threads(argc, argv);
+  knobs.agg = bench::arg_agg(argc, argv);
+  knobs.shard = bench::arg_run_shard(argc, argv, runs);
 
   bench::print_header("Figure 7", "our adaptive reward vs Foundation schedule");
   std::printf("nodes=%zu runs=%zu rounds/run=%zu threads=%zu "
-              "inner-threads=%zu\n",
-              nodes, runs, rounds, threads, inner_threads);
+              "inner-threads=%zu agg=%s (shard with --run-begin/--run-end)\n",
+              nodes, runs, rounds, knobs.threads, knobs.inner_threads,
+              sim::to_string(knobs.agg));
   const bench::WallTimer timer;
 
   const sim::StakeSpec specs[] = {
@@ -66,7 +80,7 @@ int main(int argc, char** argv) {
   std::vector<sim::RewardExperimentResult> results;
   for (std::size_t i = 0; i < 3; ++i)
     results.push_back(run_for(specs[i], nodes, runs, rounds, std::nullopt,
-                              2000 + i, threads, inner_threads));
+                              2000 + i, knobs));
   for (std::size_t r = 0; r < rounds; ++r) {
     std::printf("%6zu %12.1f", r + 1, results[0].foundation_per_round[r]);
     for (const auto& result : results)
@@ -98,7 +112,7 @@ int main(int argc, char** argv) {
   std::vector<sim::RewardExperimentResult> filtered;
   for (std::size_t i = 0; i < 3; ++i)
     filtered.push_back(run_for(specs[0], nodes, runs, rounds, filters[i],
-                               3000 + i, threads, inner_threads));
+                               3000 + i, knobs));
   std::printf("%6s %12s %12s %12s %12s\n", "round", "U(1,200)", "U3", "U5",
               "U7");
   double acc_base = 0;
@@ -113,13 +127,18 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
+  std::size_t accumulator_bytes = 0;
+  for (const auto& result : results) accumulator_bytes += result.accumulator_bytes;
+  for (const auto& result : filtered) accumulator_bytes += result.accumulator_bytes;
   bench::emit_json(
       "fig7_reward_comparison",
       {{"nodes", static_cast<double>(nodes)},
        {"runs", static_cast<double>(runs)},
        {"rounds", static_cast<double>(rounds)},
-       {"threads", static_cast<double>(threads)},
-       {"inner_threads", static_cast<double>(inner_threads)},
+       {"threads", static_cast<double>(knobs.threads)},
+       {"inner_threads", static_cast<double>(knobs.inner_threads)},
+       {"agg", sim::to_string(knobs.agg)},
+       {"accumulator_bytes", static_cast<double>(accumulator_bytes)},
        {"mean_bi_u1_200", results[0].mean_bi},
        {"mean_bi_n100_20", results[1].mean_bi},
        {"mean_bi_n100_10", results[2].mean_bi},

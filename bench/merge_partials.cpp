@@ -1,0 +1,165 @@
+// merge_partials — folds the per-shard partials of a sharded figure sweep
+// back into the figure (the reduce step of the run-range sharding
+// workflow; see DESIGN.md "Accumulators & sharding").
+//
+//   $ ./fig3_defection --runs=8 --run-begin=0 --run-end=4 --partial-out=s0.json
+//   $ ./fig3_defection --runs=8 --run-begin=4 --run-end=8 --partial-out=s1.json
+//   $ ./merge_partials --series-out=merged.json s0.json s1.json
+//
+// Shards may be listed in any order; they are sorted by run_begin and
+// must tile the full run range [0, runs) contiguously — the contract
+// that makes an exact-backend merge bit-identical to a single-process
+// execution (the CI smoke job diffs merged.json against an unsharded
+// --series-out byte for byte). Streaming-backend partials merge within
+// the documented reservoir error bound instead.
+//
+// Exit codes: 0 on success, 1 on malformed/incompatible/missing shards.
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "shard_util.hpp"
+#include "sim/defection_experiment.hpp"
+#include "util/json.hpp"
+
+using namespace roleshare;
+
+namespace {
+
+struct ShardFile {
+  std::string path;
+  util::json::Value doc;
+};
+
+/// Panel-indexed partials of one shard file, plus the config echo used
+/// for cross-shard compatibility checks.
+struct LoadedShard {
+  std::string path;
+  std::size_t run_begin = 0;
+  std::vector<double> rate_pcts;
+  std::vector<sim::DefectionPartial> panels;
+};
+
+LoadedShard load_shard(const ShardFile& file,
+                       const util::json::Value& reference_header) {
+  const util::json::Value& doc = file.doc;
+  for (const char* key : {"bench", "nodes", "runs", "rounds", "agg", "trim"}) {
+    const std::string a = doc.at(key).dump();
+    const std::string b = reference_header.at(key).dump();
+    if (a != b) {
+      throw std::invalid_argument(std::string("shard ") + file.path +
+                                  " disagrees on \"" + key + "\": " + a +
+                                  " vs " + b);
+    }
+  }
+  LoadedShard shard;
+  shard.path = file.path;
+  shard.run_begin = doc.at("run_begin").as_size();
+  for (const util::json::Value& panel : doc.at("panels").as_array()) {
+    shard.rate_pcts.push_back(panel.at("rate_pct").as_number());
+    shard.panels.push_back(
+        sim::DefectionPartial::from_json(panel.at("partial")));
+  }
+  if (shard.panels.empty())
+    throw std::invalid_argument("shard " + file.path + " has no panels");
+  return shard;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string series_out =
+      bench::arg_string(argc, argv, "series-out", "MERGED_series.json");
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) paths.push_back(arg);
+  }
+
+  bench::print_header("merge_partials", "fold shard partials into a figure");
+  if (paths.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: merge_partials [--series-out=FILE] "
+                 "shard0.json shard1.json ...\n"
+                 "(need at least two shard partial files)\n");
+    return 1;
+  }
+
+  try {
+    std::vector<ShardFile> files;
+    for (const std::string& path : paths)
+      files.push_back({path, util::json::parse(bench::read_text_file(path))});
+
+    std::sort(files.begin(), files.end(),
+              [](const ShardFile& a, const ShardFile& b) {
+                return a.doc.at("run_begin").as_size() <
+                       b.doc.at("run_begin").as_size();
+              });
+    const util::json::Value& header = files.front().doc;
+
+    std::optional<LoadedShard> merged;
+    for (const ShardFile& file : files) {
+      LoadedShard shard = load_shard(file, header);
+      if (!merged) {
+        merged = std::move(shard);
+        continue;
+      }
+      if (shard.panels.size() != merged->panels.size() ||
+          shard.rate_pcts != merged->rate_pcts) {
+        throw std::invalid_argument("shard " + shard.path +
+                                    " has a different panel layout");
+      }
+      // DefectionPartial::merge enforces window contiguity and names
+      // both windows when shards are missing or overlap.
+      for (std::size_t i = 0; i < merged->panels.size(); ++i)
+        merged->panels[i].merge(shard.panels[i]);
+    }
+
+    const std::size_t runs_total = merged->panels.front().runs_total();
+    if (merged->panels.front().run_begin() != 0 ||
+        merged->panels.front().run_end() != runs_total) {
+      throw std::invalid_argument(
+          "merged shards cover runs [" +
+          std::to_string(merged->panels.front().run_begin()) + ", " +
+          std::to_string(merged->panels.front().run_end()) + ") of " +
+          std::to_string(runs_total) + " — the shard set is incomplete");
+    }
+
+    const double trim = header.at("trim").as_number();
+    const sim::AggBackend agg =
+        sim::parse_agg_backend(header.at("agg").as_string());
+    std::printf("merged %zu shards x %zu panels, runs [0, %zu), agg=%s\n",
+                files.size(), merged->panels.size(), runs_total,
+                sim::to_string(agg));
+
+    util::json::Value series_panels = util::json::Value::array();
+    for (std::size_t i = 0; i < merged->panels.size(); ++i) {
+      const sim::DefectionSeries series = merged->panels[i].finalize(trim);
+      std::printf("\n--- panel %zu: defection rate %.0f%% ---\n", i + 1,
+                  merged->rate_pcts[i]);
+      bench::print_defection_table(series);
+      std::printf("mean final%% = %.1f | runs with chain progress = %.0f%%\n",
+                  bench::mean_final_pct(series),
+                  series.runs_with_progress * 100);
+      util::json::Value panel = util::json::Value::object();
+      panel.set("rate_pct", merged->rate_pcts[i]);
+      panel.set("series", bench::defection_series_json(series));
+      series_panels.push_back(std::move(panel));
+    }
+
+    util::json::Value doc = bench::shard_document_header(
+        header.at("bench").as_string(), header.at("nodes").as_size(),
+        header.at("runs").as_size(), header.at("rounds").as_size(), agg,
+        trim, 0, runs_total);
+    doc.set("panels", std::move(series_panels));
+    bench::write_text_file(series_out, doc.dump() + "\n");
+    std::printf("\n[series] wrote %s\n", series_out.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ERROR: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "sim/aggregators.hpp"
 #include "sim/round_engine.hpp"
 #include "util/thread_pool.hpp"
 
@@ -118,6 +119,29 @@ int main(int argc, char** argv) {
   std::printf("\nbit-identical aggregates: %s | speedup: %.2fx\n",
               identical ? "yes" : "NO — BUG", speedup);
 
+  // Accumulator memory story at this node count: record every per-node
+  // outcome of the serial pass into both reduction backends. The exact
+  // matrix grows with nodes x rounds; the streaming sketch must stay at
+  // O(rounds) — the state a paper-scale sharded sweep ships per shard.
+  const auto exact = sim::make_accumulator(sim::AggBackend::Exact, rounds);
+  const auto streaming =
+      sim::make_accumulator(sim::AggBackend::Streaming, rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (const sim::NodeOutcome outcome : serial.outcomes[r]) {
+      const double sample = static_cast<double>(outcome);
+      exact->record(r, sample);
+      streaming->record(r, sample);
+    }
+  }
+  const double mem_ratio =
+      static_cast<double>(exact->memory_bytes()) /
+      static_cast<double>(streaming->memory_bytes());
+  std::printf("accumulator memory (%zu samples/round): exact %.1f KiB, "
+              "streaming %.1f KiB (%.1fx smaller)\n",
+              nodes, static_cast<double>(exact->memory_bytes()) / 1024.0,
+              static_cast<double>(streaming->memory_bytes()) / 1024.0,
+              mem_ratio);
+
   bench::emit_json("round_latency",
                    {{"nodes", static_cast<double>(nodes)},
                     {"rounds", static_cast<double>(rounds)},
@@ -127,6 +151,11 @@ int main(int argc, char** argv) {
                     {"wall_ms_parallel", parallel.wall_ms},
                     {"speedup", speedup},
                     {"bit_identical", identical ? "yes" : "no"},
+                    {"exact_accum_bytes",
+                     static_cast<double>(exact->memory_bytes())},
+                    {"streaming_accum_bytes",
+                     static_cast<double>(streaming->memory_bytes())},
+                    {"accum_memory_ratio", mem_ratio},
                     {"wall_ms", serial.wall_ms + parallel.wall_ms}});
 
   if (!identical) {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "shard_util.hpp"
 #include "sim/defection_experiment.hpp"
 
 using namespace roleshare;
@@ -52,7 +53,7 @@ constexpr PolicyCase kPolicies[] = {
 sim::DefectionExperimentConfig make_config(
     const PolicyCase& policy, double level, std::size_t nodes,
     std::size_t runs, std::size_t rounds, std::uint64_t seed,
-    std::size_t threads, std::size_t inner_threads) {
+    std::size_t threads, std::size_t inner_threads, sim::AggBackend agg) {
   sim::DefectionExperimentConfig config;
   config.network.node_count = nodes;
   config.network.seed = seed;
@@ -60,6 +61,7 @@ sim::DefectionExperimentConfig make_config(
   config.rounds = rounds;
   config.threads = threads;
   config.inner_threads = inner_threads;
+  config.agg = agg;
   config.policy.kind = policy.kind;
   switch (policy.kind) {
     case sim::PolicyKind::Scripted:
@@ -134,13 +136,15 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(bench::arg_int(argc, argv, "seed", 99));
   const std::size_t threads = bench::arg_threads(argc, argv);
   const std::size_t inner_threads = bench::arg_inner_threads(argc, argv);
+  const sim::AggBackend agg = bench::arg_agg(argc, argv);
 
   bench::print_header("Scenario sweep",
                       "behaviour policies x defection levels");
   std::printf("nodes=%zu runs=%zu rounds=%zu threads=%zu inner-threads=%zu "
-              "(override with --nodes/--runs/--rounds/--threads/"
-              "--inner-threads)\n\n",
-              nodes, runs, rounds, threads, inner_threads);
+              "agg=%s (override with --nodes/--runs/--rounds/--threads/"
+              "--inner-threads/--agg)\n\n",
+              nodes, runs, rounds, threads, inner_threads,
+              sim::to_string(agg));
   std::printf("%10s %7s %8s %7s %13s %10s\n", "policy", "level", "final%",
               "coop%", "live min..max", "progress");
 
@@ -150,19 +154,22 @@ int main(int argc, char** argv) {
       {"runs", static_cast<double>(runs)},
       {"rounds", static_cast<double>(rounds)},
       {"threads", static_cast<double>(threads)},
-      {"inner_threads", static_cast<double>(inner_threads)}};
+      {"inner_threads", static_cast<double>(inner_threads)},
+      {"agg", sim::to_string(agg)}};
 
   bool all_identical = true;
   bool churn_varies = true;
+  std::size_t accumulator_bytes = 0;
   for (const PolicyCase& policy : kPolicies) {
     for (std::size_t i = 0; i < std::size(kLevels); ++i) {
       const double level = kLevels[i];
       const sim::DefectionExperimentConfig config =
           make_config(policy, level, nodes, runs, rounds, seed + i, threads,
-                      inner_threads);
+                      inner_threads, agg);
       const sim::DefectionSeries series =
           sim::run_defection_experiment(config);
 
+      accumulator_bytes += series.accumulator_bytes;
       const double final_pct = mean_final_pct(series);
       const double coop_pct = series_mean(series.cooperation_series);
       std::printf("%10s %6.0f%% %8.1f %7.1f %6zu..%-6zu %9.0f%%\n",
@@ -202,8 +209,13 @@ int main(int argc, char** argv) {
   std::printf("\nbit-identical to serial: %s | churn live counts vary: %s\n",
               all_identical ? "yes" : "NO — BUG",
               churn_varies ? "yes" : "NO — BUG");
+  std::printf("accumulator memory (%s backend, all cells): %.1f KiB\n",
+              sim::to_string(agg),
+              static_cast<double>(accumulator_bytes) / 1024.0);
   json_fields.emplace_back("bit_identical", all_identical ? "yes" : "no");
   json_fields.emplace_back("churn_live_varies", churn_varies ? "yes" : "no");
+  json_fields.emplace_back("accumulator_bytes",
+                           static_cast<double>(accumulator_bytes));
   json_fields.emplace_back("wall_ms", timer.elapsed_ms());
   bench::emit_json("scenario_sweep", json_fields);
 

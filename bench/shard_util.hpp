@@ -1,0 +1,118 @@
+// Shared pieces of the sharded-figure workflow: the --agg and
+// --run-begin/--run-end knob vocabulary, the shard-partial document
+// format, and the deterministic "series snapshot" JSON that fig3 and the
+// merge_partials tool both emit — the file the CI shard-smoke job diffs
+// byte-for-byte between a single-process run and an N-shard merge.
+//
+// Document shapes (all via util::json, so dumps are deterministic):
+//
+//   partial file   {"bench": ..., config echo..., "run_begin", "run_end",
+//                   "panels": [{"rate_pct", "partial": DefectionPartial}]}
+//   series file    {"bench": ..., config echo..., "run_begin", "run_end",
+//                   "panels": [{"rate_pct", "final": [...], ... }]}
+//
+// The series snapshot deliberately excludes volatile fields (wall time,
+// git SHA, accumulator byte counts): everything in it is a pure function
+// of (config, seeds), which is what makes the byte-diff meaningful.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/defection_experiment.hpp"
+#include "util/json.hpp"
+
+namespace roleshare::bench {
+
+/// --agg={exact,streaming}; defaults to exact, fails loudly on anything
+/// else.
+inline sim::AggBackend arg_agg(int argc, char** argv) {
+  return sim::parse_agg_backend(arg_string(argc, argv, "agg", "exact"));
+}
+
+/// --run-begin=B / --run-end=E select the global run window [B, E) this
+/// process executes; either side defaults (to 0 / `runs`) when only the
+/// other is given, and the whole range when neither is. An explicitly
+/// empty window is rejected here: RunShard{0, 0} is the whole-range
+/// sentinel, so mapping a script's `--run-end=0` onto it would silently
+/// execute every run instead of failing.
+inline sim::RunShard arg_run_shard(int argc, char** argv, std::size_t runs) {
+  const long long begin = arg_int(argc, argv, "run-begin", -1);
+  const long long end = arg_int(argc, argv, "run-end", -1);
+  if (begin < 0 && end < 0) return {};
+  sim::RunShard shard;
+  shard.begin = begin < 0 ? 0 : static_cast<std::size_t>(begin);
+  shard.end = end < 0 ? runs : static_cast<std::size_t>(end);
+  if (shard.begin >= shard.end) {
+    throw std::invalid_argument(
+        "--run-begin/--run-end window [" + std::to_string(shard.begin) +
+        ", " + std::to_string(shard.end) + ") is empty");
+  }
+  return shard;
+}
+
+/// The deterministic per-panel series snapshot (no volatile fields).
+inline util::json::Value defection_series_json(
+    const sim::DefectionSeries& series) {
+  using util::json::Value;
+  Value v = Value::object();
+  Value fin = Value::array(), tent = Value::array(), none = Value::array();
+  for (const sim::RoundAggregate& agg : series.rounds) {
+    fin.push_back(agg.final_pct);
+    tent.push_back(agg.tentative_pct);
+    none.push_back(agg.none_pct);
+  }
+  v.set("final", std::move(fin));
+  v.set("tentative", std::move(tent));
+  v.set("none", std::move(none));
+  Value live = Value::array(), coop = Value::array();
+  for (const double x : series.live_series) live.push_back(x);
+  for (const double x : series.cooperation_series) coop.push_back(x);
+  v.set("live", std::move(live));
+  v.set("coop", std::move(coop));
+  v.set("runs_with_progress", series.runs_with_progress);
+  v.set("min_live", series.min_live);
+  v.set("max_live", series.max_live);
+  return v;
+}
+
+/// The config-echo header both document kinds share.
+inline util::json::Value shard_document_header(
+    const std::string& bench, std::size_t nodes, std::size_t runs,
+    std::size_t rounds, sim::AggBackend agg, double trim,
+    std::size_t run_begin, std::size_t run_end) {
+  util::json::Value v = util::json::Value::object();
+  v.set("bench", bench);
+  v.set("nodes", nodes);
+  v.set("runs", runs);
+  v.set("rounds", rounds);
+  v.set("agg", sim::to_string(agg));
+  v.set("trim", trim);
+  v.set("run_begin", run_begin);
+  v.set("run_end", run_end);
+  return v;
+}
+
+/// The fig3-style per-round outcome table.
+inline void print_defection_table(const sim::DefectionSeries& series) {
+  std::printf("%6s %10s %12s %10s\n", "round", "final%", "tentative%",
+              "none%");
+  for (std::size_t r = 0; r < series.rounds.size(); ++r) {
+    const sim::RoundAggregate& agg = series.rounds[r];
+    std::printf("%6zu %10.1f %12.1f %10.1f\n", r + 1, agg.final_pct,
+                agg.tentative_pct, agg.none_pct);
+  }
+}
+
+inline double mean_final_pct(const sim::DefectionSeries& series) {
+  double mean_final = 0;
+  for (const sim::RoundAggregate& agg : series.rounds)
+    mean_final += agg.final_pct;
+  return series.rounds.empty()
+             ? 0.0
+             : mean_final / static_cast<double>(series.rounds.size());
+}
+
+}  // namespace roleshare::bench

@@ -3,9 +3,8 @@
 #include <algorithm>
 #include <optional>
 
-#include "sim/aggregators.hpp"
-#include "sim/experiment_runner.hpp"
 #include "sim/round_engine.hpp"
+#include "util/require.hpp"
 
 namespace roleshare::sim {
 
@@ -84,16 +83,155 @@ DefectionRun execute_run(const DefectionExperimentConfig& config,
 
 }  // namespace
 
-DefectionSeries run_defection_experiment(
+DefectionPartial::DefectionPartial(std::size_t run_begin, std::size_t run_end,
+                                   std::size_t runs_total, std::size_t rounds,
+                                   AggBackend backend,
+                                   const StreamingAggConfig& streaming)
+    : run_begin_(run_begin),
+      run_end_(run_end),
+      runs_total_(runs_total),
+      rounds_(rounds),
+      metrics_(rounds, backend, streaming),
+      live_(make_accumulator(backend, rounds, streaming)),
+      coop_(make_accumulator(backend, rounds, streaming)) {
+  RS_REQUIRE(run_begin < run_end, "partial run window is empty");
+  RS_REQUIRE(run_end <= runs_total,
+             "partial run window ends at " + std::to_string(run_end) +
+                 " but the experiment has only " +
+                 std::to_string(runs_total) + " runs");
+}
+
+DefectionPartial::DefectionPartial(std::size_t run_begin, std::size_t run_end,
+                                   std::size_t runs_total, std::size_t rounds,
+                                   OutcomeMetrics metrics,
+                                   std::unique_ptr<RoundAccumulator> live,
+                                   std::unique_ptr<RoundAccumulator> coop)
+    : run_begin_(run_begin),
+      run_end_(run_end),
+      runs_total_(runs_total),
+      rounds_(rounds),
+      metrics_(std::move(metrics)),
+      live_(std::move(live)),
+      coop_(std::move(coop)) {
+  RS_REQUIRE(run_begin < run_end, "partial run window is empty");
+  RS_REQUIRE(run_end <= runs_total,
+             "partial run window ends at " + std::to_string(run_end) +
+                 " but the experiment has only " +
+                 std::to_string(runs_total) + " runs");
+}
+
+void DefectionPartial::record_round(std::size_t round_index, double final_pct,
+                                    double tentative_pct, double none_pct,
+                                    double live, double coop_pct) {
+  metrics_.record(round_index, final_pct, tentative_pct, none_pct);
+  live_->record(round_index, live);
+  coop_->record(round_index, coop_pct);
+  const auto live_count = static_cast<std::size_t>(live);
+  min_live_ = any_live_ ? std::min(min_live_, live_count) : live_count;
+  max_live_ = any_live_ ? std::max(max_live_, live_count) : live_count;
+  any_live_ = true;
+}
+
+void DefectionPartial::record_run_progress(bool progress) {
+  if (progress) ++runs_with_progress_;
+}
+
+void DefectionPartial::merge(const DefectionPartial& next) {
+  RS_REQUIRE(next.run_begin_ == run_end_,
+             "merging non-contiguous run windows: this ends at run " +
+                 std::to_string(run_end_) + ", next begins at run " +
+                 std::to_string(next.run_begin_));
+  RS_REQUIRE(next.runs_total_ == runs_total_,
+             "merging partials of different experiments: this has " +
+                 std::to_string(runs_total_) + " total runs, next has " +
+                 std::to_string(next.runs_total_));
+  RS_REQUIRE(next.rounds_ == rounds_,
+             "merging partials with different round counts: this has " +
+                 std::to_string(rounds_) + " rounds, next has " +
+                 std::to_string(next.rounds_));
+  metrics_.merge(next.metrics_);
+  live_->merge(*next.live_);
+  coop_->merge(*next.coop_);
+  runs_with_progress_ += next.runs_with_progress_;
+  if (next.any_live_) {
+    min_live_ = any_live_ ? std::min(min_live_, next.min_live_)
+                          : next.min_live_;
+    max_live_ = any_live_ ? std::max(max_live_, next.max_live_)
+                          : next.max_live_;
+    any_live_ = true;
+  }
+  run_end_ = next.run_end_;
+}
+
+DefectionSeries DefectionPartial::finalize(double trim_fraction) const {
+  DefectionSeries series;
+  series.rounds = metrics_.aggregate(trim_fraction);
+  series.runs_with_progress = static_cast<double>(runs_with_progress_) /
+                              static_cast<double>(run_end_ - run_begin_);
+  series.live_series = live_->mean_series();
+  series.cooperation_series = coop_->mean_series();
+  series.min_live = min_live_;
+  series.max_live = max_live_;
+  series.accumulator_bytes = accumulator_bytes();
+  return series;
+}
+
+std::size_t DefectionPartial::accumulator_bytes() const {
+  return metrics_.memory_bytes() + live_->memory_bytes() +
+         coop_->memory_bytes();
+}
+
+util::json::Value DefectionPartial::to_json() const {
+  util::json::Value v = util::json::Value::object();
+  v.set("run_begin", run_begin_);
+  v.set("run_end", run_end_);
+  v.set("runs_total", runs_total_);
+  v.set("rounds", rounds_);
+  v.set("backend", to_string(backend()));
+  v.set("metrics", metrics_.to_json());
+  v.set("live", live_->to_json());
+  v.set("coop", coop_->to_json());
+  v.set("runs_with_progress", runs_with_progress_);
+  v.set("any_live", any_live_);
+  v.set("min_live", min_live_);
+  v.set("max_live", max_live_);
+  return v;
+}
+
+DefectionPartial DefectionPartial::from_json(const util::json::Value& value) {
+  const AggBackend backend =
+      parse_agg_backend(value.at("backend").as_string());
+  DefectionPartial p(value.at("run_begin").as_size(),
+                     value.at("run_end").as_size(),
+                     value.at("runs_total").as_size(),
+                     value.at("rounds").as_size(),
+                     OutcomeMetrics::from_json(value.at("metrics")),
+                     accumulator_from_json(value.at("live")),
+                     accumulator_from_json(value.at("coop")));
+  RS_REQUIRE(p.metrics_.backend() == backend &&
+                 p.live_->backend() == backend &&
+                 p.coop_->backend() == backend,
+             "partial JSON mixes accumulator backends");
+  RS_REQUIRE(p.metrics_.rounds() == p.rounds_ &&
+                 p.live_->rounds() == p.rounds_ &&
+                 p.coop_->rounds() == p.rounds_,
+             "partial JSON accumulator round counts disagree with header");
+  p.runs_with_progress_ = value.at("runs_with_progress").as_size();
+  p.any_live_ = value.at("any_live").as_bool();
+  p.min_live_ = value.at("min_live").as_size();
+  p.max_live_ = value.at("max_live").as_size();
+  return p;
+}
+
+DefectionPartial run_defection_partial(
     const DefectionExperimentConfig& config) {
-  const ExperimentSpec spec{config.runs, config.rounds, config.network.seed,
-                            config.threads, config.inner_threads};
-  OutcomeMetrics metrics(config.rounds);
-  PerRoundSamples live_samples(config.rounds);
-  PerRoundSamples coop_samples(config.rounds);
-  std::size_t runs_with_progress = 0;
-  std::size_t min_live = 0, max_live = 0;
-  bool any_live = false;
+  const ExperimentSpec spec{config.runs,    config.rounds,
+                            config.network.seed, config.threads,
+                            config.inner_threads, config.shard};
+  validate(spec);
+  const ResolvedShard shard = resolve_shard(spec);
+  DefectionPartial partial(shard.begin, shard.end, config.runs, config.rounds,
+                           config.agg, config.streaming);
 
   run_and_reduce(
       spec,
@@ -104,27 +242,19 @@ DefectionSeries run_defection_experiment(
       },
       [&](std::size_t, DefectionRun run) {
         for (std::size_t r = 0; r < run.rounds.size(); ++r) {
-          metrics.record(r, run.rounds[r].final_pct,
-                         run.rounds[r].tentative_pct, run.rounds[r].none_pct);
-          live_samples.record(r, run.rounds[r].live);
-          coop_samples.record(r, run.rounds[r].coop_pct);
-          const auto live = static_cast<std::size_t>(run.rounds[r].live);
-          min_live = any_live ? std::min(min_live, live) : live;
-          max_live = any_live ? std::max(max_live, live) : live;
-          any_live = true;
+          partial.record_round(r, run.rounds[r].final_pct,
+                               run.rounds[r].tentative_pct,
+                               run.rounds[r].none_pct, run.rounds[r].live,
+                               run.rounds[r].coop_pct);
         }
-        if (run.progress) ++runs_with_progress;
+        partial.record_run_progress(run.progress);
       });
+  return partial;
+}
 
-  DefectionSeries series;
-  series.rounds = metrics.aggregate(config.trim_fraction);
-  series.runs_with_progress = static_cast<double>(runs_with_progress) /
-                              static_cast<double>(config.runs);
-  series.live_series = live_samples.mean_series();
-  series.cooperation_series = coop_samples.mean_series();
-  series.min_live = min_live;
-  series.max_live = max_live;
-  return series;
+DefectionSeries run_defection_experiment(
+    const DefectionExperimentConfig& config) {
+  return run_defection_partial(config).finalize(config.trim_fraction);
 }
 
 }  // namespace roleshare::sim

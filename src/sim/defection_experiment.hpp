@@ -2,17 +2,35 @@
 // tentative / no blocks evolves per round as a fraction of the network
 // defects. Multiple independent runs, trimmed-mean aggregation.
 //
-// PR 3 generalizes it into the scenario engine: a ScenarioPolicyConfig
+// PR 3 generalized it into the scenario engine: a ScenarioPolicyConfig
 // slots a behaviour-policy layer (adaptive best-response defection,
 // stake-correlated defection, churn) in front of every round, with the
 // default (scripted, no churn) bit-identical to the original Fig-3
 // semantics.
+//
+// PR 4 rebuilds its reduction on the mergeable accumulator layer
+// (sim/aggregators.hpp) and splits execution from aggregation:
+//
+//   run_defection_partial  executes the config's shard window and returns
+//                          a DefectionPartial — the mergeable, JSON-
+//                          serializable reduction state of those runs.
+//   DefectionPartial::merge folds the next contiguous shard in run-index
+//                          order.
+//   DefectionPartial::finalize reduces to the DefectionSeries figures.
+//
+// run_defection_experiment is exactly partial + finalize, so a sharded
+// exact-backend execution (N partials merged by the merge_partials tool)
+// is bit-identical to a single-process run.
 #pragma once
 
+#include <memory>
+
 #include "consensus/params.hpp"
+#include "sim/experiment_runner.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
 #include "sim/scenario_policy.hpp"
+#include "util/json.hpp"
 
 namespace roleshare::sim {
 
@@ -38,12 +56,20 @@ struct DefectionExperimentConfig {
   /// defection, churn). The default — scripted, no churn — leaves every
   /// aggregate bit-identical to the pre-policy experiment.
   ScenarioPolicyConfig policy{};
+  /// Reduction backend: Exact stores every sample (bit-identical
+  /// baseline); Streaming keeps O(rounds) memory independent of `runs`
+  /// with the documented reservoir/P² error bound.
+  AggBackend agg = AggBackend::Exact;
+  StreamingAggConfig streaming{};
+  /// Run window THIS process executes (default: all runs) — the sharded
+  /// fan-out knob. Seeding stays keyed on global run indices.
+  RunShard shard{};
 };
 
 struct DefectionSeries {
   std::vector<RoundAggregate> rounds;
-  /// Fraction of runs in which the chain gained at least one non-empty
-  /// block (network-level liveness indicator).
+  /// Fraction of executed runs in which the chain gained at least one
+  /// non-empty block (network-level liveness indicator).
   double runs_with_progress = 0.0;
   /// Mean live-node count per round across runs — round-varying under
   /// churn, constant node_count otherwise.
@@ -54,11 +80,78 @@ struct DefectionSeries {
   /// Mean fraction of live nodes playing Cooperate per round — the
   /// series that shows adaptive defection unraveling (or not).
   std::vector<double> cooperation_series;
+  /// Bytes held by the reduction accumulators that produced this series —
+  /// the exact-vs-streaming memory story (bench reporting).
+  std::size_t accumulator_bytes = 0;
 };
 
-/// Runs the experiment on the shared ExperimentRunner engine.
-/// Deterministic in config.network.seed, independent of config.threads
-/// and config.inner_threads.
+/// The mergeable reduction state of one executed run window. Merging the
+/// partials of contiguous windows in run-index order then finalizing is
+/// bit-identical (exact backend) to executing the union in one process.
+class DefectionPartial {
+ public:
+  DefectionPartial(std::size_t run_begin, std::size_t run_end,
+                   std::size_t runs_total, std::size_t rounds,
+                   AggBackend backend, const StreamingAggConfig& streaming);
+
+  std::size_t run_begin() const { return run_begin_; }
+  std::size_t run_end() const { return run_end_; }
+  std::size_t runs_total() const { return runs_total_; }
+  std::size_t rounds() const { return rounds_; }
+  AggBackend backend() const { return metrics_.backend(); }
+
+  /// Records one run's per-round contribution (called by
+  /// run_defection_partial in run-index order).
+  void record_round(std::size_t round_index, double final_pct,
+                    double tentative_pct, double none_pct, double live,
+                    double coop_pct);
+  void record_run_progress(bool progress);
+
+  /// Folds `next` in; it must start exactly where this partial ends
+  /// (contiguity is what makes exact-mode merges replay a serial
+  /// execution). Throws std::invalid_argument naming both windows
+  /// otherwise.
+  void merge(const DefectionPartial& next);
+
+  /// Reduces to the figure series. runs_with_progress is the fraction of
+  /// the runs covered by this partial's window.
+  DefectionSeries finalize(double trim_fraction) const;
+
+  std::size_t accumulator_bytes() const;
+
+  util::json::Value to_json() const;
+  static DefectionPartial from_json(const util::json::Value& value);
+
+ private:
+  /// Deserialization path: adopts already-built accumulators instead of
+  /// constructing (and discarding) fresh ones.
+  DefectionPartial(std::size_t run_begin, std::size_t run_end,
+                   std::size_t runs_total, std::size_t rounds,
+                   OutcomeMetrics metrics,
+                   std::unique_ptr<RoundAccumulator> live,
+                   std::unique_ptr<RoundAccumulator> coop);
+
+  std::size_t run_begin_ = 0;
+  std::size_t run_end_ = 0;
+  std::size_t runs_total_ = 0;
+  std::size_t rounds_ = 0;
+  OutcomeMetrics metrics_;
+  std::unique_ptr<RoundAccumulator> live_;
+  std::unique_ptr<RoundAccumulator> coop_;
+  std::size_t runs_with_progress_ = 0;
+  std::size_t min_live_ = 0;
+  std::size_t max_live_ = 0;
+  bool any_live_ = false;
+};
+
+/// Executes config.shard's run window on the shared ExperimentRunner
+/// engine and reduces it into a mergeable partial. Deterministic in
+/// config.network.seed, independent of config.threads / inner_threads.
+DefectionPartial run_defection_partial(const DefectionExperimentConfig& config);
+
+/// run_defection_partial + finalize. For a whole-range shard this is the
+/// historical single-process experiment, unchanged bit for bit under the
+/// exact backend.
 DefectionSeries run_defection_experiment(
     const DefectionExperimentConfig& config);
 

@@ -19,6 +19,12 @@
 //     parallel execution is bit-identical to a serial one. Inner loops
 //     follow the InnerExecutor contract, so `inner_threads` does not
 //     change results either.
+//  4. Sharding — the spec's RunShard window restricts which global run
+//     indices THIS process executes without changing their seeding, so a
+//     sweep can be split across processes/machines and the per-shard
+//     partials folded back (sim/aggregators merge + the merge_partials
+//     tool) into the same aggregate a single process computes —
+//     bit-identically under the exact accumulator backend.
 //
 // See DESIGN.md ("Experiment orchestration") for the contract new
 // experiments must follow.
@@ -38,6 +44,18 @@
 
 namespace roleshare::sim {
 
+/// A contiguous window [begin, end) of the global run range — the unit of
+/// sharded execution. The default (begin == end == 0) means the whole
+/// range. Run k of a shard is still seeded from root.split(k) with k the
+/// GLOBAL run index, so executing shards [0,4) and [4,8) in two processes
+/// and folding their partials in range order replays exactly the runs a
+/// single-process execution of 8 runs performs.
+struct RunShard {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  bool whole() const { return begin == 0 && end == 0; }
+};
+
 struct ExperimentSpec {
   std::size_t runs = 1;
   /// Rounds per run. The runner itself does not loop over rounds — that is
@@ -51,7 +69,33 @@ struct ExperimentSpec {
   /// node loops etc.); 0 = all hardware threads. Ignored (forced 1)
   /// whenever the outer fan-out is parallel — see resolve_parallelism.
   std::size_t inner_threads = 1;
+  /// Which window of the `runs` global run indices THIS process executes;
+  /// default = all of them. Global-index seeding keeps sharded execution
+  /// reproducible (see RunShard).
+  RunShard shard{};
 };
+
+/// The concrete [begin, end) window of the spec after defaulting and
+/// validation; count() is the number of runs this process executes.
+struct ResolvedShard {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t count() const { return end - begin; }
+};
+
+/// Throws std::invalid_argument unless the shard window is non-empty and
+/// inside [0, spec.runs].
+inline ResolvedShard resolve_shard(const ExperimentSpec& spec) {
+  if (spec.shard.whole()) return {0, spec.runs};
+  RS_REQUIRE(spec.shard.begin < spec.shard.end,
+             "run shard window [" + std::to_string(spec.shard.begin) + ", " +
+                 std::to_string(spec.shard.end) + ") is empty");
+  RS_REQUIRE(spec.shard.end <= spec.runs,
+             "run shard window ends at " + std::to_string(spec.shard.end) +
+                 " but the experiment has only " +
+                 std::to_string(spec.runs) + " runs");
+  return {spec.shard.begin, spec.shard.end};
+}
 
 /// What the engine actually launches after applying the
 /// no-oversubscription policy: exactly one of the two levels may be > 1.
@@ -74,9 +118,13 @@ struct ResolvedParallelism {
 /// threads=1. The clamp is also what upholds the "exactly one level may
 /// be > 1" contract for consumers that read `outer` directly.
 inline ResolvedParallelism resolve_parallelism(const ExperimentSpec& spec) {
+  // Clamp to the runs THIS process executes: a 2-run shard of a 10k-run
+  // sweep behaves like a 2-run experiment for scheduling purposes.
+  const std::size_t local_runs =
+      spec.shard.whole() ? spec.runs : resolve_shard(spec).count();
   ResolvedParallelism r;
   r.outer = std::min(util::ThreadPool::resolve_thread_count(spec.threads),
-                     std::max<std::size_t>(spec.runs, 1));
+                     std::max<std::size_t>(local_runs, 1));
   r.inner = util::ThreadPool::resolve_thread_count(spec.inner_threads);
   if (r.outer > 1) r.inner = 1;
   return r;
@@ -90,10 +138,12 @@ struct RunContext {
   std::size_t inner_threads = 1;  // resolved count backing inner_pool
 };
 
-/// Throws std::invalid_argument unless runs >= 1 and rounds >= 1.
+/// Throws std::invalid_argument unless runs >= 1, rounds >= 1 and the
+/// shard window (when set) is a non-empty sub-range of [0, runs).
 inline void validate(const ExperimentSpec& spec) {
   RS_REQUIRE(spec.runs > 0, "experiment needs at least one run");
   RS_REQUIRE(spec.rounds > 0, "experiment needs at least one round");
+  (void)resolve_shard(spec);
 }
 
 /// Run k's independent RNG stream: Rng(root_seed).split(k).
@@ -144,13 +194,16 @@ using run_result_t = typename run_result<RunFn>::type;
 }  // namespace detail
 
 /// Executes run_fn(run_index, rng[, run_context]) for every run of the
-/// spec and returns the per-run results indexed by run (independent of
-/// execution order). Bodies that take the optional `const RunContext&`
-/// receive the shared inner pool for their within-run node loops; the
-/// no-oversubscription policy of resolve_parallelism decides whether that
-/// pool exists. The result type must be default-constructible and movable.
-/// Exceptions thrown by run bodies are rethrown for the lowest failing run
-/// index.
+/// spec's shard window (default: every run) and returns the per-run
+/// results indexed by window offset — results[i] is global run
+/// shard.begin + i, independent of execution order. run_fn always
+/// receives the GLOBAL run index and its root.split(global) stream, so a
+/// shard executes exactly the runs a whole-range execution would. Bodies
+/// that take the optional `const RunContext&` receive the shared inner
+/// pool for their within-run node loops; the no-oversubscription policy
+/// of resolve_parallelism decides whether that pool exists. The result
+/// type must be default-constructible and movable. Exceptions thrown by
+/// run bodies are rethrown for the lowest failing run index.
 template <typename RunFn>
 auto run_experiment(const ExperimentSpec& spec, RunFn&& run_fn) {
   validate(spec);
@@ -165,24 +218,26 @@ auto run_experiment(const ExperimentSpec& spec, RunFn&& run_fn) {
   // its workers would only ever idle.
   constexpr bool kTakesContext =
       std::is_invocable_v<RunFn&, std::size_t, util::Rng&, const RunContext&>;
+  const ResolvedShard shard = resolve_shard(spec);
   const ResolvedParallelism par = resolve_parallelism(spec);
   std::optional<util::ThreadPool> inner_pool;
   if (kTakesContext && par.inner > 1) inner_pool.emplace(par.inner);
   const RunContext ctx{inner_pool ? &*inner_pool : nullptr,
                        kTakesContext ? par.inner : 1};
 
-  std::vector<Result> results(spec.runs);
-  const auto execute_one = [&](std::size_t run) {
+  std::vector<Result> results(shard.count());
+  const auto execute_one = [&](std::size_t offset) {
+    const std::size_t run = shard.begin + offset;  // global run index
     util::Rng rng = rng_for_run(spec.root_seed, run);
-    results[run] = detail::invoke_run_fn(run_fn, run, rng, ctx);
+    results[offset] = detail::invoke_run_fn(run_fn, run, rng, ctx);
   };
-  if (par.outer <= 1 || spec.runs <= 1) {
+  if (par.outer <= 1 || shard.count() <= 1) {
     // Same failure semantics as the pool: every run is attempted, the
     // lowest failing run's exception surfaces.
     std::exception_ptr first_error;
-    for (std::size_t run = 0; run < spec.runs; ++run) {
+    for (std::size_t offset = 0; offset < shard.count(); ++offset) {
       try {
-        execute_one(run);
+        execute_one(offset);
       } catch (...) {
         if (!first_error) first_error = std::current_exception();
       }
@@ -190,21 +245,24 @@ auto run_experiment(const ExperimentSpec& spec, RunFn&& run_fn) {
     if (first_error) std::rethrow_exception(first_error);
   } else {
     util::ThreadPool pool(par.outer);
-    pool.parallel_for_indexed(spec.runs, execute_one);
+    pool.parallel_for_indexed(shard.count(), execute_one);
   }
   return results;
 }
 
 /// run_experiment + a reduction applied in run-index order on the calling
-/// thread: reduce(run_index, result&&). This is the only sanctioned way to
-/// fold per-run results into an aggregate — it makes threads=N output
-/// bit-identical to threads=1.
+/// thread: reduce(global_run_index, result&&). This is the only
+/// sanctioned way to fold per-run results into an aggregate — it makes
+/// threads=N output bit-identical to threads=1, and per-shard partials
+/// reduced this way then merged in shard order bit-identical to a
+/// whole-range execution (exact accumulator backend).
 template <typename RunFn, typename Reducer>
 void run_and_reduce(const ExperimentSpec& spec, RunFn&& run_fn,
                     Reducer&& reduce) {
+  const ResolvedShard shard = resolve_shard(spec);
   auto results = run_experiment(spec, std::forward<RunFn>(run_fn));
-  for (std::size_t run = 0; run < results.size(); ++run)
-    reduce(run, std::move(results[run]));
+  for (std::size_t offset = 0; offset < results.size(); ++offset)
+    reduce(shard.begin + offset, std::move(results[offset]));
 }
 
 /// Object form of the same engine, for call sites that pass the spec

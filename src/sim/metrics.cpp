@@ -2,8 +2,11 @@
 
 namespace roleshare::sim {
 
-OutcomeMetrics::OutcomeMetrics(std::size_t rounds)
-    : final_(rounds), tentative_(rounds), none_(rounds) {}
+OutcomeMetrics::OutcomeMetrics(std::size_t rounds, AggBackend backend,
+                               const StreamingAggConfig& streaming)
+    : final_(make_accumulator(backend, rounds, streaming)),
+      tentative_(make_accumulator(backend, rounds, streaming)),
+      none_(make_accumulator(backend, rounds, streaming)) {}
 
 void OutcomeMetrics::record(std::size_t round_index,
                             const RoundResult& result) {
@@ -13,29 +16,29 @@ void OutcomeMetrics::record(std::size_t round_index,
 
 void OutcomeMetrics::record(std::size_t round_index, double final_pct,
                             double tentative_pct, double none_pct) {
-  final_.record(round_index, final_pct);
-  tentative_.record(round_index, tentative_pct);
-  none_.record(round_index, none_pct);
+  final_->record(round_index, final_pct);
+  tentative_->record(round_index, tentative_pct);
+  none_->record(round_index, none_pct);
 }
 
 void OutcomeMetrics::merge(const OutcomeMetrics& other) {
-  final_.merge(other.final_);
-  tentative_.merge(other.tentative_);
-  none_.merge(other.none_);
+  final_->merge(*other.final_);
+  tentative_->merge(*other.tentative_);
+  none_->merge(*other.none_);
 }
 
 std::size_t OutcomeMetrics::runs_recorded(std::size_t round_index) const {
-  return final_.count(round_index);
+  return final_->count(round_index);
 }
 
 std::vector<RoundAggregate> OutcomeMetrics::aggregate(
     double trim_fraction) const {
   const std::vector<double> final_series =
-      final_.trimmed_mean_series(trim_fraction);
+      final_->trimmed_mean_series(trim_fraction);
   const std::vector<double> tentative_series =
-      tentative_.trimmed_mean_series(trim_fraction);
+      tentative_->trimmed_mean_series(trim_fraction);
   const std::vector<double> none_series =
-      none_.trimmed_mean_series(trim_fraction);
+      none_->trimmed_mean_series(trim_fraction);
   std::vector<RoundAggregate> out(final_series.size());
   for (std::size_t r = 0; r < out.size(); ++r) {
     out[r].final_pct = final_series[r];
@@ -43,6 +46,27 @@ std::vector<RoundAggregate> OutcomeMetrics::aggregate(
     out[r].none_pct = none_series[r];
   }
   return out;
+}
+
+std::size_t OutcomeMetrics::memory_bytes() const {
+  return final_->memory_bytes() + tentative_->memory_bytes() +
+         none_->memory_bytes();
+}
+
+util::json::Value OutcomeMetrics::to_json() const {
+  util::json::Value v = util::json::Value::object();
+  v.set("final", final_->to_json());
+  v.set("tentative", tentative_->to_json());
+  v.set("none", none_->to_json());
+  return v;
+}
+
+OutcomeMetrics OutcomeMetrics::from_json(const util::json::Value& value) {
+  OutcomeMetrics m;
+  m.final_ = accumulator_from_json(value.at("final"));
+  m.tentative_ = accumulator_from_json(value.at("tentative"));
+  m.none_ = accumulator_from_json(value.at("none"));
+  return m;
 }
 
 }  // namespace roleshare::sim

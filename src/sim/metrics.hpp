@@ -1,14 +1,17 @@
 // Aggregation of per-round outcomes across simulation runs — the paper's
 // 20%-trimmed-mean methodology (§III-C) producing the Fig-3 series.
-// Built on the reusable PerRoundSamples aggregator so per-run partials can
-// be merged in run-index order by the experiment runner.
+// Built on the mergeable RoundAccumulator concept so per-run (or
+// per-shard) partials can be merged in run-index order by the experiment
+// runner, under either the exact or the streaming backend.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "sim/aggregators.hpp"
 #include "sim/round_engine.hpp"
+#include "util/json.hpp"
 
 namespace roleshare::sim {
 
@@ -21,7 +24,15 @@ struct RoundAggregate {
 
 class OutcomeMetrics {
  public:
-  explicit OutcomeMetrics(std::size_t rounds);
+  /// `backend` selects the accumulator implementation behind all three
+  /// outcome series; Exact reproduces the historical sample matrix bit
+  /// for bit.
+  explicit OutcomeMetrics(std::size_t rounds,
+                          AggBackend backend = AggBackend::Exact,
+                          const StreamingAggConfig& streaming = {});
+
+  OutcomeMetrics(OutcomeMetrics&&) = default;
+  OutcomeMetrics& operator=(OutcomeMetrics&&) = default;
 
   /// Records one run's result for `round_index` (0-based).
   void record(std::size_t round_index, const RoundResult& result);
@@ -31,20 +42,31 @@ class OutcomeMetrics {
   void record(std::size_t round_index, double final_pct, double tentative_pct,
               double none_pct);
 
-  /// Appends every sample of `other` in round order (run-index-ordered
-  /// reduction; requires equal round counts).
+  /// Folds `other` in after this instance's own samples (run-index-ordered
+  /// reduction; requires equal round counts and the same backend).
   void merge(const OutcomeMetrics& other);
 
-  std::size_t rounds() const { return final_.rounds(); }
+  AggBackend backend() const { return final_->backend(); }
+  std::size_t rounds() const { return final_->rounds(); }
   std::size_t runs_recorded(std::size_t round_index) const;
 
   /// Trimmed-mean series over all recorded runs (percentages, 0..100).
   std::vector<RoundAggregate> aggregate(double trim_fraction = 0.2) const;
 
+  /// Bytes held by the three outcome accumulators.
+  std::size_t memory_bytes() const;
+
+  /// Shard-partial serialization; from_json inverts it exactly for the
+  /// exact backend.
+  util::json::Value to_json() const;
+  static OutcomeMetrics from_json(const util::json::Value& value);
+
  private:
-  PerRoundSamples final_;
-  PerRoundSamples tentative_;
-  PerRoundSamples none_;
+  OutcomeMetrics() = default;  // for from_json
+
+  std::unique_ptr<RoundAccumulator> final_;
+  std::unique_ptr<RoundAccumulator> tentative_;
+  std::unique_ptr<RoundAccumulator> none_;
 };
 
 }  // namespace roleshare::sim

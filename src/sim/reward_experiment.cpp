@@ -159,7 +159,6 @@ RewardExperimentResult run_reward_experiment(
   RS_REQUIRE(config.node_count > 2, "population too small");
 
   RewardExperimentResult result;
-  result.bi_per_round_mean.assign(config.rounds_per_run, 0.0);
   result.foundation_per_round.assign(config.rounds_per_run, 0.0);
   for (std::size_t r = 0; r < config.rounds_per_run; ++r) {
     result.foundation_per_round[r] = ledger::to_algos(
@@ -172,9 +171,16 @@ RewardExperimentResult run_reward_experiment(
   util::RunningStats alpha_stats;
   util::RunningStats beta_stats;
   util::RunningStats stake_stats;
+  // Per-round B_i series behind the accumulator concept: the exact
+  // backend reproduces the historical sum/divide bit for bit, the
+  // streaming backend keeps this state O(rounds).
+  const std::unique_ptr<RoundAccumulator> per_round = make_accumulator(
+      config.agg, config.rounds_per_run, config.streaming);
+  const bool keep_samples = config.agg == AggBackend::Exact;
 
-  const ExperimentSpec spec{config.runs, config.rounds_per_run, config.seed,
-                            config.threads, config.inner_threads};
+  const ExperimentSpec spec{config.runs,    config.rounds_per_run,
+                            config.seed,    config.threads,
+                            config.inner_threads, config.shard};
   run_and_reduce(
       spec,
       [&](std::size_t, util::Rng& rng, const RunContext& ctx) {
@@ -185,23 +191,24 @@ RewardExperimentResult run_reward_experiment(
         // Replayed in run order, feeding the streaming stats in exactly
         // the sample order a serial loop would produce.
         for (const double bi : run.bi_algos) {
-          result.bi_algos.push_back(bi);
+          if (keep_samples) result.bi_algos.push_back(bi);
           bi_stats.add(bi);
         }
         for (std::size_t r = 0; r < config.rounds_per_run; ++r)
-          result.bi_per_round_mean[r] += run.per_round_bi[r];
+          per_round->record(r, run.per_round_bi[r]);
         for (const double a : run.alphas) alpha_stats.add(a);
         for (const double b : run.betas) beta_stats.add(b);
         stake_stats.add(run.total_stake);
         result.infeasible_rounds += run.infeasible;
       });
 
-  for (double& m : result.bi_per_round_mean)
-    m /= static_cast<double>(config.runs);
+  result.bi_per_round_mean = per_round->mean_series();
   result.mean_bi = bi_stats.mean();
   result.mean_total_stake = stake_stats.mean();
   result.mean_alpha = alpha_stats.mean();
   result.mean_beta = beta_stats.mean();
+  result.accumulator_bytes = per_round->memory_bytes() +
+                             result.bi_algos.capacity() * sizeof(double);
   return result;
 }
 

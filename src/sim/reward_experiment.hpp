@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "econ/optimizer.hpp"
+#include "sim/aggregators.hpp"
+#include "sim/experiment_runner.hpp"
 #include "util/distributions.hpp"
 
 namespace roleshare::sim {
@@ -60,10 +62,21 @@ struct RewardExperimentConfig {
   std::int64_t tx_hi = 4;
   /// Fig-7(c): Other nodes with stake < w are excluded from the reward set.
   std::optional<std::int64_t> min_other_stake;
+  /// Reduction backend for the per-round B_i series. Exact is the bit-
+  /// identical baseline; Streaming keeps the series state at O(rounds)
+  /// memory. (The raw `bi_algos` sample list is only materialized under
+  /// Exact — the Fig-6 histogram input; Streaming leaves it empty, which
+  /// is the point.)
+  AggBackend agg = AggBackend::Exact;
+  StreamingAggConfig streaming{};
+  /// Run window THIS process executes (default: all runs); all result
+  /// means are over the executed window.
+  RunShard shard{};
 };
 
 struct RewardExperimentResult {
   /// Every computed per-round B_i (runs x rounds values), in Algos.
+  /// Materialized only under the Exact backend (see config.agg).
   std::vector<double> bi_algos;
   /// Per-round means across runs (length rounds_per_run), Algos.
   std::vector<double> bi_per_round_mean;
@@ -75,6 +88,9 @@ struct RewardExperimentResult {
   /// Chosen splits observed (mean alpha/beta across rounds).
   double mean_alpha = 0.0;
   double mean_beta = 0.0;
+  /// Bytes held by the per-round reduction accumulator plus the raw
+  /// sample list — the exact-vs-streaming memory story.
+  std::size_t accumulator_bytes = 0;
 };
 
 RewardExperimentResult run_reward_experiment(

@@ -135,15 +135,23 @@ StrategicLoopResult run_strategic_loop(const StrategicLoopConfig& config,
 StrategicEnsembleResult run_strategic_ensemble(
     const StrategicEnsembleConfig& config) {
   RS_REQUIRE(config.base.rounds > 0, "at least one round");
-  const ExperimentSpec spec{config.runs, config.base.rounds,
+  const ExperimentSpec spec{config.runs,    config.base.rounds,
                             config.base.network.seed, config.threads,
-                            config.inner_threads};
+                            config.inner_threads, config.shard};
+  validate(spec);
+  const std::size_t executed = resolve_shard(spec).count();
+
+  // The three per-round series behind the accumulator concept: exact
+  // reproduces the historical sum/divide reduction bit for bit,
+  // streaming keeps the state O(rounds) for paper-scale ensembles.
+  const auto coop = make_accumulator(config.agg, config.base.rounds,
+                                     config.streaming);
+  const auto final_acc = make_accumulator(config.agg, config.base.rounds,
+                                          config.streaming);
+  const auto reward = make_accumulator(config.agg, config.base.rounds,
+                                       config.streaming);
 
   StrategicEnsembleResult out;
-  out.cooperation_series.assign(config.base.rounds, 0.0);
-  out.final_series.assign(config.base.rounds, 0.0);
-  out.reward_series.assign(config.base.rounds, 0.0);
-
   run_and_reduce(
       spec,
       [&config](std::size_t, util::Rng& rng, const RunContext& ctx) {
@@ -155,22 +163,21 @@ StrategicEnsembleResult run_strategic_ensemble(
       },
       [&](std::size_t, StrategicLoopResult run) {
         for (std::size_t r = 0; r < run.rounds.size(); ++r) {
-          out.cooperation_series[r] += run.rounds[r].cooperation_fraction;
-          out.final_series[r] += run.rounds[r].final_fraction;
-          out.reward_series[r] += run.rounds[r].bi_algos;
+          coop->record(r, run.rounds[r].cooperation_fraction);
+          final_acc->record(r, run.rounds[r].final_fraction);
+          reward->record(r, run.rounds[r].bi_algos);
         }
         out.mean_total_reward_algos += run.total_reward_algos;
         out.mean_final_cooperation += run.final_cooperation;
       });
 
-  const double runs = static_cast<double>(config.runs);
-  for (std::size_t r = 0; r < config.base.rounds; ++r) {
-    out.cooperation_series[r] /= runs;
-    out.final_series[r] /= runs;
-    out.reward_series[r] /= runs;
-  }
-  out.mean_total_reward_algos /= runs;
-  out.mean_final_cooperation /= runs;
+  out.cooperation_series = coop->mean_series();
+  out.final_series = final_acc->mean_series();
+  out.reward_series = reward->mean_series();
+  out.mean_total_reward_algos /= static_cast<double>(executed);
+  out.mean_final_cooperation /= static_cast<double>(executed);
+  out.accumulator_bytes = coop->memory_bytes() + final_acc->memory_bytes() +
+                          reward->memory_bytes();
   return out;
 }
 

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "game/game_model.hpp"
+#include "sim/aggregators.hpp"
+#include "sim/experiment_runner.hpp"
 #include "sim/round_engine.hpp"
 #include "sim/scenario_policy.hpp"
 
@@ -87,6 +89,13 @@ struct StrategicEnsembleConfig {
   /// Worker threads for each run's inner per-node loops (0 = all hardware
   /// threads); forced serial while the run fan-out is parallel.
   std::size_t inner_threads = 1;
+  /// Reduction backend for the three per-round series (exact = the bit-
+  /// identical sum/divide baseline; streaming = O(rounds) memory).
+  AggBackend agg = AggBackend::Exact;
+  StreamingAggConfig streaming{};
+  /// Run window THIS process executes (default: all runs); all result
+  /// means are over the executed window.
+  RunShard shard{};
 };
 
 struct StrategicEnsembleResult {
@@ -96,6 +105,8 @@ struct StrategicEnsembleResult {
   std::vector<double> reward_series;       // Algos paid
   double mean_total_reward_algos = 0.0;
   double mean_final_cooperation = 0.0;
+  /// Bytes held by the three per-round reduction accumulators.
+  std::size_t accumulator_bytes = 0;
 };
 
 StrategicEnsembleResult run_strategic_ensemble(

@@ -1,0 +1,328 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/require.hpp"
+
+namespace roleshare::util::json {
+
+namespace {
+
+[[noreturn]] void kind_error(const char* wanted, Value::Kind got) {
+  throw std::invalid_argument(std::string("JSON value is not ") + wanted +
+                              " (kind " +
+                              std::to_string(static_cast<int>(got)) + ")");
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::Bool) kind_error("a bool", kind_);
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::Number) kind_error("a number", kind_);
+  return num_;
+}
+
+std::size_t Value::as_size() const {
+  const double v = as_number();
+  RS_REQUIRE(v >= 0.0 && std::floor(v) == v,
+             "JSON number is not a non-negative integer");
+  return static_cast<std::size_t>(v);
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::String) kind_error("a string", kind_);
+  return str_;
+}
+
+const Value::Array& Value::as_array() const {
+  if (kind_ != Kind::Array) kind_error("an array", kind_);
+  return arr_;
+}
+
+const Value::Object& Value::as_object() const {
+  if (kind_ != Kind::Object) kind_error("an object", kind_);
+  return obj_;
+}
+
+void Value::push_back(Value v) {
+  if (kind_ != Kind::Array) kind_error("an array", kind_);
+  arr_.push_back(std::move(v));
+}
+
+void Value::set(std::string key, Value v) {
+  if (kind_ != Kind::Object) kind_error("an object", kind_);
+  obj_.emplace_back(std::move(key), std::move(v));
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::Object) kind_error("an object", kind_);
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* v = find(key);
+  if (v == nullptr)
+    throw std::invalid_argument("JSON object has no member \"" +
+                                std::string(key) + "\"");
+  return *v;
+}
+
+void Value::dump_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::Null:
+      out += "null";
+      break;
+    case Kind::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::Number:
+      if (!std::isfinite(num_)) {
+        out += "null";  // JSON has no NaN/Infinity literal
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", num_);
+        out += buf;
+      }
+      break;
+    case Kind::String:
+      append_escaped(out, str_);
+      break;
+    case Kind::Array:
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out += ',';
+        arr_[i].dump_to(out);
+      }
+      out += ']';
+      break;
+    case Kind::Object:
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) out += ',';
+        append_escaped(out, obj_[i].first);
+        out += ':';
+        obj_[i].second.dump_to(out);
+      }
+      out += '}';
+      break;
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("JSON parse error at byte " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Value(parse_string());
+    if (consume_literal("null")) return Value();
+    if (consume_literal("true")) return Value(true);
+    if (consume_literal("false")) return Value(false);
+    return parse_number();
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value obj = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value arr = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape digit");
+          }
+          // Our writer only emits \u for control characters; decode the
+          // BMP code point as UTF-8, no surrogate-pair support.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-'))
+      fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed number");
+    return Value(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace roleshare::util::json

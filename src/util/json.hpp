@@ -1,0 +1,102 @@
+// Minimal JSON tree: enough for the shard-partial interchange files
+// (sim/aggregators serialization, bench merge_partials tool) without an
+// external dependency.
+//
+// Guarantees the shard workflow relies on:
+//   - dump() prints doubles with %.17g, which round-trips every finite
+//     binary64 exactly — a partial written and re-parsed reproduces the
+//     accumulator state bit for bit.
+//   - Non-finite numbers (JSON has no literal for them) dump as null and
+//     parse back as null; the accumulator layer maps empty-round NaN to
+//     and from null explicitly.
+//   - Object members keep insertion order, so dump() is deterministic —
+//     two bit-identical accumulators produce byte-identical files (the
+//     CI shard-merge diff depends on this).
+//
+// parse() raises std::invalid_argument with a byte offset on malformed
+// input. Not a general-purpose JSON library: no \uXXXX surrogate pairs,
+// no duplicate-key detection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace roleshare::util::json {
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+  using Array = std::vector<Value>;
+  using Object = std::vector<std::pair<std::string, Value>>;
+
+  Value() = default;  // null
+  Value(bool b) : kind_(Kind::Bool), bool_(b) {}  // NOLINT
+  /// Any arithmetic type lands in the number kind (one constrained
+  /// template avoids overload clashes between size_t and uint64_t).
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  Value(T v) : kind_(Kind::Number), num_(static_cast<double>(v)) {} // NOLINT
+  Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {} // NOLINT
+  Value(const char* s) : Value(std::string(s)) {}  // NOLINT
+
+  static Value array() {
+    Value v;
+    v.kind_ = Kind::Array;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.kind_ = Kind::Object;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  /// Typed accessors; throw std::invalid_argument on a kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::size_t as_size() const;  // non-negative integral number
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Array append (array kind only).
+  void push_back(Value v);
+
+  /// Object append / lookup. `set` appends (no duplicate check), `find`
+  /// returns nullptr when absent, `at` throws naming the missing key.
+  void set(std::string key, Value v);
+  const Value* find(std::string_view key) const;
+  const Value& at(std::string_view key) const;
+
+  /// Compact deterministic serialization (insertion-ordered members,
+  /// %.17g numbers, non-finite -> null).
+  std::string dump() const;
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+/// Throws std::invalid_argument with a byte offset on malformed input.
+Value parse(std::string_view text);
+
+}  // namespace roleshare::util::json

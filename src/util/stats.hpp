@@ -44,7 +44,8 @@ struct Summary {
 Summary summarize(const std::vector<double>& xs);
 
 /// Streaming mean/variance accumulator (Welford). Useful when per-sample
-/// storage is too large, e.g. 500k-node stake sweeps.
+/// storage is too large, e.g. 500k-node stake sweeps. Mergeable (Chan et
+/// al. pairwise combine), so per-shard partials fold exactly.
 class RunningStats {
  public:
   void add(double x);
@@ -54,6 +55,18 @@ class RunningStats {
   double stddev() const;
   double min() const { return min_; }
   double max() const { return max_; }
+
+  /// Folds `other` in as if its samples had been added here too. count,
+  /// min and max combine exactly; mean and variance combine by the Chan
+  /// et al. update — algebraically exact, though not bit-identical to
+  /// having added the samples one by one.
+  void merge(const RunningStats& other);
+
+  /// Raw second moment (sum of squared deviations) — with count/mean/
+  /// min/max this is the full serializable state (shard partials).
+  double m2() const { return m2_; }
+  static RunningStats from_state(std::size_t n, double mean, double m2,
+                                 double min, double max);
 
  private:
   std::size_t n_ = 0;

@@ -1,0 +1,418 @@
+// The mergeable accumulator layer: exact-vs-streaming agreement, merge
+// diagnostics, JSON round-trips, O(rounds) memory, and the sharded
+// defection-experiment workflow's bit-identity guarantee.
+#include "sim/aggregators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "sim/defection_experiment.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace roleshare::sim {
+namespace {
+
+// ---------------------------------------------------------------------
+// Accumulator-level properties.
+
+TEST(AggBackend, NamesRoundTrip) {
+  EXPECT_STREQ(to_string(AggBackend::Exact), "exact");
+  EXPECT_STREQ(to_string(AggBackend::Streaming), "streaming");
+  EXPECT_EQ(parse_agg_backend("exact"), AggBackend::Exact);
+  EXPECT_EQ(parse_agg_backend("streaming"), AggBackend::Streaming);
+  EXPECT_THROW(parse_agg_backend("columnar"), std::invalid_argument);
+}
+
+TEST(ExactAccumulator, MatchesPerRoundSamplesBitwise) {
+  util::Rng rng(3);
+  PerRoundSamples reference(4);
+  const auto acc = make_accumulator(AggBackend::Exact, 4);
+  for (std::size_t run = 0; run < 40; ++run) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      const double x = rng.normal(50.0, 20.0);
+      reference.record(r, x);
+      acc->record(r, x);
+    }
+  }
+  EXPECT_EQ(acc->trimmed_mean_series(0.2), reference.trimmed_mean_series(0.2));
+  EXPECT_EQ(acc->mean_series(), reference.mean_series());
+  EXPECT_EQ(acc->percentile_series(75.0), reference.percentile_series(75.0));
+}
+
+TEST(PerRoundSamples, MergeMismatchNamesBothRoundCounts) {
+  PerRoundSamples a(2), b(3);
+  try {
+    a.merge(b);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("this has 2 rounds"), std::string::npos) << what;
+    EXPECT_NE(what.find("other has 3"), std::string::npos) << what;
+  }
+}
+
+TEST(RoundAccumulator, MergeRejectsBackendMismatchNamingBoth) {
+  const auto exact = make_accumulator(AggBackend::Exact, 2);
+  const auto streaming = make_accumulator(AggBackend::Streaming, 2);
+  try {
+    exact->merge(*streaming);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("this is exact"), std::string::npos) << what;
+    EXPECT_NE(what.find("other is streaming"), std::string::npos) << what;
+  }
+}
+
+TEST(RoundAccumulator, EmptyRoundsReduceToNaNUnderBothBackends) {
+  // The churn-emptied-cohort convention must hold identically for both
+  // backends: quiet NaN, never a throw or a fabricated 0.0.
+  for (const AggBackend backend : {AggBackend::Exact, AggBackend::Streaming}) {
+    const auto acc = make_accumulator(backend, 3);
+    acc->record(0, 5.0);
+    acc->record(2, 7.0);
+    EXPECT_TRUE(acc->empty_round(1));
+    EXPECT_FALSE(acc->empty_round(0));
+    for (const auto& series :
+         {acc->trimmed_mean_series(0.2), acc->mean_series(),
+          acc->percentile_series(50.0), acc->percentile_series(0.0),
+          acc->percentile_series(100.0)}) {
+      ASSERT_EQ(series.size(), 3u);
+      EXPECT_EQ(series[0], 5.0) << to_string(backend);
+      EXPECT_TRUE(std::isnan(series[1])) << to_string(backend);
+      EXPECT_EQ(series[2], 7.0) << to_string(backend);
+    }
+  }
+}
+
+TEST(StreamingAccumulator, ExactWhileRunsFitTheReservoir) {
+  // At or below the reservoir capacity, the streaming backend IS exact
+  // (the paper's default 100-run sweeps under the default capacity 256).
+  util::Rng rng(9);
+  const auto exact = make_accumulator(AggBackend::Exact, 3);
+  const auto streaming = make_accumulator(AggBackend::Streaming, 3);
+  for (std::size_t run = 0; run < 100; ++run) {
+    for (std::size_t r = 0; r < 3; ++r) {
+      const double x = rng.uniform_real(0.0, 100.0);
+      exact->record(r, x);
+      streaming->record(r, x);
+    }
+  }
+  EXPECT_EQ(streaming->trimmed_mean_series(0.2),
+            exact->trimmed_mean_series(0.2));
+  EXPECT_EQ(streaming->percentile_series(90.0),
+            exact->percentile_series(90.0));
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_NEAR(streaming->mean_series()[r], exact->mean_series()[r], 1e-9);
+    EXPECT_EQ(streaming->count(r), exact->count(r));
+  }
+}
+
+TEST(StreamingAccumulator, ErrorBoundVsExactBeyondCapacity) {
+  // The documented error bound: 20k samples/round vs capacity 256. The
+  // trimmed mean / median come from the reservoir (rank SE ~
+  // sqrt(p(1-p)/256) -> a few percent of sigma), on-grid percentiles
+  // from P². Mean / min / max stay exact (RunningStats).
+  util::Rng rng(17);
+  const auto exact = make_accumulator(AggBackend::Exact, 2);
+  const auto streaming = make_accumulator(AggBackend::Streaming, 2);
+  for (std::size_t run = 0; run < 20'000; ++run) {
+    for (std::size_t r = 0; r < 2; ++r) {
+      const double x = rng.normal(100.0, 15.0);
+      exact->record(r, x);
+      streaming->record(r, x);
+    }
+  }
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_NEAR(streaming->mean_series()[r], exact->mean_series()[r], 1e-9);
+    EXPECT_NEAR(streaming->trimmed_mean_series(0.2)[r],
+                exact->trimmed_mean_series(0.2)[r], 4.0);  // ~0.25 sigma
+    EXPECT_NEAR(streaming->percentile_series(50.0)[r],
+                exact->percentile_series(50.0)[r], 2.0);  // P² grid
+    EXPECT_NEAR(streaming->percentile_series(95.0)[r],
+                exact->percentile_series(95.0)[r], 3.0);
+    EXPECT_EQ(streaming->percentile_series(0.0)[r],
+              exact->percentile_series(0.0)[r]);  // min: exact
+    EXPECT_EQ(streaming->percentile_series(100.0)[r],
+              exact->percentile_series(100.0)[r]);  // max: exact
+  }
+}
+
+TEST(StreamingAccumulator, MemoryIndependentOfRunCount) {
+  const auto small = make_accumulator(AggBackend::Streaming, 5);
+  const auto large = make_accumulator(AggBackend::Streaming, 5);
+  const auto exact_small = make_accumulator(AggBackend::Exact, 5);
+  const auto exact_large = make_accumulator(AggBackend::Exact, 5);
+  util::Rng rng(23);
+  for (std::size_t run = 0; run < 100; ++run)
+    for (std::size_t r = 0; r < 5; ++r) {
+      const double x = rng.uniform01();
+      small->record(r, x);
+      exact_small->record(r, x);
+    }
+  for (std::size_t run = 0; run < 50'000; ++run)
+    for (std::size_t r = 0; r < 5; ++r) {
+      const double x = rng.uniform01();
+      large->record(r, x);
+      exact_large->record(r, x);
+    }
+  // O(rounds): 500x the runs, identical streaming footprint.
+  EXPECT_EQ(large->memory_bytes(), small->memory_bytes());
+  // The exact matrix grows roughly linearly instead.
+  EXPECT_GT(exact_large->memory_bytes(), exact_small->memory_bytes() * 100);
+  // And at this scale streaming is far below exact.
+  EXPECT_LT(large->memory_bytes() * 10, exact_large->memory_bytes());
+}
+
+TEST(RoundAccumulator, JsonRoundTripIsExactForBothBackends) {
+  util::Rng rng(31);
+  for (const AggBackend backend : {AggBackend::Exact, AggBackend::Streaming}) {
+    const auto acc = make_accumulator(backend, 3);
+    for (std::size_t run = 0; run < 700; ++run)
+      for (std::size_t r = 0; r < 3; ++r)
+        acc->record(r, rng.normal(0.0, 1.0));
+    const auto restored = accumulator_from_json(
+        util::json::parse(acc->to_json().dump()));
+    EXPECT_EQ(restored->backend(), backend);
+    EXPECT_EQ(restored->rounds(), acc->rounds());
+    // Every series reproduces bit for bit after the %.17g round-trip.
+    EXPECT_EQ(restored->trimmed_mean_series(0.2),
+              acc->trimmed_mean_series(0.2));
+    EXPECT_EQ(restored->mean_series(), acc->mean_series());
+    EXPECT_EQ(restored->percentile_series(50.0),
+              acc->percentile_series(50.0));
+    EXPECT_EQ(restored->percentile_series(33.0),
+              acc->percentile_series(33.0));
+  }
+}
+
+TEST(RoundAccumulator, ShardedMergeEqualsSingleFeed) {
+  // Exact backend: two half-range partials merged == one full feed, bit
+  // for bit. Streaming: mean/min/max exact, quantiles within the bound.
+  util::Rng rng(41);
+  std::vector<double> stream;
+  for (std::size_t i = 0; i < 6'000; ++i) stream.push_back(rng.normal(10, 2));
+
+  for (const AggBackend backend : {AggBackend::Exact, AggBackend::Streaming}) {
+    const auto whole = make_accumulator(backend, 2);
+    const auto left = make_accumulator(backend, 2);
+    const auto right = make_accumulator(backend, 2);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const std::size_t r = i % 2;
+      whole->record(r, stream[i]);
+      (i < stream.size() / 2 ? *left : *right).record(r, stream[i]);
+    }
+    left->merge(*right);
+    for (std::size_t r = 0; r < 2; ++r)
+      EXPECT_EQ(left->count(r), whole->count(r));
+    if (backend == AggBackend::Exact) {
+      EXPECT_EQ(left->trimmed_mean_series(0.2),
+                whole->trimmed_mean_series(0.2));
+      EXPECT_EQ(left->percentile_series(25.0),
+                whole->percentile_series(25.0));
+      EXPECT_EQ(left->mean_series(), whole->mean_series());
+    } else {
+      for (std::size_t r = 0; r < 2; ++r) {
+        EXPECT_NEAR(left->mean_series()[r], whole->mean_series()[r], 1e-9);
+        EXPECT_EQ(left->percentile_series(0.0)[r],
+                  whole->percentile_series(0.0)[r]);
+        EXPECT_NEAR(left->trimmed_mean_series(0.2)[r],
+                    whole->trimmed_mean_series(0.2)[r], 0.5);
+        EXPECT_NEAR(left->percentile_series(50.0)[r],
+                    whole->percentile_series(50.0)[r], 0.5);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// The sharded defection experiment (the merge_partials workflow,
+// in-process).
+
+DefectionExperimentConfig shard_test_config(AggBackend agg) {
+  DefectionExperimentConfig config;
+  config.network.node_count = 60;
+  config.network.seed = 4242;
+  config.network.defection_rate = 0.15;
+  config.runs = 6;
+  config.rounds = 3;
+  config.agg = agg;
+  return config;
+}
+
+void expect_series_equal(const DefectionSeries& a, const DefectionSeries& b) {
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    EXPECT_EQ(a.rounds[r].final_pct, b.rounds[r].final_pct) << "round " << r;
+    EXPECT_EQ(a.rounds[r].tentative_pct, b.rounds[r].tentative_pct);
+    EXPECT_EQ(a.rounds[r].none_pct, b.rounds[r].none_pct);
+  }
+  EXPECT_EQ(a.runs_with_progress, b.runs_with_progress);
+  EXPECT_EQ(a.live_series, b.live_series);
+  EXPECT_EQ(a.cooperation_series, b.cooperation_series);
+  EXPECT_EQ(a.min_live, b.min_live);
+  EXPECT_EQ(a.max_live, b.max_live);
+}
+
+TEST(DefectionSharding, ExactMergeBitIdenticalToSingleProcess) {
+  // The acceptance criterion: N shards + merge == one threads=N run,
+  // including a JSON round-trip of every partial (the on-disk workflow).
+  DefectionExperimentConfig whole_config = shard_test_config(AggBackend::Exact);
+  whole_config.threads = 3;  // parallel single-process baseline
+  const DefectionSeries whole = run_defection_experiment(whole_config);
+
+  std::vector<DefectionPartial> partials;
+  for (const auto& [begin, end] :
+       std::vector<std::pair<std::size_t, std::size_t>>{{0, 2}, {2, 4}, {4, 6}}) {
+    DefectionExperimentConfig config = shard_test_config(AggBackend::Exact);
+    config.shard = RunShard{begin, end};
+    // Round-trip through the interchange format, as merge_partials does.
+    partials.push_back(DefectionPartial::from_json(util::json::parse(
+        run_defection_partial(config).to_json().dump())));
+  }
+  DefectionPartial merged = std::move(partials[0]);
+  merged.merge(partials[1]);
+  merged.merge(partials[2]);
+  EXPECT_EQ(merged.run_begin(), 0u);
+  EXPECT_EQ(merged.run_end(), 6u);
+  expect_series_equal(merged.finalize(0.2), whole);
+}
+
+TEST(DefectionSharding, MergeRejectsGapsAndWrongExperiments) {
+  DefectionExperimentConfig config = shard_test_config(AggBackend::Exact);
+  config.shard = RunShard{0, 2};
+  DefectionPartial first = run_defection_partial(config);
+  config.shard = RunShard{4, 6};  // leaves a hole at [2, 4)
+  const DefectionPartial gapped = run_defection_partial(config);
+  try {
+    first.merge(gapped);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ends at run 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("begins at run 4"), std::string::npos) << what;
+  }
+
+  config = shard_test_config(AggBackend::Exact);
+  config.runs = 8;  // different experiment shape
+  config.shard = RunShard{2, 4};
+  const DefectionPartial alien = run_defection_partial(config);
+  EXPECT_THROW(first.merge(alien), std::invalid_argument);
+}
+
+TEST(DefectionSharding, StreamingShardsWithinToleranceOfExact) {
+  // Streaming shard merges are not bit-identical, but must stay within
+  // the documented bound of the exact series (here runs << capacity, so
+  // the reservoirs concatenate exactly and only the P² fallback and
+  // Chan-mean differ).
+  const DefectionSeries exact =
+      run_defection_experiment(shard_test_config(AggBackend::Exact));
+
+  DefectionExperimentConfig config = shard_test_config(AggBackend::Streaming);
+  config.shard = RunShard{0, 3};
+  DefectionPartial merged = run_defection_partial(config);
+  config.shard = RunShard{3, 6};
+  merged.merge(run_defection_partial(config));
+  const DefectionSeries streamed = merged.finalize(0.2);
+
+  ASSERT_EQ(streamed.rounds.size(), exact.rounds.size());
+  for (std::size_t r = 0; r < exact.rounds.size(); ++r) {
+    EXPECT_NEAR(streamed.rounds[r].final_pct, exact.rounds[r].final_pct, 1e-9);
+    EXPECT_NEAR(streamed.rounds[r].none_pct, exact.rounds[r].none_pct, 1e-9);
+  }
+  EXPECT_EQ(streamed.runs_with_progress, exact.runs_with_progress);
+  EXPECT_EQ(streamed.min_live, exact.min_live);
+  EXPECT_EQ(streamed.max_live, exact.max_live);
+  for (std::size_t r = 0; r < exact.live_series.size(); ++r) {
+    EXPECT_NEAR(streamed.live_series[r], exact.live_series[r], 1e-9);
+    EXPECT_NEAR(streamed.cooperation_series[r], exact.cooperation_series[r],
+                1e-9);
+  }
+}
+
+TEST(DefectionSharding, StreamingMemoryBelowExactAtScale) {
+  // Same experiment, both backends: the streaming accumulator footprint
+  // must undercut the exact matrix once runs grow, and must not grow
+  // with the run count (spot-checked at two run counts).
+  DefectionExperimentConfig config = shard_test_config(AggBackend::Streaming);
+  config.network.node_count = 30;
+  config.runs = 400;  // > default reservoir capacity 256
+  const std::size_t streaming_bytes =
+      run_defection_partial(config).accumulator_bytes();
+  config.agg = AggBackend::Exact;
+  const std::size_t exact_bytes =
+      run_defection_partial(config).accumulator_bytes();
+  EXPECT_LT(streaming_bytes, exact_bytes);
+
+  config.agg = AggBackend::Streaming;
+  config.runs = 800;
+  EXPECT_EQ(run_defection_partial(config).accumulator_bytes(),
+            streaming_bytes);
+}
+
+// ---------------------------------------------------------------------
+// Streaming-vs-exact agreement across every scenario policy (satellite).
+
+TEST(DefectionSharding, StreamingAgreesWithExactAcrossScenarioPolicies) {
+  struct PolicyCase {
+    const char* name;
+    PolicyKind kind;
+    bool churn;
+  };
+  const PolicyCase cases[] = {
+      {"scripted", PolicyKind::Scripted, false},
+      {"adaptive", PolicyKind::AdaptiveDefect, false},
+      {"stake", PolicyKind::StakeCorrelatedDefect, false},
+      {"churn", PolicyKind::Scripted, true},
+  };
+  for (const PolicyCase& c : cases) {
+    DefectionExperimentConfig config;
+    config.network.node_count = 40;
+    config.network.seed = 777;
+    config.network.defection_rate = 0.2;
+    config.runs = 4;
+    config.rounds = 3;
+    config.policy.kind = c.kind;
+    if (c.kind == PolicyKind::StakeCorrelatedDefect) {
+      config.policy.defect_at_bottom = 0.4;
+      config.policy.defect_at_top = 0.0;
+    }
+    if (c.churn) {
+      config.policy.churn.leave_probability = 0.1;
+      config.policy.churn.join_probability = 0.15;
+      config.policy.churn.min_live = 10;
+    }
+    config.agg = AggBackend::Exact;
+    const DefectionSeries exact = run_defection_experiment(config);
+    config.agg = AggBackend::Streaming;
+    const DefectionSeries streamed = run_defection_experiment(config);
+    // 4 runs fit any reservoir: identical trimmed means, near-identical
+    // means (Welford vs sum-divide).
+    ASSERT_EQ(streamed.rounds.size(), exact.rounds.size()) << c.name;
+    for (std::size_t r = 0; r < exact.rounds.size(); ++r) {
+      EXPECT_EQ(streamed.rounds[r].final_pct, exact.rounds[r].final_pct)
+          << c.name << " round " << r;
+      EXPECT_EQ(streamed.rounds[r].tentative_pct,
+                exact.rounds[r].tentative_pct) << c.name;
+      EXPECT_EQ(streamed.rounds[r].none_pct, exact.rounds[r].none_pct)
+          << c.name;
+    }
+    for (std::size_t r = 0; r < exact.live_series.size(); ++r) {
+      EXPECT_NEAR(streamed.live_series[r], exact.live_series[r], 1e-9)
+          << c.name;
+      EXPECT_NEAR(streamed.cooperation_series[r],
+                  exact.cooperation_series[r], 1e-9) << c.name;
+    }
+    EXPECT_EQ(streamed.runs_with_progress, exact.runs_with_progress)
+        << c.name;
+    EXPECT_EQ(streamed.min_live, exact.min_live) << c.name;
+    EXPECT_EQ(streamed.max_live, exact.max_live) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace roleshare::sim

@@ -20,6 +20,72 @@ TEST(ExperimentSpec, Validation) {
   EXPECT_THROW(validate(ExperimentSpec{1, 0, 0, 1}), std::invalid_argument);
 }
 
+TEST(ExperimentSpec, ShardValidationAndDefaulting) {
+  ExperimentSpec spec{8, 1, 0, 1};
+  const ResolvedShard whole = resolve_shard(spec);
+  EXPECT_EQ(whole.begin, 0u);
+  EXPECT_EQ(whole.end, 8u);
+  EXPECT_EQ(whole.count(), 8u);
+
+  spec.shard = RunShard{2, 5};
+  const ResolvedShard window = resolve_shard(spec);
+  EXPECT_EQ(window.begin, 2u);
+  EXPECT_EQ(window.count(), 3u);
+
+  spec.shard = RunShard{5, 5};  // empty
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+  spec.shard = RunShard{4, 9};  // past the run count
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+}
+
+TEST(ExperimentRunner, ShardExecutesGlobalRunWindow) {
+  // A shard must run exactly its window's GLOBAL run indices with their
+  // global streams — the property that makes sharded sweeps replay a
+  // single-process execution.
+  const auto body = [](std::size_t run, util::Rng& rng) {
+    return static_cast<double>(run) * 1000.0 + rng.uniform01();
+  };
+  ExperimentSpec whole{10, 1, 77, 2};
+  const std::vector<double> reference = run_experiment(whole, body);
+
+  ExperimentSpec window = whole;
+  window.shard = RunShard{3, 7};
+  const std::vector<double> sharded = run_experiment(window, body);
+  ASSERT_EQ(sharded.size(), 4u);
+  for (std::size_t i = 0; i < sharded.size(); ++i)
+    EXPECT_EQ(sharded[i], reference[3 + i]) << "offset " << i;  // bitwise
+}
+
+TEST(ExperimentRunner, ShardReduceSeesGlobalIndicesInOrder) {
+  ExperimentSpec spec{12, 1, 3, 4};
+  spec.shard = RunShard{5, 9};
+  std::vector<std::size_t> reduce_order;
+  run_and_reduce(
+      spec, [](std::size_t run, util::Rng&) { return run; },
+      [&](std::size_t run, std::size_t result) {
+        EXPECT_EQ(run, result);
+        reduce_order.push_back(run);
+      });
+  EXPECT_EQ(reduce_order, (std::vector<std::size_t>{5, 6, 7, 8}));
+}
+
+TEST(ResolveParallelism, OuterClampedToShardSize) {
+  // A 2-run shard of a big sweep schedules like a 2-run experiment.
+  ExperimentSpec spec;
+  spec.runs = 10'000;
+  spec.threads = 16;
+  spec.inner_threads = 8;
+  spec.shard = RunShard{100, 102};
+  const ResolvedParallelism par = resolve_parallelism(spec);
+  EXPECT_EQ(par.outer, 2u);
+  EXPECT_EQ(par.inner, 1u);
+
+  spec.shard = RunShard{100, 101};  // single-run shard: inner may engage
+  const ResolvedParallelism single = resolve_parallelism(spec);
+  EXPECT_EQ(single.outer, 1u);
+  EXPECT_EQ(single.inner, 8u);
+}
+
 TEST(ExperimentRunner, RunRngIsRootSplitOfRunIndex) {
   util::Rng root(1234);
   for (const std::size_t run : {0u, 1u, 17u}) {

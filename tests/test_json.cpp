@@ -1,0 +1,100 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace roleshare::util::json {
+namespace {
+
+TEST(Json, ScalarRoundTrips) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-1.5e3").as_number(), -1500.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, DoublesRoundTripBitwise) {
+  // %.17g must reproduce every finite binary64 exactly — the property
+  // the exact-backend shard workflow's bit-identity rests on.
+  const double values[] = {0.1 + 0.2,
+                           1.0 / 3.0,
+                           6.02214076e23,
+                           -5e-324,  // min subnormal
+                           std::numeric_limits<double>::max(),
+                           83.333333333333329};
+  for (const double v : values) {
+    const Value round_tripped = parse(Value(v).dump());
+    EXPECT_EQ(round_tripped.as_number(), v);  // bitwise for finite doubles
+  }
+}
+
+TEST(Json, NonFiniteDumpsAsNull) {
+  EXPECT_EQ(Value(std::nan("")).dump(), "null");
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, NestedDocumentRoundTrips) {
+  Value doc = Value::object();
+  doc.set("name", "fig3");
+  doc.set("runs", 8);
+  Value rows = Value::array();
+  for (int i = 0; i < 3; ++i) {
+    Value row = Value::array();
+    row.push_back(i * 1.5);
+    row.push_back(Value());  // null (empty-round NaN convention)
+    rows.push_back(std::move(row));
+  }
+  doc.set("rows", std::move(rows));
+  doc.set("flags", Value(true));
+
+  const Value parsed = parse(doc.dump());
+  EXPECT_EQ(parsed.at("name").as_string(), "fig3");
+  EXPECT_EQ(parsed.at("runs").as_size(), 8u);
+  const auto& parsed_rows = parsed.at("rows").as_array();
+  ASSERT_EQ(parsed_rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed_rows[2].as_array()[0].as_number(), 3.0);
+  EXPECT_TRUE(parsed_rows[0].as_array()[1].is_null());
+  EXPECT_TRUE(parsed.at("flags").as_bool());
+  // Insertion order is preserved, so dumps are deterministic.
+  EXPECT_EQ(parse(doc.dump()).dump(), doc.dump());
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const Value v(std::string("a\"b\\c\nd\te\x01"));
+  const Value parsed = parse(v.dump());
+  EXPECT_EQ(parsed.as_string(), v.as_string());
+}
+
+TEST(Json, WhitespaceTolerated) {
+  const Value v = parse("  {\n  \"a\" : [ 1 , 2 ] ,\n \"b\": {} }\n");
+  EXPECT_EQ(v.at("a").as_array().size(), 2u);
+  EXPECT_TRUE(v.at("b").as_object().empty());
+}
+
+TEST(Json, MalformedInputThrows) {
+  EXPECT_THROW(parse(""), std::invalid_argument);
+  EXPECT_THROW(parse("{"), std::invalid_argument);
+  EXPECT_THROW(parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW(parse("{\"a\":1,}"), std::invalid_argument);
+  EXPECT_THROW(parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(parse("nul"), std::invalid_argument);
+  EXPECT_THROW(parse("1 2"), std::invalid_argument);  // trailing token
+  EXPECT_THROW(parse("{\"a\" 1}"), std::invalid_argument);
+}
+
+TEST(Json, AccessorsRejectKindMismatch) {
+  const Value v = parse("{\"a\": 1}");
+  EXPECT_THROW(v.at("a").as_string(), std::invalid_argument);
+  EXPECT_THROW(v.as_array(), std::invalid_argument);
+  EXPECT_THROW(v.at("missing"), std::invalid_argument);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(parse("-1").as_size(), std::invalid_argument);
+  EXPECT_THROW(parse("1.5").as_size(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace roleshare::util::json

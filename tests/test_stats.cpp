@@ -53,6 +53,19 @@ TEST(Stats, PercentileSingleElement) {
   EXPECT_DOUBLE_EQ(percentile({7.0}, 95), 7.0);
 }
 
+TEST(Stats, PercentileRejectsOutOfRangeP) {
+  // The guard matters for the shard/accumulator layer: a malformed
+  // partial must fail loudly, not index out of bounds.
+  const std::vector<double> xs = {10, 20, 30};
+  EXPECT_THROW(percentile(xs, -0.001), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 100.001), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, -50), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 1e9), std::invalid_argument);
+  // NaN fails the range comparison too — still a loud rejection.
+  EXPECT_THROW(percentile(xs, std::nan("")), std::invalid_argument);
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);  // empty sample
+}
+
 TEST(Stats, SummaryConsistency) {
   const std::vector<double> xs = {3, 1, 4, 1, 5, 9, 2, 6};
   const Summary s = summarize(xs);
@@ -82,6 +95,52 @@ TEST(RunningStats, EmptyAndSingle) {
   rs.add(5);
   EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
   EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequentialFeed) {
+  // Chan-combine of two halves must agree with one sequential pass —
+  // the property shard partials rely on.
+  const std::vector<double> xs = {1.5, -2.25, 8, 0.125, 4, 7.5, -3, 2};
+  RunningStats whole;
+  for (const double x : xs) whole.add(x);
+  RunningStats left, right;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    (i < xs.size() / 2 ? left : right).add(xs[i]);
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats filled;
+  filled.add(3);
+  filled.add(9);
+  RunningStats empty;
+  RunningStats a = filled;
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 6.0);
+  RunningStats b = empty;
+  b.merge(filled);  // adoption
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 6.0);
+  EXPECT_DOUBLE_EQ(b.min(), 3.0);
+  EXPECT_DOUBLE_EQ(b.max(), 9.0);
+}
+
+TEST(RunningStats, StateRoundTrip) {
+  RunningStats rs;
+  for (const double x : {0.5, 2.5, -1.0}) rs.add(x);
+  const RunningStats copy = RunningStats::from_state(
+      rs.count(), rs.mean(), rs.m2(), rs.min(), rs.max());
+  EXPECT_EQ(copy.count(), rs.count());
+  EXPECT_DOUBLE_EQ(copy.mean(), rs.mean());
+  EXPECT_DOUBLE_EQ(copy.variance(), rs.variance());
+  EXPECT_DOUBLE_EQ(copy.min(), rs.min());
+  EXPECT_DOUBLE_EQ(copy.max(), rs.max());
 }
 
 TEST(Histogram, BinsAndEdges) {

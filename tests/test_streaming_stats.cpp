@@ -1,0 +1,191 @@
+#include "util/streaming_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace roleshare::util {
+namespace {
+
+std::vector<double> normal_samples(std::size_t n, std::uint64_t seed,
+                                   double mean, double sigma) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = rng.normal(mean, sigma);
+  return xs;
+}
+
+TEST(P2Quantile, ExactForSmallSamples) {
+  P2Quantile p2(0.5);
+  EXPECT_THROW(p2.estimate(), std::invalid_argument);  // empty
+  p2.add(3.0);
+  EXPECT_DOUBLE_EQ(p2.estimate(), 3.0);
+  p2.add(1.0);
+  p2.add(2.0);
+  // Three samples: the estimate is the exact interpolated median.
+  EXPECT_DOUBLE_EQ(p2.estimate(), percentile({3.0, 1.0, 2.0}, 50.0));
+}
+
+TEST(P2Quantile, RejectsDegenerateQuantile) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(-0.5), std::invalid_argument);
+}
+
+TEST(P2Quantile, TracksQuantilesOfALargeStream) {
+  // The documented error bound: on 10k normal samples the P² estimate of
+  // each tracked quantile stays within a few percent of one sigma from
+  // the exact order statistic.
+  const std::vector<double> xs = normal_samples(10'000, 99, 50.0, 10.0);
+  for (const double q : {0.25, 0.5, 0.75, 0.95}) {
+    P2Quantile p2(q);
+    for (const double x : xs) p2.add(x);
+    const double exact = percentile(xs, q * 100.0);
+    EXPECT_NEAR(p2.estimate(), exact, 0.5)
+        << "quantile " << q;  // 0.5 = 5% of sigma
+  }
+}
+
+TEST(P2Quantile, DeterministicAndSerializable) {
+  const std::vector<double> xs = normal_samples(500, 7, 0.0, 1.0);
+  P2Quantile a(0.5), b(0.5);
+  for (const double x : xs) {
+    a.add(x);
+    b.add(x);
+  }
+  EXPECT_DOUBLE_EQ(a.estimate(), b.estimate());
+
+  // State round-trip continues identically.
+  P2Quantile restored = P2Quantile::from_state(a.state());
+  for (const double x : normal_samples(100, 8, 0.0, 1.0)) {
+    a.add(x);
+    restored.add(x);
+  }
+  EXPECT_DOUBLE_EQ(restored.estimate(), a.estimate());
+  EXPECT_EQ(restored.count(), a.count());
+}
+
+TEST(ReservoirSample, ExactWhileStreamFits) {
+  ReservoirSample r(8, 42);
+  for (const double x : {5.0, 1.0, 3.0}) r.add(x);
+  EXPECT_TRUE(r.exact());
+  EXPECT_EQ(r.seen(), 3u);
+  EXPECT_EQ(r.samples(), (std::vector<double>{5.0, 1.0, 3.0}));
+}
+
+TEST(ReservoirSample, DeterministicForSameSeedAndStream) {
+  const std::vector<double> xs = normal_samples(2'000, 11, 0.0, 1.0);
+  ReservoirSample a(64, 9), b(64, 9);
+  for (const double x : xs) {
+    a.add(x);
+    b.add(x);
+  }
+  EXPECT_FALSE(a.exact());
+  EXPECT_EQ(a.samples(), b.samples());  // bitwise
+  EXPECT_EQ(a.seen(), 2'000u);
+  EXPECT_EQ(a.samples().size(), 64u);
+}
+
+TEST(ReservoirSample, SubsampleQuantilesNearExact) {
+  // Rank-space error ~ sqrt(p(1-p)/K): K=256 on 20k samples keeps the
+  // median of N(100, 15) within ~2 sigma of the exact one.
+  const std::vector<double> xs = normal_samples(20'000, 21, 100.0, 15.0);
+  ReservoirSample r(256, 5);
+  for (const double x : xs) r.add(x);
+  const double exact_median = percentile(xs, 50.0);
+  const double est_median = percentile(r.samples(), 50.0);
+  EXPECT_NEAR(est_median, exact_median, 3.0);  // 0.2 sigma
+  const double exact_trimmed = trimmed_mean(xs, 0.2);
+  const double est_trimmed = trimmed_mean(r.samples(), 0.2);
+  EXPECT_NEAR(est_trimmed, exact_trimmed, 3.0);
+}
+
+TEST(ReservoirSample, MergeConcatenatesWhileFitting) {
+  ReservoirSample a(8, 1), b(8, 2);
+  a.add(1.0);
+  a.add(2.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_TRUE(a.exact());
+  EXPECT_EQ(a.samples(), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(a.seen(), 3u);
+}
+
+TEST(ReservoirSample, MergeWithEmptyAdopts) {
+  ReservoirSample filled(4, 1), empty(4, 2);
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0}) filled.add(x);
+  ReservoirSample target(4, 3);
+  target.merge(filled);
+  EXPECT_EQ(target.seen(), filled.seen());
+  EXPECT_EQ(target.samples(), filled.samples());
+  filled.merge(empty);  // no-op
+  EXPECT_EQ(filled.seen(), 6u);
+}
+
+TEST(ReservoirSample, MergedSubsampleStaysRepresentative) {
+  // Two shards of one stream, merged, must estimate the union's median
+  // within the same error budget as a single reservoir.
+  const std::vector<double> xs = normal_samples(20'000, 33, 0.0, 1.0);
+  ReservoirSample left(256, 4), right(256, 4);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    (i < xs.size() / 2 ? left : right).add(xs[i]);
+  left.merge(right);
+  EXPECT_EQ(left.seen(), 20'000u);
+  EXPECT_EQ(left.samples().size(), 256u);
+  EXPECT_NEAR(percentile(left.samples(), 50.0), percentile(xs, 50.0), 0.2);
+}
+
+TEST(ReservoirSample, MergeRejectsCapacityMismatchNamingBoth) {
+  ReservoirSample a(8, 1), b(16, 1);
+  try {
+    a.merge(b);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find('8'), std::string::npos) << what;
+    EXPECT_NE(what.find("16"), std::string::npos) << what;
+  }
+}
+
+TEST(ReservoirSample, StateRoundTripContinuesIdentically) {
+  const std::vector<double> xs = normal_samples(1'000, 55, 0.0, 1.0);
+  ReservoirSample original(64, 12);
+  for (const double x : xs) original.add(x);
+  ReservoirSample restored = ReservoirSample::from_state(
+      64, original.seed_material(), original.seen(), original.draws(),
+      std::vector<double>(original.samples()));
+  for (const double x : normal_samples(500, 56, 0.0, 1.0)) {
+    original.add(x);
+    restored.add(x);
+  }
+  EXPECT_EQ(restored.samples(), original.samples());  // bitwise
+  EXPECT_EQ(restored.seen(), original.seen());
+  EXPECT_EQ(restored.draws(), original.draws());
+}
+
+TEST(ReservoirSample, StateRoundTripAfterMergeContinuesIdentically) {
+  // merge() consumes private-stream draws too; the serialized draw count
+  // must fast-forward past them so a restored reservoir replays ANY
+  // history exactly — the contract shard checkpointing relies on.
+  ReservoirSample left(32, 3), right(32, 4);
+  for (const double x : normal_samples(300, 61, 0.0, 1.0)) left.add(x);
+  for (const double x : normal_samples(300, 62, 0.0, 1.0)) right.add(x);
+  left.merge(right);
+  ReservoirSample restored = ReservoirSample::from_state(
+      32, left.seed_material(), left.seen(), left.draws(),
+      std::vector<double>(left.samples()));
+  for (const double x : normal_samples(200, 63, 0.0, 1.0)) {
+    left.add(x);
+    restored.add(x);
+  }
+  EXPECT_EQ(restored.samples(), left.samples());  // bitwise
+  EXPECT_EQ(restored.seen(), left.seen());
+}
+
+}  // namespace
+}  // namespace roleshare::util
