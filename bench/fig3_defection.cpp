@@ -13,7 +13,7 @@
 // loops — the knob for single-run latency at large --nodes; also
 // bit-identical, and forced serial while --threads is parallel.
 //
-// Aggregation / sharding knobs (see DESIGN.md "Accumulators & sharding"):
+// Aggregation / sharding / checkpoint knobs (DESIGN.md §6):
 //   --agg={exact,streaming}   reduction backend; streaming caps the
 //                             accumulator state at O(rounds) memory.
 //   --run-begin=B --run-end=E execute only global runs [B, E) — one shard
@@ -21,6 +21,13 @@
 //   --partial-out=FILE        write the shard's mergeable partial (JSON)
 //                             instead of a figure; feed the files from
 //                             all shards to merge_partials.
+//   --checkpoint-every=R      rewrite the partial every R runs with a
+//                             resume cursor, so a crashed shard loses at
+//                             most R runs of work.
+//   --partial-in=FILE         resume a checkpoint: execute the remainder
+//                             of its window and keep checkpointing.
+//   --stop-after=N            stop (with a checkpoint) after N runs —
+//                             deterministic crash injection for tests.
 //   --series-out=FILE         also write the deterministic series
 //                             snapshot the CI shard-smoke job diffs
 //                             against a merged run.
@@ -75,9 +82,7 @@ int main(int argc, char** argv) {
   const std::size_t threads = bench::arg_threads(argc, argv);
   const std::size_t inner_threads = bench::arg_inner_threads(argc, argv);
   const sim::AggBackend agg = bench::arg_agg(argc, argv);
-  const sim::RunShard shard = bench::arg_run_shard(argc, argv, runs);
-  const std::string partial_out =
-      bench::arg_string(argc, argv, "partial-out", "");
+  const bench::ShardKnobs knobs = bench::arg_shard_knobs(argc, argv, runs);
   const std::string series_out =
       bench::arg_string(argc, argv, "series-out", "");
 
@@ -85,37 +90,35 @@ int main(int argc, char** argv) {
   std::printf("nodes=%zu runs=%zu rounds=%zu threads=%zu inner-threads=%zu "
               "agg=%s stakes=U(1,50) fanout=5 (override with "
               "--nodes/--runs/--rounds/--threads/--inner-threads/--agg; "
-              "shard with --run-begin/--run-end + --partial-out)\n",
+              "shard with --run-begin/--run-end + --partial-out, resume "
+              "with --checkpoint-every + --partial-in)\n",
               nodes, runs, rounds, threads, inner_threads,
               sim::to_string(agg));
 
-  if (!partial_out.empty()) {
-    // Shard-worker mode: execute the run window, write the mergeable
-    // partial, and stop — merge_partials folds the shards into the
-    // figure.
-    std::size_t begin = 0, end = 0;
-    util::json::Value panels = util::json::Value::array();
-    for (std::size_t i = 0; i < 6; ++i) {
-      const sim::DefectionPartial partial = sim::run_defection_partial(
-          panel_config(i, nodes, runs, rounds, threads, inner_threads, agg,
-                       shard));
-      begin = partial.run_begin();
-      end = partial.run_end();
-      util::json::Value panel = util::json::Value::object();
-      panel.set("rate_pct", kRates[i] * 100.0);
-      panel.set("partial", partial.to_json());
-      panels.push_back(std::move(panel));
-    }
-    util::json::Value doc = bench::shard_document_header(
-        "fig3_defection", nodes, runs, rounds, agg, kTrim, begin, end);
-    doc.set("panels", std::move(panels));
-    bench::write_text_file(partial_out, doc.dump() + "\n");
-    std::printf("\n[shard] wrote partial for runs [%zu, %zu) of %zu to %s\n",
-                begin, end, runs, partial_out.c_str());
-    return 0;
-  }
+  const util::json::Value header = bench::shard_document_header(
+      std::string(sim::DefectionPayload::kKind), "fig3_defection",
+      {{"nodes", nodes},
+       {"runs", runs},
+       {"rounds", rounds},
+       {"agg", sim::to_string(agg)},
+       {"trim", kTrim}});
+  const auto panel_meta = [](std::size_t i) {
+    util::json::Value panel = util::json::Value::object();
+    panel.set("rate_pct", kRates[i] * 100.0);
+    return panel;
+  };
+  const auto run_panel = [&](std::size_t i, sim::RunShard sub) {
+    return sim::run_defection_partial(panel_config(
+        i, nodes, runs, rounds, threads, inner_threads, agg, sub));
+  };
 
   const bench::WallTimer timer;
+  const auto exec = bench::run_sharded_panels<sim::DefectionPartial>(
+      knobs, 6, header, panel_meta, run_panel);
+  // Shard-worker mode ends here: the partial is on disk, merge_partials
+  // folds the shards into the figure.
+  if (bench::shard_worker_done(exec, knobs)) return 0;
+
   bench::JsonFields json_fields = {
       {"nodes", static_cast<double>(nodes)},
       {"runs", static_cast<double>(runs)},
@@ -125,15 +128,9 @@ int main(int argc, char** argv) {
       {"agg", sim::to_string(agg)}};
 
   std::size_t accumulator_bytes = 0;
-  std::size_t begin = 0, end = runs;
   util::json::Value series_panels = util::json::Value::array();
   for (std::size_t i = 0; i < 6; ++i) {
-    const sim::DefectionExperimentConfig config = panel_config(
-        i, nodes, runs, rounds, threads, inner_threads, agg, shard);
-    const sim::DefectionPartial partial = sim::run_defection_partial(config);
-    begin = partial.run_begin();
-    end = partial.run_end();
-    const sim::DefectionSeries series = partial.finalize(kTrim);
+    const sim::DefectionSeries series = exec.partials[i].finalize(kTrim);
     accumulator_bytes += series.accumulator_bytes;
 
     std::printf("\n--- Fig 3(%c): defection rate %.0f%% ---\n", kPanels[i],
@@ -146,17 +143,14 @@ int main(int argc, char** argv) {
         "mean_final_pct_" + std::to_string(static_cast<int>(kRates[i] * 100)),
         mean_final);
 
-    util::json::Value panel = util::json::Value::object();
-    panel.set("rate_pct", kRates[i] * 100.0);
+    util::json::Value panel = panel_meta(i);
     panel.set("series", bench::defection_series_json(series));
     series_panels.push_back(std::move(panel));
   }
 
   if (!series_out.empty()) {
-    util::json::Value doc = bench::shard_document_header(
-        "fig3_defection", nodes, runs, rounds, agg, kTrim, begin, end);
-    doc.set("panels", std::move(series_panels));
-    bench::write_text_file(series_out, doc.dump() + "\n");
+    bench::write_series_document(series_out, header, exec.window_begin,
+                                 exec.cursor, std::move(series_panels));
     std::printf("\n[series] wrote %s\n", series_out.c_str());
   }
 

@@ -7,6 +7,12 @@
 // stakes drive s*_k down); the normal distributions need progressively
 // less as their minimum stake rises; per-Algo-of-stake the N(2000,25)
 // economy is the cheapest to secure.
+//
+// Sharding / checkpointing (DESIGN.md §6): --run-begin/--run-end +
+// --partial-out write a mergeable RewardPartial per panel instead of the
+// figure; --checkpoint-every / --partial-in / --stop-after give the
+// shard crash-resume semantics; --series-out writes the deterministic
+// snapshot CI diffs against a merge_partials run.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -16,6 +22,15 @@
 #include "util/stats.hpp"
 
 using namespace roleshare;
+
+namespace {
+
+const sim::StakeSpec kSpecs[] = {
+    sim::StakeSpec::uniform(1, 200), sim::StakeSpec::normal(100, 20),
+    sim::StakeSpec::normal(100, 10), sim::StakeSpec::normal(2000, 25)};
+constexpr char kPanels[] = {'a', 'b', 'c', 'd'};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const auto nodes = static_cast<std::size_t>(
@@ -27,16 +42,54 @@ int main(int argc, char** argv) {
   const std::size_t threads = bench::arg_threads(argc, argv);
   const std::size_t inner_threads = bench::arg_inner_threads(argc, argv);
   const sim::AggBackend agg = bench::arg_agg(argc, argv);
-  const sim::RunShard shard = bench::arg_run_shard(argc, argv, runs);
+  const bench::ShardKnobs knobs = bench::arg_shard_knobs(argc, argv, runs);
+  const std::string series_out =
+      bench::arg_string(argc, argv, "series-out", "");
 
   bench::print_header("Figure 6", "distribution of computed B_i per round");
   std::printf("nodes=%zu runs=%zu rounds/run=%zu threads=%zu "
               "inner-threads=%zu agg=%s tx-churn=1000x U(-4,4) "
               "(paper: 500k nodes; scale with --nodes; shard with "
-              "--run-begin/--run-end)\n",
+              "--run-begin/--run-end + --partial-out, resume with "
+              "--checkpoint-every + --partial-in)\n",
               nodes, runs, rounds, threads, inner_threads,
               sim::to_string(agg));
+
+  const auto make_config = [&](std::size_t i, sim::RunShard sub) {
+    sim::RewardExperimentConfig config;
+    config.node_count = nodes;
+    config.seed = 1000 + i;
+    config.stakes = kSpecs[i];
+    config.runs = runs;
+    config.rounds_per_run = rounds;
+    config.threads = threads;
+    config.inner_threads = inner_threads;
+    config.agg = agg;
+    config.shard = sub;
+    return config;
+  };
+
+  const util::json::Value header = bench::shard_document_header(
+      std::string(sim::RewardPayload::kKind), "fig6_bi_distributions",
+      {{"nodes", nodes},
+       {"runs", runs},
+       {"rounds", rounds},
+       {"agg", sim::to_string(agg)}});
+  const auto panel_meta = [](std::size_t i) {
+    util::json::Value panel = util::json::Value::object();
+    panel.set("panel", std::string(1, kPanels[i]));
+    panel.set("stakes", kSpecs[i].name());
+    return panel;
+  };
+  const auto run_panel = [&](std::size_t i, sim::RunShard sub) {
+    return sim::run_reward_partial(make_config(i, sub));
+  };
+
   const bench::WallTimer timer;
+  const auto exec = bench::run_sharded_panels<sim::RewardPartial>(
+      knobs, 4, header, panel_meta, run_panel);
+  if (bench::shard_worker_done(exec, knobs)) return 0;
+
   bench::JsonFields json_fields = {
       {"nodes", static_cast<double>(nodes)},
       {"runs", static_cast<double>(runs)},
@@ -45,32 +98,19 @@ int main(int argc, char** argv) {
       {"inner_threads", static_cast<double>(inner_threads)},
       {"agg", sim::to_string(agg)}};
   std::size_t accumulator_bytes = 0;
-
-  const sim::StakeSpec specs[] = {
-      sim::StakeSpec::uniform(1, 200), sim::StakeSpec::normal(100, 20),
-      sim::StakeSpec::normal(100, 10), sim::StakeSpec::normal(2000, 25)};
-  const char panel[] = {'a', 'b', 'c', 'd'};
+  util::json::Value series_panels = util::json::Value::array();
 
   for (std::size_t i = 0; i < 4; ++i) {
-    sim::RewardExperimentConfig config;
-    config.node_count = nodes;
-    config.seed = 1000 + i;
-    config.stakes = specs[i];
-    config.runs = runs;
-    config.rounds_per_run = rounds;
-    config.threads = threads;
-    config.inner_threads = inner_threads;
-    config.agg = agg;
-    config.shard = shard;
-
-    const sim::RewardExperimentResult result =
-        sim::run_reward_experiment(config);
-    json_fields.emplace_back("mean_bi_" + std::string(1, panel[i]),
+    const sim::RewardExperimentResult result = exec.partials[i].finalize();
+    json_fields.emplace_back("mean_bi_" + std::string(1, kPanels[i]),
                              result.mean_bi);
     accumulator_bytes += result.accumulator_bytes;
+    util::json::Value panel = panel_meta(i);
+    panel.set("series", bench::reward_series_json(result));
+    series_panels.push_back(std::move(panel));
 
-    std::printf("\n--- Fig 6(%c): stakes %s ---\n", panel[i],
-                specs[i].name().c_str());
+    std::printf("\n--- Fig 6(%c): stakes %s ---\n", kPanels[i],
+                kSpecs[i].name().c_str());
     std::printf("mean S_N = %.1fM Algos | infeasible = %zu\n",
                 result.mean_total_stake / 1e6, result.infeasible_rounds);
     std::printf("mean split: alpha=%.4f beta=%.4f gamma=%.4f\n",
@@ -98,6 +138,12 @@ int main(int argc, char** argv) {
     util::Histogram hist(summary.min * 0.95, summary.max * 1.05 + 1e-9, 12);
     hist.add_all(result.bi_algos);
     std::printf("%s", hist.render(40).c_str());
+  }
+
+  if (!series_out.empty()) {
+    bench::write_series_document(series_out, header, exec.window_begin,
+                                 exec.cursor, std::move(series_panels));
+    std::printf("\n[series] wrote %s\n", series_out.c_str());
   }
 
   json_fields.emplace_back("accumulator_bytes",

@@ -9,7 +9,13 @@
 // round; our mechanism pays a (much smaller) stake-distribution-dependent
 // amount and does not grow over the horizon; excluding small stakes cuts
 // the required reward further (~1/w).
+//
+// Sharding / checkpointing (DESIGN.md §6): the six panels (three stake
+// distributions + three U_w filters) execute through the checkpointed
+// shard driver; --partial-out / --partial-in / --checkpoint-every /
+// --series-out behave exactly as on fig3/fig6.
 #include <cstdio>
+#include <optional>
 
 #include "bench_util.hpp"
 #include "shard_util.hpp"
@@ -19,31 +25,22 @@ using namespace roleshare;
 
 namespace {
 
-struct RunKnobs {
-  std::size_t threads = 1;
-  std::size_t inner_threads = 1;
-  sim::AggBackend agg = sim::AggBackend::Exact;
-  sim::RunShard shard{};
+const sim::StakeSpec kSpecs[] = {
+    sim::StakeSpec::uniform(1, 200), sim::StakeSpec::normal(100, 20),
+    sim::StakeSpec::normal(100, 10)};
+constexpr std::int64_t kFilters[] = {3, 5, 7};
+
+/// Panels 0-2: the Fig-7(a/b) stake distributions (seeds 2000+i).
+/// Panels 3-5: the Fig-7(c) U_w(1,200) filters (seeds 3000+i).
+struct PanelSpec {
+  sim::StakeSpec stakes;
+  std::optional<std::int64_t> min_stake;
+  std::uint64_t seed;
 };
 
-sim::RewardExperimentResult run_for(const sim::StakeSpec& spec,
-                                    std::size_t nodes, std::size_t runs,
-                                    std::size_t rounds,
-                                    std::optional<std::int64_t> min_stake,
-                                    std::uint64_t seed,
-                                    const RunKnobs& knobs) {
-  sim::RewardExperimentConfig config;
-  config.node_count = nodes;
-  config.seed = seed;
-  config.stakes = spec;
-  config.runs = runs;
-  config.rounds_per_run = rounds;
-  config.threads = knobs.threads;
-  config.inner_threads = knobs.inner_threads;
-  config.agg = knobs.agg;
-  config.shard = knobs.shard;
-  config.min_other_stake = min_stake;
-  return sim::run_reward_experiment(config);
+PanelSpec panel_spec(std::size_t panel) {
+  if (panel < 3) return {kSpecs[panel], std::nullopt, 2000 + panel};
+  return {kSpecs[0], kFilters[panel - 3], 3000 + (panel - 3)};
 }
 
 }  // namespace
@@ -55,43 +52,82 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(bench::arg_int(argc, argv, "runs", 30));
   const auto rounds =
       static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 10));
-  RunKnobs knobs;
-  knobs.threads = bench::arg_threads(argc, argv);
-  knobs.inner_threads = bench::arg_inner_threads(argc, argv);
-  knobs.agg = bench::arg_agg(argc, argv);
-  knobs.shard = bench::arg_run_shard(argc, argv, runs);
+  const std::size_t threads = bench::arg_threads(argc, argv);
+  const std::size_t inner_threads = bench::arg_inner_threads(argc, argv);
+  const sim::AggBackend agg = bench::arg_agg(argc, argv);
+  const bench::ShardKnobs knobs = bench::arg_shard_knobs(argc, argv, runs);
+  const std::string series_out =
+      bench::arg_string(argc, argv, "series-out", "");
 
   bench::print_header("Figure 7", "our adaptive reward vs Foundation schedule");
   std::printf("nodes=%zu runs=%zu rounds/run=%zu threads=%zu "
-              "inner-threads=%zu agg=%s (shard with --run-begin/--run-end)\n",
-              nodes, runs, rounds, knobs.threads, knobs.inner_threads,
-              sim::to_string(knobs.agg));
-  const bench::WallTimer timer;
+              "inner-threads=%zu agg=%s (shard with --run-begin/--run-end "
+              "+ --partial-out, resume with --checkpoint-every + "
+              "--partial-in)\n",
+              nodes, runs, rounds, threads, inner_threads,
+              sim::to_string(agg));
 
-  const sim::StakeSpec specs[] = {
-      sim::StakeSpec::uniform(1, 200), sim::StakeSpec::normal(100, 20),
-      sim::StakeSpec::normal(100, 10)};
+  const auto make_config = [&](std::size_t panel, sim::RunShard sub) {
+    const PanelSpec spec = panel_spec(panel);
+    sim::RewardExperimentConfig config;
+    config.node_count = nodes;
+    config.seed = spec.seed;
+    config.stakes = spec.stakes;
+    config.runs = runs;
+    config.rounds_per_run = rounds;
+    config.threads = threads;
+    config.inner_threads = inner_threads;
+    config.agg = agg;
+    config.shard = sub;
+    config.min_other_stake = spec.min_stake;
+    return config;
+  };
+
+  const util::json::Value header = bench::shard_document_header(
+      std::string(sim::RewardPayload::kKind), "fig7_reward_comparison",
+      {{"nodes", nodes},
+       {"runs", runs},
+       {"rounds", rounds},
+       {"agg", sim::to_string(agg)}});
+  const auto panel_meta = [](std::size_t panel) {
+    const PanelSpec spec = panel_spec(panel);
+    util::json::Value v = util::json::Value::object();
+    v.set("stakes", spec.stakes.name());
+    v.set("min_other_stake", spec.min_stake
+                                 ? util::json::Value(*spec.min_stake)
+                                 : util::json::Value());
+    v.set("seed", spec.seed);
+    return v;
+  };
+  const auto run_panel = [&](std::size_t panel, sim::RunShard sub) {
+    return sim::run_reward_partial(make_config(panel, sub));
+  };
+
+  const bench::WallTimer timer;
+  const auto exec = bench::run_sharded_panels<sim::RewardPartial>(
+      knobs, 6, header, panel_meta, run_panel);
+  if (bench::shard_worker_done(exec, knobs)) return 0;
+
+  std::vector<sim::RewardExperimentResult> results;
+  for (std::size_t panel = 0; panel < 6; ++panel)
+    results.push_back(exec.partials[panel].finalize());
 
   // (a) per-round rewards.
   std::printf("\n--- Fig 7(a): distributed reward per round (Algos) ---\n");
   std::printf("%6s %12s", "round", "Foundation");
-  for (const auto& spec : specs) std::printf(" %12s", spec.name().c_str());
+  for (const auto& spec : kSpecs) std::printf(" %12s", spec.name().c_str());
   std::printf("\n");
-  std::vector<sim::RewardExperimentResult> results;
-  for (std::size_t i = 0; i < 3; ++i)
-    results.push_back(run_for(specs[i], nodes, runs, rounds, std::nullopt,
-                              2000 + i, knobs));
   for (std::size_t r = 0; r < rounds; ++r) {
     std::printf("%6zu %12.1f", r + 1, results[0].foundation_per_round[r]);
-    for (const auto& result : results)
-      std::printf(" %12.2f", result.bi_per_round_mean[r]);
+    for (std::size_t i = 0; i < 3; ++i)
+      std::printf(" %12.2f", results[i].bi_per_round_mean[r]);
     std::printf("\n");
   }
 
   // (b) accumulated rewards.
   std::printf("\n--- Fig 7(b): accumulated rewards (Algos) ---\n");
   std::printf("%6s %12s", "round", "Foundation");
-  for (const auto& spec : specs) std::printf(" %12s", spec.name().c_str());
+  for (const auto& spec : kSpecs) std::printf(" %12s", spec.name().c_str());
   std::printf("\n");
   double acc_foundation = 0;
   std::vector<double> acc(3, 0.0);
@@ -108,11 +144,6 @@ int main(int argc, char** argv) {
   // (c) the U_w(1,200) small-stake filters.
   std::printf("\n--- Fig 7(c): accumulated reward with stakes < w excluded, "
               "U(1,200) ---\n");
-  const std::int64_t filters[] = {3, 5, 7};
-  std::vector<sim::RewardExperimentResult> filtered;
-  for (std::size_t i = 0; i < 3; ++i)
-    filtered.push_back(run_for(specs[0], nodes, runs, rounds, filters[i],
-                               3000 + i, knobs));
   std::printf("%6s %12s %12s %12s %12s\n", "round", "U(1,200)", "U3", "U5",
               "U7");
   double acc_base = 0;
@@ -121,28 +152,39 @@ int main(int argc, char** argv) {
     acc_base += results[0].bi_per_round_mean[r];
     std::printf("%6zu %12.2f", r + 1, acc_base);
     for (std::size_t i = 0; i < 3; ++i) {
-      acc_f[i] += filtered[i].bi_per_round_mean[r];
+      acc_f[i] += results[3 + i].bi_per_round_mean[r];
       std::printf(" %12.2f", acc_f[i]);
     }
     std::printf("\n");
   }
 
+  if (!series_out.empty()) {
+    util::json::Value series_panels = util::json::Value::array();
+    for (std::size_t panel = 0; panel < 6; ++panel) {
+      util::json::Value v = panel_meta(panel);
+      v.set("series", bench::reward_series_json(results[panel]));
+      series_panels.push_back(std::move(v));
+    }
+    bench::write_series_document(series_out, header, exec.window_begin,
+                                 exec.cursor, std::move(series_panels));
+    std::printf("\n[series] wrote %s\n", series_out.c_str());
+  }
+
   std::size_t accumulator_bytes = 0;
   for (const auto& result : results) accumulator_bytes += result.accumulator_bytes;
-  for (const auto& result : filtered) accumulator_bytes += result.accumulator_bytes;
   bench::emit_json(
       "fig7_reward_comparison",
       {{"nodes", static_cast<double>(nodes)},
        {"runs", static_cast<double>(runs)},
        {"rounds", static_cast<double>(rounds)},
-       {"threads", static_cast<double>(knobs.threads)},
-       {"inner_threads", static_cast<double>(knobs.inner_threads)},
-       {"agg", sim::to_string(knobs.agg)},
+       {"threads", static_cast<double>(threads)},
+       {"inner_threads", static_cast<double>(inner_threads)},
+       {"agg", sim::to_string(agg)},
        {"accumulator_bytes", static_cast<double>(accumulator_bytes)},
        {"mean_bi_u1_200", results[0].mean_bi},
        {"mean_bi_n100_20", results[1].mean_bi},
        {"mean_bi_n100_10", results[2].mean_bi},
-       {"mean_bi_u1_200_w7", filtered[2].mean_bi},
+       {"mean_bi_u1_200_w7", results[5].mean_bi},
        {"wall_ms", timer.elapsed_ms()}});
 
   std::printf("\nShape check: ours << Foundation and flat across the\n"

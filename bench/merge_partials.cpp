@@ -6,12 +6,18 @@
 //   $ ./fig3_defection --runs=8 --run-begin=4 --run-end=8 --partial-out=s1.json
 //   $ ./merge_partials --series-out=merged.json s0.json s1.json
 //
-// Shards may be listed in any order; they are sorted by run_begin and
-// must tile the full run range [0, runs) contiguously — the contract
-// that makes an exact-backend merge bit-identical to a single-process
-// execution (the CI smoke job diffs merged.json against an unsharded
-// --series-out byte for byte). Streaming-backend partials merge within
-// the documented reservoir error bound instead.
+// The experiment family is auto-detected from the shard documents' "kind"
+// field (defection = fig3/scenario_sweep, reward = fig6/fig7, strategic =
+// strategic_ensemble); mixing kinds, configs or panel layouts across the
+// shard set is refused loudly, naming both sides. Shards may be listed in
+// any order; before any merge the whole set is validated to tile the full
+// run range [0, runs) exactly — no overlaps, no gaps, no unfinished
+// checkpoints (a partial whose run_end < window_end must be resumed via
+// the bench's --partial-in first). That tiling is the contract that makes
+// an exact-backend merge bit-identical to a single-process execution (the
+// CI smoke jobs diff merged.json against an unsharded --series-out byte
+// for byte). Streaming-backend partials merge within the documented
+// reservoir error bound instead.
 //
 // Exit codes: 0 on success, 1 on malformed/incompatible/missing shards.
 #include <algorithm>
@@ -23,6 +29,9 @@
 #include "bench_util.hpp"
 #include "shard_util.hpp"
 #include "sim/defection_experiment.hpp"
+#include "sim/partial.hpp"
+#include "sim/reward_experiment.hpp"
+#include "sim/strategic_loop.hpp"
 #include "util/json.hpp"
 
 using namespace roleshare;
@@ -34,38 +43,151 @@ struct ShardFile {
   util::json::Value doc;
 };
 
-/// Panel-indexed partials of one shard file, plus the config echo used
-/// for cross-shard compatibility checks.
-struct LoadedShard {
-  std::string path;
-  std::size_t run_begin = 0;
-  std::vector<double> rate_pcts;
-  std::vector<sim::DefectionPartial> panels;
-};
+/// Document members every shard document carries around its config echo;
+/// everything else in the header must agree verbatim across shards.
+bool is_window_key(const std::string& key) {
+  return key == "run_begin" || key == "run_end" || key == "window_end" ||
+         key == "panels";
+}
 
-LoadedShard load_shard(const ShardFile& file,
-                       const util::json::Value& reference_header) {
-  const util::json::Value& doc = file.doc;
-  for (const char* key : {"bench", "nodes", "runs", "rounds", "agg", "trim"}) {
-    const std::string a = doc.at(key).dump();
-    const std::string b = reference_header.at(key).dump();
-    if (a != b) {
-      throw std::invalid_argument(std::string("shard ") + file.path +
-                                  " disagrees on \"" + key + "\": " + a +
-                                  " vs " + b);
+void check_headers_match(const ShardFile& reference, const ShardFile& file) {
+  for (const auto& [key, value] : reference.doc.as_object()) {
+    if (is_window_key(key)) continue;
+    const util::json::Value* other = file.doc.find(key);
+    if (other == nullptr) {
+      throw std::invalid_argument("shard " + file.path +
+                                  " is missing header field \"" + key +
+                                  "\" that " + reference.path + " carries");
+    }
+    if (other->dump() != value.dump()) {
+      throw std::invalid_argument("shard " + file.path +
+                                  " disagrees on \"" + key + "\": " +
+                                  other->dump() + " vs " + value.dump() +
+                                  " in " + reference.path);
     }
   }
-  LoadedShard shard;
-  shard.path = file.path;
-  shard.run_begin = doc.at("run_begin").as_size();
-  for (const util::json::Value& panel : doc.at("panels").as_array()) {
-    shard.rate_pcts.push_back(panel.at("rate_pct").as_number());
-    shard.panels.push_back(
-        sim::DefectionPartial::from_json(panel.at("partial")));
+  // Symmetric: a shard carrying header fields the reference lacks is just
+  // as mismatched — validation must not depend on argument order.
+  for (const auto& [key, value] : file.doc.as_object()) {
+    if (is_window_key(key)) continue;
+    if (reference.doc.find(key) == nullptr) {
+      throw std::invalid_argument("shard " + file.path +
+                                  " carries extra header field \"" + key +
+                                  "\" that " + reference.path + " lacks");
+    }
   }
-  if (shard.panels.empty())
-    throw std::invalid_argument("shard " + file.path + " has no panels");
-  return shard;
+}
+
+/// The panel-identity fields (everything but "partial"), used to check
+/// that all shards share one panel layout and to rebuild series panels.
+util::json::Value panel_meta_of(const util::json::Value& panel) {
+  util::json::Value meta = util::json::Value::object();
+  for (const auto& [key, value] : panel.as_object())
+    if (key != "partial") meta.set(key, value);
+  return meta;
+}
+
+/// Merges every shard's panel partials in window order. The envelope
+/// inside each partial re-checks kind / spec hash / backend / contiguity,
+/// so a shard that slipped past the document-level validation still
+/// cannot corrupt the merge silently.
+template <typename PartialT>
+struct MergedPanels {
+  std::vector<PartialT> partials;
+  std::vector<util::json::Value> metas;
+};
+
+template <typename PartialT>
+MergedPanels<PartialT> merge_panels(const std::vector<ShardFile>& files) {
+  MergedPanels<PartialT> merged;
+  std::vector<std::string> meta_dumps;
+  for (const ShardFile& file : files) {
+    const auto& panels = file.doc.at("panels").as_array();
+    if (panels.empty())
+      throw std::invalid_argument("shard " + file.path + " has no panels");
+    if (merged.partials.empty()) {
+      for (const util::json::Value& panel : panels) {
+        merged.partials.push_back(PartialT::from_json(panel.at("partial")));
+        merged.metas.push_back(panel_meta_of(panel));
+        meta_dumps.push_back(merged.metas.back().dump());
+      }
+      continue;
+    }
+    if (panels.size() != merged.partials.size())
+      throw std::invalid_argument("shard " + file.path + " has " +
+                                  std::to_string(panels.size()) +
+                                  " panels, the first shard has " +
+                                  std::to_string(merged.partials.size()));
+    for (std::size_t i = 0; i < panels.size(); ++i) {
+      if (panel_meta_of(panels[i]).dump() != meta_dumps[i])
+        throw std::invalid_argument("shard " + file.path +
+                                    " has a different panel layout at "
+                                    "panel " + std::to_string(i));
+      merged.partials[i].merge(PartialT::from_json(panels[i].at("partial")));
+    }
+  }
+  return merged;
+}
+
+util::json::Value series_header(const util::json::Value& shard_doc) {
+  util::json::Value header = util::json::Value::object();
+  for (const auto& [key, value] : shard_doc.as_object())
+    if (!is_window_key(key)) header.set(key, value);
+  return header;
+}
+
+/// Kind-specific finalize + series snapshot + stdout summary.
+util::json::Value finalize_defection(
+    const MergedPanels<sim::DefectionPartial>& merged, double trim) {
+  util::json::Value panels = util::json::Value::array();
+  for (std::size_t i = 0; i < merged.partials.size(); ++i) {
+    const sim::DefectionSeries series = merged.partials[i].finalize(trim);
+    std::printf("\n--- panel %zu: %s ---\n", i + 1,
+                merged.metas[i].dump().c_str());
+    bench::print_defection_table(series);
+    std::printf("mean final%% = %.1f | runs with chain progress = %.0f%%\n",
+                bench::mean_final_pct(series),
+                series.runs_with_progress * 100);
+    util::json::Value panel = merged.metas[i];
+    panel.set("series", bench::defection_series_json(series));
+    panels.push_back(std::move(panel));
+  }
+  return panels;
+}
+
+util::json::Value finalize_reward(
+    const MergedPanels<sim::RewardPartial>& merged) {
+  util::json::Value panels = util::json::Value::array();
+  for (std::size_t i = 0; i < merged.partials.size(); ++i) {
+    const sim::RewardExperimentResult result = merged.partials[i].finalize();
+    std::printf("panel %zu %s: mean B_i = %.4f Algos, mean alpha=%.4f "
+                "beta=%.4f, infeasible=%zu\n",
+                i + 1, merged.metas[i].dump().c_str(), result.mean_bi,
+                result.mean_alpha, result.mean_beta,
+                result.infeasible_rounds);
+    util::json::Value panel = merged.metas[i];
+    panel.set("series", bench::reward_series_json(result));
+    panels.push_back(std::move(panel));
+  }
+  return panels;
+}
+
+util::json::Value finalize_strategic(
+    const MergedPanels<sim::StrategicPartial>& merged) {
+  util::json::Value panels = util::json::Value::array();
+  for (std::size_t i = 0; i < merged.partials.size(); ++i) {
+    const sim::StrategicEnsembleResult result =
+        merged.partials[i].finalize();
+    std::printf("panel %zu %s: cooperation at horizon = %.0f%%, mean total "
+                "reward = %.4f Algos\n",
+                i + 1, merged.metas[i].dump().c_str(),
+                result.mean_final_cooperation * 100,
+                result.mean_total_reward_algos);
+    util::json::Value panel = merged.metas[i];
+    panel.set("series", bench::strategic_series_json(result));
+    panels.push_back(std::move(panel));
+  }
+  return panels;
 }
 
 }  // namespace
@@ -93,69 +215,63 @@ int main(int argc, char** argv) {
     for (const std::string& path : paths)
       files.push_back({path, util::json::parse(bench::read_text_file(path))});
 
+    // Every shard must be the same experiment kind — auto-detected from
+    // the first file, cross-checked against all others.
+    const std::string kind = files.front().doc.at("kind").as_string();
+    for (const ShardFile& file : files) {
+      const std::string& file_kind = file.doc.at("kind").as_string();
+      if (file_kind != kind) {
+        throw std::invalid_argument(
+            "refusing to merge across experiment kinds: " +
+            files.front().path + " is \"" + kind + "\", " + file.path +
+            " is \"" + file_kind + "\"");
+      }
+      check_headers_match(files.front(), file);
+    }
+
     std::sort(files.begin(), files.end(),
               [](const ShardFile& a, const ShardFile& b) {
                 return a.doc.at("run_begin").as_size() <
                        b.doc.at("run_begin").as_size();
               });
     const util::json::Value& header = files.front().doc;
+    const std::size_t runs_total = header.at("runs").as_size();
 
-    std::optional<LoadedShard> merged;
+    // Pre-flight: the shard set must tile [0, runs) exactly — overlaps,
+    // gaps, missing shards and unfinished checkpoints are all named
+    // before any merge work starts.
+    std::vector<sim::ShardWindow> windows;
     for (const ShardFile& file : files) {
-      LoadedShard shard = load_shard(file, header);
-      if (!merged) {
-        merged = std::move(shard);
-        continue;
-      }
-      if (shard.panels.size() != merged->panels.size() ||
-          shard.rate_pcts != merged->rate_pcts) {
-        throw std::invalid_argument("shard " + shard.path +
-                                    " has a different panel layout");
-      }
-      // DefectionPartial::merge enforces window contiguity and names
-      // both windows when shards are missing or overlap.
-      for (std::size_t i = 0; i < merged->panels.size(); ++i)
-        merged->panels[i].merge(shard.panels[i]);
+      windows.push_back({file.doc.at("run_begin").as_size(),
+                         file.doc.at("run_end").as_size(),
+                         file.doc.at("window_end").as_size(), file.path});
     }
+    sim::check_shard_tiling(std::move(windows), runs_total);
 
-    const std::size_t runs_total = merged->panels.front().runs_total();
-    if (merged->panels.front().run_begin() != 0 ||
-        merged->panels.front().run_end() != runs_total) {
-      throw std::invalid_argument(
-          "merged shards cover runs [" +
-          std::to_string(merged->panels.front().run_begin()) + ", " +
-          std::to_string(merged->panels.front().run_end()) + ") of " +
-          std::to_string(runs_total) + " — the shard set is incomplete");
-    }
-
-    const double trim = header.at("trim").as_number();
     const sim::AggBackend agg =
         sim::parse_agg_backend(header.at("agg").as_string());
-    std::printf("merged %zu shards x %zu panels, runs [0, %zu), agg=%s\n",
-                files.size(), merged->panels.size(), runs_total,
+    std::printf("merging %zu %s shards, runs [0, %zu), agg=%s\n",
+                files.size(), kind.c_str(), runs_total,
                 sim::to_string(agg));
 
-    util::json::Value series_panels = util::json::Value::array();
-    for (std::size_t i = 0; i < merged->panels.size(); ++i) {
-      const sim::DefectionSeries series = merged->panels[i].finalize(trim);
-      std::printf("\n--- panel %zu: defection rate %.0f%% ---\n", i + 1,
-                  merged->rate_pcts[i]);
-      bench::print_defection_table(series);
-      std::printf("mean final%% = %.1f | runs with chain progress = %.0f%%\n",
-                  bench::mean_final_pct(series),
-                  series.runs_with_progress * 100);
-      util::json::Value panel = util::json::Value::object();
-      panel.set("rate_pct", merged->rate_pcts[i]);
-      panel.set("series", bench::defection_series_json(series));
-      series_panels.push_back(std::move(panel));
+    util::json::Value series_panels;
+    if (kind == sim::DefectionPayload::kKind) {
+      series_panels = finalize_defection(
+          merge_panels<sim::DefectionPartial>(files),
+          header.at("trim").as_number());
+    } else if (kind == sim::RewardPayload::kKind) {
+      series_panels = finalize_reward(merge_panels<sim::RewardPartial>(files));
+    } else if (kind == sim::StrategicPayload::kKind) {
+      series_panels =
+          finalize_strategic(merge_panels<sim::StrategicPartial>(files));
+    } else {
+      throw std::invalid_argument("unknown experiment kind \"" + kind +
+                                  "\" (expected \"defection\", \"reward\" "
+                                  "or \"strategic\")");
     }
 
-    util::json::Value doc = bench::shard_document_header(
-        header.at("bench").as_string(), header.at("nodes").as_size(),
-        header.at("runs").as_size(), header.at("rounds").as_size(), agg,
-        trim, 0, runs_total);
-    doc.set("panels", std::move(series_panels));
-    bench::write_text_file(series_out, doc.dump() + "\n");
+    bench::write_series_document(series_out, series_header(header), 0,
+                                 runs_total, std::move(series_panels));
     std::printf("\n[series] wrote %s\n", series_out.c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ERROR: %s\n", e.what());

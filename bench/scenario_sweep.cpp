@@ -14,10 +14,17 @@
 //               population varies per round and all consensus loops index
 //               live nodes only.
 //
-// The binary self-checks the engine contract on every invocation: each
-// policy is re-run serially (--threads=1) at the middle level and must
-// reproduce the sweep's aggregates bit for bit, and churn cells must
-// show round-varying live-node counts. Exit 1 on either failure.
+// The binary self-checks the engine contract on every figure-mode
+// invocation: each policy is re-run serially (--threads=1) at the middle
+// level and must reproduce the sweep's aggregates bit for bit, and churn
+// cells must show round-varying live-node counts. Exit 1 on either
+// failure.
+//
+// The 12 (policy × level) cells are panels of the checkpointed shard
+// driver, so the sweep shards and resumes exactly like fig3
+// (--run-begin/--run-end + --partial-out, --checkpoint-every +
+// --partial-in; DESIGN.md §6). Self-checks are skipped in shard-worker
+// mode — a window is not the full sweep.
 //
 //   $ ./scenario_sweep --nodes=120 --runs=6 --rounds=8 --threads=0
 #include <algorithm>
@@ -36,6 +43,10 @@ namespace {
 
 constexpr double kLevels[] = {0.05, 0.15, 0.30};
 constexpr std::size_t kCheckedLevel = 1;  // middle level, serially re-run
+// The §III-C trim; must equal DefectionExperimentConfig::trim_fraction
+// (the serial self-check finalizes through run_defection_experiment,
+// which uses the config's value).
+constexpr double kTrim = 0.2;
 
 struct PolicyCase {
   const char* name;
@@ -49,6 +60,8 @@ constexpr PolicyCase kPolicies[] = {
     {"stake", sim::PolicyKind::StakeCorrelatedDefect, false},
     {"churn", sim::PolicyKind::Scripted, true},
 };
+constexpr std::size_t kPanelCount =
+    std::size(kPolicies) * std::size(kLevels);
 
 sim::DefectionExperimentConfig make_config(
     const PolicyCase& policy, double level, std::size_t nodes,
@@ -137,18 +150,62 @@ int main(int argc, char** argv) {
   const std::size_t threads = bench::arg_threads(argc, argv);
   const std::size_t inner_threads = bench::arg_inner_threads(argc, argv);
   const sim::AggBackend agg = bench::arg_agg(argc, argv);
+  const bench::ShardKnobs knobs = bench::arg_shard_knobs(argc, argv, runs);
+  const std::string series_out =
+      bench::arg_string(argc, argv, "series-out", "");
 
   bench::print_header("Scenario sweep",
                       "behaviour policies x defection levels");
   std::printf("nodes=%zu runs=%zu rounds=%zu threads=%zu inner-threads=%zu "
               "agg=%s (override with --nodes/--runs/--rounds/--threads/"
-              "--inner-threads/--agg)\n\n",
+              "--inner-threads/--agg; shard with --run-begin/--run-end + "
+              "--partial-out)\n\n",
               nodes, runs, rounds, threads, inner_threads,
               sim::to_string(agg));
+
+  // Panel p = policy p / std::size(kLevels), level p % std::size(kLevels).
+  const auto panel_policy = [](std::size_t panel) -> const PolicyCase& {
+    return kPolicies[panel / std::size(kLevels)];
+  };
+  const auto panel_level = [](std::size_t panel) {
+    return panel % std::size(kLevels);
+  };
+  const auto panel_config = [&](std::size_t panel, sim::RunShard sub) {
+    const std::size_t level = panel_level(panel);
+    sim::DefectionExperimentConfig config =
+        make_config(panel_policy(panel), kLevels[level], nodes, runs, rounds,
+                    seed + level, threads, inner_threads, agg);
+    config.trim_fraction = kTrim;
+    config.shard = sub;
+    return config;
+  };
+
+  const util::json::Value header = bench::shard_document_header(
+      std::string(sim::DefectionPayload::kKind), "scenario_sweep",
+      {{"nodes", nodes},
+       {"runs", runs},
+       {"rounds", rounds},
+       {"seed", seed},
+       {"agg", sim::to_string(agg)},
+       {"trim", kTrim}});
+  const auto panel_meta = [&](std::size_t panel) {
+    util::json::Value v = util::json::Value::object();
+    v.set("policy", std::string(panel_policy(panel).name));
+    v.set("level_pct", kLevels[panel_level(panel)] * 100.0);
+    return v;
+  };
+  const auto run_panel = [&](std::size_t panel, sim::RunShard sub) {
+    return sim::run_defection_partial(panel_config(panel, sub));
+  };
+
+  const bench::WallTimer timer;
+  const auto exec = bench::run_sharded_panels<sim::DefectionPartial>(
+      knobs, kPanelCount, header, panel_meta, run_panel);
+  if (bench::shard_worker_done(exec, knobs)) return 0;
+
   std::printf("%10s %7s %8s %7s %13s %10s\n", "policy", "level", "final%",
               "coop%", "live min..max", "progress");
 
-  const bench::WallTimer timer;
   bench::JsonFields json_fields = {
       {"nodes", static_cast<double>(nodes)},
       {"runs", static_cast<double>(runs)},
@@ -160,50 +217,60 @@ int main(int argc, char** argv) {
   bool all_identical = true;
   bool churn_varies = true;
   std::size_t accumulator_bytes = 0;
-  for (const PolicyCase& policy : kPolicies) {
-    for (std::size_t i = 0; i < std::size(kLevels); ++i) {
-      const double level = kLevels[i];
-      const sim::DefectionExperimentConfig config =
-          make_config(policy, level, nodes, runs, rounds, seed + i, threads,
-                      inner_threads, agg);
-      const sim::DefectionSeries series =
-          sim::run_defection_experiment(config);
-
-      accumulator_bytes += series.accumulator_bytes;
-      const double final_pct = mean_final_pct(series);
-      const double coop_pct = series_mean(series.cooperation_series);
-      std::printf("%10s %6.0f%% %8.1f %7.1f %6zu..%-6zu %9.0f%%\n",
-                  policy.name, level * 100, final_pct, coop_pct,
-                  series.min_live, series.max_live,
-                  series.runs_with_progress * 100);
-
-      const std::string tag = std::string(policy.name) + "_" +
-                              std::to_string(static_cast<int>(level * 100));
-      json_fields.emplace_back("mean_final_pct_" + tag, final_pct);
-      json_fields.emplace_back("mean_coop_pct_" + tag, coop_pct);
-      if (policy.churn) {
-        json_fields.emplace_back("live_min_" + tag,
-                                 static_cast<double>(series.min_live));
-        json_fields.emplace_back("live_max_" + tag,
-                                 static_cast<double>(series.max_live));
-        json_fields.emplace_back("live_series_" + tag,
-                                 join_series(series.live_series));
-        // The whole point of churn: the live population must actually
-        // vary across (runs, rounds).
-        churn_varies = churn_varies && series.min_live < series.max_live;
-      }
-
-      // Engine contract self-check: the middle level of every policy is
-      // re-run fully serial and must match the sweep bit for bit.
-      if (i == kCheckedLevel) {
-        sim::DefectionExperimentConfig serial = config;
-        serial.threads = 1;
-        serial.inner_threads = 1;
-        all_identical = all_identical &&
-                        bit_identical(series,
-                                      sim::run_defection_experiment(serial));
-      }
+  util::json::Value series_panels = util::json::Value::array();
+  for (std::size_t panel = 0; panel < kPanelCount; ++panel) {
+    const PolicyCase& policy = panel_policy(panel);
+    const std::size_t i = panel_level(panel);
+    const double level = kLevels[i];
+    const sim::DefectionSeries series =
+        exec.partials[panel].finalize(kTrim);
+    {
+      util::json::Value v = panel_meta(panel);
+      v.set("series", bench::defection_series_json(series));
+      series_panels.push_back(std::move(v));
     }
+
+    accumulator_bytes += series.accumulator_bytes;
+    const double final_pct = mean_final_pct(series);
+    const double coop_pct = series_mean(series.cooperation_series);
+    std::printf("%10s %6.0f%% %8.1f %7.1f %6zu..%-6zu %9.0f%%\n",
+                policy.name, level * 100, final_pct, coop_pct,
+                series.min_live, series.max_live,
+                series.runs_with_progress * 100);
+
+    const std::string tag = std::string(policy.name) + "_" +
+                            std::to_string(static_cast<int>(level * 100));
+    json_fields.emplace_back("mean_final_pct_" + tag, final_pct);
+    json_fields.emplace_back("mean_coop_pct_" + tag, coop_pct);
+    if (policy.churn) {
+      json_fields.emplace_back("live_min_" + tag,
+                               static_cast<double>(series.min_live));
+      json_fields.emplace_back("live_max_" + tag,
+                               static_cast<double>(series.max_live));
+      json_fields.emplace_back("live_series_" + tag,
+                               join_series(series.live_series));
+      // The whole point of churn: the live population must actually
+      // vary across (runs, rounds).
+      churn_varies = churn_varies && series.min_live < series.max_live;
+    }
+
+    // Engine contract self-check: the middle level of every policy is
+    // re-run fully serial and must match the sweep bit for bit.
+    if (i == kCheckedLevel) {
+      sim::DefectionExperimentConfig serial =
+          panel_config(panel, knobs.shard);
+      serial.threads = 1;
+      serial.inner_threads = 1;
+      all_identical = all_identical &&
+                      bit_identical(series,
+                                    sim::run_defection_experiment(serial));
+    }
+  }
+
+  if (!series_out.empty()) {
+    bench::write_series_document(series_out, header, exec.window_begin,
+                                 exec.cursor, std::move(series_panels));
+    std::printf("\n[series] wrote %s\n", series_out.c_str());
   }
 
   std::printf("\nbit-identical to serial: %s | churn live counts vary: %s\n",

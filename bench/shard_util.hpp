@@ -1,27 +1,45 @@
-// Shared pieces of the sharded-figure workflow: the --agg and
-// --run-begin/--run-end knob vocabulary, the shard-partial document
-// format, and the deterministic "series snapshot" JSON that fig3 and the
-// merge_partials tool both emit — the file the CI shard-smoke job diffs
-// byte-for-byte between a single-process run and an N-shard merge.
+// Shared pieces of the sharded-figure workflow: the --agg /
+// --run-begin/--run-end / --partial-out / --partial-in /
+// --checkpoint-every knob vocabulary, the universal shard-partial
+// document format, the checkpointed shard driver every figure bench
+// runs its panels through, and the deterministic "series snapshot" JSON
+// that the benches and the merge_partials tool both emit — the files
+// the CI shard-smoke jobs diff byte-for-byte between a single-process
+// run and an N-shard merge (and between a resumed and an uninterrupted
+// shard).
 //
 // Document shapes (all via util::json, so dumps are deterministic):
 //
-//   partial file   {"bench": ..., config echo..., "run_begin", "run_end",
-//                   "panels": [{"rate_pct", "partial": DefectionPartial}]}
-//   series file    {"bench": ..., config echo..., "run_begin", "run_end",
-//                   "panels": [{"rate_pct", "final": [...], ... }]}
+//   partial file   {"kind": ..., "bench": ..., config echo...,
+//                   "run_begin", "run_end", "window_end",
+//                   "panels": [{panel id fields...,
+//                               "partial": ExperimentPartial JSON}]}
+//   series file    {"kind": ..., "bench": ..., config echo...,
+//                   "run_begin", "run_end", "window_end",
+//                   "panels": [{panel id fields..., "series": {...}}]}
+//
+// A partial file with run_end < window_end is an *unfinished
+// checkpoint*: the writer intended to execute up to window_end but
+// stopped (crash, --stop-after). Feed it back through --partial-in to
+// resume; merge_partials refuses it loudly.
 //
 // The series snapshot deliberately excludes volatile fields (wall time,
 // git SHA, accumulator byte counts): everything in it is a pure function
 // of (config, seeds), which is what makes the byte-diff meaningful.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "sim/defection_experiment.hpp"
+#include "sim/partial.hpp"
+#include "sim/reward_experiment.hpp"
+#include "sim/strategic_loop.hpp"
 #include "util/json.hpp"
 
 namespace roleshare::bench {
@@ -53,7 +71,250 @@ inline sim::RunShard arg_run_shard(int argc, char** argv, std::size_t runs) {
   return shard;
 }
 
-/// The deterministic per-panel series snapshot (no volatile fields).
+/// The full shard-worker knob set of a figure bench. --checkpoint-every,
+/// --stop-after and --partial-in only make sense when the executed state
+/// is persisted, so they require --partial-out.
+struct ShardKnobs {
+  std::size_t runs = 0;              // the experiment's total run count
+  sim::RunShard shard{};             // CLI window (whole range by default)
+  std::size_t checkpoint_every = 0;  // rewrite the partial every N runs
+  std::size_t stop_after = 0;        // stop (checkpointing) after N runs
+  std::string partial_in;            // resume from this checkpoint file
+  std::string partial_out;           // shard-worker mode when non-empty
+};
+
+inline ShardKnobs arg_shard_knobs(int argc, char** argv, std::size_t runs) {
+  ShardKnobs knobs;
+  knobs.runs = runs;
+  knobs.shard = arg_run_shard(argc, argv, runs);
+  knobs.checkpoint_every = static_cast<std::size_t>(
+      arg_int(argc, argv, "checkpoint-every", 0));
+  knobs.stop_after =
+      static_cast<std::size_t>(arg_int(argc, argv, "stop-after", 0));
+  knobs.partial_in = arg_string(argc, argv, "partial-in", "");
+  knobs.partial_out = arg_string(argc, argv, "partial-out", "");
+  if (knobs.partial_out.empty() &&
+      (knobs.checkpoint_every > 0 || knobs.stop_after > 0 ||
+       !knobs.partial_in.empty())) {
+    throw std::invalid_argument(
+        "--checkpoint-every / --stop-after / --partial-in require "
+        "--partial-out (the executed state must be persisted somewhere)");
+  }
+  return knobs;
+}
+
+/// The config-echo header both document kinds share. `kind` is the
+/// experiment family ("defection" / "reward" / "strategic") merge_partials
+/// dispatches on; `echo` is the bench's own config summary and must be a
+/// pure function of the knobs (no wall time, no git SHA).
+inline util::json::Value shard_document_header(
+    const std::string& kind, const std::string& bench,
+    std::vector<std::pair<std::string, util::json::Value>> echo) {
+  util::json::Value v = util::json::Value::object();
+  v.set("kind", kind);
+  v.set("bench", bench);
+  for (auto& [key, value] : echo) v.set(key, std::move(value));
+  return v;
+}
+
+/// Writes a partial document for `partials` covering runs
+/// [run_begin, run_end) of window [run_begin, window_end).
+template <typename PartialT>
+void write_partial_document(
+    const std::string& path, const util::json::Value& header,
+    std::size_t run_begin, std::size_t run_end, std::size_t window_end,
+    const std::vector<PartialT>& partials,
+    const std::function<util::json::Value(std::size_t)>& panel_meta) {
+  util::json::Value doc = header;
+  doc.set("run_begin", run_begin);
+  doc.set("run_end", run_end);
+  doc.set("window_end", window_end);
+  util::json::Value panels = util::json::Value::array();
+  for (std::size_t i = 0; i < partials.size(); ++i) {
+    util::json::Value panel = panel_meta(i);
+    panel.set("partial", partials[i].to_json());
+    panels.push_back(std::move(panel));
+  }
+  doc.set("panels", std::move(panels));
+  write_text_file(path, doc.dump() + "\n");
+}
+
+/// Writes a series document: same header/window layout, panels carry
+/// "series" objects instead of partials.
+inline void write_series_document(const std::string& path,
+                                  const util::json::Value& header,
+                                  std::size_t run_begin, std::size_t run_end,
+                                  util::json::Value panels) {
+  util::json::Value doc = header;
+  doc.set("run_begin", run_begin);
+  doc.set("run_end", run_end);
+  doc.set("window_end", run_end);
+  doc.set("panels", std::move(panels));
+  write_text_file(path, doc.dump() + "\n");
+}
+
+/// What a checkpointed shard execution produced. `complete` is false only
+/// when --stop-after cut the window short (the checkpoint was written).
+template <typename PartialT>
+struct ShardExecution {
+  std::vector<PartialT> partials;
+  std::size_t window_begin = 0;
+  std::size_t cursor = 0;      // first run NOT executed
+  std::size_t window_end = 0;
+  bool complete() const { return cursor == window_end; }
+};
+
+/// The checkpointed shard driver every figure bench runs its panels
+/// through. Executes the CLI window (or resumes the --partial-in
+/// checkpoint) in sub-windows of --checkpoint-every runs, merging each
+/// sub-window's partials in window order — which is why a
+/// checkpointed-then-resumed shard is bit-identical (exact backend) to
+/// an uninterrupted one — and rewriting --partial-out at every
+/// checkpoint with the resume cursor in the envelope.
+///
+///   run_panel(panel_index, sub_window) -> PartialT executes one panel's
+///   runs for one sub-window; panel_meta(panel_index) -> the panel's id
+///   fields for the document.
+template <typename PartialT, typename RunPanelFn>
+ShardExecution<PartialT> run_sharded_panels(
+    const ShardKnobs& knobs, std::size_t panel_count,
+    const util::json::Value& header,
+    const std::function<util::json::Value(std::size_t)>& panel_meta,
+    RunPanelFn&& run_panel) {
+  ShardExecution<PartialT> exec;
+  exec.window_begin = knobs.shard.whole() ? 0 : knobs.shard.begin;
+  exec.window_end = knobs.shard.whole() ? knobs.runs : knobs.shard.end;
+  exec.cursor = exec.window_begin;
+
+  if (!knobs.partial_in.empty()) {
+    const util::json::Value doc =
+        util::json::parse(read_text_file(knobs.partial_in));
+    const std::string& doc_kind = doc.at("kind").as_string();
+    const std::string& kind = header.at("kind").as_string();
+    if (doc_kind != kind) {
+      throw std::invalid_argument(
+          "--partial-in file " + knobs.partial_in + " is kind \"" +
+          doc_kind + "\" but this bench produces \"" + kind +
+          "\" partials");
+    }
+    // The file's config echo must match this invocation BEFORE any run
+    // executes — resuming a 10k-run shard under the wrong knobs must not
+    // burn a sub-window of compute first. (The envelope's spec hash
+    // re-checks on merge as the authoritative guard.)
+    for (const auto& [key, value] : header.as_object()) {
+      const util::json::Value* other = doc.find(key);
+      if (other == nullptr || other->dump() != value.dump()) {
+        throw std::invalid_argument(
+            "--partial-in file " + knobs.partial_in +
+            " was produced under a different config: \"" + key + "\" is " +
+            (other ? other->dump() : std::string("absent")) +
+            " there, this invocation has " + value.dump());
+      }
+    }
+    const auto& panels = doc.at("panels").as_array();
+    if (panels.size() != panel_count) {
+      throw std::invalid_argument(
+          "--partial-in file " + knobs.partial_in + " has " +
+          std::to_string(panels.size()) + " panels, this bench produces " +
+          std::to_string(panel_count));
+    }
+    for (const util::json::Value& panel : panels)
+      exec.partials.push_back(PartialT::from_json(panel.at("partial")));
+    exec.window_begin = doc.at("run_begin").as_size();
+    exec.cursor = doc.at("run_end").as_size();
+    exec.window_end = doc.at("window_end").as_size();
+    // The window comes from the file; an explicit CLI window that
+    // disagrees must not be silently overridden.
+    if (!knobs.shard.whole() && (knobs.shard.begin != exec.window_begin ||
+                                 knobs.shard.end != exec.window_end)) {
+      throw std::invalid_argument(
+          "--run-begin/--run-end window [" +
+          std::to_string(knobs.shard.begin) + ", " +
+          std::to_string(knobs.shard.end) + ") conflicts with " +
+          knobs.partial_in + ", which covers window [" +
+          std::to_string(exec.window_begin) + ", " +
+          std::to_string(exec.window_end) +
+          ") — drop the flags or fix the file");
+    }
+    std::printf("[resume] %s: runs [%zu, %zu) of window [%zu, %zu) already "
+                "executed\n",
+                knobs.partial_in.c_str(), exec.window_begin, exec.cursor,
+                exec.window_begin, exec.window_end);
+  }
+
+  std::size_t executed_now = 0;
+  bool wrote_partial = false;
+  while (exec.cursor < exec.window_end) {
+    std::size_t step = exec.window_end - exec.cursor;
+    if (knobs.checkpoint_every > 0)
+      step = std::min(step, knobs.checkpoint_every);
+    if (knobs.stop_after > 0)
+      step = std::min(step, knobs.stop_after - executed_now);
+    const sim::RunShard sub{exec.cursor, exec.cursor + step};
+    for (std::size_t i = 0; i < panel_count; ++i) {
+      PartialT part = run_panel(i, sub);
+      if (exec.partials.size() <= i) {
+        exec.partials.push_back(std::move(part));
+      } else {
+        // Spec-hash / backend / contiguity checks live in the envelope:
+        // resuming under a different config fails loudly here.
+        exec.partials[i].merge(part);
+      }
+    }
+    exec.cursor += step;
+    executed_now += step;
+    for (PartialT& partial : exec.partials)
+      partial.extend_window(exec.window_end);
+    const bool hit_stop =
+        knobs.stop_after > 0 && executed_now >= knobs.stop_after;
+    if (!knobs.partial_out.empty() &&
+        (exec.complete() || hit_stop || knobs.checkpoint_every > 0)) {
+      write_partial_document(knobs.partial_out, header, exec.window_begin,
+                             exec.cursor, exec.window_end, exec.partials,
+                             panel_meta);
+      wrote_partial = true;
+      if (!exec.complete()) {
+        std::printf("[checkpoint] wrote %s at run cursor %zu of window "
+                    "[%zu, %zu)\n",
+                    knobs.partial_out.c_str(), exec.cursor,
+                    exec.window_begin, exec.window_end);
+      }
+    }
+    if (hit_stop && !exec.complete()) {
+      std::printf("[checkpoint] stopping after %zu runs; resume with "
+                  "--partial-in=%s\n",
+                  executed_now, knobs.partial_out.c_str());
+      return exec;
+    }
+  }
+  // Resuming an already-complete checkpoint skips the loop entirely;
+  // the promised --partial-out must still exist afterwards.
+  if (!knobs.partial_out.empty() && !wrote_partial) {
+    write_partial_document(knobs.partial_out, header, exec.window_begin,
+                           exec.cursor, exec.window_end, exec.partials,
+                           panel_meta);
+  }
+  return exec;
+}
+
+/// The shard-worker epilogue every figure bench shares: true means the
+/// invocation is done (either --stop-after checkpointed and stopped, or
+/// the shard partial is on disk) and the caller should exit 0 without
+/// producing a figure.
+template <typename PartialT>
+bool shard_worker_done(const ShardExecution<PartialT>& exec,
+                       const ShardKnobs& knobs) {
+  if (!exec.complete()) return true;  // checkpointed and stopped early
+  if (knobs.partial_out.empty()) return false;
+  std::printf("\n[shard] wrote partial for runs [%zu, %zu) of %zu to %s\n",
+              exec.window_begin, exec.cursor, knobs.runs,
+              knobs.partial_out.c_str());
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Deterministic per-panel series snapshots (no volatile fields).
+
 inline util::json::Value defection_series_json(
     const sim::DefectionSeries& series) {
   using util::json::Value;
@@ -78,20 +339,36 @@ inline util::json::Value defection_series_json(
   return v;
 }
 
-/// The config-echo header both document kinds share.
-inline util::json::Value shard_document_header(
-    const std::string& bench, std::size_t nodes, std::size_t runs,
-    std::size_t rounds, sim::AggBackend agg, double trim,
-    std::size_t run_begin, std::size_t run_end) {
-  util::json::Value v = util::json::Value::object();
-  v.set("bench", bench);
-  v.set("nodes", nodes);
-  v.set("runs", runs);
-  v.set("rounds", rounds);
-  v.set("agg", sim::to_string(agg));
-  v.set("trim", trim);
-  v.set("run_begin", run_begin);
-  v.set("run_end", run_end);
+inline util::json::Value reward_series_json(
+    const sim::RewardExperimentResult& result) {
+  using util::json::Value;
+  Value v = Value::object();
+  Value per_round = Value::array(), foundation = Value::array();
+  for (const double x : result.bi_per_round_mean) per_round.push_back(x);
+  for (const double x : result.foundation_per_round) foundation.push_back(x);
+  v.set("bi_per_round_mean", std::move(per_round));
+  v.set("foundation_per_round", std::move(foundation));
+  v.set("mean_bi", result.mean_bi);
+  v.set("mean_total_stake", result.mean_total_stake);
+  v.set("mean_alpha", result.mean_alpha);
+  v.set("mean_beta", result.mean_beta);
+  v.set("infeasible_rounds", result.infeasible_rounds);
+  return v;
+}
+
+inline util::json::Value strategic_series_json(
+    const sim::StrategicEnsembleResult& result) {
+  using util::json::Value;
+  Value v = Value::object();
+  Value coop = Value::array(), fin = Value::array(), reward = Value::array();
+  for (const double x : result.cooperation_series) coop.push_back(x);
+  for (const double x : result.final_series) fin.push_back(x);
+  for (const double x : result.reward_series) reward.push_back(x);
+  v.set("cooperation", std::move(coop));
+  v.set("final", std::move(fin));
+  v.set("reward", std::move(reward));
+  v.set("mean_total_reward_algos", result.mean_total_reward_algos);
+  v.set("mean_final_cooperation", result.mean_final_cooperation);
   return v;
 }
 

@@ -83,44 +83,20 @@ DefectionRun execute_run(const DefectionExperimentConfig& config,
 
 }  // namespace
 
-DefectionPartial::DefectionPartial(std::size_t run_begin, std::size_t run_end,
-                                   std::size_t runs_total, std::size_t rounds,
-                                   AggBackend backend,
+DefectionPayload::DefectionPayload(std::size_t rounds, AggBackend backend,
                                    const StreamingAggConfig& streaming)
-    : run_begin_(run_begin),
-      run_end_(run_end),
-      runs_total_(runs_total),
-      rounds_(rounds),
-      metrics_(rounds, backend, streaming),
+    : metrics_(rounds, backend, streaming),
       live_(make_accumulator(backend, rounds, streaming)),
-      coop_(make_accumulator(backend, rounds, streaming)) {
-  RS_REQUIRE(run_begin < run_end, "partial run window is empty");
-  RS_REQUIRE(run_end <= runs_total,
-             "partial run window ends at " + std::to_string(run_end) +
-                 " but the experiment has only " +
-                 std::to_string(runs_total) + " runs");
-}
+      coop_(make_accumulator(backend, rounds, streaming)) {}
 
-DefectionPartial::DefectionPartial(std::size_t run_begin, std::size_t run_end,
-                                   std::size_t runs_total, std::size_t rounds,
-                                   OutcomeMetrics metrics,
+DefectionPayload::DefectionPayload(OutcomeMetrics metrics,
                                    std::unique_ptr<RoundAccumulator> live,
                                    std::unique_ptr<RoundAccumulator> coop)
-    : run_begin_(run_begin),
-      run_end_(run_end),
-      runs_total_(runs_total),
-      rounds_(rounds),
-      metrics_(std::move(metrics)),
+    : metrics_(std::move(metrics)),
       live_(std::move(live)),
-      coop_(std::move(coop)) {
-  RS_REQUIRE(run_begin < run_end, "partial run window is empty");
-  RS_REQUIRE(run_end <= runs_total,
-             "partial run window ends at " + std::to_string(run_end) +
-                 " but the experiment has only " +
-                 std::to_string(runs_total) + " runs");
-}
+      coop_(std::move(coop)) {}
 
-void DefectionPartial::record_round(std::size_t round_index, double final_pct,
+void DefectionPayload::record_round(std::size_t round_index, double final_pct,
                                     double tentative_pct, double none_pct,
                                     double live, double coop_pct) {
   metrics_.record(round_index, final_pct, tentative_pct, none_pct);
@@ -132,23 +108,11 @@ void DefectionPartial::record_round(std::size_t round_index, double final_pct,
   any_live_ = true;
 }
 
-void DefectionPartial::record_run_progress(bool progress) {
+void DefectionPayload::record_run_progress(bool progress) {
   if (progress) ++runs_with_progress_;
 }
 
-void DefectionPartial::merge(const DefectionPartial& next) {
-  RS_REQUIRE(next.run_begin_ == run_end_,
-             "merging non-contiguous run windows: this ends at run " +
-                 std::to_string(run_end_) + ", next begins at run " +
-                 std::to_string(next.run_begin_));
-  RS_REQUIRE(next.runs_total_ == runs_total_,
-             "merging partials of different experiments: this has " +
-                 std::to_string(runs_total_) + " total runs, next has " +
-                 std::to_string(next.runs_total_));
-  RS_REQUIRE(next.rounds_ == rounds_,
-             "merging partials with different round counts: this has " +
-                 std::to_string(rounds_) + " rounds, next has " +
-                 std::to_string(next.rounds_));
+void DefectionPayload::merge(const DefectionPayload& next) {
   metrics_.merge(next.metrics_);
   live_->merge(*next.live_);
   coop_->merge(*next.coop_);
@@ -160,14 +124,14 @@ void DefectionPartial::merge(const DefectionPartial& next) {
                           : next.max_live_;
     any_live_ = true;
   }
-  run_end_ = next.run_end_;
 }
 
-DefectionSeries DefectionPartial::finalize(double trim_fraction) const {
+DefectionSeries DefectionPayload::finalize(const PartialEnvelope& envelope,
+                                           double trim_fraction) const {
   DefectionSeries series;
   series.rounds = metrics_.aggregate(trim_fraction);
   series.runs_with_progress = static_cast<double>(runs_with_progress_) /
-                              static_cast<double>(run_end_ - run_begin_);
+                              static_cast<double>(envelope.runs_executed());
   series.live_series = live_->mean_series();
   series.cooperation_series = coop_->mean_series();
   series.min_live = min_live_;
@@ -176,18 +140,13 @@ DefectionSeries DefectionPartial::finalize(double trim_fraction) const {
   return series;
 }
 
-std::size_t DefectionPartial::accumulator_bytes() const {
+std::size_t DefectionPayload::accumulator_bytes() const {
   return metrics_.memory_bytes() + live_->memory_bytes() +
          coop_->memory_bytes();
 }
 
-util::json::Value DefectionPartial::to_json() const {
+util::json::Value DefectionPayload::to_json() const {
   util::json::Value v = util::json::Value::object();
-  v.set("run_begin", run_begin_);
-  v.set("run_end", run_end_);
-  v.set("runs_total", runs_total_);
-  v.set("rounds", rounds_);
-  v.set("backend", to_string(backend()));
   v.set("metrics", metrics_.to_json());
   v.set("live", live_->to_json());
   v.set("coop", coop_->to_json());
@@ -198,29 +157,65 @@ util::json::Value DefectionPartial::to_json() const {
   return v;
 }
 
-DefectionPartial DefectionPartial::from_json(const util::json::Value& value) {
-  const AggBackend backend =
-      parse_agg_backend(value.at("backend").as_string());
-  DefectionPartial p(value.at("run_begin").as_size(),
-                     value.at("run_end").as_size(),
-                     value.at("runs_total").as_size(),
-                     value.at("rounds").as_size(),
-                     OutcomeMetrics::from_json(value.at("metrics")),
+DefectionPayload DefectionPayload::from_json(const util::json::Value& value,
+                                             const PartialEnvelope& envelope) {
+  DefectionPayload p(OutcomeMetrics::from_json(value.at("metrics")),
                      accumulator_from_json(value.at("live")),
                      accumulator_from_json(value.at("coop")));
-  RS_REQUIRE(p.metrics_.backend() == backend &&
-                 p.live_->backend() == backend &&
-                 p.coop_->backend() == backend,
-             "partial JSON mixes accumulator backends");
-  RS_REQUIRE(p.metrics_.rounds() == p.rounds_ &&
-                 p.live_->rounds() == p.rounds_ &&
-                 p.coop_->rounds() == p.rounds_,
-             "partial JSON accumulator round counts disagree with header");
+  RS_REQUIRE(p.metrics_.backend() == envelope.backend &&
+                 p.live_->backend() == envelope.backend &&
+                 p.coop_->backend() == envelope.backend,
+             "partial JSON accumulator backends disagree with the envelope");
+  RS_REQUIRE(p.metrics_.rounds() == envelope.rounds &&
+                 p.live_->rounds() == envelope.rounds &&
+                 p.coop_->rounds() == envelope.rounds,
+             "partial JSON accumulator round counts disagree with the "
+             "envelope");
   p.runs_with_progress_ = value.at("runs_with_progress").as_size();
   p.any_live_ = value.at("any_live").as_bool();
   p.min_live_ = value.at("min_live").as_size();
   p.max_live_ = value.at("max_live").as_size();
   return p;
+}
+
+util::json::Value defection_spec_echo(
+    const DefectionExperimentConfig& config) {
+  using util::json::Value;
+  Value v = Value::object();
+  v.set("experiment", std::string(DefectionPayload::kKind));
+  v.set("network", network_spec_echo(config.network));
+  v.set("runs", config.runs);
+  v.set("rounds", config.rounds);
+  v.set("scale_params_to_stake",
+        util::json::Value(config.scale_params_to_stake));
+  Value params = Value::object();
+  params.set("expected_proposer_stake", config.params.expected_proposer_stake);
+  params.set("expected_step_stake", config.params.expected_step_stake);
+  params.set("expected_final_stake", config.params.expected_final_stake);
+  params.set("step_threshold", config.params.step_threshold);
+  params.set("final_threshold", config.params.final_threshold);
+  params.set("max_binary_iterations", config.params.max_binary_iterations);
+  params.set("proposal_timeout_ms", config.params.proposal_timeout_ms);
+  params.set("step_timeout_ms", config.params.step_timeout_ms);
+  v.set("params", std::move(params));
+  Value policy = Value::object();
+  policy.set("kind", std::string(to_string(config.policy.kind)));
+  policy.set("defect_at_bottom", config.policy.defect_at_bottom);
+  policy.set("defect_at_top", config.policy.defect_at_top);
+  policy.set("leader_cost", config.policy.costs.leader_cost());
+  policy.set("committee_cost", config.policy.costs.committee_cost());
+  policy.set("other_cost", config.policy.costs.other_cost());
+  policy.set("defection_cost", config.policy.costs.defection_cost());
+  policy.set("churn_leave", config.policy.churn.leave_probability);
+  policy.set("churn_join", config.policy.churn.join_probability);
+  policy.set("churn_min_live", config.policy.churn.min_live);
+  v.set("policy", std::move(policy));
+  v.set("agg", to_string(config.agg));
+  v.set("reservoir_capacity", config.streaming.reservoir_capacity);
+  Value grid = Value::array();
+  for (const double q : config.streaming.p2_grid) grid.push_back(q);
+  v.set("p2_grid", std::move(grid));
+  return v;
 }
 
 DefectionPartial run_defection_partial(
@@ -230,8 +225,11 @@ DefectionPartial run_defection_partial(
                             config.inner_threads, config.shard};
   validate(spec);
   const ResolvedShard shard = resolve_shard(spec);
-  DefectionPartial partial(shard.begin, shard.end, config.runs, config.rounds,
-                           config.agg, config.streaming);
+  DefectionPartial partial(
+      make_envelope(DefectionPayload::kKind,
+                    spec_hash_hex(defection_spec_echo(config)), config.agg,
+                    config.runs, config.rounds, shard.begin, shard.end),
+      DefectionPayload(config.rounds, config.agg, config.streaming));
 
   run_and_reduce(
       spec,
@@ -242,12 +240,12 @@ DefectionPartial run_defection_partial(
       },
       [&](std::size_t, DefectionRun run) {
         for (std::size_t r = 0; r < run.rounds.size(); ++r) {
-          partial.record_round(r, run.rounds[r].final_pct,
-                               run.rounds[r].tentative_pct,
-                               run.rounds[r].none_pct, run.rounds[r].live,
-                               run.rounds[r].coop_pct);
+          partial.payload().record_round(
+              r, run.rounds[r].final_pct, run.rounds[r].tentative_pct,
+              run.rounds[r].none_pct, run.rounds[r].live,
+              run.rounds[r].coop_pct);
         }
-        partial.record_run_progress(run.progress);
+        partial.payload().record_run_progress(run.progress);
       });
   return partial;
 }

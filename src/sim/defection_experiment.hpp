@@ -8,14 +8,17 @@
 // default (scripted, no churn) bit-identical to the original Fig-3
 // semantics.
 //
-// PR 4 rebuilds its reduction on the mergeable accumulator layer
-// (sim/aggregators.hpp) and splits execution from aggregation:
+// PR 4 split execution from aggregation behind a mergeable partial; this
+// partial now rides the shared sim::ExperimentPartial envelope
+// (sim/partial.hpp), so the defection family shares its shard /
+// checkpoint / resume machinery with the reward and strategic families:
 //
 //   run_defection_partial  executes the config's shard window and returns
 //                          a DefectionPartial — the mergeable, JSON-
 //                          serializable reduction state of those runs.
 //   DefectionPartial::merge folds the next contiguous shard in run-index
-//                          order.
+//                          order (envelope-checked: kind, spec hash,
+//                          backend, shape, contiguity).
 //   DefectionPartial::finalize reduces to the DefectionSeries figures.
 //
 // run_defection_experiment is exactly partial + finalize, so a sharded
@@ -29,6 +32,7 @@
 #include "sim/experiment_runner.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
+#include "sim/partial.hpp"
 #include "sim/scenario_policy.hpp"
 #include "util/json.hpp"
 
@@ -85,20 +89,16 @@ struct DefectionSeries {
   std::size_t accumulator_bytes = 0;
 };
 
-/// The mergeable reduction state of one executed run window. Merging the
-/// partials of contiguous windows in run-index order then finalizing is
-/// bit-identical (exact backend) to executing the union in one process.
-class DefectionPartial {
+/// The experiment-specific half of a DefectionPartial: the three outcome
+/// accumulators plus the live/cooperation series and progress counters.
+/// Window bookkeeping and compatibility checks live in the shared
+/// PartialEnvelope (sim/partial.hpp).
+class DefectionPayload {
  public:
-  DefectionPartial(std::size_t run_begin, std::size_t run_end,
-                   std::size_t runs_total, std::size_t rounds,
-                   AggBackend backend, const StreamingAggConfig& streaming);
+  static constexpr std::string_view kKind = "defection";
 
-  std::size_t run_begin() const { return run_begin_; }
-  std::size_t run_end() const { return run_end_; }
-  std::size_t runs_total() const { return runs_total_; }
-  std::size_t rounds() const { return rounds_; }
-  AggBackend backend() const { return metrics_.backend(); }
+  DefectionPayload(std::size_t rounds, AggBackend backend,
+                   const StreamingAggConfig& streaming);
 
   /// Records one run's per-round contribution (called by
   /// run_defection_partial in run-index order).
@@ -107,34 +107,26 @@ class DefectionPartial {
                     double coop_pct);
   void record_run_progress(bool progress);
 
-  /// Folds `next` in; it must start exactly where this partial ends
-  /// (contiguity is what makes exact-mode merges replay a serial
-  /// execution). Throws std::invalid_argument naming both windows
-  /// otherwise.
-  void merge(const DefectionPartial& next);
+  /// Folds `next` in after this payload's own samples (the envelope has
+  /// already vetted kind / spec hash / backend / shape / contiguity).
+  void merge(const DefectionPayload& next);
 
   /// Reduces to the figure series. runs_with_progress is the fraction of
-  /// the runs covered by this partial's window.
-  DefectionSeries finalize(double trim_fraction) const;
+  /// the runs covered by the envelope's window.
+  DefectionSeries finalize(const PartialEnvelope& envelope,
+                           double trim_fraction) const;
 
   std::size_t accumulator_bytes() const;
 
   util::json::Value to_json() const;
-  static DefectionPartial from_json(const util::json::Value& value);
+  static DefectionPayload from_json(const util::json::Value& value,
+                                    const PartialEnvelope& envelope);
 
  private:
-  /// Deserialization path: adopts already-built accumulators instead of
-  /// constructing (and discarding) fresh ones.
-  DefectionPartial(std::size_t run_begin, std::size_t run_end,
-                   std::size_t runs_total, std::size_t rounds,
-                   OutcomeMetrics metrics,
+  DefectionPayload(OutcomeMetrics metrics,
                    std::unique_ptr<RoundAccumulator> live,
                    std::unique_ptr<RoundAccumulator> coop);
 
-  std::size_t run_begin_ = 0;
-  std::size_t run_end_ = 0;
-  std::size_t runs_total_ = 0;
-  std::size_t rounds_ = 0;
   OutcomeMetrics metrics_;
   std::unique_ptr<RoundAccumulator> live_;
   std::unique_ptr<RoundAccumulator> coop_;
@@ -143,6 +135,16 @@ class DefectionPartial {
   std::size_t max_live_ = 0;
   bool any_live_ = false;
 };
+
+/// The mergeable reduction state of one executed run window. Merging the
+/// partials of contiguous windows in run-index order then finalizing is
+/// bit-identical (exact backend) to executing the union in one process.
+using DefectionPartial = ExperimentPartial<DefectionPayload>;
+
+/// Canonical echo of every config field that affects results (never
+/// thread counts or shard windows) — the input of the envelope's spec
+/// hash, shared by all partials of one experiment.
+util::json::Value defection_spec_echo(const DefectionExperimentConfig& config);
 
 /// Executes config.shard's run window on the shared ExperimentRunner
 /// engine and reduces it into a mergeable partial. Deterministic in

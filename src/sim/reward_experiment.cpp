@@ -154,33 +154,160 @@ RewardRun execute_run(const RewardExperimentConfig& config,
 
 }  // namespace
 
-RewardExperimentResult run_reward_experiment(
-    const RewardExperimentConfig& config) {
-  RS_REQUIRE(config.node_count > 2, "population too small");
+RewardPayload::RewardPayload(std::size_t rounds, AggBackend backend,
+                             const StreamingAggConfig& streaming)
+    : per_round_(make_accumulator(backend, rounds, streaming)),
+      bi_(backend),
+      alpha_(backend),
+      beta_(backend),
+      stake_(backend) {}
 
+RewardPayload::RewardPayload(std::unique_ptr<RoundAccumulator> per_round,
+                             ScalarBank bi, ScalarBank alpha, ScalarBank beta,
+                             ScalarBank stake, std::size_t infeasible)
+    : per_round_(std::move(per_round)),
+      bi_(std::move(bi)),
+      alpha_(std::move(alpha)),
+      beta_(std::move(beta)),
+      stake_(std::move(stake)),
+      infeasible_(infeasible) {}
+
+void RewardPayload::record_feasible(double bi_algos, double alpha,
+                                    double beta) {
+  bi_.record(bi_algos);
+  alpha_.record(alpha);
+  beta_.record(beta);
+}
+
+void RewardPayload::record_round_bi(std::size_t round_index,
+                                    double bi_algos) {
+  per_round_->record(round_index, bi_algos);
+}
+
+void RewardPayload::record_run(double total_stake,
+                               std::size_t infeasible_rounds) {
+  stake_.record(total_stake);
+  infeasible_ += infeasible_rounds;
+}
+
+void RewardPayload::merge(const RewardPayload& next) {
+  per_round_->merge(*next.per_round_);
+  bi_.merge(next.bi_);
+  alpha_.merge(next.alpha_);
+  beta_.merge(next.beta_);
+  stake_.merge(next.stake_);
+  infeasible_ += next.infeasible_;
+}
+
+RewardExperimentResult RewardPayload::finalize(
+    const PartialEnvelope& envelope) const {
   RewardExperimentResult result;
-  result.foundation_per_round.assign(config.rounds_per_run, 0.0);
-  for (std::size_t r = 0; r < config.rounds_per_run; ++r) {
+  result.foundation_per_round.assign(envelope.rounds, 0.0);
+  for (std::size_t r = 0; r < envelope.rounds; ++r) {
     result.foundation_per_round[r] = ledger::to_algos(
         econ::FoundationSchedule::reward_for_round(r + 1));
   }
+  if (envelope.backend == AggBackend::Exact) result.bi_algos = bi_.samples();
+  result.bi_per_round_mean = per_round_->mean_series();
+  result.mean_bi = bi_.count() > 0 ? bi_.mean() : 0.0;
+  result.mean_total_stake = stake_.count() > 0 ? stake_.mean() : 0.0;
+  result.mean_alpha = alpha_.count() > 0 ? alpha_.mean() : 0.0;
+  result.mean_beta = beta_.count() > 0 ? beta_.mean() : 0.0;
+  result.infeasible_rounds = infeasible_;
+  result.accumulator_bytes = accumulator_bytes();
+  return result;
+}
+
+std::size_t RewardPayload::accumulator_bytes() const {
+  return per_round_->memory_bytes() + bi_.memory_bytes() +
+         alpha_.memory_bytes() + beta_.memory_bytes() +
+         stake_.memory_bytes();
+}
+
+util::json::Value RewardPayload::to_json() const {
+  util::json::Value v = util::json::Value::object();
+  v.set("per_round", per_round_->to_json());
+  v.set("bi", bi_.to_json());
+  v.set("alpha", alpha_.to_json());
+  v.set("beta", beta_.to_json());
+  v.set("stake", stake_.to_json());
+  v.set("infeasible", infeasible_);
+  return v;
+}
+
+RewardPayload RewardPayload::from_json(const util::json::Value& value,
+                                       const PartialEnvelope& envelope) {
+  RewardPayload p(accumulator_from_json(value.at("per_round")),
+                  ScalarBank::from_json(value.at("bi")),
+                  ScalarBank::from_json(value.at("alpha")),
+                  ScalarBank::from_json(value.at("beta")),
+                  ScalarBank::from_json(value.at("stake")),
+                  value.at("infeasible").as_size());
+  RS_REQUIRE(p.per_round_->backend() == envelope.backend,
+             "partial JSON accumulator backend disagrees with the envelope");
+  RS_REQUIRE(p.per_round_->rounds() == envelope.rounds,
+             "partial JSON accumulator round count disagrees with the "
+             "envelope");
+  for (const ScalarBank* bank : {&p.bi_, &p.alpha_, &p.beta_, &p.stake_}) {
+    RS_REQUIRE(bank->backend() == envelope.backend,
+               "partial JSON scalar-bank backend disagrees with the "
+               "envelope");
+  }
+  return p;
+}
+
+util::json::Value reward_spec_echo(const RewardExperimentConfig& config) {
+  using util::json::Value;
+  Value v = Value::object();
+  v.set("experiment", std::string(RewardPayload::kKind));
+  v.set("node_count", config.node_count);
+  v.set("seed", config.seed);
+  v.set("stakes_kind",
+        config.stakes.kind == StakeSpec::Kind::Uniform ? "uniform" : "normal");
+  v.set("stakes_a", config.stakes.a);
+  v.set("stakes_b", config.stakes.b);
+  v.set("runs", config.runs);
+  v.set("rounds_per_run", config.rounds_per_run);
+  v.set("leader_cost", config.costs.leader_cost());
+  v.set("committee_cost", config.costs.committee_cost());
+  v.set("other_cost", config.costs.other_cost());
+  v.set("defection_cost", config.costs.defection_cost());
+  v.set("optimizer_margin", config.optimizer.margin);
+  v.set("optimizer_min_share", config.optimizer.min_share);
+  v.set("leader_stake", config.leader_stake);
+  v.set("committee_stake", config.committee_stake);
+  v.set("tx_parties", config.tx_parties);
+  v.set("tx_lo", config.tx_lo);
+  v.set("tx_hi", config.tx_hi);
+  v.set("min_other_stake", config.min_other_stake
+                               ? Value(*config.min_other_stake)
+                               : Value());
+  v.set("agg", to_string(config.agg));
+  v.set("reservoir_capacity", config.streaming.reservoir_capacity);
+  Value grid = Value::array();
+  for (const double q : config.streaming.p2_grid) grid.push_back(q);
+  v.set("p2_grid", std::move(grid));
+  return v;
+}
+
+RewardPartial run_reward_partial(const RewardExperimentConfig& config) {
+  RS_REQUIRE(config.node_count > 2, "population too small");
 
   const econ::RewardOptimizer optimizer(config.optimizer);
   const auto dist = config.stakes.make();
-  util::RunningStats bi_stats;
-  util::RunningStats alpha_stats;
-  util::RunningStats beta_stats;
-  util::RunningStats stake_stats;
-  // Per-round B_i series behind the accumulator concept: the exact
-  // backend reproduces the historical sum/divide bit for bit, the
-  // streaming backend keeps this state O(rounds).
-  const std::unique_ptr<RoundAccumulator> per_round = make_accumulator(
-      config.agg, config.rounds_per_run, config.streaming);
-  const bool keep_samples = config.agg == AggBackend::Exact;
 
   const ExperimentSpec spec{config.runs,    config.rounds_per_run,
                             config.seed,    config.threads,
                             config.inner_threads, config.shard};
+  validate(spec);
+  const ResolvedShard shard = resolve_shard(spec);
+  RewardPartial partial(
+      make_envelope(RewardPayload::kKind,
+                    spec_hash_hex(reward_spec_echo(config)), config.agg,
+                    config.runs, config.rounds_per_run, shard.begin,
+                    shard.end),
+      RewardPayload(config.rounds_per_run, config.agg, config.streaming));
+
   run_and_reduce(
       spec,
       [&](std::size_t, util::Rng& rng, const RunContext& ctx) {
@@ -188,28 +315,22 @@ RewardExperimentResult run_reward_experiment(
                            util::InnerExecutor(ctx.inner_pool));
       },
       [&](std::size_t, RewardRun run) {
-        // Replayed in run order, feeding the streaming stats in exactly
-        // the sample order a serial loop would produce.
-        for (const double bi : run.bi_algos) {
-          if (keep_samples) result.bi_algos.push_back(bi);
-          bi_stats.add(bi);
-        }
+        // Replayed in run order, feeding every bank in exactly the sample
+        // order a serial loop would produce.
+        RewardPayload& payload = partial.payload();
+        for (std::size_t i = 0; i < run.bi_algos.size(); ++i)
+          payload.record_feasible(run.bi_algos[i], run.alphas[i],
+                                  run.betas[i]);
         for (std::size_t r = 0; r < config.rounds_per_run; ++r)
-          per_round->record(r, run.per_round_bi[r]);
-        for (const double a : run.alphas) alpha_stats.add(a);
-        for (const double b : run.betas) beta_stats.add(b);
-        stake_stats.add(run.total_stake);
-        result.infeasible_rounds += run.infeasible;
+          payload.record_round_bi(r, run.per_round_bi[r]);
+        payload.record_run(run.total_stake, run.infeasible);
       });
+  return partial;
+}
 
-  result.bi_per_round_mean = per_round->mean_series();
-  result.mean_bi = bi_stats.mean();
-  result.mean_total_stake = stake_stats.mean();
-  result.mean_alpha = alpha_stats.mean();
-  result.mean_beta = beta_stats.mean();
-  result.accumulator_bytes = per_round->memory_bytes() +
-                             result.bi_algos.capacity() * sizeof(double);
-  return result;
+RewardExperimentResult run_reward_experiment(
+    const RewardExperimentConfig& config) {
+  return run_reward_partial(config).finalize();
 }
 
 }  // namespace roleshare::sim

@@ -5,6 +5,12 @@
 // per-round transaction churn among stake-weighted parties, and per-round
 // computation of the minimal incentive-compatible reward B_i via
 // Algorithm 1 — compared against the Foundation's Table-III schedule.
+//
+// Sharded execution rides the shared sim::ExperimentPartial envelope
+// (sim/partial.hpp): run_reward_partial executes the config's shard
+// window into a mergeable RewardPartial, and run_reward_experiment is
+// partial + finalize — so N exact-backend shards merged in window order
+// reproduce the single-process result bit for bit.
 #pragma once
 
 #include <memory>
@@ -15,6 +21,7 @@
 #include "econ/optimizer.hpp"
 #include "sim/aggregators.hpp"
 #include "sim/experiment_runner.hpp"
+#include "sim/partial.hpp"
 #include "util/distributions.hpp"
 
 namespace roleshare::sim {
@@ -62,11 +69,11 @@ struct RewardExperimentConfig {
   std::int64_t tx_hi = 4;
   /// Fig-7(c): Other nodes with stake < w are excluded from the reward set.
   std::optional<std::int64_t> min_other_stake;
-  /// Reduction backend for the per-round B_i series. Exact is the bit-
-  /// identical baseline; Streaming keeps the series state at O(rounds)
-  /// memory. (The raw `bi_algos` sample list is only materialized under
-  /// Exact — the Fig-6 histogram input; Streaming leaves it empty, which
-  /// is the point.)
+  /// Reduction backend for the per-round B_i series and the run-scalar
+  /// banks. Exact is the bit-identical baseline; Streaming keeps the
+  /// series state at O(rounds) memory. (The raw `bi_algos` sample list is
+  /// only materialized under Exact — the Fig-6 histogram input; Streaming
+  /// leaves it empty, which is the point.)
   AggBackend agg = AggBackend::Exact;
   StreamingAggConfig streaming{};
   /// Run window THIS process executes (default: all runs); all result
@@ -93,6 +100,63 @@ struct RewardExperimentResult {
   std::size_t accumulator_bytes = 0;
 };
 
+/// The experiment-specific half of a RewardPartial: the per-round B_i
+/// accumulator plus the flat banks of feasible-round samples and per-run
+/// scalars, all in record order so exact-backend merges replay a serial
+/// execution exactly.
+class RewardPayload {
+ public:
+  static constexpr std::string_view kKind = "reward";
+
+  RewardPayload(std::size_t rounds, AggBackend backend,
+                const StreamingAggConfig& streaming);
+
+  /// One feasible round's optimizer outcome, in round order within the
+  /// run: the B_i sample and the chosen split.
+  void record_feasible(double bi_algos, double alpha, double beta);
+  /// The per-round B_i series entry (0 for infeasible rounds, matching
+  /// the historical Fig-7 semantics).
+  void record_round_bi(std::size_t round_index, double bi_algos);
+  /// One run's trailing scalars.
+  void record_run(double total_stake, std::size_t infeasible_rounds);
+
+  void merge(const RewardPayload& next);
+
+  RewardExperimentResult finalize(const PartialEnvelope& envelope) const;
+
+  std::size_t accumulator_bytes() const;
+
+  util::json::Value to_json() const;
+  static RewardPayload from_json(const util::json::Value& value,
+                                 const PartialEnvelope& envelope);
+
+ private:
+  /// Deserialization path: adopts already-built state instead of
+  /// constructing (and discarding) fresh accumulators.
+  RewardPayload(std::unique_ptr<RoundAccumulator> per_round, ScalarBank bi,
+                ScalarBank alpha, ScalarBank beta, ScalarBank stake,
+                std::size_t infeasible);
+
+  std::unique_ptr<RoundAccumulator> per_round_;
+  ScalarBank bi_;
+  ScalarBank alpha_;
+  ScalarBank beta_;
+  ScalarBank stake_;
+  std::size_t infeasible_ = 0;
+};
+
+using RewardPartial = ExperimentPartial<RewardPayload>;
+
+/// Canonical echo of every result-affecting config field — the spec-hash
+/// input shared by all partials of one reward experiment.
+util::json::Value reward_spec_echo(const RewardExperimentConfig& config);
+
+/// Executes config.shard's run window and reduces it into a mergeable
+/// partial. Deterministic in config.seed, independent of thread knobs.
+RewardPartial run_reward_partial(const RewardExperimentConfig& config);
+
+/// run_reward_partial + finalize — the historical single-process
+/// experiment, bit-identical under the exact backend.
 RewardExperimentResult run_reward_experiment(
     const RewardExperimentConfig& config);
 

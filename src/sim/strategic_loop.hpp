@@ -23,6 +23,7 @@
 #include "game/game_model.hpp"
 #include "sim/aggregators.hpp"
 #include "sim/experiment_runner.hpp"
+#include "sim/partial.hpp"
 #include "sim/round_engine.hpp"
 #include "sim/scenario_policy.hpp"
 
@@ -109,6 +110,59 @@ struct StrategicEnsembleResult {
   std::size_t accumulator_bytes = 0;
 };
 
+/// The experiment-specific half of a StrategicPartial: the three
+/// per-round series accumulators plus the per-run scalar banks (total
+/// reward paid, final cooperation), kept in run order so exact-backend
+/// merges replay a serial execution bit for bit.
+class StrategicPayload {
+ public:
+  static constexpr std::string_view kKind = "strategic";
+
+  StrategicPayload(std::size_t rounds, AggBackend backend,
+                   const StreamingAggConfig& streaming);
+
+  void record_round(std::size_t round_index, double cooperation_fraction,
+                    double final_fraction, double reward_algos);
+  void record_run(double total_reward_algos, double final_cooperation);
+
+  void merge(const StrategicPayload& next);
+
+  StrategicEnsembleResult finalize(const PartialEnvelope& envelope) const;
+
+  std::size_t accumulator_bytes() const;
+
+  util::json::Value to_json() const;
+  static StrategicPayload from_json(const util::json::Value& value,
+                                    const PartialEnvelope& envelope);
+
+ private:
+  /// Deserialization path: adopts already-built state instead of
+  /// constructing (and discarding) fresh accumulators.
+  StrategicPayload(std::unique_ptr<RoundAccumulator> coop,
+                   std::unique_ptr<RoundAccumulator> final_acc,
+                   std::unique_ptr<RoundAccumulator> reward,
+                   ScalarBank total_reward, ScalarBank final_coop);
+
+  std::unique_ptr<RoundAccumulator> coop_;
+  std::unique_ptr<RoundAccumulator> final_;
+  std::unique_ptr<RoundAccumulator> reward_;
+  ScalarBank total_reward_;
+  ScalarBank final_coop_;
+};
+
+using StrategicPartial = ExperimentPartial<StrategicPayload>;
+
+/// Canonical echo of every result-affecting ensemble config field — the
+/// spec-hash input shared by all partials of one strategic ensemble.
+util::json::Value strategic_spec_echo(const StrategicEnsembleConfig& config);
+
+/// Executes config.shard's run window and reduces it into a mergeable
+/// partial. Deterministic in config.base.network.seed, independent of
+/// the thread knobs.
+StrategicPartial run_strategic_partial(const StrategicEnsembleConfig& config);
+
+/// run_strategic_partial + finalize — the single-process ensemble,
+/// bit-identical under the exact backend.
 StrategicEnsembleResult run_strategic_ensemble(
     const StrategicEnsembleConfig& config);
 

@@ -160,6 +160,11 @@ class Parser {
   }
 
  private:
+  /// Containers may nest at most this deep. Recursive-descent parsing
+  /// consumes stack per level, so untrusted input like "[[[[..." must be
+  /// rejected before it overflows the stack; partial files nest a small
+  /// constant number of levels.
+  static constexpr std::size_t kMaxDepth = 192;
   [[noreturn]] void fail(const std::string& what) const {
     throw std::invalid_argument("JSON parse error at byte " +
                                 std::to_string(pos_) + ": " + what);
@@ -202,15 +207,21 @@ class Parser {
 
   Value parse_object() {
     expect('{');
+    enter_container();
     Value obj = Value::object();
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return obj;
     }
     while (true) {
       skip_ws();
       std::string key = parse_string();
+      // Duplicate keys silently shadow each other in at()/find(); a
+      // partial file carrying one is corrupt, not ambiguous.
+      if (obj.find(key) != nullptr)
+        fail("duplicate object key \"" + key + "\"");
       skip_ws();
       expect(':');
       obj.set(std::move(key), parse_value());
@@ -220,16 +231,19 @@ class Parser {
         continue;
       }
       expect('}');
+      --depth_;
       return obj;
     }
   }
 
   Value parse_array() {
     expect('[');
+    enter_container();
     Value arr = Value::array();
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return arr;
     }
     while (true) {
@@ -240,8 +254,15 @@ class Parser {
         continue;
       }
       expect(']');
+      --depth_;
       return arr;
     }
+  }
+
+  void enter_container() {
+    if (++depth_ > kMaxDepth)
+      fail("containers nested deeper than " + std::to_string(kMaxDepth) +
+           " levels");
   }
 
   std::string parse_string() {
@@ -319,6 +340,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

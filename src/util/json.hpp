@@ -14,8 +14,10 @@
 //     CI shard-merge diff depends on this).
 //
 // parse() raises std::invalid_argument with a byte offset on malformed
-// input. Not a general-purpose JSON library: no \uXXXX surrogate pairs,
-// no duplicate-key detection.
+// input, on duplicate object keys (a partial file carrying one is
+// corrupt, not ambiguous), and on containers nested deeper than a fixed
+// guard (a recursive-descent parser must bound its stack on untrusted
+// input). Not a general-purpose JSON library: no \uXXXX surrogate pairs.
 #pragma once
 
 #include <cstddef>

@@ -86,6 +86,102 @@ TEST(Json, MalformedInputThrows) {
   EXPECT_THROW(parse("{\"a\" 1}"), std::invalid_argument);
 }
 
+TEST(Json, NonFiniteRoundTripsToNullEverywhere) {
+  // The empty-round NaN convention: non-finite numbers dump as null at
+  // any nesting depth, and the null parses back as null — never as 0.0.
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  Value doc = Value::object();
+  Value row = Value::array();
+  row.push_back(nan);
+  row.push_back(-inf);
+  row.push_back(1.5);
+  doc.set("series", std::move(row));
+  doc.set("mean", inf);
+  EXPECT_EQ(doc.dump(), "{\"series\":[null,null,1.5],\"mean\":null}");
+  const Value parsed = parse(doc.dump());
+  EXPECT_TRUE(parsed.at("series").as_array()[0].is_null());
+  EXPECT_TRUE(parsed.at("mean").is_null());
+  EXPECT_DOUBLE_EQ(parsed.at("series").as_array()[2].as_number(), 1.5);
+  // Round-tripping again is a fixpoint.
+  EXPECT_EQ(parse(doc.dump()).dump(), doc.dump());
+}
+
+TEST(Json, DeepNestingGuardRejectsInsteadOfOverflowing) {
+  // Recursive-descent parsing consumes stack per level; pathological
+  // input like 100k open brackets must raise, not crash.
+  const std::string deep_arrays(100'000, '[');
+  EXPECT_THROW(parse(deep_arrays), std::invalid_argument);
+  std::string deep_objects;
+  for (int i = 0; i < 100'000; ++i) deep_objects += "{\"a\":";
+  EXPECT_THROW(parse(deep_objects), std::invalid_argument);
+  // Reasonable nesting (shard partials use a handful of levels) parses.
+  std::string ok = "1";
+  for (int i = 0; i < 64; ++i) ok = "[" + ok + "]";
+  EXPECT_NO_THROW(parse(ok));
+  try {
+    parse(std::string(300, '['));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("nested deeper"),
+              std::string::npos) << e.what();
+  }
+}
+
+TEST(Json, DuplicateObjectKeysRejected) {
+  EXPECT_THROW(parse("{\"a\":1,\"a\":2}"), std::invalid_argument);
+  EXPECT_THROW(parse("{\"a\":1,\"b\":{\"x\":0,\"x\":1}}"),
+               std::invalid_argument);
+  try {
+    parse("{\"run_begin\":0,\"run_begin\":4}");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate object key "
+                                         "\"run_begin\""),
+              std::string::npos) << e.what();
+  }
+  // Same key on different objects is fine.
+  EXPECT_NO_THROW(parse("{\"a\":{\"x\":1},\"b\":{\"x\":2}}"));
+}
+
+TEST(Json, EveryTruncationOfADocumentThrows) {
+  // Fuzz-ish: an object document cut at any byte is malformed (the outer
+  // brace never closes), so parse must throw at every proper prefix —
+  // the "shard worker died mid-write" failure mode.
+  Value doc = Value::object();
+  doc.set("kind", "defection");
+  doc.set("values", Value::array());
+  Value row = Value::array();
+  row.push_back(0.1 + 0.2);
+  row.push_back(Value());
+  row.push_back(true);
+  doc.set("row", std::move(row));
+  doc.set("nested", parse("{\"a\":[1,[2,{\"b\":\"c\\n\"}]]}"));
+  const std::string text = doc.dump();
+  ASSERT_GT(text.size(), 40u);
+  for (std::size_t len = 0; len < text.size(); ++len) {
+    EXPECT_THROW(parse(text.substr(0, len)), std::invalid_argument)
+        << "prefix length " << len << ": " << text.substr(0, len);
+  }
+  EXPECT_NO_THROW(parse(text));
+}
+
+TEST(Json, MalformedNumberAndEscapeTables) {
+  // Table-driven oddballs the partial payloads can hit via hand-edited
+  // or corrupted files.
+  const char* malformed[] = {
+      "-",      "1e",     "--1",    "0x10",   "1.2.3",
+      "[1,,2]", "{,}",    "\"\\q\"", "\"\\u12\"", "\"\\u12zz\"", "tru",
+      "[01az]", "nan",    "Infinity"};
+  for (const char* text : malformed) {
+    EXPECT_THROW(parse(text), std::invalid_argument) << text;
+  }
+  // Exotic-but-valid numbers survive.
+  EXPECT_DOUBLE_EQ(parse("-0.0").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(parse("1e-3").as_number(), 0.001);
+  EXPECT_DOUBLE_EQ(parse("2E+2").as_number(), 200.0);
+}
+
 TEST(Json, AccessorsRejectKindMismatch) {
   const Value v = parse("{\"a\": 1}");
   EXPECT_THROW(v.at("a").as_string(), std::invalid_argument);
