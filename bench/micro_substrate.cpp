@@ -1,7 +1,14 @@
 // E9 — substrate microbenchmarks (google-benchmark): the primitives whose
 // throughput bounds experiment wall-clock — SHA-256, VRF+sortition, gossip
-// propagation, vote tallying, and a full simulated consensus round.
+// propagation, vote tallying, and a full simulated consensus round — plus
+// batched-vs-scalar head-to-heads for the fixed-template hashing and
+// batch sortition paths the round engine's hot loop uses. Each fixed-path
+// bench self-checks its digests against the streaming path at setup: the
+// template must be bit-identical, not just fast.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
 
 #include "consensus/votes.hpp"
 #include "crypto/sha256.hpp"
@@ -44,6 +51,126 @@ void BM_Sortition(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Sortition)->Arg(10'000)->Arg(1'000'000);
+
+// -- Batched vs scalar head-to-heads ---------------------------------------
+//
+// The round engine hashes many same-shape messages per step (one sign +
+// one output hash per node). The scalar path streams each message through
+// HashBuilder; the fixed path seals the layout into a Sha256Fixed
+// template once and only rewrites the 32-byte variable slot per item.
+
+/// 256 cycling slot values so the per-iteration work is just the hash
+/// under test, not input generation.
+std::vector<crypto::Hash256> make_slot_values() {
+  std::vector<crypto::Hash256> values;
+  for (std::uint64_t i = 0; i < 256; ++i)
+    values.push_back(crypto::HashBuilder("slot").add_u64(i).build());
+  return values;
+}
+
+void BM_HashSigLayout_Scalar(benchmark::State& state) {
+  const std::vector<crypto::Hash256> slots = make_slot_values();
+  const crypto::Hash256 msg = crypto::HashBuilder("m").build();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::HashBuilder("roleshare.sig")
+                                 .add(slots[i++ & 255])
+                                 .add(msg)
+                                 .build());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HashSigLayout_Scalar);
+
+void BM_HashSigLayout_FixedTemplate(benchmark::State& state) {
+  const std::vector<crypto::Hash256> slots = make_slot_values();
+  const crypto::Hash256 msg = crypto::HashBuilder("m").build();
+  crypto::FixedHasher layout("roleshare.sig");
+  const std::size_t slot = layout.add_hash_slot();
+  layout.add(msg);
+  crypto::Sha256Fixed fixed = layout.build_template();
+
+  // Digest self-check: the template must reproduce the streaming layout
+  // bit for bit for every probe value.
+  for (const crypto::Hash256& probe : slots) {
+    crypto::write_hash_slot(fixed, slot, probe);
+    const crypto::Hash256 expected =
+        crypto::HashBuilder("roleshare.sig").add(probe).add(msg).build();
+    if (crypto::Hash256(fixed.digest()) != expected) {
+      std::fprintf(stderr, "FATAL: Sha256Fixed digest != HashBuilder\n");
+      std::abort();
+    }
+  }
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    crypto::write_hash_slot(fixed, slot, slots[i++ & 255]);
+    benchmark::DoNotOptimize(fixed.digest());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HashSigLayout_FixedTemplate);
+
+/// Shared fixture for the sortition head-to-head: one committee draw over
+/// `n` nodes with skewed stakes.
+struct SortitionBatchSetup {
+  std::vector<crypto::KeyPair> keys;
+  std::vector<std::int64_t> stakes;
+  crypto::SortitionParams params;
+  crypto::VrfInput input{9, 2, crypto::Hash256::zero()};
+
+  explicit SortitionBatchSetup(std::size_t n) {
+    std::int64_t total = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      keys.push_back(crypto::KeyPair::derive(3, i));
+      stakes.push_back(1 + static_cast<std::int64_t>(i % 50));
+      total += stakes.back();
+    }
+    params = crypto::SortitionParams{40, total};
+    input.prev_seed = crypto::HashBuilder("s").build();
+  }
+};
+
+void BM_SortitionCommittee_Scalar(benchmark::State& state) {
+  const SortitionBatchSetup setup(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < setup.keys.size(); ++i) {
+      benchmark::DoNotOptimize(crypto::sortition(
+          setup.keys[i], setup.input, setup.stakes[i], setup.params));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SortitionCommittee_Scalar)->Arg(512)->Arg(4096);
+
+void BM_SortitionCommittee_Batched(benchmark::State& state) {
+  const SortitionBatchSetup setup(static_cast<std::size_t>(state.range(0)));
+  std::vector<crypto::SortitionResult> results;
+
+  // Self-check: the batched path must match per-node sortition() exactly.
+  crypto::sortition_batch_into(setup.keys, setup.input, setup.stakes,
+                               setup.params, results);
+  for (std::size_t i = 0; i < setup.keys.size(); ++i) {
+    const crypto::SortitionResult scalar = crypto::sortition(
+        setup.keys[i], setup.input, setup.stakes[i], setup.params);
+    if (results[i].sub_users != scalar.sub_users ||
+        results[i].vrf.output != scalar.vrf.output ||
+        results[i].vrf.proof != scalar.vrf.proof) {
+      std::fprintf(stderr, "FATAL: sortition_batch_into != sortition\n");
+      std::abort();
+    }
+  }
+
+  for (auto _ : state) {
+    crypto::sortition_batch_into(setup.keys, setup.input, setup.stakes,
+                                 setup.params, results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SortitionCommittee_Batched)->Arg(512)->Arg(4096);
 
 void BM_GossipPropagate(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

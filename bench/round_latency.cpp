@@ -5,19 +5,29 @@
 // counts: the same network simulated for --rounds rounds, once with the
 // per-node loops serial (inner-threads=1) and once across the inner pool
 // (--inner-threads, default 0 = all hardware threads). The two passes must
-// produce bit-identical per-round fractions — the determinism contract —
+// produce bit-identical per-round results — the determinism contract —
 // and the JSON records both wall times plus the speedup for the perf
 // trajectory. On a 4+-core machine at >=100k nodes the expected speedup
 // is >1.5x (sortition VRFs, vote verification, per-node tallies and the
 // gossip fan-out all scale; the serial remainder is the committee scan and
 // chain append).
 //
+// The serial pass runs on a reused RoundWorkspace with the global
+// allocation counter bracketing each round, so the JSON also tracks heap
+// allocations per steady-state round — the reusable-workspace contract's
+// regression gate — plus the workspace's resident capacity.
+//
 //   $ ./round_latency --nodes=100000 --rounds=3 --inner-threads=0
+//   $ ./round_latency --sweep=1 --rounds=3        # 1000/3000/10000 nodes
+//   $ ./round_latency --nodes=3000 --self-check=1 # CI determinism gate
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "alloc_counter.hpp"
 #include "bench_util.hpp"
 #include "sim/aggregators.hpp"
 #include "sim/round_engine.hpp"
@@ -35,7 +45,32 @@ struct PassResult {
   /// derived fractions.
   std::vector<std::vector<sim::NodeOutcome>> outcomes;
   std::vector<std::size_t> proposals;
+  /// Heap allocations performed inside each run_round_into call.
+  std::vector<std::uint64_t> allocs_per_round;
+  /// Bytes reserved across the workspace's buffers after the last round.
+  std::size_t workspace_bytes = 0;
   double wall_ms = 0.0;
+
+  double ms_per_round() const {
+    return allocs_per_round.empty()
+               ? 0.0
+               : wall_ms / static_cast<double>(allocs_per_round.size());
+  }
+  double rounds_per_sec() const {
+    return wall_ms > 0.0 ? 1000.0 *
+                               static_cast<double>(allocs_per_round.size()) /
+                               wall_ms
+                         : 0.0;
+  }
+  /// Steady-state allocations: the minimum over rounds after the first
+  /// (the first round grows every buffer to its high-water mark).
+  std::uint64_t steady_allocs() const {
+    if (allocs_per_round.empty()) return 0;
+    std::uint64_t best = allocs_per_round.back();
+    for (std::size_t r = 1; r < allocs_per_round.size(); ++r)
+      best = std::min(best, allocs_per_round[r]);
+    return best;
+  }
 };
 
 PassResult run_pass(std::size_t nodes, std::size_t rounds,
@@ -57,16 +92,89 @@ PassResult run_pass(std::size_t nodes, std::size_t rounds,
                           pool ? &*pool : nullptr);
 
   PassResult pass;
+  sim::RoundWorkspace ws;
+  sim::RoundResult result;
   const bench::WallTimer timer;
   for (std::size_t r = 0; r < rounds; ++r) {
-    sim::RoundResult result = engine.run_round();
+    const std::uint64_t allocs_before = bench::alloc_count();
+    engine.run_round_into(result, ws);
+    pass.allocs_per_round.push_back(bench::alloc_count() - allocs_before);
     pass.final_fractions.push_back(result.final_fraction);
     pass.none_fractions.push_back(result.none_fraction);
-    pass.outcomes.push_back(std::move(result.outcomes));
+    pass.outcomes.push_back(result.outcomes);
     pass.proposals.push_back(result.proposals);
   }
   pass.wall_ms = timer.elapsed_ms();
+  pass.workspace_bytes = ws.capacity_bytes();
   return pass;
+}
+
+/// The determinism gate: the parallel pass must reproduce the serial pass
+/// bit for bit — per-node outcomes and proposal counts included, not just
+/// the derived fractions — or the speedup is meaningless.
+bool passes_identical(const PassResult& serial, const PassResult& parallel) {
+  return serial.final_fractions == parallel.final_fractions &&
+         serial.none_fractions == parallel.none_fractions &&
+         serial.proposals == parallel.proposals &&
+         serial.outcomes == parallel.outcomes;
+}
+
+struct Measurement {
+  PassResult serial;
+  PassResult parallel;
+  bool identical = false;
+  double speedup = 0.0;
+};
+
+/// One serial + parallel measurement at a node count; appends the fields
+/// under `prefix` to the BENCH JSON.
+Measurement measure_size(std::size_t nodes, std::size_t rounds,
+                         std::uint64_t seed, std::size_t inner_threads,
+                         std::size_t workers, const std::string& prefix,
+                         bench::JsonFields& fields) {
+  Measurement m;
+  std::printf("\nserial pass (%zu nodes, inner-threads=1)...\n", nodes);
+  m.serial = run_pass(nodes, rounds, seed, 0.05, 1);
+  std::printf("  wall: %.0f ms (%.1f ms/round, %.2f rounds/s)\n",
+              m.serial.wall_ms, m.serial.ms_per_round(),
+              m.serial.rounds_per_sec());
+  std::printf("  allocations/round: first %llu, steady %llu | "
+              "workspace %.1f KiB\n",
+              static_cast<unsigned long long>(
+                  m.serial.allocs_per_round.front()),
+              static_cast<unsigned long long>(m.serial.steady_allocs()),
+              static_cast<double>(m.serial.workspace_bytes) / 1024.0);
+
+  std::printf("parallel pass (%zu workers)...\n", workers);
+  m.parallel = run_pass(nodes, rounds, seed, 0.05, inner_threads);
+  std::printf("  wall: %.0f ms (%.1f ms/round, %.2f rounds/s)\n",
+              m.parallel.wall_ms, m.parallel.ms_per_round(),
+              m.parallel.rounds_per_sec());
+
+  m.identical = passes_identical(m.serial, m.parallel);
+  m.speedup = m.parallel.wall_ms > 0.0
+                  ? m.serial.wall_ms / m.parallel.wall_ms
+                  : 0.0;
+  std::printf("bit-identical results: %s | speedup: %.2fx\n",
+              m.identical ? "yes" : "NO — BUG", m.speedup);
+
+  fields.emplace_back(prefix + "wall_ms_serial", m.serial.wall_ms);
+  fields.emplace_back(prefix + "wall_ms_parallel", m.parallel.wall_ms);
+  fields.emplace_back(prefix + "ms_per_round_serial",
+                      m.serial.ms_per_round());
+  fields.emplace_back(prefix + "rounds_per_sec_serial",
+                      m.serial.rounds_per_sec());
+  fields.emplace_back(prefix + "rounds_per_sec_parallel",
+                      m.parallel.rounds_per_sec());
+  fields.emplace_back(prefix + "speedup", m.speedup);
+  fields.emplace_back(prefix + "allocs_per_round_first",
+                      m.serial.allocs_per_round.front());
+  fields.emplace_back(prefix + "allocs_per_round_steady",
+                      m.serial.steady_allocs());
+  fields.emplace_back(prefix + "workspace_bytes", m.serial.workspace_bytes);
+  fields.emplace_back(prefix + "bit_identical",
+                      m.identical ? "yes" : "no");
+  return m;
 }
 
 }  // namespace
@@ -82,6 +190,8 @@ int main(int argc, char** argv) {
   // threads — measuring the speedup is this binary's whole point.
   const auto inner_threads = static_cast<std::size_t>(
       bench::arg_int(argc, argv, "inner-threads", 0));
+  const bool sweep = bench::arg_int(argc, argv, "sweep", 0) != 0;
+  const bool self_check = bench::arg_int(argc, argv, "self-check", 0) != 0;
   const std::size_t workers =
       util::ThreadPool::resolve_thread_count(inner_threads);
 
@@ -89,81 +199,82 @@ int main(int argc, char** argv) {
                       "single-run wall time, serial vs inner-parallel");
   std::printf("nodes=%zu rounds=%zu defection=5%% inner-threads=%zu "
               "(%zu workers; override with --nodes/--rounds/"
-              "--inner-threads)\n",
+              "--inner-threads; --sweep=1 for 1000/3000/10000 nodes; "
+              "--self-check=1 for the CI determinism gate)\n",
               nodes, rounds, inner_threads, workers);
 
-  std::printf("\nserial pass (inner-threads=1)...\n");
-  const PassResult serial = run_pass(nodes, rounds, seed, 0.05, 1);
-  std::printf("  wall: %.0f ms (%.0f ms/round)\n", serial.wall_ms,
-              serial.wall_ms / static_cast<double>(rounds));
-
-  std::printf("parallel pass (%zu workers)...\n", workers);
-  const PassResult parallel = run_pass(nodes, rounds, seed, 0.05,
-                                       inner_threads);
-  std::printf("  wall: %.0f ms (%.0f ms/round)\n", parallel.wall_ms,
-              parallel.wall_ms / static_cast<double>(rounds));
-
-  // Determinism gate: the parallel pass must reproduce the serial pass
-  // bit for bit — per-node outcomes and proposal counts included, not
-  // just the derived fractions — or the speedup is meaningless.
-  bool identical = true;
-  for (std::size_t r = 0; r < rounds; ++r) {
-    identical = identical &&
-                serial.final_fractions[r] == parallel.final_fractions[r] &&
-                serial.none_fractions[r] == parallel.none_fractions[r] &&
-                serial.proposals[r] == parallel.proposals[r] &&
-                serial.outcomes[r] == parallel.outcomes[r];
-  }
-  const double speedup =
-      parallel.wall_ms > 0.0 ? serial.wall_ms / parallel.wall_ms : 0.0;
-  std::printf("\nbit-identical aggregates: %s | speedup: %.2fx\n",
-              identical ? "yes" : "NO — BUG", speedup);
-
-  // Accumulator memory story at this node count: record every per-node
-  // outcome of the serial pass into both reduction backends. The exact
-  // matrix grows with nodes x rounds; the streaming sketch must stay at
-  // O(rounds) — the state a paper-scale sharded sweep ships per shard.
-  const auto exact = sim::make_accumulator(sim::AggBackend::Exact, rounds);
-  const auto streaming =
-      sim::make_accumulator(sim::AggBackend::Streaming, rounds);
-  for (std::size_t r = 0; r < rounds; ++r) {
-    for (const sim::NodeOutcome outcome : serial.outcomes[r]) {
-      const double sample = static_cast<double>(outcome);
-      exact->record(r, sample);
-      streaming->record(r, sample);
+  if (sweep) {
+    // Fixed size ladder for the perf trajectory: one BENCH file with the
+    // per-size fields prefixed n<size>_, diffable by bench_compare.py.
+    const std::size_t sizes[] = {1000, 3000, 10000};
+    bench::JsonFields fields{{"rounds", rounds}, {"workers", workers}};
+    bool all_identical = true;
+    double total_ms = 0.0;
+    for (const std::size_t size : sizes) {
+      const std::string prefix = "n" + std::to_string(size) + "_";
+      const Measurement m = measure_size(size, rounds, seed, inner_threads,
+                                         workers, prefix, fields);
+      all_identical = all_identical && m.identical;
+      total_ms += m.serial.wall_ms + m.parallel.wall_ms;
     }
+    fields.emplace_back("wall_ms", total_ms);
+    bench::emit_json("round_latency", fields);
+    if (!all_identical) {
+      std::fprintf(stderr,
+                   "ERROR: inner-parallel results diverged from serial\n");
+      return 1;
+    }
+    return 0;
   }
-  const double mem_ratio =
-      static_cast<double>(exact->memory_bytes()) /
-      static_cast<double>(streaming->memory_bytes());
-  std::printf("accumulator memory (%zu samples/round): exact %.1f KiB, "
-              "streaming %.1f KiB (%.1fx smaller)\n",
-              nodes, static_cast<double>(exact->memory_bytes()) / 1024.0,
-              static_cast<double>(streaming->memory_bytes()) / 1024.0,
-              mem_ratio);
 
-  bench::emit_json("round_latency",
-                   {{"nodes", static_cast<double>(nodes)},
-                    {"rounds", static_cast<double>(rounds)},
-                    {"inner_threads", static_cast<double>(inner_threads)},
-                    {"workers", static_cast<double>(workers)},
-                    {"wall_ms_serial", serial.wall_ms},
-                    {"wall_ms_parallel", parallel.wall_ms},
-                    {"speedup", speedup},
-                    {"bit_identical", identical ? "yes" : "no"},
-                    {"exact_accum_bytes",
-                     static_cast<double>(exact->memory_bytes())},
-                    {"streaming_accum_bytes",
-                     static_cast<double>(streaming->memory_bytes())},
-                    {"accum_memory_ratio", mem_ratio},
-                    {"wall_ms", serial.wall_ms + parallel.wall_ms}});
+  bench::JsonFields fields{{"nodes", nodes},
+                           {"rounds", rounds},
+                           {"inner_threads", inner_threads},
+                           {"workers", workers}};
+  const Measurement m = measure_size(nodes, rounds, seed, inner_threads,
+                                     workers, "", fields);
 
-  if (!identical) {
+  if (!self_check) {
+    // Accumulator memory story at this node count: record every per-node
+    // outcome of the serial pass into both reduction backends. The exact
+    // matrix grows with nodes x rounds; the streaming sketch must stay at
+    // O(rounds) — the state a paper-scale sharded sweep ships per shard.
+    const auto exact = sim::make_accumulator(sim::AggBackend::Exact, rounds);
+    const auto streaming =
+        sim::make_accumulator(sim::AggBackend::Streaming, rounds);
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (const sim::NodeOutcome outcome : m.serial.outcomes[r]) {
+        const double sample = static_cast<double>(outcome);
+        exact->record(r, sample);
+        streaming->record(r, sample);
+      }
+    }
+    const double mem_ratio =
+        static_cast<double>(exact->memory_bytes()) /
+        static_cast<double>(streaming->memory_bytes());
+    std::printf("accumulator memory (%zu samples/round): exact %.1f KiB, "
+                "streaming %.1f KiB (%.1fx smaller)\n",
+                nodes, static_cast<double>(exact->memory_bytes()) / 1024.0,
+                static_cast<double>(streaming->memory_bytes()) / 1024.0,
+                mem_ratio);
+    fields.emplace_back("exact_accum_bytes", exact->memory_bytes());
+    fields.emplace_back("streaming_accum_bytes", streaming->memory_bytes());
+    fields.emplace_back("accum_memory_ratio", mem_ratio);
+  }
+  fields.emplace_back("wall_ms", m.serial.wall_ms + m.parallel.wall_ms);
+  bench::emit_json("round_latency", fields);
+
+  if (!m.identical) {
     std::fprintf(stderr,
-                 "ERROR: inner-parallel aggregates diverged from serial\n");
+                 "ERROR: inner-parallel results diverged from serial\n");
     return 1;
   }
-  std::printf("\nShape check: speedup > 1.5x expected at >=100k nodes on\n"
-              "4+ cores; ~1.0x on a single-core machine is normal.\n");
+  if (self_check) {
+    std::printf("\nself-check OK: serial and inner-parallel rounds are "
+                "bit-identical\n");
+  } else {
+    std::printf("\nShape check: speedup > 1.5x expected at >=100k nodes on\n"
+                "4+ cores; ~1.0x on a single-core machine is normal.\n");
+  }
   return 0;
 }

@@ -27,24 +27,39 @@ Committee elect_committee(const std::vector<crypto::KeyPair>& keys,
                           std::uint64_t expected_stake,
                           std::int64_t total_stake,
                           const util::InnerExecutor& exec) {
-  RS_REQUIRE(keys.size() == stakes.size(), "keys/stakes size mismatch");
   Committee committee;
+  std::vector<crypto::SortitionResult> draws;
+  elect_committee_into(keys, stakes, round, step, prev_seed, expected_stake,
+                       total_stake, committee, draws, exec);
+  return committee;
+}
+
+void elect_committee_into(const std::vector<crypto::KeyPair>& keys,
+                          const std::vector<std::int64_t>& stakes,
+                          std::uint64_t round, std::uint32_t step,
+                          const crypto::Hash256& prev_seed,
+                          std::uint64_t expected_stake,
+                          std::int64_t total_stake, Committee& committee,
+                          std::vector<crypto::SortitionResult>& draws_scratch,
+                          const util::InnerExecutor& exec) {
+  RS_REQUIRE(keys.size() == stakes.size(), "keys/stakes size mismatch");
   committee.round = round;
   committee.step = step;
+  committee.members.clear();
 
   const crypto::VrfInput input{round, step, prev_seed};
   const crypto::SortitionParams params{expected_stake, total_stake};
   // The VRF evaluations are the expensive part; the winner collection is a
   // cheap serial scan in node order, which keeps `members` deterministic.
-  const std::vector<crypto::SortitionResult> draws =
-      crypto::sortition_batch(keys, input, stakes, params, exec);
-  for (std::size_t i = 0; i < draws.size(); ++i) {
-    if (draws[i].selected()) {
-      committee.members.push_back(CommitteeMember{
-          static_cast<ledger::NodeId>(i), draws[i].sub_users, draws[i]});
+  crypto::sortition_batch_into(keys, input, stakes, params, draws_scratch,
+                               exec);
+  for (std::size_t i = 0; i < draws_scratch.size(); ++i) {
+    if (draws_scratch[i].selected()) {
+      committee.members.push_back(
+          CommitteeMember{static_cast<ledger::NodeId>(i),
+                          draws_scratch[i].sub_users, draws_scratch[i]});
     }
   }
-  return committee;
 }
 
 }  // namespace roleshare::consensus

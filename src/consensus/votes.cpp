@@ -35,7 +35,18 @@ std::vector<std::uint8_t> verify_votes(std::span<const Vote> votes,
                                        const std::vector<std::int64_t>& stakes,
                                        const crypto::SortitionParams& params,
                                        const util::InnerExecutor& exec) {
-  std::vector<std::uint8_t> valid(votes.size(), 0);
+  std::vector<std::uint8_t> valid;
+  verify_votes_into(votes, prev_seed, stakes, params, valid, exec);
+  return valid;
+}
+
+void verify_votes_into(std::span<const Vote> votes,
+                       const crypto::Hash256& prev_seed,
+                       const std::vector<std::int64_t>& stakes,
+                       const crypto::SortitionParams& params,
+                       std::vector<std::uint8_t>& valid,
+                       const util::InnerExecutor& exec) {
+  valid.assign(votes.size(), 0);
   exec.for_each_chunk(votes.size(), [&](std::size_t, std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       RS_REQUIRE(votes[i].voter < stakes.size(), "voter id out of range");
@@ -45,7 +56,6 @@ std::vector<std::uint8_t> verify_votes(std::span<const Vote> votes,
                      : 0;
     }
   });
-  return valid;
 }
 
 VoteCounter::VoteCounter(double quorum) : quorum_(quorum) {

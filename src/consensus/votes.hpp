@@ -46,6 +46,15 @@ std::vector<std::uint8_t> verify_votes(std::span<const Vote> votes,
                                        const crypto::SortitionParams& params,
                                        const util::InnerExecutor& exec = {});
 
+/// Allocation-free form: verdicts go into `valid` (assigned to votes.size(),
+/// capacity kept across calls). Bit-identical to verify_votes().
+void verify_votes_into(std::span<const Vote> votes,
+                       const crypto::Hash256& prev_seed,
+                       const std::vector<std::int64_t>& stakes,
+                       const crypto::SortitionParams& params,
+                       std::vector<std::uint8_t>& valid,
+                       const util::InnerExecutor& exec = {});
+
 /// Result of tallying one step.
 struct TallyResult {
   /// Value whose verified weight exceeded the quorum, if any.

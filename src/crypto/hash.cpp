@@ -1,8 +1,10 @@
 #include "crypto/hash.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/hex.hpp"
+#include "util/require.hpp"
 
 namespace roleshare::crypto {
 
@@ -58,5 +60,50 @@ HashBuilder& HashBuilder::add_i64(std::int64_t value) {
 }
 
 Hash256 HashBuilder::build() { return Hash256(ctx_.finalize()); }
+
+FixedHasher::FixedHasher(std::string_view domain_tag) {
+  append_u64_le(domain_tag.size());
+  append_bytes(reinterpret_cast<const std::uint8_t*>(domain_tag.data()),
+               domain_tag.size());
+}
+
+void FixedHasher::append_u64_le(std::uint64_t value) {
+  RS_REQUIRE(len_ + 8 <= bytes_.size(), "FixedHasher layout too long");
+  for (int i = 0; i < 8; ++i)
+    bytes_[len_++] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+void FixedHasher::append_bytes(const std::uint8_t* bytes,
+                               std::size_t count) {
+  RS_REQUIRE(len_ + count <= bytes_.size(), "FixedHasher layout too long");
+  std::memcpy(bytes_.data() + len_, bytes, count);
+  len_ += count;
+}
+
+FixedHasher& FixedHasher::add(const Hash256& hash) {
+  append_u64_le(32);
+  append_bytes(hash.bytes().data(), 32);
+  return *this;
+}
+
+FixedHasher& FixedHasher::add_u64(std::uint64_t value) {
+  append_u64_le(8);
+  append_u64_le(value);
+  return *this;
+}
+
+std::size_t FixedHasher::add_hash_slot() {
+  append_u64_le(32);
+  const std::size_t offset = len_;
+  len_ += 32;  // slot bytes stay zero until the loop overwrites them
+  RS_REQUIRE(len_ <= bytes_.size(), "FixedHasher layout too long");
+  return offset;
+}
+
+Sha256Fixed FixedHasher::build_template() const {
+  Sha256Fixed fixed(len_);
+  fixed.write(0, bytes_.data(), len_);
+  return fixed;
+}
 
 }  // namespace roleshare::crypto

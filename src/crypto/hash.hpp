@@ -58,6 +58,48 @@ class HashBuilder {
   Sha256 ctx_;
 };
 
+/// Lays out the exact byte sequence HashBuilder would hash — domain tag
+/// plus length-prefixed parts — into a Sha256Fixed template, for hot
+/// loops that hash many same-shape messages. Constant parts are written
+/// once via add()/add_u64(); variable 32-byte parts reserve a slot whose
+/// offset the loop overwrites per item. build_template() seals the
+/// layout; digests are bit-identical to the equivalent HashBuilder
+/// sequence (same bytes, same SHA-256).
+class FixedHasher {
+ public:
+  explicit FixedHasher(std::string_view domain_tag);
+
+  FixedHasher& add(const Hash256& hash);      // constant hash part
+  FixedHasher& add_u64(std::uint64_t value);  // constant integer part
+
+  /// Reserves a variable 32-byte hash part (its length prefix is laid
+  /// out here); returns the offset to pass to Sha256Fixed::write.
+  std::size_t add_hash_slot();
+
+  /// Seals the layout into a reusable hashing template.
+  Sha256Fixed build_template() const;
+
+ private:
+  void append_u64_le(std::uint64_t value);
+  void append_bytes(const std::uint8_t* bytes, std::size_t count);
+
+  std::array<std::uint8_t, 119> bytes_{};
+  std::size_t len_ = 0;
+};
+
+/// Overwrites the 32-byte slot at `offset` (from FixedHasher::add_hash_slot)
+/// with `hash`'s bytes.
+inline void write_hash_slot(Sha256Fixed& fixed, std::size_t offset,
+                            const Hash256& hash) {
+  fixed.write(offset, hash.bytes().data(), 32);
+}
+
+/// Same, from a raw digest.
+inline void write_hash_slot(Sha256Fixed& fixed, std::size_t offset,
+                            const Digest& digest) {
+  fixed.write(offset, digest.data(), 32);
+}
+
 /// std::hash support so Hash256 can key unordered containers.
 struct Hash256Hasher {
   std::size_t operator()(const Hash256& h) const {

@@ -27,12 +27,19 @@ constexpr std::uint32_t rotr(std::uint32_t x, int n) {
 
 }  // namespace
 
-Sha256::Sha256()
-    : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f,
-             0x9b05688c, 0x1f83d9ab, 0x5be0cd19},
-      buffer_{} {}
+std::array<std::uint32_t, 8> sha256_initial_state() {
+  return {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+          0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+}
+
+Sha256::Sha256() : state_(sha256_initial_state()), buffer_{} {}
 
 void Sha256::process_block(const std::uint8_t* block) {
+  sha256_compress(state_, block);
+}
+
+void sha256_compress(std::array<std::uint32_t, 8>& state_,
+                     const std::uint8_t* block) {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = (std::uint32_t{block[4 * i]} << 24) |
@@ -153,6 +160,42 @@ Digest sha256(std::string_view text) {
   Sha256 ctx;
   ctx.update(text);
   return ctx.finalize();
+}
+
+Sha256Fixed::Sha256Fixed(std::size_t message_len) : len_(message_len) {
+  RS_REQUIRE(message_len <= 119,
+             "Sha256Fixed message must fit two blocks (<= 119 bytes)");
+  blocks_ = (message_len + 9 <= 64) ? 1 : 2;
+  // Padding (FIPS 180-4 §5.1.1): 0x80, zeros, 64-bit big-endian bit
+  // length. The buffer beyond the message is zero-initialized, so only
+  // the marker and the length need writing.
+  block_[len_] = 0x80;
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(len_) * 8;
+  const std::size_t end = blocks_ * 64;
+  for (int i = 0; i < 8; ++i)
+    block_[end - 8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+}
+
+void Sha256Fixed::write(std::size_t offset, const std::uint8_t* bytes,
+                        std::size_t count) {
+  RS_REQUIRE(offset + count <= len_, "Sha256Fixed write out of range");
+  std::memcpy(block_.data() + offset, bytes, count);
+}
+
+Digest Sha256Fixed::digest() const {
+  std::array<std::uint32_t, 8> state = sha256_initial_state();
+  sha256_compress(state, block_.data());
+  if (blocks_ == 2) sha256_compress(state, block_.data() + 64);
+  Digest digest;
+  for (int i = 0; i < 8; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    digest[4 * s] = static_cast<std::uint8_t>(state[s] >> 24);
+    digest[4 * s + 1] = static_cast<std::uint8_t>(state[s] >> 16);
+    digest[4 * s + 2] = static_cast<std::uint8_t>(state[s] >> 8);
+    digest[4 * s + 3] = static_cast<std::uint8_t>(state[s]);
+  }
+  return digest;
 }
 
 }  // namespace roleshare::crypto

@@ -41,4 +41,47 @@ class Sha256 {
 Digest sha256(std::span<const std::uint8_t> data);
 Digest sha256(std::string_view text);
 
+/// Raw SHA-256 compression: folds one 64-byte block into `state`. The
+/// streaming Sha256 context and the fixed-layout fast path below share
+/// this single implementation, so their digests cannot diverge.
+void sha256_compress(std::array<std::uint32_t, 8>& state,
+                     const std::uint8_t* block);
+
+/// The SHA-256 initialization vector (FIPS 180-4 §5.3.3).
+std::array<std::uint32_t, 8> sha256_initial_state();
+
+/// Fixed-layout SHA-256 for hot loops that hash many messages of one
+/// shape (sortition signatures, VRF outputs, vote coin hashes): the
+/// message occupies a flat buffer whose padding is laid out once at
+/// seal() time, so per-message work is exactly the 1–2 compression
+/// calls — no streaming buffer management, no per-call padding.
+///
+/// Usage: write the constant bytes, seal(), then per message overwrite
+/// the variable bytes through data() and call digest(). Copying a sealed
+/// Sha256Fixed is cheap (160 bytes) — parallel chunk workers each take a
+/// private copy of the shared template. Messages are limited to 119
+/// bytes (two blocks minus the 9 mandatory padding bytes).
+class Sha256Fixed {
+ public:
+  /// Lays out a message of exactly `message_len` bytes (<= 119).
+  explicit Sha256Fixed(std::size_t message_len);
+
+  /// The message bytes; valid offsets are [0, message_len()).
+  std::uint8_t* data() { return block_.data(); }
+  std::size_t message_len() const { return len_; }
+
+  /// Overwrites `count` message bytes at `offset` (bounds-checked).
+  void write(std::size_t offset, const std::uint8_t* bytes,
+             std::size_t count);
+
+  /// Hashes the current buffer contents. Bit-identical to streaming the
+  /// same message through Sha256.
+  Digest digest() const;
+
+ private:
+  std::array<std::uint8_t, 128> block_{};
+  std::size_t len_ = 0;
+  std::size_t blocks_ = 1;
+};
+
 }  // namespace roleshare::crypto

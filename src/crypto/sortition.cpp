@@ -66,13 +66,60 @@ std::vector<SortitionResult> sortition_batch(
     const std::vector<KeyPair>& keys, const VrfInput& input,
     const std::vector<std::int64_t>& stakes, const SortitionParams& params,
     const util::InnerExecutor& exec) {
-  RS_REQUIRE(keys.size() == stakes.size(), "keys/stakes size mismatch");
-  std::vector<SortitionResult> results(keys.size());
-  exec.for_each_chunk(keys.size(), [&](std::size_t, std::size_t begin, std::size_t end) {
-    for (std::size_t v = begin; v < end; ++v)
-      results[v] = sortition(keys[v], input, stakes[v], params);
-  });
+  std::vector<SortitionResult> results;
+  sortition_batch_into(keys, input, stakes, params, results, exec);
   return results;
+}
+
+void sortition_batch_into(const std::vector<KeyPair>& keys,
+                          const VrfInput& input,
+                          const std::vector<std::int64_t>& stakes,
+                          const SortitionParams& params,
+                          std::vector<SortitionResult>& results,
+                          const util::InnerExecutor& exec) {
+  RS_REQUIRE(keys.size() == stakes.size(), "keys/stakes size mismatch");
+  RS_REQUIRE(params.expected_stake > 0, "expected committee stake");
+  RS_REQUIRE(params.total_stake > 0, "total stake");
+  results.resize(keys.size());
+
+  // Everything constant across the batch is computed once: the VRF input
+  // message, the selection probability, and the padded SHA-256 message
+  // templates for the two per-node hashes
+  //   proof  = H("roleshare.sig" || pk || msg)       (sign under pk)
+  //   output = H("roleshare.vrf.out" || proof)
+  // so the per-node cost is two slot writes and two compress runs.
+  const Hash256 msg = input.message();
+  const double p =
+      std::min(static_cast<double>(params.expected_stake) /
+                   static_cast<double>(params.total_stake),
+               1.0);
+
+  FixedHasher sign_layout("roleshare.sig");
+  const std::size_t pk_slot = sign_layout.add_hash_slot();
+  sign_layout.add(msg);
+  const Sha256Fixed sign_template = sign_layout.build_template();
+
+  FixedHasher out_layout("roleshare.vrf.out");
+  const std::size_t proof_slot = out_layout.add_hash_slot();
+  const Sha256Fixed out_template = out_layout.build_template();
+
+  exec.for_each_chunk(
+      keys.size(), [&](std::size_t, std::size_t begin, std::size_t end) {
+        // Per-chunk template copies: workers overwrite slots concurrently.
+        Sha256Fixed sign_fixed = sign_template;
+        Sha256Fixed out_fixed = out_template;
+        for (std::size_t v = begin; v < end; ++v) {
+          RS_REQUIRE(stakes[v] >= 0 && stakes[v] <= params.total_stake,
+                     "stake in range");
+          write_hash_slot(sign_fixed, pk_slot, keys[v].public_key().value);
+          const Hash256 proof(sign_fixed.digest());
+          write_hash_slot(out_fixed, proof_slot, proof);
+          SortitionResult& r = results[v];
+          r.vrf.proof = Signature{proof};
+          r.vrf.output = Hash256(out_fixed.digest());
+          r.sub_users = binomial_inversion(r.vrf.output.ratio(), stakes[v], p);
+        }
+      });
 }
 
 std::uint64_t verify_sortition(const PublicKey& pk, const VrfInput& input,

@@ -53,6 +53,18 @@ std::vector<SortitionResult> sortition_batch(
     const std::vector<std::int64_t>& stakes, const SortitionParams& params,
     const util::InnerExecutor& exec = {});
 
+/// Allocation-free batched form: writes into `results` (resized to
+/// keys.size()). Hashes through fixed-layout SHA-256 templates — the VRF
+/// input message is computed once per batch and the per-node sign/output
+/// messages reuse a precomputed padded block, skipping the streaming
+/// hasher entirely. Bit-identical to per-node sortition() calls.
+void sortition_batch_into(const std::vector<KeyPair>& keys,
+                          const VrfInput& input,
+                          const std::vector<std::int64_t>& stakes,
+                          const SortitionParams& params,
+                          std::vector<SortitionResult>& results,
+                          const util::InnerExecutor& exec = {});
+
 /// Verifies a sortition proof allegedly produced by `pk` and recomputes the
 /// winning sub-user count. Returns 0 sub-users if the proof is invalid.
 std::uint64_t verify_sortition(const PublicKey& pk, const VrfInput& input,

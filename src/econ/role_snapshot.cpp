@@ -11,7 +11,21 @@ std::size_t idx(consensus::Role r) { return static_cast<std::size_t>(r); }
 RoleSnapshot::RoleSnapshot(std::vector<consensus::Role> roles,
                            std::vector<std::int64_t> stakes)
     : roles_(std::move(roles)), stakes_(std::move(stakes)) {
+  recompute_aggregates();
+}
+
+void RoleSnapshot::reset(std::vector<consensus::Role>& roles,
+                         std::vector<std::int64_t>& stakes) {
+  roles_.swap(roles);
+  stakes_.swap(stakes);
+  recompute_aggregates();
+}
+
+void RoleSnapshot::recompute_aggregates() {
   RS_REQUIRE(roles_.size() == stakes_.size(), "roles/stakes size mismatch");
+  stake_sum_.fill(0);
+  stake_min_.fill(0);
+  counts_.fill(0);
   for (std::size_t v = 0; v < roles_.size(); ++v) {
     RS_REQUIRE(stakes_[v] >= 0, "negative stake");
     const std::size_t i = idx(roles_[v]);

@@ -18,6 +18,14 @@ class RoleSnapshot {
   RoleSnapshot(std::vector<consensus::Role> roles,
                std::vector<std::int64_t> stakes);
 
+  /// Rebuilds this snapshot in place by *swapping* in the caller's
+  /// role/stake vectors and recomputing the cached aggregates. The caller
+  /// gets the snapshot's previous vectors back (capacity intact) to refill
+  /// next round — the reuse handshake that lets a recycled RoundResult
+  /// rebuild its snapshots without heap traffic.
+  void reset(std::vector<consensus::Role>& roles,
+             std::vector<std::int64_t>& stakes);
+
   std::size_t node_count() const { return roles_.size(); }
   consensus::Role role(ledger::NodeId v) const { return roles_.at(v); }
   std::int64_t stake(ledger::NodeId v) const { return stakes_.at(v); }
@@ -40,9 +48,11 @@ class RoleSnapshot {
   RoleSnapshot filtered_others(std::int64_t min_stake) const;
 
  private:
+  void recompute_aggregates();
+
   std::vector<consensus::Role> roles_;
   std::vector<std::int64_t> stakes_;
-  // Cached aggregates, computed once at construction.
+  // Cached aggregates, computed once at construction (or reset()).
   std::array<std::int64_t, 3> stake_sum_{};
   std::array<std::int64_t, 3> stake_min_{};
   std::array<std::size_t, 3> counts_{};

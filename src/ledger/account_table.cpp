@@ -34,9 +34,14 @@ std::int64_t AccountTable::total_stake() const {
 
 std::vector<std::int64_t> AccountTable::stakes() const {
   std::vector<std::int64_t> out;
+  stakes_into(out);
+  return out;
+}
+
+void AccountTable::stakes_into(std::vector<std::int64_t>& out) const {
+  out.clear();
   out.reserve(accounts_.size());
   for (const Account& a : accounts_) out.push_back(a.stake_algos());
-  return out;
 }
 
 void AccountTable::credit(NodeId id, MicroAlgos amount) {

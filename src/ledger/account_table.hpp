@@ -43,6 +43,9 @@ class AccountTable {
   /// Snapshot of all stakes, indexed by node id.
   std::vector<std::int64_t> stakes() const;
 
+  /// Same snapshot written into a reused vector (capacity kept).
+  void stakes_into(std::vector<std::int64_t>& out) const;
+
   /// Credits a reward (µAlgos >= 0).
   void credit(NodeId id, MicroAlgos amount);
 

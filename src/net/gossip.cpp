@@ -1,6 +1,7 @@
 #include "net/gossip.hpp"
 
-#include <queue>
+#include <algorithm>
+#include <functional>
 
 #include "util/require.hpp"
 
@@ -8,8 +9,8 @@ namespace roleshare::net {
 
 RelaySet RelaySet::all_cooperative(std::size_t n) {
   RelaySet rs;
-  rs.relays.assign(n, true);
-  rs.online.assign(n, true);
+  rs.relays.assign(n, 1);
+  rs.online.assign(n, 1);
   return rs;
 }
 
@@ -28,22 +29,38 @@ std::vector<TimeMs> GossipEngine::propagate(ledger::NodeId origin,
                                             TimeMs start,
                                             const RelaySet& relay_set,
                                             util::Rng& rng) const {
+  std::vector<TimeMs> arrival;
+  GossipScratch scratch;
+  propagate_into(origin, start, relay_set, rng, arrival, scratch);
+  return arrival;
+}
+
+void GossipEngine::propagate_into(ledger::NodeId origin, TimeMs start,
+                                  const RelaySet& relay_set, util::Rng& rng,
+                                  std::vector<TimeMs>& arrival,
+                                  GossipScratch& scratch) const {
   const std::size_t n = topology_.node_count();
   RS_REQUIRE(origin < n, "origin out of range");
   RS_REQUIRE(relay_set.relays.size() == n && relay_set.online.size() == n,
              "relay set size mismatch");
 
-  std::vector<TimeMs> arrival(n, kNever);
-  if (!relay_set.online[origin]) return arrival;
+  arrival.assign(n, kNever);
+  if (!relay_set.online[origin]) return;
 
+  // Min-heap over (time, node) on the scratch vector: the same binary-heap
+  // algorithms priority_queue wraps, minus its per-call construction. Pop
+  // order — and therefore every sample drawn from rng — is identical.
   using Entry = std::pair<TimeMs, ledger::NodeId>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  std::vector<Entry>& frontier = scratch.frontier;
+  frontier.clear();
+  const std::greater<> later{};
   arrival[origin] = start;
-  frontier.emplace(start, origin);
+  frontier.emplace_back(start, origin);
 
   while (!frontier.empty()) {
-    const auto [t, v] = frontier.top();
-    frontier.pop();
+    std::pop_heap(frontier.begin(), frontier.end(), later);
+    const auto [t, v] = frontier.back();
+    frontier.pop_back();
     if (t > arrival[v]) continue;  // stale entry
     // The origin always transmits its own message; other nodes forward only
     // if they relay.
@@ -56,11 +73,11 @@ std::vector<TimeMs> GossipEngine::propagate(ledger::NodeId origin,
       const TimeMs cand = t + hop;
       if (cand < arrival[to]) {
         arrival[to] = cand;
-        frontier.emplace(cand, to);
+        frontier.emplace_back(cand, to);
+        std::push_heap(frontier.begin(), frontier.end(), later);
       }
     }
   }
-  return arrival;
 }
 
 double GossipEngine::reach_fraction(const std::vector<TimeMs>& arrivals,

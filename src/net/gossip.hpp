@@ -7,7 +7,8 @@
 // relay subgraph with independently sampled hop delays (Dijkstra).
 #pragma once
 
-#include <memory>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "ledger/types.hpp"
@@ -18,14 +19,24 @@
 
 namespace roleshare::net {
 
-/// Node flags consumed by the gossip engine for one round.
+/// Node flags consumed by the gossip engine for one round. Byte masks, not
+/// vector<bool>: the hot path indexes them per hop, and byte loads avoid
+/// the bit-extraction dance (and allow writing flags from parallel chunks).
 struct RelaySet {
-  /// relays[v] — v forwards messages it receives (cooperative behaviour).
-  std::vector<bool> relays;
-  /// online[v] — v receives messages at all (false for faulty nodes).
-  std::vector<bool> online;
+  /// relays[v] != 0 — v forwards messages it receives (cooperative
+  /// behaviour).
+  std::vector<std::uint8_t> relays;
+  /// online[v] != 0 — v receives messages at all (0 for faulty nodes).
+  std::vector<std::uint8_t> online;
 
   static RelaySet all_cooperative(std::size_t n);
+};
+
+/// Reusable working memory for one propagate_into call. Owned by the
+/// caller (one per worker thread) so steady-state propagation performs no
+/// heap allocation once the heap vector has reached its high-water mark.
+struct GossipScratch {
+  std::vector<std::pair<TimeMs, ledger::NodeId>> frontier;
 };
 
 class GossipEngine {
@@ -44,6 +55,15 @@ class GossipEngine {
   std::vector<TimeMs> propagate(ledger::NodeId origin, TimeMs start,
                                 const RelaySet& relay_set,
                                 util::Rng& rng) const;
+
+  /// Allocation-free form: writes arrival times into `arrival` (resized to
+  /// node_count) and runs Dijkstra on `scratch`'s reused binary heap.
+  /// Bit-identical to propagate() — same visit order, same samples drawn
+  /// from `rng`.
+  void propagate_into(ledger::NodeId origin, TimeMs start,
+                      const RelaySet& relay_set, util::Rng& rng,
+                      std::vector<TimeMs>& arrival,
+                      GossipScratch& scratch) const;
 
   /// Fraction of online nodes whose arrival time is <= deadline.
   static double reach_fraction(const std::vector<TimeMs>& arrivals,

@@ -1,7 +1,7 @@
 #include "sim/round_engine.hpp"
 
 #include <algorithm>
-#include <functional>
+#include <span>
 
 #include "consensus/binary_ba.hpp"
 #include "consensus/proposal.hpp"
@@ -19,78 +19,84 @@ using crypto::Hash256;
 using game::Strategy;
 using ledger::NodeId;
 
-/// Everything one voting step needs from the round.
+/// Everything one voting step needs from the round. Per-node state is
+/// threaded through as contiguous arrays (structure-of-arrays): the step
+/// loops index stakes/strategies/online/roles directly instead of going
+/// through per-node accessor calls.
 struct StepContext {
-  const Network* network = nullptr;
   const consensus::ConsensusParams* params = nullptr;
+  const std::vector<crypto::KeyPair>* keys = nullptr;
   const std::vector<std::int64_t>* stakes = nullptr;
+  std::span<const Strategy> strategies;
+  std::span<const std::uint8_t> online;
   std::int64_t total_stake = 0;
+  std::size_t n = 0;
   ledger::Round round = 0;
   Hash256 prev_seed;
   const net::RelaySet* relay_set = nullptr;
   const net::GossipEngine* gossip = nullptr;
   /// Root of the round's gossip randomness; each (step, origin) propagation
   /// draws from the independent stream gossip_root.split(step).split(origin)
-  /// so the fan-out order cannot change any sampled delay.
+  /// so the fan-out order cannot change any sampled delay. The engine
+  /// derives the per-origin seeds chunked — one split(step) per step, one
+  /// derive_seeds block per vote batch — which yields the same streams.
   const util::Rng* gossip_root = nullptr;
   const util::InnerExecutor* exec = nullptr;
   /// Marked Committee for nodes that actually vote (observed roles).
-  std::vector<Role>* observed_roles = nullptr;
+  std::span<Role> observed_roles;
   /// Marked Committee for every elected node, voting or not (true roles).
-  std::vector<Role>* true_roles = nullptr;
+  std::span<Role> true_roles;
 };
 
-struct StepOutcome {
-  std::optional<Hash256> winner;
-  bool coin = false;
-};
-
-void mark_committee(std::vector<Role>& roles, NodeId v) {
+void mark_committee(std::span<Role> roles, NodeId v) {
   if (roles[v] == Role::Other) roles[v] = Role::Committee;
-}
-
-/// Independent delay stream for one (step, origin) propagation.
-util::Rng origin_stream(const util::Rng& gossip_root, std::uint32_t step,
-                        NodeId origin) {
-  return gossip_root.split(step).split(origin);
 }
 
 /// Runs one voting step: elects the committee for `step`, collects votes
 /// from members for whom `value_of` returns a value, gossips each vote, and
 /// tallies each node's delay-filtered view against `quorum`. All per-node
-/// and per-vote loops fan out across ctx.exec.
-std::vector<StepOutcome> run_vote_step(
-    const StepContext& ctx, std::uint32_t step, std::uint64_t expected_stake,
-    double quorum,
-    const std::function<std::optional<Hash256>(NodeId)>& value_of) {
-  const std::size_t n = ctx.network->node_count();
-  const auto& strategies = ctx.network->strategies();
+/// and per-vote loops fan out across ctx.exec; all working memory comes
+/// from `ws` and the per-node outcomes are rebuilt in place inside `out`.
+template <typename ValueOf>
+void run_vote_step(const StepContext& ctx, std::uint32_t step,
+                   std::uint64_t expected_stake, double quorum,
+                   const ValueOf& value_of, StepWorkspace& ws,
+                   std::vector<StepOutcome>& out) {
+  const std::size_t n = ctx.n;
 
-  const consensus::Committee committee = consensus::elect_committee(
-      ctx.network->keys(), *ctx.stakes, ctx.round, step, ctx.prev_seed,
-      expected_stake, ctx.total_stake, *ctx.exec);
+  consensus::elect_committee_into(*ctx.keys, *ctx.stakes, ctx.round, step,
+                                  ctx.prev_seed, expected_stake,
+                                  ctx.total_stake, ws.committee, ws.draws,
+                                  *ctx.exec);
 
-  std::vector<consensus::Vote> votes;
-  votes.reserve(committee.members.size());
-  for (const consensus::CommitteeMember& m : committee.members) {
-    if (ctx.true_roles != nullptr) mark_committee(*ctx.true_roles, m.node);
-    if (strategies[m.node] != Strategy::Cooperate) continue;
+  ws.votes.clear();
+  for (const consensus::CommitteeMember& m : ws.committee.members) {
+    mark_committee(ctx.true_roles, m.node);
+    if (ctx.strategies[m.node] != Strategy::Cooperate) continue;
     const std::optional<Hash256> value = value_of(m.node);
     if (!value.has_value()) continue;
-    if (ctx.observed_roles != nullptr)
-      mark_committee(*ctx.observed_roles, m.node);
-    votes.push_back(consensus::make_vote(
-        m.node, ctx.network->keys()[m.node].public_key(), ctx.round, step,
-        *value, m.sortition));
+    mark_committee(ctx.observed_roles, m.node);
+    ws.votes.push_back(consensus::make_vote(
+        m.node, (*ctx.keys)[m.node].public_key(), ctx.round, step, *value,
+        m.sortition));
   }
+  const std::size_t nv = ws.votes.size();
 
   // One Dijkstra per vote, each on its own (step, voter) delay stream —
-  // the heavy, irregular items, claimed per index.
-  std::vector<std::vector<net::TimeMs>> arrivals(votes.size());
-  ctx.exec->for_each_index(votes.size(), [&](std::size_t i) {
-    util::Rng rng = origin_stream(*ctx.gossip_root, step, votes[i].voter);
-    arrivals[i] =
-        ctx.gossip->propagate(votes[i].voter, 0.0, *ctx.relay_set, rng);
+  // the heavy, irregular items, claimed per index. The per-origin streams
+  // are derived chunked: split(step) once, then one seed per origin.
+  const util::Rng step_stream = ctx.gossip_root->split(step);
+  ws.origin_labels.resize(nv);
+  ws.origin_seeds.resize(nv);
+  for (std::size_t i = 0; i < nv; ++i)
+    ws.origin_labels[i] = ws.votes[i].voter;
+  step_stream.derive_seeds(ws.origin_labels, ws.origin_seeds);
+  if (ws.arrivals.size() < nv) ws.arrivals.resize(nv);
+  if (ws.scratch.size() < nv) ws.scratch.resize(nv);
+  ctx.exec->for_each_index(nv, [&](std::size_t i) {
+    util::Rng rng(ws.origin_seeds[i]);
+    ctx.gossip->propagate_into(ws.votes[i].voter, 0.0, *ctx.relay_set, rng,
+                               ws.arrivals[i], ws.scratch[i]);
   });
 
   // Every receiving node verifies each vote's sortition proof; the check
@@ -98,26 +104,79 @@ std::vector<StepOutcome> run_vote_step(
   // and shares the verdict across receivers (the per-node *cost* of
   // verification is a model parameter, not re-simulated work).
   const crypto::SortitionParams sparams{expected_stake, ctx.total_stake};
-  const std::vector<std::uint8_t> valid = consensus::verify_votes(
-      votes, ctx.prev_seed, *ctx.stakes, sparams, *ctx.exec);
+  consensus::verify_votes_into(ws.votes, ctx.prev_seed, *ctx.stakes, sparams,
+                               ws.valid, *ctx.exec);
+
+  // Per-step tally tables, computed once instead of once per node: the
+  // compacted valid-vote list with weights, value ids into the distinct
+  // value set, and coin hashes (previously rehashed per receiving node).
+  ws.counted.clear();
+  ws.counted_rows.clear();
+  ws.counted_weight.clear();
+  ws.counted_value_id.clear();
+  ws.counted_coin_hash.clear();
+  ws.values.clear();
+  crypto::FixedHasher coin_layout("roleshare.coin");
+  const std::size_t coin_slot = coin_layout.add_hash_slot();
+  crypto::Sha256Fixed coin_fixed = coin_layout.build_template();
+  for (std::size_t i = 0; i < nv; ++i) {
+    if (ws.valid[i] == 0) continue;
+    std::uint32_t id = 0;
+    while (id < ws.values.size() && ws.values[id] != ws.votes[i].value) ++id;
+    if (id == ws.values.size()) ws.values.push_back(ws.votes[i].value);
+    crypto::write_hash_slot(coin_fixed, coin_slot,
+                            ws.votes[i].sortition.vrf.output);
+    ws.counted.push_back(static_cast<std::uint32_t>(i));
+    ws.counted_rows.push_back(ws.arrivals[i].data());
+    ws.counted_weight.push_back(ws.votes[i].weight);
+    ws.counted_value_id.push_back(id);
+    ws.counted_coin_hash.push_back(Hash256(coin_fixed.digest()));
+  }
 
   // Per-node tally over valid votes that arrive within the step timeout.
+  // Flat accumulation over the tables above; the winner rule (weight
+  // strictly above quorum, highest weight, tie toward the lower hash) and
+  // the common coin (lsb of the minimum coin hash) are order-independent
+  // reductions, so this matches the per-node VoteCounter it replaces.
   const net::TimeMs deadline = ctx.params->step_timeout_ms;
-  std::vector<StepOutcome> out(n);
-  ctx.exec->for_each_chunk(n, [&](std::size_t, std::size_t begin, std::size_t end) {
-    for (std::size_t v = begin; v < end; ++v) {
-      if (!ctx.relay_set->online[v]) continue;
-      consensus::VoteCounter counter(quorum);
-      for (std::size_t i = 0; i < votes.size(); ++i) {
-        if (valid[i] == 0 || arrivals[i][v] > deadline) continue;
-        counter.add(votes[i]);
-      }
-      const consensus::TallyResult tally = counter.result();
-      out[v].winner = tally.winner;
-      out[v].coin = counter.common_coin().value_or(false);
-    }
-  });
-  return out;
+  const std::size_t distinct = ws.values.size();
+  const std::size_t counted_n = ws.counted.size();
+  const std::size_t chunks = util::InnerExecutor::chunk_count(n);
+  if (ws.tally_weights.size() < chunks * distinct)
+    ws.tally_weights.resize(chunks * distinct);
+  out.resize(n);
+  ctx.exec->for_each_chunk(
+      n, [&](std::size_t c, std::size_t begin, std::size_t end) {
+        std::uint64_t* w = ws.tally_weights.data() + c * distinct;
+        for (std::size_t v = begin; v < end; ++v) {
+          out[v].winner.reset();
+          out[v].coin = false;
+          if (!ctx.online[v]) continue;
+          for (std::size_t k = 0; k < distinct; ++k) w[k] = 0;
+          bool any = false;
+          Hash256 min_hash;
+          for (std::size_t j = 0; j < counted_n; ++j) {
+            if (ws.counted_rows[j][v] > deadline) continue;
+            w[ws.counted_value_id[j]] += ws.counted_weight[j];
+            const Hash256& ch = ws.counted_coin_hash[j];
+            if (!any || ch < min_hash) {
+              min_hash = ch;
+              any = true;
+            }
+          }
+          int best = -1;
+          for (std::size_t k = 0; k < distinct; ++k) {
+            if (static_cast<double>(w[k]) <= quorum) continue;
+            if (best < 0 || w[k] > w[static_cast<std::size_t>(best)] ||
+                (w[k] == w[static_cast<std::size_t>(best)] &&
+                 ws.values[k] < ws.values[static_cast<std::size_t>(best)])) {
+              best = static_cast<int>(k);
+            }
+          }
+          if (best >= 0) out[v].winner = ws.values[static_cast<std::size_t>(best)];
+          out[v].coin = any && (min_hash.bytes().back() & 1) != 0;
+        }
+      });
 }
 
 }  // namespace
@@ -129,6 +188,17 @@ RoundEngine::RoundEngine(Network& network, consensus::ConsensusParams params,
 }
 
 RoundResult RoundEngine::run_round() {
+  RoundWorkspace ws;
+  return run_round(ws);
+}
+
+RoundResult RoundEngine::run_round(RoundWorkspace& ws) {
+  RoundResult result;
+  run_round_into(result, ws);
+  return result;
+}
+
+void RoundEngine::run_round_into(RoundResult& result, RoundWorkspace& ws) {
   Network& net = network_;
   const std::size_t n = net.node_count();
   const ledger::Round round = net.chain().next_round();
@@ -144,19 +214,19 @@ RoundResult RoundEngine::run_round() {
   // are measured against live stake only. Node ids stay stable — every
   // per-node vector below remains indexed by the full population.
   const std::vector<std::uint8_t>& live = net.live_mask();
-  std::vector<std::int64_t> stakes = net.accounts().stakes();
+  net.accounts().stakes_into(ws.stakes);
   std::int64_t total_stake = 0;
   for (std::size_t v = 0; v < n; ++v) {
-    if (!live[v]) stakes[v] = 0;
-    total_stake += stakes[v];
+    if (!live[v]) ws.stakes[v] = 0;
+    total_stake += ws.stakes[v];
   }
   RS_REQUIRE(total_stake > 0,
              "network has no live stake — churn floor left no live nodes");
 
-  RoundResult result;
   result.round = round;
   result.live_count = net.live_count();
   result.synchrony = net.synchrony().advance_round(rng);
+  result.non_empty_block = false;
 
   const net::GossipEngine gossip(net.topology(), net.delays(),
                                  net.synchrony().delay_factor());
@@ -164,12 +234,11 @@ RoundResult RoundEngine::run_round() {
   // Relay set from this round's strategies: cooperators forward, online
   // defectors receive only, offline and departed nodes are absent.
   const std::vector<Strategy>& strategies = net.strategies();
-  net::RelaySet relay;
-  relay.relays.assign(n, false);
-  relay.online.assign(n, false);
+  ws.relay.relays.assign(n, 0);
+  ws.relay.online.assign(n, 0);
   for (std::size_t v = 0; v < n; ++v) {
-    relay.online[v] = live[v] && strategies[v] != Strategy::Offline;
-    relay.relays[v] = live[v] && strategies[v] == Strategy::Cooperate;
+    ws.relay.online[v] = live[v] && strategies[v] != Strategy::Offline;
+    ws.relay.relays[v] = live[v] && strategies[v] == Strategy::Cooperate;
   }
 
   const Hash256 prev_seed = net.chain().current_seed();
@@ -179,8 +248,8 @@ RoundResult RoundEngine::run_round() {
       ledger::Block::empty(round, tip_hash, next_seed);
   const Hash256 empty_hash = empty_block.hash();
 
-  std::vector<Role> observed_roles(n, Role::Other);
-  std::vector<Role> true_roles(n, Role::Other);
+  ws.observed_roles.assign(n, Role::Other);
+  ws.true_roles.assign(n, Role::Other);
 
   // ---- Block proposal phase -------------------------------------------
   const crypto::VrfInput proposer_input{round, consensus::kProposerStep,
@@ -190,50 +259,65 @@ RoundResult RoundEngine::run_round() {
 
   // Per-node sortition draws fan out across the executor; the winner scan
   // that builds proposals stays serial in node order (few winners).
-  const std::vector<crypto::SortitionResult> proposer_draws =
-      crypto::sortition_batch(net.keys(), proposer_input, stakes,
-                              proposer_params, exec_);
-  std::vector<consensus::BlockProposal> proposals;
+  crypto::sortition_batch_into(net.keys(), proposer_input, ws.stakes,
+                               proposer_params, ws.proposer_draws, exec_);
+  ws.proposals.clear();
   for (std::size_t v = 0; v < n; ++v) {
-    const crypto::SortitionResult& sres = proposer_draws[v];
+    const crypto::SortitionResult& sres = ws.proposer_draws[v];
     if (!sres.selected()) continue;
-    true_roles[v] = Role::Leader;
+    ws.true_roles[v] = Role::Leader;
     if (strategies[v] != Strategy::Cooperate) continue;
-    observed_roles[v] = Role::Leader;
+    ws.observed_roles[v] = Role::Leader;
     ledger::Block block =
         ledger::Block::make(round, tip_hash, next_seed,
                             net.keys()[v].public_key(), net.txpool().peek(64));
-    proposals.push_back(consensus::make_proposal(
+    ws.proposals.push_back(consensus::make_proposal(
         static_cast<NodeId>(v), net.keys()[v].public_key(), std::move(block),
         sres));
   }
-  result.proposals = proposals.size();
+  result.proposals = ws.proposals.size();
+  const std::size_t np = ws.proposals.size();
 
-  // One gossip propagation per proposal, each on its own origin stream.
-  std::vector<std::vector<net::TimeMs>> proposal_arrivals(proposals.size());
-  exec_.for_each_index(proposals.size(), [&](std::size_t p) {
-    util::Rng prng = origin_stream(gossip_root, consensus::kProposerStep,
-                                   proposals[p].proposer);
-    proposal_arrivals[p] =
-        gossip.propagate(proposals[p].proposer, 0.0, relay, prng);
+  // Each proposal's block hash, computed once. Block::hash() walks the
+  // whole transaction list; the old per-(node, proposal) recomputation in
+  // the selection loop dominated the round at scale.
+  ws.proposal_hashes.resize(np);
+  for (std::size_t p = 0; p < np; ++p)
+    ws.proposal_hashes[p] = ws.proposals[p].block_hash();
+
+  // One gossip propagation per proposal, each on its own origin stream
+  // (seeds derived chunked from the proposer-step stream).
+  const util::Rng proposer_stream = gossip_root.split(consensus::kProposerStep);
+  ws.proposer_labels.resize(np);
+  ws.proposer_seeds.resize(np);
+  for (std::size_t p = 0; p < np; ++p)
+    ws.proposer_labels[p] = ws.proposals[p].proposer;
+  proposer_stream.derive_seeds(ws.proposer_labels, ws.proposer_seeds);
+  if (ws.proposal_arrivals.size() < np) ws.proposal_arrivals.resize(np);
+  if (ws.proposal_scratch.size() < np) ws.proposal_scratch.resize(np);
+  exec_.for_each_index(np, [&](std::size_t p) {
+    util::Rng prng(ws.proposer_seeds[p]);
+    gossip.propagate_into(ws.proposals[p].proposer, 0.0, ws.relay, prng,
+                          ws.proposal_arrivals[p], ws.proposal_scratch[p]);
   });
 
   // Per-node proposal selection within the proposal timeout; also track
   // whether a node ever receives each block body at all (needed to
   // "extract" the block the votes certify).
-  std::vector<int> best_idx(n, -1);
+  ws.best_idx.assign(n, -1);
   exec_.for_each_chunk(n, [&](std::size_t, std::size_t begin, std::size_t end) {
     for (std::size_t v = begin; v < end; ++v) {
-      if (!relay.online[v]) continue;
+      if (!ws.relay.online[v]) continue;
       std::uint64_t best_priority = 0;
       Hash256 best_hash;
-      for (std::size_t p = 0; p < proposals.size(); ++p) {
-        if (proposal_arrivals[p][v] > params_.proposal_timeout_ms) continue;
-        const Hash256 h = proposals[p].block_hash();
-        if (best_idx[v] < 0 || proposals[p].priority > best_priority ||
-            (proposals[p].priority == best_priority && h < best_hash)) {
-          best_idx[v] = static_cast<int>(p);
-          best_priority = proposals[p].priority;
+      for (std::size_t p = 0; p < np; ++p) {
+        if (ws.proposal_arrivals[p][v] > params_.proposal_timeout_ms)
+          continue;
+        const Hash256& h = ws.proposal_hashes[p];
+        if (ws.best_idx[v] < 0 || ws.proposals[p].priority > best_priority ||
+            (ws.proposals[p].priority == best_priority && h < best_hash)) {
+          ws.best_idx[v] = static_cast<int>(p);
+          best_priority = ws.proposals[p].priority;
           best_hash = h;
         }
       }
@@ -241,47 +325,54 @@ RoundResult RoundEngine::run_round() {
   });
 
   StepContext ctx;
-  ctx.network = &net;
   ctx.params = &params_;
-  ctx.stakes = &stakes;
+  ctx.keys = &net.keys();
+  ctx.stakes = &ws.stakes;
+  ctx.strategies = strategies;
+  ctx.online = ws.relay.online;
   ctx.total_stake = total_stake;
+  ctx.n = n;
   ctx.round = round;
   ctx.prev_seed = prev_seed;
-  ctx.relay_set = &relay;
+  ctx.relay_set = &ws.relay;
   ctx.gossip = &gossip;
   ctx.gossip_root = &gossip_root;
   ctx.exec = &exec_;
-  ctx.observed_roles = &observed_roles;
-  ctx.true_roles = &true_roles;
+  ctx.observed_roles = ws.observed_roles;
+  ctx.true_roles = ws.true_roles;
 
   // ---- Reduction phase (2 steps) --------------------------------------
   const double step_quorum = params_.step_quorum();
-  const auto step1 = run_vote_step(
+  run_vote_step(
       ctx, consensus::kReductionStep1, params_.expected_step_stake,
-      step_quorum, [&](NodeId v) -> std::optional<Hash256> {
+      step_quorum,
+      [&](NodeId v) -> std::optional<Hash256> {
         return consensus::reduction_step1_value(
-            best_idx[v] >= 0
-                ? std::optional<Hash256>(proposals[best_idx[v]].block_hash())
+            ws.best_idx[v] >= 0
+                ? std::optional<Hash256>(ws.proposal_hashes[ws.best_idx[v]])
                 : std::nullopt,
             empty_hash);
-      });
+      },
+      ws.step, ws.step1);
 
-  const auto step2 = run_vote_step(
+  run_vote_step(
       ctx, consensus::kReductionStep2, params_.expected_step_stake,
-      step_quorum, [&](NodeId v) -> std::optional<Hash256> {
-        return step1[v].winner.value_or(empty_hash);
-      });
+      step_quorum,
+      [&](NodeId v) -> std::optional<Hash256> {
+        return ws.step1[v].winner.value_or(empty_hash);
+      },
+      ws.step, ws.step2);
 
   // ---- BinaryBA* -------------------------------------------------------
-  std::vector<consensus::BinaryBaState> ba;
-  ba.reserve(n);
+  ws.ba.clear();
+  ws.ba.reserve(n);
   for (std::size_t v = 0; v < n; ++v) {
-    ba.emplace_back(step2[v].winner.value_or(empty_hash), empty_hash,
-                    params_.max_binary_iterations);
+    ws.ba.emplace_back(ws.step2[v].winner.value_or(empty_hash), empty_hash,
+                       params_.max_binary_iterations);
   }
   // Concluded nodes keep voting their value for 3 more sub-steps to pull
   // stragglers over the line (Gilad et al., Alg. 8).
-  std::vector<int> post_votes(n, 0);
+  ws.post_votes.assign(n, 0);
 
   const std::uint32_t last_step = consensus::kFirstBinaryStep +
                                   3 * params_.max_binary_iterations;
@@ -289,51 +380,55 @@ RoundResult RoundEngine::run_round() {
        ++step) {
     bool any_running = false;
     for (std::size_t v = 0; v < n; ++v)
-      if (relay.online[v] && ba[v].running()) any_running = true;
+      if (ws.relay.online[v] && ws.ba[v].running()) any_running = true;
     if (!any_running) break;
 
-    const auto outs = run_vote_step(
+    run_vote_step(
         ctx, step, params_.expected_step_stake, step_quorum,
         [&](NodeId v) -> std::optional<Hash256> {
-          if (ba[v].running() && ba[v].step_number() == step)
-            return ba[v].vote_value();
-          if (!ba[v].running() && post_votes[v] > 0) return ba[v].result();
+          if (ws.ba[v].running() && ws.ba[v].step_number() == step)
+            return ws.ba[v].vote_value();
+          if (!ws.ba[v].running() && ws.post_votes[v] > 0)
+            return ws.ba[v].result();
           return std::nullopt;
-        });
+        },
+        ws.step, ws.ba_out);
 
     // Each node's BA state machine advances independently (ba[v] and
     // post_votes[v] are only touched at index v).
     exec_.for_each_chunk(n, [&](std::size_t, std::size_t begin, std::size_t end) {
       for (std::size_t v = begin; v < end; ++v) {
-        if (!relay.online[v]) continue;
-        if (ba[v].running() && ba[v].step_number() == step) {
-          ba[v].advance(outs[v].winner, outs[v].coin);
-          if (!ba[v].running() &&
-              ba[v].status() != consensus::BaStatus::Exhausted)
-            post_votes[v] = 3;
-        } else if (!ba[v].running() && post_votes[v] > 0) {
-          --post_votes[v];
+        if (!ws.relay.online[v]) continue;
+        if (ws.ba[v].running() && ws.ba[v].step_number() == step) {
+          ws.ba[v].advance(ws.ba_out[v].winner, ws.ba_out[v].coin);
+          if (!ws.ba[v].running() &&
+              ws.ba[v].status() != consensus::BaStatus::Exhausted)
+            ws.post_votes[v] = 3;
+        } else if (!ws.ba[v].running() && ws.post_votes[v] > 0) {
+          --ws.post_votes[v];
         }
       }
     });
   }
 
   // ---- FINAL vote ------------------------------------------------------
-  const auto finals = run_vote_step(
+  run_vote_step(
       ctx, consensus::kFinalStep, params_.expected_final_stake,
-      params_.final_quorum(), [&](NodeId v) -> std::optional<Hash256> {
-        if (ba[v].concluded_in_first_iteration() &&
-            ba[v].result() != empty_hash)
-          return ba[v].result();
+      params_.final_quorum(),
+      [&](NodeId v) -> std::optional<Hash256> {
+        if (ws.ba[v].concluded_in_first_iteration() &&
+            ws.ba[v].result() != empty_hash)
+          return ws.ba[v].result();
         return std::nullopt;
-      });
+      },
+      ws.step, ws.finals);
 
   // ---- Outcomes --------------------------------------------------------
   auto body_received = [&](NodeId v, const Hash256& h) {
     if (h == empty_hash) return true;  // the empty block is derived locally
-    for (std::size_t p = 0; p < proposals.size(); ++p) {
-      if (proposals[p].block_hash() == h)
-        return proposal_arrivals[p][v] < net::kNever;
+    for (std::size_t p = 0; p < np; ++p) {
+      if (ws.proposal_hashes[p] == h)
+        return ws.proposal_arrivals[p][v] < net::kNever;
     }
     return false;
   };
@@ -341,15 +436,15 @@ RoundResult RoundEngine::run_round() {
   result.outcomes.assign(n, NodeOutcome::NoBlock);
   exec_.for_each_chunk(n, [&](std::size_t, std::size_t begin, std::size_t end) {
     for (std::size_t v = begin; v < end; ++v) {
-      if (!relay.online[v]) continue;
+      if (!ws.relay.online[v]) continue;
       const auto id = static_cast<NodeId>(v);
-      if (finals[v].winner.has_value()) {
-        result.outcomes[v] = body_received(id, *finals[v].winner)
+      if (ws.finals[v].winner.has_value()) {
+        result.outcomes[v] = body_received(id, *ws.finals[v].winner)
                                  ? NodeOutcome::Final
                                  : NodeOutcome::NoBlock;
-      } else if (ba[v].status() == consensus::BaStatus::ConcludedBlock ||
-                 ba[v].status() == consensus::BaStatus::ConcludedEmpty) {
-        result.outcomes[v] = body_received(id, ba[v].result())
+      } else if (ws.ba[v].status() == consensus::BaStatus::ConcludedBlock ||
+                 ws.ba[v].status() == consensus::BaStatus::ConcludedEmpty) {
+        result.outcomes[v] = body_received(id, ws.ba[v].result())
                                  ? NodeOutcome::Tentative
                                  : NodeOutcome::NoBlock;
       }
@@ -373,26 +468,27 @@ RoundResult RoundEngine::run_round() {
   // The chain advances with the plurality conclusion (weighting every
   // online node equally); if no node concluded a block, the round yields
   // the empty block so seeds keep evolving.
-  std::vector<std::pair<Hash256, std::size_t>> conclusion_counts;
+  ws.conclusion_counts.clear();
   for (std::size_t v = 0; v < n; ++v) {
-    if (!relay.online[v]) continue;
-    if (ba[v].status() != consensus::BaStatus::ConcludedBlock) continue;
-    const Hash256 h = ba[v].result();
-    auto it = std::find_if(conclusion_counts.begin(), conclusion_counts.end(),
+    if (!ws.relay.online[v]) continue;
+    if (ws.ba[v].status() != consensus::BaStatus::ConcludedBlock) continue;
+    const Hash256 h = ws.ba[v].result();
+    auto it = std::find_if(ws.conclusion_counts.begin(),
+                           ws.conclusion_counts.end(),
                            [&](const auto& e) { return e.first == h; });
-    if (it == conclusion_counts.end()) {
-      conclusion_counts.emplace_back(h, 1);
+    if (it == ws.conclusion_counts.end()) {
+      ws.conclusion_counts.emplace_back(h, 1);
     } else {
       ++it->second;
     }
   }
   const ledger::Block* agreed = nullptr;
   std::size_t best_count = 0;
-  for (const auto& [hash, count] : conclusion_counts) {
+  for (const auto& [hash, count] : ws.conclusion_counts) {
     if (count <= best_count) continue;
-    for (const consensus::BlockProposal& p : proposals) {
-      if (p.block_hash() == hash) {
-        agreed = &p.block;
+    for (std::size_t p = 0; p < np; ++p) {
+      if (ws.proposal_hashes[p] == hash) {
+        agreed = &ws.proposals[p].block;
         best_count = count;
         break;
       }
@@ -410,13 +506,20 @@ RoundResult RoundEngine::run_round() {
   }
 
   // ---- Role snapshots for the reward schemes and the strategic loop ----
-  std::vector<std::int64_t> reward_stakes = stakes;
+  // reset() swaps the filled vectors into the (recycled) snapshots and
+  // hands their previous buffers back to the workspace for the next round.
+  ws.reward_stakes.assign(ws.stakes.begin(), ws.stakes.end());
   for (std::size_t v = 0; v < n; ++v)
-    if (!relay.online[v]) reward_stakes[v] = 0;  // offline: never rewarded
-  result.roles_true.emplace(std::move(true_roles), reward_stakes);
-  result.roles.emplace(std::move(observed_roles), std::move(reward_stakes));
-
-  return result;
+    if (!ws.relay.online[v]) ws.reward_stakes[v] = 0;  // offline: no reward
+  ws.reward_stakes_true.assign(ws.reward_stakes.begin(),
+                               ws.reward_stakes.end());
+  if (!result.roles_true.has_value())
+    result.roles_true.emplace(std::vector<Role>{},
+                              std::vector<std::int64_t>{});
+  result.roles_true->reset(ws.true_roles, ws.reward_stakes_true);
+  if (!result.roles.has_value())
+    result.roles.emplace(std::vector<Role>{}, std::vector<std::int64_t>{});
+  result.roles->reset(ws.observed_roles, ws.reward_stakes);
 }
 
 }  // namespace roleshare::sim

@@ -25,6 +25,7 @@
 #include "econ/role_snapshot.hpp"
 #include "net/gossip.hpp"
 #include "sim/network.hpp"
+#include "sim/round_workspace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace roleshare::sim {
@@ -73,6 +74,18 @@ class RoundEngine {
   /// appends the agreed block to the network's chain, and returns the
   /// per-node outcomes.
   RoundResult run_round();
+
+  /// Same, on caller-owned working memory: `ws` supplies every buffer the
+  /// round needs and keeps its capacity for the next call (see
+  /// round_workspace.hpp for the reuse contract).
+  RoundResult run_round(RoundWorkspace& ws);
+
+  /// Fully recycled form — the round's working buffers come from `ws` and
+  /// the outputs are rebuilt in place inside `result` (its vectors and
+  /// role snapshots keep their capacity). In steady state this is the
+  /// zero-allocation path. Results are bit-identical to run_round()
+  /// regardless of what either object previously held.
+  void run_round_into(RoundResult& result, RoundWorkspace& ws);
 
   const consensus::ConsensusParams& params() const { return params_; }
   const util::InnerExecutor& executor() const { return exec_; }

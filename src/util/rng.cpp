@@ -50,6 +50,20 @@ std::uint64_t Rng::derive_seed(std::uint64_t label) const {
 
 Rng Rng::split(std::uint64_t label) const { return Rng(derive_seed(label)); }
 
+void Rng::derive_seeds(std::span<const std::uint64_t> labels,
+                       std::span<std::uint64_t> out) const {
+  RS_REQUIRE(labels.size() == out.size(), "derive_seeds size mismatch");
+  // Same mixing as derive_seed, with the per-call overhead (loads of
+  // seed_material_, function frames) amortized over the block.
+  const std::uint64_t base = seed_material_;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    std::uint64_t sm = base ^ (0xa0761d6478bd642fULL * (labels[i] + 1));
+    const std::uint64_t first = splitmix64(sm);
+    const std::uint64_t second = splitmix64(sm);
+    out[i] = first ^ rotl(second, 29);
+  }
+}
+
 Rng Rng::split(std::string_view label) const {
   // FNV-1a over the label, then delegate to the integer split.
   std::uint64_t h = 0xcbf29ce484222325ULL;

@@ -103,45 +103,75 @@ void InnerExecutor::for_each_chunk(
   for_each_index(chunk_count(n), run_chunk);
 }
 
+namespace {
+
+/// Shared state of one parallel_for_indexed call, allocated on the
+/// caller's stack. Workers capture a single pointer to it, which fits
+/// std::function's small-buffer storage — a steady-state round performs
+/// no heap allocation on this path. The error of the *lowest* failing
+/// index is kept (first_error_index guards the update), matching the
+/// previous per-index error array without its O(n) allocation.
+struct ParallelForState {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> live{0};
+  std::mutex done_mutex;
+  std::condition_variable done;
+  std::mutex error_mutex;
+  std::size_t first_error_index = ~std::size_t{0};
+  std::exception_ptr first_error;
+
+  void record_error(std::size_t index) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (index < first_error_index) {
+      first_error_index = index;
+      first_error = std::current_exception();
+    }
+  }
+
+  void claim_loop() {
+    for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      try {
+        (*body)(i);
+      } catch (...) {
+        record_error(i);
+      }
+    }
+    if (live.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      done.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
 void ThreadPool::parallel_for_indexed(
     std::size_t n, const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
-  std::vector<std::exception_ptr> errors(n);
+  ParallelForState state;
+  state.n = n;
+  state.body = &body;
   const std::size_t fan_out = std::min(workers_.size(), n);
   if (fan_out <= 1) {
-    // Inline serial path — same error semantics as the parallel one.
+    // Inline serial path — same error semantics as the parallel one:
+    // every index attempted, lowest failing index's exception rethrown.
     for (std::size_t i = 0; i < n; ++i) {
       try {
         body(i);
       } catch (...) {
-        errors[i] = std::current_exception();
+        state.record_error(i);
       }
     }
   } else {
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> live{fan_out};
-    std::mutex done_mutex;
-    std::condition_variable done;
-    const auto claim_loop = [&] {
-      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        try {
-          body(i);
-        } catch (...) {
-          errors[i] = std::current_exception();
-        }
-      }
-      if (live.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        done.notify_all();
-      }
-    };
-    for (std::size_t w = 0; w < fan_out; ++w) submit(claim_loop);
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done.wait(lock, [&] { return live.load() == 0; });
+    state.live.store(fan_out);
+    for (std::size_t w = 0; w < fan_out; ++w)
+      submit([s = &state] { s->claim_loop(); });
+    std::unique_lock<std::mutex> lock(state.done_mutex);
+    state.done.wait(lock, [&] { return state.live.load() == 0; });
   }
-  for (std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
+  if (state.first_error) std::rethrow_exception(state.first_error);
 }
 
 }  // namespace roleshare::util

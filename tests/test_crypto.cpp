@@ -63,6 +63,47 @@ TEST(HashBuilder, Deterministic) {
   EXPECT_EQ(a, b);
 }
 
+TEST(FixedHasher, SlotThenConstantMatchesHashBuilder) {
+  // The VRF sign layout: H(tag || slot || constant-msg).
+  const Hash256 msg = HashBuilder("msg").build();
+  FixedHasher layout("roleshare.sig");
+  const std::size_t slot = layout.add_hash_slot();
+  layout.add(msg);
+  Sha256Fixed fixed = layout.build_template();
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    const Hash256 probe = HashBuilder("probe").add_u64(i).build();
+    write_hash_slot(fixed, slot, probe);
+    EXPECT_EQ(Hash256(fixed.digest()),
+              HashBuilder("roleshare.sig").add(probe).add(msg).build());
+  }
+}
+
+TEST(FixedHasher, ConstantsAndSlotInterleaved) {
+  // Constant u64 and hash parts around the variable slot, in layout
+  // order — matches HashBuilder streaming the same sequence.
+  const Hash256 fixed_part = HashBuilder("const").build();
+  FixedHasher layout("tag");
+  layout.add_u64(99);
+  const std::size_t slot = layout.add_hash_slot();
+  layout.add(fixed_part);
+  Sha256Fixed fixed = layout.build_template();
+  const Hash256 probe = HashBuilder("p").build();
+  write_hash_slot(fixed, slot, probe);
+  EXPECT_EQ(
+      Hash256(fixed.digest()),
+      HashBuilder("tag").add_u64(99).add(probe).add(fixed_part).build());
+}
+
+TEST(FixedHasher, UnwrittenSlotHashesAsZeroes) {
+  // A slot left unwritten contributes 32 zero bytes — the same message
+  // HashBuilder produces for Hash256::zero().
+  FixedHasher layout("z");
+  (void)layout.add_hash_slot();
+  const Sha256Fixed fixed = layout.build_template();
+  EXPECT_EQ(Hash256(fixed.digest()),
+            HashBuilder("z").add(Hash256::zero()).build());
+}
+
 TEST(KeyPair, DerivationIsDeterministic) {
   const KeyPair a = KeyPair::derive(42, 7);
   const KeyPair b = KeyPair::derive(42, 7);

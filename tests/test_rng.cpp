@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 namespace roleshare::util {
 namespace {
@@ -170,6 +172,38 @@ TEST(Rng, WeightedIndexFollowsWeights) {
 TEST(Rng, WeightedIndexRejectsAllZero) {
   Rng rng(1);
   EXPECT_THROW(rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Rng, DeriveSeedsMatchesPerLabelDeriveSeed) {
+  const Rng parent(909);
+  std::vector<std::uint64_t> labels;
+  for (std::uint64_t i = 0; i < 257; ++i) labels.push_back(i * 31 + 7);
+  std::vector<std::uint64_t> chunked(labels.size());
+  parent.derive_seeds(labels, chunked);
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    EXPECT_EQ(chunked[i], parent.derive_seed(labels[i]));
+}
+
+TEST(Rng, DeriveSeedsStreamsMatchSplitChains) {
+  // The hot-path contract: constructing an Rng from a chunk-derived seed
+  // must yield the exact stream split(label) would.
+  const Rng parent(4242);
+  const std::vector<std::uint64_t> labels = {0, 1, 5, 1000, 999'999};
+  std::vector<std::uint64_t> seeds(labels.size());
+  parent.derive_seeds(labels, seeds);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    Rng from_seed(seeds[i]);
+    Rng from_split = parent.split(labels[i]);
+    for (int draw = 0; draw < 16; ++draw)
+      EXPECT_EQ(from_seed(), from_split());
+  }
+}
+
+TEST(Rng, DeriveSeedsRejectsSizeMismatch) {
+  const Rng parent(3);
+  const std::vector<std::uint64_t> labels = {1, 2, 3};
+  std::vector<std::uint64_t> out(2);
+  EXPECT_THROW(parent.derive_seeds(labels, out), std::invalid_argument);
 }
 
 TEST(Rng, ShuffleIsPermutation) {

@@ -146,6 +146,78 @@ TEST(RoundEngine, DeterministicGivenSeed) {
   EXPECT_EQ(a.chain().tip().hash(), b.chain().tip().hash());
 }
 
+/// Full-equality check between a fresh-run result and one produced via a
+/// reused workspace: every field, including the role snapshots.
+void expect_results_equal(const RoundResult& a, const RoundResult& b) {
+  EXPECT_EQ(a.round, b.round);
+  EXPECT_EQ(a.outcomes, b.outcomes);
+  EXPECT_EQ(a.live_count, b.live_count);
+  EXPECT_EQ(a.final_fraction, b.final_fraction);
+  EXPECT_EQ(a.tentative_fraction, b.tentative_fraction);
+  EXPECT_EQ(a.none_fraction, b.none_fraction);
+  EXPECT_EQ(a.non_empty_block, b.non_empty_block);
+  EXPECT_EQ(a.proposals, b.proposals);
+  EXPECT_EQ(a.synchrony, b.synchrony);
+  ASSERT_EQ(a.roles.has_value(), b.roles.has_value());
+  ASSERT_EQ(a.roles_true.has_value(), b.roles_true.has_value());
+  if (a.roles) {
+    EXPECT_EQ(a.roles->roles(), b.roles->roles());
+    EXPECT_EQ(a.roles->stakes(), b.roles->stakes());
+  }
+  if (a.roles_true) {
+    EXPECT_EQ(a.roles_true->roles(), b.roles_true->roles());
+    EXPECT_EQ(a.roles_true->stakes(), b.roles_true->stakes());
+  }
+}
+
+TEST(RoundEngine, ReusedWorkspaceMatchesFreshRuns) {
+  // Reference: each config simulated with the allocating entry point.
+  const NetworkConfig config_a = config_with(0.1, 90, 55);
+  NetworkConfig config_b = config_with(0.3, 60, 56);
+  config_b.faulty_rate = 0.1;
+  std::vector<RoundResult> fresh_a, fresh_b;
+  {
+    Network net(config_a);
+    RoundEngine engine(net, params_for(net));
+    for (int r = 0; r < 3; ++r) fresh_a.push_back(engine.run_round());
+  }
+  {
+    Network net(config_b);
+    RoundEngine engine(net, params_for(net));
+    for (int r = 0; r < 3; ++r) fresh_b.push_back(engine.run_round());
+  }
+
+  // One workspace and one result object threaded dirty through BOTH
+  // configs, interleaved: contents left over from a differently-sized
+  // simulation must not leak into the next round's output.
+  RoundWorkspace ws;
+  RoundResult result;
+  Network net_a(config_a);
+  Network net_b(config_b);
+  RoundEngine engine_a(net_a, params_for(net_a));
+  RoundEngine engine_b(net_b, params_for(net_b));
+  for (int r = 0; r < 3; ++r) {
+    engine_a.run_round_into(result, ws);
+    expect_results_equal(result, fresh_a[static_cast<std::size_t>(r)]);
+    engine_b.run_round_into(result, ws);
+    expect_results_equal(result, fresh_b[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST(RoundEngine, WorkspaceOverloadMatchesAllocatingRunRound) {
+  Network a(config_with(0.2, 80, 63));
+  Network b(config_with(0.2, 80, 63));
+  RoundEngine ea(a, params_for(a));
+  RoundEngine eb(b, params_for(b));
+  RoundWorkspace ws;
+  for (int r = 0; r < 2; ++r) {
+    const RoundResult with_ws = ea.run_round(ws);
+    const RoundResult fresh = eb.run_round();
+    expect_results_equal(with_ws, fresh);
+  }
+  EXPECT_GT(ws.capacity_bytes(), 0u);
+}
+
 TEST(RoundEngine, DegradedSynchronyHurtsOutcomes) {
   NetworkConfig config = config_with(0.0, 100, 91);
   config.synchrony.degrade_probability = 1.0;  // always degraded

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "util/hex.hpp"
 
@@ -75,6 +77,37 @@ TEST(Sha256, ReuseAfterFinalizeThrows) {
 TEST(Sha256, DistinctInputsDistinctDigests) {
   EXPECT_NE(sha256("a"), sha256("b"));
   EXPECT_NE(sha256(""), sha256(std::string(1, '\0')));
+}
+
+TEST(Sha256Fixed, MatchesStreamingAtEveryLength) {
+  // Every legal message length, covering the one-block/two-block padding
+  // boundary (55/56 bytes) and the 119-byte maximum.
+  for (std::size_t len = 0; len <= 119; ++len) {
+    Sha256Fixed fixed(len);
+    std::vector<std::uint8_t> message(len);
+    for (std::size_t i = 0; i < len; ++i)
+      message[i] = static_cast<std::uint8_t>(0x40 + i);
+    fixed.write(0, message.data(), message.size());
+    EXPECT_EQ(fixed.digest(), sha256(message)) << "len=" << len;
+  }
+}
+
+TEST(Sha256Fixed, RewritingSlotBytesRehashesCorrectly) {
+  Sha256Fixed fixed(64);
+  std::vector<std::uint8_t> message(64, 0xaa);
+  fixed.write(0, message.data(), message.size());
+  EXPECT_EQ(fixed.digest(), sha256(message));
+  // Overwrite a middle window and re-digest: the template is reusable.
+  for (std::size_t i = 16; i < 48; ++i) message[i] = 0x55;
+  fixed.write(16, message.data() + 16, 32);
+  EXPECT_EQ(fixed.digest(), sha256(message));
+}
+
+TEST(Sha256Fixed, RejectsOversizedMessageAndOutOfBoundsWrite) {
+  EXPECT_THROW(Sha256Fixed(120), std::invalid_argument);
+  Sha256Fixed fixed(16);
+  const std::uint8_t byte = 0;
+  EXPECT_THROW(fixed.write(16, &byte, 1), std::invalid_argument);
 }
 
 }  // namespace
