@@ -34,11 +34,14 @@ RoleSnapshot RoleBasedScheme::effective_snapshot(
 ledger::MicroAlgos RoleBasedScheme::required_budget(
     ledger::Round, const RoleSnapshot& snapshot) {
   const RoleSnapshot effective = effective_snapshot(snapshot);
-  if (effective.count(consensus::Role::Leader) == 0 ||
-      effective.count(consensus::Role::Committee) == 0 ||
-      effective.count(consensus::Role::Other) == 0) {
-    // Degenerate round (e.g. sortition elected nobody): pay nothing rather
-    // than divide by an empty role.
+  // Degenerate round: a role is empty (sortition elected nobody) or holds
+  // a zero-stake member, leaving the Theorem-3 bounds undefined (min
+  // stake s*_x enters as a divisor — a node with nothing at stake has no
+  // deviation cost to bound). Pay nothing rather than divide by zero;
+  // min_stake_of() returns 0 for empty roles, so one check covers both.
+  if (effective.min_stake_of(consensus::Role::Leader) <= 0 ||
+      effective.min_stake_of(consensus::Role::Committee) <= 0 ||
+      effective.min_stake_of(consensus::Role::Other) <= 0) {
     last_feasible_ = false;
     return 0;
   }

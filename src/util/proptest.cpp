@@ -1,0 +1,84 @@
+#include "util/proptest.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace roleshare::util::proptest {
+
+namespace {
+
+std::optional<std::uint64_t> env_u64(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  RS_REQUIRE(end != raw && *end == '\0',
+             std::string(name) + " is not a decimal integer: \"" + raw + "\"");
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+PropParams resolve_params(std::size_t default_cases) {
+  PropParams p;
+  if (const auto cases = env_u64("ROLESHARE_PROP_CASES")) {
+    p.cases = static_cast<std::size_t>(*cases);
+  } else if (const auto scale = env_u64("ROLESHARE_PROP_SCALE")) {
+    p.cases = default_cases * static_cast<std::size_t>(*scale);
+  } else {
+    p.cases = default_cases;
+  }
+  RS_REQUIRE(p.cases > 0, "property case count resolved to zero");
+  if (const auto seed = env_u64("ROLESHARE_PROP_SEED")) p.root_seed = *seed;
+  p.replay_case_seed = env_u64("ROLESHARE_PROP_CASE_SEED");
+  return p;
+}
+
+Checker::Checker(std::string test_id, std::size_t default_cases)
+    : Checker(std::move(test_id), resolve_params(default_cases)) {}
+
+Checker::Checker(std::string test_id, PropParams params)
+    : test_id_(std::move(test_id)),
+      params_(params),
+      test_stream_(Rng(params_.root_seed).split(test_id_)) {}
+
+void Checker::record_failure(std::size_t check_index, std::size_t case_index,
+                             std::uint64_t case_seed,
+                             std::size_t shrink_steps,
+                             std::size_t shrink_evals,
+                             const std::string& counterexample,
+                             const std::string& note) {
+  std::ostringstream os;
+  os << "property failed: " << test_id_ << " (check #" << check_index
+     << ")\n"
+     << "  root seed : " << params_.root_seed
+     << "  (env ROLESHARE_PROP_SEED)\n"
+     << "  case      : " << case_index << " of " << params_.cases << "\n"
+     << "  case seed : " << case_seed << "\n"
+     << "  replay    : ROLESHARE_PROP_CASE_SEED=" << case_seed
+     << " <test binary> --gtest_filter=" << test_id_ << "\n"
+     << "  shrunk    : " << shrink_steps << " steps (" << shrink_evals
+     << " evaluations)\n"
+     << "  minimal counterexample:\n    " << counterexample << "\n";
+  if (!note.empty()) os << "  note      : " << note << "\n";
+  if (!failure_message_.empty()) failure_message_ += "\n";
+  failure_message_ += os.str();
+
+  // Minimized-reproducer artifact for CI (uploaded on workflow failure).
+  if (const char* dir = std::getenv("ROLESHARE_PROP_ARTIFACT_DIR");
+      dir != nullptr && *dir != '\0') {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (!ec) {
+      const std::filesystem::path path =
+          std::filesystem::path(dir) /
+          (test_id_ + ".check" + std::to_string(check_index) +
+           ".counterexample.txt");
+      std::ofstream out(path);
+      out << os.str();
+    }
+  }
+}
+
+}  // namespace roleshare::util::proptest

@@ -1,0 +1,156 @@
+// Property suite: util::json serialization invariants under randomized
+// value trees (see DESIGN.md §8 for the seeding/shrinking contract).
+//
+// The shard-partial interchange relies on dump() being a deterministic,
+// lossless encoding of finite trees: dump∘parse must be the identity on
+// dump's image (byte-for-byte), and parse must reproduce the original
+// tree structurally. These properties sweep value trees the handwritten
+// cases in tests/test_json.cpp never reach: NUL and high bytes in
+// strings, -0.0, subnormals, huge magnitudes, deep mixed nesting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "gen/domain_gen.hpp"
+#include "util/json.hpp"
+#include "util/proptest.hpp"
+
+namespace {
+
+using roleshare::util::json::Value;
+using roleshare::util::proptest::Verdict;
+namespace pgen = roleshare::util::proptest::gen;
+
+// Structural equality, treating numbers as bit-comparable doubles (the
+// %.17g contract: every finite binary64 round-trips exactly; -0.0 and
+// 0.0 compare equal here because dump() prints "-0" for -0.0 and strtod
+// restores the sign — the dump-equality check below covers the sign).
+bool same_tree(const Value& a, const Value& b, std::string& why) {
+  if (a.kind() != b.kind()) {
+    why = "kind mismatch";
+    return false;
+  }
+  switch (a.kind()) {
+    case Value::Kind::Null:
+      return true;
+    case Value::Kind::Bool:
+      if (a.as_bool() != b.as_bool()) {
+        why = "bool mismatch";
+        return false;
+      }
+      return true;
+    case Value::Kind::Number: {
+      const double x = a.as_number();
+      const double y = b.as_number();
+      if (!(x == y) || std::signbit(x) != std::signbit(y)) {
+        why = "number mismatch: " + a.dump() + " vs " + b.dump();
+        return false;
+      }
+      return true;
+    }
+    case Value::Kind::String:
+      if (a.as_string() != b.as_string()) {
+        why = "string mismatch";
+        return false;
+      }
+      return true;
+    case Value::Kind::Array: {
+      const auto& xs = a.as_array();
+      const auto& ys = b.as_array();
+      if (xs.size() != ys.size()) {
+        why = "array size mismatch";
+        return false;
+      }
+      for (std::size_t i = 0; i < xs.size(); ++i)
+        if (!same_tree(xs[i], ys[i], why)) return false;
+      return true;
+    }
+    case Value::Kind::Object: {
+      const auto& xs = a.as_object();
+      const auto& ys = b.as_object();
+      if (xs.size() != ys.size()) {
+        why = "object size mismatch";
+        return false;
+      }
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (xs[i].first != ys[i].first) {
+          why = "object key mismatch at index " + std::to_string(i);
+          return false;
+        }
+        if (!same_tree(xs[i].second, ys[i].second, why)) return false;
+      }
+      return true;
+    }
+  }
+  why = "unreachable kind";
+  return false;
+}
+
+std::string describe_value(const Value& v) { return v.dump(); }
+
+}  // namespace
+
+// parse(dump(v)) reproduces v structurally, and re-dumping the parsed
+// tree is byte-identical — dump is a fixpoint encoding.
+PROP_TEST_WITH_PARAMS(PropJson, DumpParseRoundTripIsLossless, 1000) {
+  prop.check(
+      roleshare::testgen::json_value(3),
+      [](const Value& v) {
+        const std::string text = v.dump();
+        const Value back = roleshare::util::json::parse(text);
+        std::string why;
+        if (!same_tree(v, back, why))
+          return Verdict{false, "structural: " + why};
+        const std::string again = back.dump();
+        if (again != text)
+          return Verdict{false, "dump not a fixpoint: " + text +
+                                    " reparsed to " + again};
+        return Verdict{};
+      },
+      describe_value);
+}
+
+// Any byte string survives escaping: quotes, backslashes, control bytes
+// (NUL included) and raw high bytes all round-trip through dump/parse.
+PROP_TEST_WITH_PARAMS(PropJson, StringEscapingRoundTripsEveryByte, 2000) {
+  prop.check(roleshare::testgen::byte_string(24), [](const std::string& s) {
+    const Value v(s);
+    const Value back = roleshare::util::json::parse(v.dump());
+    return back.is_string() && back.as_string() == s;
+  });
+}
+
+// %.17g round-trips every finite double exactly, sign of zero included.
+PROP_TEST_WITH_PARAMS(PropJson, FiniteNumbersRoundTripExactly, 4000) {
+  prop.check(
+      pgen::one_of<double>({
+          pgen::real_range(-1e18, 1e18),
+          pgen::real_range(-1.0, 1.0),
+          pgen::element_of<double>({0.0, -0.0, 5e-324, -5e-324, 1e308,
+                                    -1e308, 2.2250738585072014e-308,
+                                    1.7976931348623157e308, 0.1, 1.0 / 3.0}),
+      }),
+      [](double x) {
+        const Value back = roleshare::util::json::parse(Value(x).dump());
+        if (!back.is_number()) return Verdict{false, "not a number"};
+        const double y = back.as_number();
+        if (!(x == y) || std::signbit(x) != std::signbit(y))
+          return Verdict{false, "reparsed as " + back.dump()};
+        return Verdict{};
+      });
+}
+
+// Non-finite numbers have no JSON literal: they must dump as null (the
+// accumulator layer depends on this to ferry empty-round NaNs).
+PROP_TEST_WITH_PARAMS(PropJson, NonFiniteDumpsAsNull, 200) {
+  prop.check(
+      pgen::element_of<double>({std::nan(""), -std::nan(""),
+                                std::numeric_limits<double>::infinity(),
+                                -std::numeric_limits<double>::infinity()}),
+      [](double x) {
+        const std::string text = Value(x).dump();
+        return text == "null" &&
+               roleshare::util::json::parse(text).is_null();
+      });
+}

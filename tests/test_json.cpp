@@ -4,6 +4,11 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "gen/domain_gen.hpp"
+#include "util/proptest.hpp"
 
 namespace roleshare::util::json {
 namespace {
@@ -190,6 +195,39 @@ TEST(Json, AccessorsRejectKindMismatch) {
   EXPECT_EQ(v.find("missing"), nullptr);
   EXPECT_THROW(parse("-1").as_size(), std::invalid_argument);
   EXPECT_THROW(parse("1.5").as_size(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Fuzz loops over the tests/gen/ domain generators (the full property
+// suite lives in tests/prop/prop_json.cpp under the `prop` ctest label;
+// these quick sweeps keep the fuzz surface inside the default binary).
+
+// dump() output always re-parses, and re-dumps to the same bytes — for
+// arbitrary generated trees, not just the handwritten cases above.
+PROP_TEST_WITH_PARAMS(Json, FuzzDumpAlwaysReparses, 300) {
+  prop.check(
+      roleshare::testgen::json_value(3),
+      [](const Value& v) {
+        const std::string text = v.dump();
+        const Value back = parse(text);  // must not throw
+        return back.dump() == text;
+      },
+      [](const Value& v) { return v.dump(); });
+}
+
+// parse() on arbitrary byte soup either throws std::invalid_argument or
+// yields a value whose dump re-parses — it never crashes and never
+// returns something outside the dump/parse closure.
+PROP_TEST_WITH_PARAMS(Json, FuzzParseNeverCrashesOnByteSoup, 500) {
+  prop.check(roleshare::testgen::byte_string(32), [](const std::string& s) {
+    try {
+      const Value v = parse(s);
+      const Value again = parse(v.dump());
+      return again.dump() == v.dump();
+    } catch (const std::invalid_argument&) {
+      return true;  // rejection is a valid outcome; crashing is not
+    }
+  });
 }
 
 }  // namespace

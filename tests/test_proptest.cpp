@@ -1,0 +1,222 @@
+// The property-testing framework's own unit tests (util/proptest.hpp):
+// generator determinism, greedy shrinking toward minimal
+// counterexamples, filter soundness, environment knob resolution and
+// the failure-report/replay contract. These run in the main test binary
+// (not under the `prop` label) because they are ordinary example-based
+// tests *about* the framework.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "util/proptest.hpp"
+#include "util/rng.hpp"
+
+namespace roleshare::util::proptest {
+namespace {
+
+// Fixed parameters — the framework tests must not themselves react to
+// ROLESHARE_PROP_* overrides.
+PropParams fixed_params(std::size_t cases) {
+  PropParams p;
+  p.cases = cases;
+  p.root_seed = kDefaultSeed;
+  return p;
+}
+
+TEST(Proptest, GeneratorsAreDeterministicInTheSeed) {
+  const auto g = gen::tuple_of(gen::int_range(-50, 50),
+                               gen::real_range(0.0, 1.0),
+                               gen::vector_of(gen::boolean(), 0, 8));
+  for (std::uint64_t seed : {1ULL, 42ULL, 0xdeadbeefULL}) {
+    Rng a(seed);
+    Rng b(seed);
+    EXPECT_EQ(describe(g.generate(a).value), describe(g.generate(b).value))
+        << "seed " << seed;
+  }
+}
+
+TEST(Proptest, PassingPropertyRunsEveryCase) {
+  Checker prop("Proptest.PassingPropertyRunsEveryCase", fixed_params(64));
+  std::size_t runs = 0;
+  EXPECT_TRUE(prop.check(gen::int_range(0, 100), [&](std::int64_t) {
+    ++runs;
+    return true;
+  }));
+  EXPECT_EQ(runs, 64u);
+  EXPECT_FALSE(prop.failed());
+}
+
+TEST(Proptest, IntCounterexampleShrinksToTheBoundary) {
+  Checker prop("Proptest.IntShrink", fixed_params(200));
+  // Fails for v >= 500; the unique minimal counterexample is 500.
+  EXPECT_FALSE(prop.check(gen::int_range(0, 10'000),
+                          [](std::int64_t v) { return v < 500; }));
+  ASSERT_TRUE(prop.failed());
+  EXPECT_NE(prop.failure_message().find("minimal counterexample:\n    500\n"),
+            std::string::npos)
+      << prop.failure_message();
+}
+
+TEST(Proptest, VectorShrinksToMinimalLengthAndElements) {
+  Checker prop("Proptest.VectorShrink", fixed_params(200));
+  // Fails when the vector has >= 3 elements; chunk removal should reach
+  // exactly 3, and element shrinking should zero them all.
+  EXPECT_FALSE(prop.check(
+      gen::vector_of(gen::int_range(0, 100), 0, 10),
+      [](const std::vector<std::int64_t>& v) { return v.size() < 3; }));
+  ASSERT_TRUE(prop.failed());
+  EXPECT_NE(prop.failure_message().find("[0, 0, 0]"), std::string::npos)
+      << prop.failure_message();
+}
+
+TEST(Proptest, TupleShrinksComponentwise) {
+  Checker prop("Proptest.TupleShrink", fixed_params(200));
+  // Fails when the first component is >= 10; the second is irrelevant
+  // and must shrink to its origin 0.
+  EXPECT_FALSE(
+      prop.check(gen::tuple_of(gen::int_range(0, 1'000),
+                               gen::int_range(0, 1'000)),
+                 [](const std::tuple<std::int64_t, std::int64_t>& t) {
+                   return std::get<0>(t) < 10;
+                 }));
+  ASSERT_TRUE(prop.failed());
+  EXPECT_NE(prop.failure_message().find("(10, 0)"), std::string::npos)
+      << prop.failure_message();
+}
+
+TEST(Proptest, FilterNeverPresentsViolatingValuesOrShrinks) {
+  const auto even = gen::int_range(0, 1'000).filter(
+      [](const std::int64_t& v) { return v % 2 == 0; });
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const Shrinkable<std::int64_t> s = even.generate(rng);
+    ASSERT_EQ(s.value % 2, 0);
+    // The whole first level of the shrink tree honors the predicate too
+    // (deeper levels are pruned by the same wrapper, recursively).
+    for (const auto& child : s.shrinks()) {
+      ASSERT_EQ(child.value % 2, 0) << "shrink of " << s.value;
+      for (const auto& grandchild : child.shrinks())
+        ASSERT_EQ(grandchild.value % 2, 0);
+    }
+  }
+}
+
+TEST(Proptest, FilterThrowsOnImpossiblePredicate) {
+  const auto none = gen::int_range(0, 10).filter(
+      [](const std::int64_t&) { return false; }, /*max_tries=*/10);
+  Rng rng(1);
+  EXPECT_THROW((void)none.generate(rng), std::runtime_error);
+  // Through check(), the throw is reported as a failure, not a crash.
+  Checker prop("Proptest.FilterExhaustion", fixed_params(5));
+  EXPECT_FALSE(prop.check(none, [](std::int64_t) { return true; }));
+  EXPECT_NE(prop.failure_message().find("generator exception"),
+            std::string::npos);
+}
+
+TEST(Proptest, VerdictNoteAndReplayLineReachTheReport) {
+  Checker prop("Suite.Case", fixed_params(20));
+  EXPECT_FALSE(prop.check(gen::int_range(0, 10), [](std::int64_t) {
+    return Verdict{false, "diagnostic detail travels"};
+  }));
+  const std::string& msg = prop.failure_message();
+  EXPECT_NE(msg.find("diagnostic detail travels"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("ROLESHARE_PROP_CASE_SEED="), std::string::npos) << msg;
+  EXPECT_NE(msg.find("--gtest_filter=Suite.Case"), std::string::npos) << msg;
+}
+
+TEST(Proptest, ThrowingPropertyBecomesACounterexample) {
+  Checker prop("Proptest.Throwing", fixed_params(20));
+  EXPECT_FALSE(prop.check(gen::int_range(0, 10), [](std::int64_t v) -> bool {
+    if (v >= 0) throw std::runtime_error("boom");
+    return true;
+  }));
+  EXPECT_NE(prop.failure_message().find("exception: boom"),
+            std::string::npos);
+}
+
+TEST(Proptest, ReplayCaseSeedReproducesTheExactCase) {
+  // First run: find a failing case and remember its seed (parsed from
+  // the report's "case seed :" line).
+  Checker first("Proptest.Replay", fixed_params(200));
+  EXPECT_FALSE(first.check(gen::int_range(0, 100'000),
+                           [](std::int64_t v) { return v < 1'000; }));
+  const std::string msg = first.failure_message();
+  const auto pos = msg.find("case seed : ");
+  ASSERT_NE(pos, std::string::npos);
+  const std::uint64_t case_seed =
+      std::strtoull(msg.c_str() + pos + 12, nullptr, 10);
+
+  // Replay mode: exactly one case, drawn from that seed, same shrunk
+  // counterexample (1000, the boundary).
+  PropParams replay = fixed_params(200);
+  replay.replay_case_seed = case_seed;
+  Checker second("Proptest.Replay", replay);
+  std::size_t cases_run = 0;
+  EXPECT_FALSE(second.check(gen::int_range(0, 100'000), [&](std::int64_t v) {
+    ++cases_run;
+    return v < 1'000;
+  }));
+  EXPECT_NE(second.failure_message().find("minimal counterexample:\n    1000"),
+            std::string::npos)
+      << second.failure_message();
+}
+
+TEST(Proptest, LaterChecksStillRunAfterAFailure) {
+  Checker prop("Proptest.TwoChecks", fixed_params(10));
+  EXPECT_FALSE(prop.check(gen::int_range(0, 10),
+                          [](std::int64_t) { return false; }));
+  EXPECT_TRUE(prop.check(gen::int_range(0, 10),
+                         [](std::int64_t) { return true; }));
+  EXPECT_TRUE(prop.failed());  // first failure is retained
+  EXPECT_NE(prop.failure_message().find("check #0"), std::string::npos);
+}
+
+TEST(Proptest, EnvKnobsResolveCasesSeedsAndScale) {
+  // Absolute count wins over everything.
+  ASSERT_EQ(setenv("ROLESHARE_PROP_CASES", "7", 1), 0);
+  EXPECT_EQ(resolve_params(100).cases, 7u);
+  ASSERT_EQ(unsetenv("ROLESHARE_PROP_CASES"), 0);
+
+  // Scale multiplies the per-test default.
+  ASSERT_EQ(setenv("ROLESHARE_PROP_SCALE", "3", 1), 0);
+  EXPECT_EQ(resolve_params(100).cases, 300u);
+  ASSERT_EQ(unsetenv("ROLESHARE_PROP_SCALE"), 0);
+
+  // Root seed override.
+  ASSERT_EQ(setenv("ROLESHARE_PROP_SEED", "12345", 1), 0);
+  EXPECT_EQ(resolve_params(100).root_seed, 12345u);
+  ASSERT_EQ(unsetenv("ROLESHARE_PROP_SEED"), 0);
+
+  // Defaults.
+  const PropParams p = resolve_params(100);
+  EXPECT_EQ(p.cases, 100u);
+  EXPECT_EQ(p.root_seed, kDefaultSeed);
+  EXPECT_FALSE(p.replay_case_seed.has_value());
+}
+
+TEST(Proptest, ElementOfShrinksTowardEarlierEntries) {
+  // element_of shrinks toward index 0, so a failing pick from the back
+  // of the table lands on the earliest entry that still fails.
+  Checker prop("Proptest.ElementOf", fixed_params(100));
+  EXPECT_FALSE(prop.check(
+      gen::element_of<std::string>({"safe", "bad-a", "bad-b", "bad-c"}),
+      [](const std::string& s) { return s == "safe"; }));
+  EXPECT_NE(prop.failure_message().find("\"bad-a\""), std::string::npos)
+      << prop.failure_message();
+}
+
+TEST(Proptest, DescribePrintsReadableValues) {
+  EXPECT_EQ(describe(true), "true");
+  EXPECT_EQ(describe(std::string("hi")), "\"hi\"");
+  EXPECT_EQ(describe(std::vector<std::int64_t>{1, 2, 3}), "[1, 2, 3]");
+  EXPECT_EQ(describe(std::make_tuple(std::int64_t{1}, false)), "(1, false)");
+  EXPECT_EQ(describe(0.5), "0.5");
+  // %.17g round-trip precision for awkward doubles.
+  EXPECT_EQ(describe(0.1), "0.10000000000000001");
+}
+
+}  // namespace
+}  // namespace roleshare::util::proptest

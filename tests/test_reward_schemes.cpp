@@ -108,6 +108,26 @@ TEST(RoleBased, DegenerateRoundPaysNothing) {
   EXPECT_FALSE(scheme.last_feasible());
 }
 
+// Regression, shrunk by PropRewards.RoleBasedAdaptiveConservesBudget
+// (minimal counterexample: one zero-stake node per role). A role whose
+// members all hold zero stake slipped past the empty-role guard and made
+// BoundInputs::validate() throw out of required_budget; the scheme must
+// treat it as a degenerate round and pay nothing instead.
+TEST(RoleBased, ZeroStakeRoleMemberIsDegenerateNotFatal) {
+  RoleBasedScheme scheme(CostModel{});
+  const RoleSnapshot all_zero(
+      {Role::Leader, Role::Committee, Role::Other}, {0, 0, 0});
+  EXPECT_EQ(scheme.required_budget(1, all_zero), 0);
+  EXPECT_FALSE(scheme.last_feasible());
+  // A zero-stake leader alongside funded nodes leaves s*_l = 0 and the
+  // Theorem-3 bounds just as undefined.
+  const RoleSnapshot mixed(
+      {Role::Leader, Role::Leader, Role::Committee, Role::Other},
+      {0, 5, 5, 5});
+  EXPECT_EQ(scheme.required_budget(1, mixed), 0);
+  EXPECT_FALSE(scheme.last_feasible());
+}
+
 TEST(RoleBased, MinOtherStakeFilterExcludesSmallHolders) {
   const RewardSplit split(0.2, 0.3);
   RoleBasedScheme scheme(CostModel{}, split, std::int64_t{10});
