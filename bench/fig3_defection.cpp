@@ -117,7 +117,8 @@ int main(int argc, char** argv) {
       knobs, 6, header, panel_meta, run_panel);
   // Shard-worker mode ends here: the partial is on disk, merge_partials
   // folds the shards into the figure.
-  if (bench::shard_worker_done(exec, knobs)) return 0;
+  if (bench::shard_worker_done(exec, knobs, header, timer.elapsed_ms()))
+    return 0;
 
   bench::JsonFields json_fields = {
       {"nodes", static_cast<double>(nodes)},

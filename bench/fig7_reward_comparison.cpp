@@ -106,7 +106,8 @@ int main(int argc, char** argv) {
   const bench::WallTimer timer;
   const auto exec = bench::run_sharded_panels<sim::RewardPartial>(
       knobs, 6, header, panel_meta, run_panel);
-  if (bench::shard_worker_done(exec, knobs)) return 0;
+  if (bench::shard_worker_done(exec, knobs, header, timer.elapsed_ms()))
+    return 0;
 
   std::vector<sim::RewardExperimentResult> results;
   for (std::size_t panel = 0; panel < 6; ++panel)

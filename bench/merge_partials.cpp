@@ -19,6 +19,16 @@
 // for byte). Streaming-backend partials merge within the documented
 // reservoir error bound instead.
 //
+// Shard files are read through sim::decode_partial_document, so JSON and
+// framed-binary shards (bench --format=bin) interoperate freely — the
+// format is auto-detected per file from its leading bytes and printed
+// with the byte size. --format={auto,json,bin} (default auto) makes an
+// explicit choice a *requirement* on every input: a pipeline that
+// intends binary shards fails loudly when a text one sneaks in. With
+// --store=DIR the merged full-range partial is additionally published
+// to the content-addressed sim::ResultStore, so a later bench run over
+// the whole window is a cache hit.
+//
 // Exit codes: 0 on success, 1 on malformed/incompatible/missing shards.
 #include <algorithm>
 #include <cstdio>
@@ -30,6 +40,8 @@
 #include "shard_util.hpp"
 #include "sim/defection_experiment.hpp"
 #include "sim/partial.hpp"
+#include "sim/partial_codec.hpp"
+#include "sim/result_store.hpp"
 #include "sim/reward_experiment.hpp"
 #include "sim/strategic_loop.hpp"
 #include "util/json.hpp"
@@ -136,6 +148,31 @@ util::json::Value series_header(const util::json::Value& shard_doc) {
   return header;
 }
 
+/// Publishes the merged full-range partial to the result store, so a
+/// later bench invocation over the whole window ([0, runs)) is served
+/// from cache instead of recomputing every shard's work.
+template <typename PartialT>
+void publish_merged(const std::string& store_dir,
+                    const util::json::Value& shard_doc,
+                    std::size_t runs_total,
+                    const MergedPanels<PartialT>& merged,
+                    sim::PartialFormat format) {
+  if (store_dir.empty()) return;
+  const util::json::Value header = series_header(shard_doc);
+  const std::function<util::json::Value(std::size_t)> panel_meta =
+      [&](std::size_t i) { return merged.metas[i]; };
+  const std::string bytes = sim::partial_codec(format).encode(
+      bench::partial_document(header, 0, runs_total, runs_total,
+                              merged.partials, panel_meta));
+  sim::ResultStore store(store_dir);
+  const std::string path =
+      store.insert(bench::store_key_of(header, 0, runs_total), bytes);
+  std::printf("[store] published merged runs [0, %zu) to %s (%zu bytes, "
+              "%s)\n",
+              runs_total, path.c_str(), bytes.size(),
+              sim::to_string(format));
+}
+
 /// Kind-specific finalize + series snapshot + stdout summary.
 util::json::Value finalize_defection(
     const MergedPanels<sim::DefectionPartial>& merged, double trim) {
@@ -195,6 +232,9 @@ util::json::Value finalize_strategic(
 int main(int argc, char** argv) {
   const std::string series_out =
       bench::arg_string(argc, argv, "series-out", "MERGED_series.json");
+  const std::string format_arg =
+      bench::arg_string(argc, argv, "format", "auto");
+  const std::string store_dir = bench::arg_string(argc, argv, "store", "");
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -205,15 +245,38 @@ int main(int argc, char** argv) {
   if (paths.size() < 2) {
     std::fprintf(stderr,
                  "usage: merge_partials [--series-out=FILE] "
-                 "shard0.json shard1.json ...\n"
-                 "(need at least two shard partial files)\n");
+                 "[--format={auto,json,bin}] [--store=DIR] "
+                 "shard0 shard1 ...\n"
+                 "(need at least two shard partial files; shard formats "
+                 "auto-detect unless --format pins one)\n");
     return 1;
   }
 
   try {
+    // --format=auto accepts any mix; an explicit choice is a requirement
+    // on every input file. The store publication (if any) reuses the
+    // pinned format, defaulting to the compact binary form under auto.
+    std::optional<sim::PartialFormat> required_format;
+    if (format_arg != "auto")
+      required_format = sim::parse_partial_format(format_arg);
+    const sim::PartialFormat publish_format =
+        required_format.value_or(sim::PartialFormat::Binary);
+
     std::vector<ShardFile> files;
-    for (const std::string& path : paths)
-      files.push_back({path, util::json::parse(bench::read_text_file(path))});
+    for (const std::string& path : paths) {
+      const std::string bytes = bench::read_text_file(path);
+      const sim::PartialFormat format =
+          sim::detect_partial_format(bytes, path);
+      if (required_format && format != *required_format) {
+        throw std::invalid_argument(
+            "shard " + path + " is " + sim::to_string(format) +
+            " but --format=" + format_arg + " requires every shard to be " +
+            sim::to_string(*required_format));
+      }
+      std::printf("[shard] %s: %zu bytes, %s\n", path.c_str(), bytes.size(),
+                  sim::to_string(format));
+      files.push_back({path, sim::decode_partial_document(bytes, path)});
+    }
 
     // Every shard must be the same experiment kind — auto-detected from
     // the first file, cross-checked against all others.
@@ -256,14 +319,18 @@ int main(int argc, char** argv) {
 
     util::json::Value series_panels;
     if (kind == sim::DefectionPayload::kKind) {
-      series_panels = finalize_defection(
-          merge_panels<sim::DefectionPartial>(files),
-          header.at("trim").as_number());
-    } else if (kind == sim::RewardPayload::kKind) {
-      series_panels = finalize_reward(merge_panels<sim::RewardPartial>(files));
-    } else if (kind == sim::StrategicPayload::kKind) {
+      const auto merged = merge_panels<sim::DefectionPartial>(files);
       series_panels =
-          finalize_strategic(merge_panels<sim::StrategicPartial>(files));
+          finalize_defection(merged, header.at("trim").as_number());
+      publish_merged(store_dir, header, runs_total, merged, publish_format);
+    } else if (kind == sim::RewardPayload::kKind) {
+      const auto merged = merge_panels<sim::RewardPartial>(files);
+      series_panels = finalize_reward(merged);
+      publish_merged(store_dir, header, runs_total, merged, publish_format);
+    } else if (kind == sim::StrategicPayload::kKind) {
+      const auto merged = merge_panels<sim::StrategicPartial>(files);
+      series_panels = finalize_strategic(merged);
+      publish_merged(store_dir, header, runs_total, merged, publish_format);
     } else {
       throw std::invalid_argument("unknown experiment kind \"" + kind +
                                   "\" (expected \"defection\", \"reward\" "

@@ -201,7 +201,8 @@ int main(int argc, char** argv) {
   const bench::WallTimer timer;
   const auto exec = bench::run_sharded_panels<sim::DefectionPartial>(
       knobs, kPanelCount, header, panel_meta, run_panel);
-  if (bench::shard_worker_done(exec, knobs)) return 0;
+  if (bench::shard_worker_done(exec, knobs, header, timer.elapsed_ms()))
+    return 0;
 
   std::printf("%10s %7s %8s %7s %13s %10s\n", "policy", "level", "final%",
               "coop%", "live min..max", "progress");

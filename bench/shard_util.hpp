@@ -18,6 +18,15 @@
 //                   "run_begin", "run_end", "window_end",
 //                   "panels": [{panel id fields..., "series": {...}}]}
 //
+// Partial files travel through a sim::PartialCodec: --format=json (the
+// historical text form) or --format=bin (framed binary columnar,
+// DESIGN.md §9). Reads always auto-detect from the leading bytes, so
+// resume and merge interoperate across formats; series files stay JSON
+// text (they are the byte-diff artifact). With --store=DIR a finished
+// window is also published to (and served from) a content-addressed
+// sim::ResultStore keyed by spec hash + backend + window — re-running
+// an identical (config, window) becomes a cache hit, not a recompute.
+//
 // A partial file with run_end < window_end is an *unfinished
 // checkpoint*: the writer intended to execute up to window_end but
 // stopped (crash, --stop-after). Feed it back through --partial-in to
@@ -38,6 +47,8 @@
 #include "bench_util.hpp"
 #include "sim/defection_experiment.hpp"
 #include "sim/partial.hpp"
+#include "sim/partial_codec.hpp"
+#include "sim/result_store.hpp"
 #include "sim/reward_experiment.hpp"
 #include "sim/strategic_loop.hpp"
 #include "util/json.hpp"
@@ -48,6 +59,13 @@ namespace roleshare::bench {
 /// else.
 inline sim::AggBackend arg_agg(int argc, char** argv) {
   return sim::parse_agg_backend(arg_string(argc, argv, "agg", "exact"));
+}
+
+/// --format={json,bin}: the partial-file encoding this process WRITES
+/// (reads always auto-detect). Defaults to json, fails loudly otherwise.
+inline sim::PartialFormat arg_partial_format(int argc, char** argv) {
+  return sim::parse_partial_format(
+      arg_string(argc, argv, "format", "json"));
 }
 
 /// --run-begin=B / --run-end=E select the global run window [B, E) this
@@ -81,6 +99,10 @@ struct ShardKnobs {
   std::size_t stop_after = 0;        // stop (checkpointing) after N runs
   std::string partial_in;            // resume from this checkpoint file
   std::string partial_out;           // shard-worker mode when non-empty
+  /// Encoding of everything this process writes (reads auto-detect).
+  sim::PartialFormat format = sim::PartialFormat::Json;
+  /// Content-addressed result store directory; empty = no store.
+  std::string store_dir;
 };
 
 inline ShardKnobs arg_shard_knobs(int argc, char** argv, std::size_t runs) {
@@ -93,6 +115,8 @@ inline ShardKnobs arg_shard_knobs(int argc, char** argv, std::size_t runs) {
       static_cast<std::size_t>(arg_int(argc, argv, "stop-after", 0));
   knobs.partial_in = arg_string(argc, argv, "partial-in", "");
   knobs.partial_out = arg_string(argc, argv, "partial-out", "");
+  knobs.format = arg_partial_format(argc, argv);
+  knobs.store_dir = arg_string(argc, argv, "store", "");
   if (knobs.partial_out.empty() &&
       (knobs.checkpoint_every > 0 || knobs.stop_after > 0 ||
        !knobs.partial_in.empty())) {
@@ -117,12 +141,12 @@ inline util::json::Value shard_document_header(
   return v;
 }
 
-/// Writes a partial document for `partials` covering runs
+/// Builds the partial document for `partials` covering runs
 /// [run_begin, run_end) of window [run_begin, window_end).
 template <typename PartialT>
-void write_partial_document(
-    const std::string& path, const util::json::Value& header,
-    std::size_t run_begin, std::size_t run_end, std::size_t window_end,
+util::json::Value partial_document(
+    const util::json::Value& header, std::size_t run_begin,
+    std::size_t run_end, std::size_t window_end,
     const std::vector<PartialT>& partials,
     const std::function<util::json::Value(std::size_t)>& panel_meta) {
   util::json::Value doc = header;
@@ -136,7 +160,40 @@ void write_partial_document(
     panels.push_back(std::move(panel));
   }
   doc.set("panels", std::move(panels));
-  write_text_file(path, doc.dump() + "\n");
+  return doc;
+}
+
+/// Encodes + writes a partial document through the chosen codec;
+/// returns the byte size on disk (the BENCH_*.json size-win field).
+template <typename PartialT>
+std::size_t write_partial_document(
+    const std::string& path, const util::json::Value& header,
+    std::size_t run_begin, std::size_t run_end, std::size_t window_end,
+    const std::vector<PartialT>& partials,
+    const std::function<util::json::Value(std::size_t)>& panel_meta,
+    sim::PartialFormat format = sim::PartialFormat::Json) {
+  const std::string bytes = sim::partial_codec(format).encode(
+      partial_document(header, run_begin, run_end, window_end, partials,
+                       panel_meta));
+  write_text_file(path, bytes);
+  return bytes.size();
+}
+
+/// The result-store key of one (header, window): the spec hash digests
+/// the full config echo, so two runs share an entry only when every
+/// result-affecting knob agrees (the header-echo re-check on load is the
+/// digest-collision guard).
+inline sim::ResultKey store_key_of(const util::json::Value& header,
+                                   std::size_t run_begin,
+                                   std::size_t run_end) {
+  sim::ResultKey key;
+  key.kind = header.at("kind").as_string();
+  key.bench = header.at("bench").as_string();
+  key.spec_hash = sim::spec_hash_hex(header);
+  key.backend = sim::parse_agg_backend(header.at("agg").as_string());
+  key.run_begin = run_begin;
+  key.run_end = run_end;
+  return key;
 }
 
 /// Writes a series document: same header/window layout, panels carry
@@ -161,8 +218,60 @@ struct ShardExecution {
   std::size_t window_begin = 0;
   std::size_t cursor = 0;      // first run NOT executed
   std::size_t window_end = 0;
+  /// Bytes of the last partial document persisted (file or store) —
+  /// the per-format size-win field of BENCH_*_shard.json.
+  std::size_t partial_bytes = 0;
+  /// True when the window was served from the result store instead of
+  /// being recomputed.
+  bool store_hit = false;
   bool complete() const { return cursor == window_end; }
 };
+
+/// Validates a decoded partial document against this invocation's header
+/// and panel layout, then adopts its partials and window into `exec`.
+/// `origin` names the byte source ("--partial-in file X", "store entry
+/// Y") in every refusal. Shared by the resume and cache-hit paths.
+template <typename PartialT>
+void load_partial_document(const util::json::Value& doc,
+                           const std::string& origin,
+                           const util::json::Value& header,
+                           std::size_t panel_count,
+                           ShardExecution<PartialT>& exec) {
+  const std::string& doc_kind = doc.at("kind").as_string();
+  const std::string& kind = header.at("kind").as_string();
+  if (doc_kind != kind) {
+    throw std::invalid_argument(origin + " is kind \"" + doc_kind +
+                                "\" but this bench produces \"" + kind +
+                                "\" partials");
+  }
+  // The document's config echo must match this invocation BEFORE any run
+  // executes or any cached result is adopted — resuming (or serving) a
+  // 10k-run shard under the wrong knobs must not burn or fake a
+  // sub-window of compute. (The envelope's spec hash re-checks on merge
+  // as the authoritative guard.)
+  for (const auto& [key, value] : header.as_object()) {
+    const util::json::Value* other = doc.find(key);
+    if (other == nullptr || other->dump() != value.dump()) {
+      throw std::invalid_argument(
+          origin + " was produced under a different config: \"" + key +
+          "\" is " + (other ? other->dump() : std::string("absent")) +
+          " there, this invocation has " + value.dump());
+    }
+  }
+  const auto& panels = doc.at("panels").as_array();
+  if (panels.size() != panel_count) {
+    throw std::invalid_argument(origin + " has " +
+                                std::to_string(panels.size()) +
+                                " panels, this bench produces " +
+                                std::to_string(panel_count));
+  }
+  exec.partials.clear();
+  for (const util::json::Value& panel : panels)
+    exec.partials.push_back(PartialT::from_json(panel.at("partial")));
+  exec.window_begin = doc.at("run_begin").as_size();
+  exec.cursor = doc.at("run_end").as_size();
+  exec.window_end = doc.at("window_end").as_size();
+}
 
 /// The checkpointed shard driver every figure bench runs its panels
 /// through. Executes the CLI window (or resumes the --partial-in
@@ -187,42 +296,10 @@ ShardExecution<PartialT> run_sharded_panels(
   exec.cursor = exec.window_begin;
 
   if (!knobs.partial_in.empty()) {
-    const util::json::Value doc =
-        util::json::parse(read_text_file(knobs.partial_in));
-    const std::string& doc_kind = doc.at("kind").as_string();
-    const std::string& kind = header.at("kind").as_string();
-    if (doc_kind != kind) {
-      throw std::invalid_argument(
-          "--partial-in file " + knobs.partial_in + " is kind \"" +
-          doc_kind + "\" but this bench produces \"" + kind +
-          "\" partials");
-    }
-    // The file's config echo must match this invocation BEFORE any run
-    // executes — resuming a 10k-run shard under the wrong knobs must not
-    // burn a sub-window of compute first. (The envelope's spec hash
-    // re-checks on merge as the authoritative guard.)
-    for (const auto& [key, value] : header.as_object()) {
-      const util::json::Value* other = doc.find(key);
-      if (other == nullptr || other->dump() != value.dump()) {
-        throw std::invalid_argument(
-            "--partial-in file " + knobs.partial_in +
-            " was produced under a different config: \"" + key + "\" is " +
-            (other ? other->dump() : std::string("absent")) +
-            " there, this invocation has " + value.dump());
-      }
-    }
-    const auto& panels = doc.at("panels").as_array();
-    if (panels.size() != panel_count) {
-      throw std::invalid_argument(
-          "--partial-in file " + knobs.partial_in + " has " +
-          std::to_string(panels.size()) + " panels, this bench produces " +
-          std::to_string(panel_count));
-    }
-    for (const util::json::Value& panel : panels)
-      exec.partials.push_back(PartialT::from_json(panel.at("partial")));
-    exec.window_begin = doc.at("run_begin").as_size();
-    exec.cursor = doc.at("run_end").as_size();
-    exec.window_end = doc.at("window_end").as_size();
+    const util::json::Value doc = sim::decode_partial_document(
+        read_text_file(knobs.partial_in), knobs.partial_in);
+    load_partial_document(doc, "--partial-in file " + knobs.partial_in,
+                          header, panel_count, exec);
     // The window comes from the file; an explicit CLI window that
     // disagrees must not be silently overridden.
     if (!knobs.shard.whole() && (knobs.shard.begin != exec.window_begin ||
@@ -240,10 +317,42 @@ ShardExecution<PartialT> run_sharded_panels(
                 "executed\n",
                 knobs.partial_in.c_str(), exec.window_begin, exec.cursor,
                 exec.window_begin, exec.window_end);
+  } else if (!knobs.store_dir.empty()) {
+    // A finished (config, window) may already be published — serve it
+    // instead of recomputing. Every failure mode of an entry (corrupt
+    // frame, foreign config behind a colliding digest, incomplete
+    // window) downgrades to a miss with a note, never an error.
+    const sim::ResultStore store(knobs.store_dir);
+    const sim::ResultKey key =
+        store_key_of(header, exec.window_begin, exec.window_end);
+    if (const auto cached = store.lookup(key)) {
+      try {
+        const std::string origin = "store entry " + store.entry_path(key);
+        const util::json::Value doc =
+            sim::decode_partial_document(*cached, origin);
+        ShardExecution<PartialT> hit;
+        load_partial_document(doc, origin, header, panel_count, hit);
+        if (!hit.complete() || hit.window_begin != exec.window_begin ||
+            hit.window_end != exec.window_end) {
+          throw std::invalid_argument(
+              origin + " covers runs [" + std::to_string(hit.window_begin) +
+              ", " + std::to_string(hit.cursor) + ") of window [" +
+              std::to_string(hit.window_begin) + ", " +
+              std::to_string(hit.window_end) +
+              ") — not this invocation's finished window");
+        }
+        exec = std::move(hit);
+        exec.store_hit = true;
+        std::printf("[store] cache hit: %s — runs [%zu, %zu) served "
+                    "without recomputation\n",
+                    key.id().c_str(), exec.window_begin, exec.window_end);
+      } catch (const std::exception& e) {
+        std::printf("[store] ignoring unusable entry: %s\n", e.what());
+      }
+    }
   }
 
   std::size_t executed_now = 0;
-  bool wrote_partial = false;
   while (exec.cursor < exec.window_end) {
     std::size_t step = exec.window_end - exec.cursor;
     if (knobs.checkpoint_every > 0)
@@ -267,18 +376,15 @@ ShardExecution<PartialT> run_sharded_panels(
       partial.extend_window(exec.window_end);
     const bool hit_stop =
         knobs.stop_after > 0 && executed_now >= knobs.stop_after;
-    if (!knobs.partial_out.empty() &&
-        (exec.complete() || hit_stop || knobs.checkpoint_every > 0)) {
-      write_partial_document(knobs.partial_out, header, exec.window_begin,
-                             exec.cursor, exec.window_end, exec.partials,
-                             panel_meta);
-      wrote_partial = true;
-      if (!exec.complete()) {
-        std::printf("[checkpoint] wrote %s at run cursor %zu of window "
-                    "[%zu, %zu)\n",
-                    knobs.partial_out.c_str(), exec.cursor,
-                    exec.window_begin, exec.window_end);
-      }
+    if (!knobs.partial_out.empty() && !exec.complete() &&
+        (hit_stop || knobs.checkpoint_every > 0)) {
+      exec.partial_bytes = write_partial_document(
+          knobs.partial_out, header, exec.window_begin, exec.cursor,
+          exec.window_end, exec.partials, panel_meta, knobs.format);
+      std::printf("[checkpoint] wrote %s at run cursor %zu of window "
+                  "[%zu, %zu)\n",
+                  knobs.partial_out.c_str(), exec.cursor, exec.window_begin,
+                  exec.window_end);
     }
     if (hit_stop && !exec.complete()) {
       std::printf("[checkpoint] stopping after %zu runs; resume with "
@@ -287,12 +393,29 @@ ShardExecution<PartialT> run_sharded_panels(
       return exec;
     }
   }
-  // Resuming an already-complete checkpoint skips the loop entirely;
-  // the promised --partial-out must still exist afterwards.
-  if (!knobs.partial_out.empty() && !wrote_partial) {
-    write_partial_document(knobs.partial_out, header, exec.window_begin,
-                           exec.cursor, exec.window_end, exec.partials,
-                           panel_meta);
+
+  // The window is complete (freshly executed, resumed to completion, or
+  // a cache hit). Encode the finished document ONCE: --partial-out gets
+  // it as a file, --store publishes it content-addressed. A cache hit is
+  // re-encoded rather than copied so the bytes written under
+  // --format=X are identical whether or not the store served the run.
+  if (!knobs.partial_out.empty() || !knobs.store_dir.empty()) {
+    const std::string bytes =
+        sim::partial_codec(knobs.format)
+            .encode(partial_document(header, exec.window_begin, exec.cursor,
+                                     exec.window_end, exec.partials,
+                                     panel_meta));
+    exec.partial_bytes = bytes.size();
+    if (!knobs.partial_out.empty()) write_text_file(knobs.partial_out, bytes);
+    if (!knobs.store_dir.empty() && !exec.store_hit) {
+      sim::ResultStore store(knobs.store_dir);
+      const std::string path = store.insert(
+          store_key_of(header, exec.window_begin, exec.window_end), bytes);
+      std::printf("[store] published runs [%zu, %zu) to %s (%zu bytes, "
+                  "%s)\n",
+                  exec.window_begin, exec.window_end, path.c_str(),
+                  bytes.size(), sim::to_string(knobs.format));
+    }
   }
   return exec;
 }
@@ -300,15 +423,31 @@ ShardExecution<PartialT> run_sharded_panels(
 /// The shard-worker epilogue every figure bench shares: true means the
 /// invocation is done (either --stop-after checkpointed and stopped, or
 /// the shard partial is on disk) and the caller should exit 0 without
-/// producing a figure.
+/// producing a figure. Emits BENCH_<bench>_shard.json (partial byte
+/// size per format, cache-hit flag, wall time) so the binary-vs-json
+/// size win lands in the perf trajectory.
 template <typename PartialT>
 bool shard_worker_done(const ShardExecution<PartialT>& exec,
-                       const ShardKnobs& knobs) {
-  if (!exec.complete()) return true;  // checkpointed and stopped early
-  if (knobs.partial_out.empty()) return false;
-  std::printf("\n[shard] wrote partial for runs [%zu, %zu) of %zu to %s\n",
-              exec.window_begin, exec.cursor, knobs.runs,
-              knobs.partial_out.c_str());
+                       const ShardKnobs& knobs,
+                       const util::json::Value& header, double wall_ms) {
+  const bool done = !exec.complete() || !knobs.partial_out.empty();
+  if (!done) return false;
+  if (exec.complete()) {
+    std::printf("\n[shard] wrote partial for runs [%zu, %zu) of %zu to %s "
+                "(%zu bytes, %s%s)\n",
+                exec.window_begin, exec.cursor, knobs.runs,
+                knobs.partial_out.c_str(), exec.partial_bytes,
+                sim::to_string(knobs.format),
+                exec.store_hit ? ", store hit" : "");
+  }
+  emit_json(header.at("bench").as_string() + "_shard",
+            {{"run_begin", static_cast<double>(exec.window_begin)},
+             {"run_end", static_cast<double>(exec.cursor)},
+             {"window_end", static_cast<double>(exec.window_end)},
+             {"partial_bytes", static_cast<double>(exec.partial_bytes)},
+             {"partial_format", sim::to_string(knobs.format)},
+             {"store_hit", exec.store_hit ? 1.0 : 0.0},
+             {"wall_ms", wall_ms}});
   return true;
 }
 

@@ -94,7 +94,8 @@ int main(int argc, char** argv) {
   const bench::WallTimer timer;
   const auto exec = bench::run_sharded_panels<sim::StrategicPartial>(
       knobs, 2, header, panel_meta, run_panel);
-  if (bench::shard_worker_done(exec, knobs)) return 0;
+  if (bench::shard_worker_done(exec, knobs, header, timer.elapsed_ms()))
+    return 0;
 
   bench::JsonFields json_fields = {
       {"nodes", static_cast<double>(nodes)},

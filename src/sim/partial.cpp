@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "sim/network.hpp"
+#include "util/framed_io.hpp"
 
 namespace roleshare::sim {
 
@@ -29,13 +30,11 @@ util::json::Value network_spec_echo(const NetworkConfig& config) {
 std::string spec_hash_hex(const util::json::Value& spec_echo) {
   // FNV-1a 64 over the canonical dump: deterministic across processes
   // (insertion-ordered members, %.17g doubles), collision-resistant
-  // enough for "did two shards run the same experiment".
-  const std::string text = spec_echo.dump();
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const char c : text) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;
-  }
+  // enough for "did two shards run the same experiment". The same digest
+  // (util::framed::fnv1a_64) checksums binary-frame sections and derives
+  // result-store entry names, so one hash discipline covers the whole
+  // partial pipeline.
+  const std::uint64_t h = util::framed::fnv1a_64(spec_echo.dump());
   char buf[17];
   std::snprintf(buf, sizeof(buf), "%016llx",
                 static_cast<unsigned long long>(h));

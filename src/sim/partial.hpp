@@ -28,6 +28,14 @@
 // contiguous windows replay a serial execution bit for bit, a
 // checkpointed-then-resumed shard is bit-identical to an uninterrupted
 // one. merge_partials refuses unfinished checkpoints loudly.
+//
+// Serialization: envelope, ScalarBank and every payload build one
+// deterministic util::json value tree (to_json/from_json below); the
+// bytes on disk come from a sim::PartialCodec (partial_codec.hpp) —
+// JSON text or the framed binary columnar format, interchangeably and
+// bit-identically. Finished windows are additionally cacheable by
+// content address in a sim::ResultStore keyed on the spec hash
+// (result_store.hpp).
 #pragma once
 
 #include <algorithm>

@@ -1,0 +1,222 @@
+// sim::ResultStore — content-addressed cache of finished shard partials.
+// Under test: lookup returns the inserted payload byte-identically, any
+// corruption (single-byte flips, truncation, foreign key behind a
+// colliding file name) downgrades to a miss rather than an error,
+// concurrent writers racing on one key all succeed (atomic temp+rename
+// publication), and gc removes exactly what lookup would reject plus
+// oldest-first evictions down to a byte budget.
+#include "sim/result_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace roleshare::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ResultStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (fs::temp_directory_path() /
+             ("rs_store_test_" +
+              std::to_string(::testing::UnitTest::GetInstance()
+                                 ->random_seed()) +
+              "_" + ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name()))
+                .string();
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  static ResultKey key_for(std::size_t begin, std::size_t end,
+                           const std::string& bench = "fig3_defection") {
+    ResultKey key;
+    key.kind = "defection";
+    key.bench = bench;
+    key.spec_hash = "00112233aabbccdd";
+    key.backend = AggBackend::Exact;
+    key.run_begin = begin;
+    key.run_end = end;
+    return key;
+  }
+
+  std::string root_;
+};
+
+TEST_F(ResultStoreTest, KeyIdIsCanonicalAndValidated) {
+  const ResultKey key = key_for(0, 50);
+  EXPECT_EQ(key.id(),
+            "defection/fig3_defection/00112233aabbccdd/exact/[0,50)");
+  EXPECT_EQ(key.entry_name().size(), 16u + 4u);  // fnv hex + ".rsr"
+  ResultKey empty_window = key_for(5, 5);
+  EXPECT_THROW(empty_window.id(), std::invalid_argument);
+  ResultKey missing;
+  EXPECT_THROW(missing.id(), std::invalid_argument);
+  // Different windows / benches address different entries.
+  EXPECT_NE(key_for(0, 50).entry_name(), key_for(0, 25).entry_name());
+  EXPECT_NE(key_for(0, 50).entry_name(),
+            key_for(0, 50, "scenario_sweep").entry_name());
+}
+
+TEST_F(ResultStoreTest, LookupReturnsInsertedBytesExactly) {
+  ResultStore store(root_);
+  const ResultKey key = key_for(0, 10);
+  EXPECT_FALSE(store.lookup(key).has_value());
+  EXPECT_FALSE(store.contains(key));
+
+  const std::string payload("binary \0 payload \xff bytes", 24);
+  const std::string path = store.insert(key, payload);
+  EXPECT_EQ(path, store.entry_path(key));
+  EXPECT_TRUE(fs::exists(path));
+
+  const auto cached = store.lookup(key);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(*cached, payload);  // byte-identical, NULs and high bytes kept
+
+  // Re-insert (the racing-writer case, serialized): still one entry,
+  // still the same bytes.
+  store.insert(key, payload);
+  EXPECT_EQ(*store.lookup(key), payload);
+}
+
+TEST_F(ResultStoreTest, EverySingleByteCorruptionIsAMiss) {
+  ResultStore store(root_);
+  const ResultKey key = key_for(0, 10);
+  store.insert(key, "the cached result payload");
+  const std::string path = store.entry_path(key);
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string bad = bytes;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << bad;
+    EXPECT_FALSE(store.lookup(key).has_value())
+        << "flip at byte " << i << " still served";
+  }
+  // Truncations are misses too.
+  for (std::size_t len : {std::size_t{0}, bytes.size() / 2,
+                          bytes.size() - 1}) {
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        << bytes.substr(0, len);
+    EXPECT_FALSE(store.lookup(key).has_value())
+        << "truncation to " << len << " bytes still served";
+  }
+  // Restoring the original bytes restores the hit.
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+  EXPECT_TRUE(store.lookup(key).has_value());
+}
+
+TEST_F(ResultStoreTest, ForeignEntryBehindTheFileNameIsAMiss) {
+  ResultStore store(root_);
+  const ResultKey a = key_for(0, 10);
+  const ResultKey b = key_for(10, 20);
+  store.insert(a, "payload A");
+  // Simulate an FNV file-name collision: b's entry path carries a's
+  // frame. The embedded key id must unmask it.
+  fs::copy_file(store.entry_path(a), store.entry_path(b));
+  EXPECT_FALSE(store.lookup(b).has_value());
+  EXPECT_EQ(*store.lookup(a), "payload A");
+}
+
+TEST_F(ResultStoreTest, ConcurrentWritersOnOneKeyAllSucceed) {
+  ResultStore store(root_);
+  const ResultKey key = key_for(0, 100);
+  const std::string payload(4096, 'x');
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 8; ++t) {
+    writers.emplace_back([&store, &key, &payload] {
+      // Same key → same content (the key addresses it); every writer
+      // publishes via its own temp file and rename, so none can observe
+      // or produce a torn entry.
+      for (int i = 0; i < 20; ++i) store.insert(key, payload);
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  const auto cached = store.lookup(key);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(*cached, payload);
+  // No temp debris left behind by successful publications.
+  std::size_t tmp_files = 0;
+  for (const fs::directory_entry& de : fs::directory_iterator(root_)) {
+    if (de.path().filename().string().find(".tmp.") != std::string::npos)
+      ++tmp_files;
+  }
+  EXPECT_EQ(tmp_files, 0u);
+}
+
+TEST_F(ResultStoreTest, GcReapsCorruptEntriesAndTempDebris) {
+  ResultStore store(root_);
+  store.insert(key_for(0, 10), "keep me");
+  store.insert(key_for(10, 20), "corrupt me");
+  // Corrupt the second entry and drop orphaned temp + foreign files.
+  std::ofstream(store.entry_path(key_for(10, 20)),
+                std::ios::binary | std::ios::trunc)
+      << "garbage";
+  std::ofstream(root_ + "/deadbeef.rsr.tmp.123.0", std::ios::binary)
+      << "orphan";
+  std::ofstream(root_ + "/README.txt", std::ios::binary) << "not ours";
+
+  const GcStats stats = store.gc();
+  EXPECT_EQ(stats.entries_kept, 1u);
+  EXPECT_EQ(stats.corrupt_removed, 2u);  // corrupt entry + temp orphan
+  EXPECT_EQ(stats.evicted, 0u);
+  EXPECT_GT(stats.bytes_kept, 0u);
+  EXPECT_EQ(*store.lookup(key_for(0, 10)), "keep me");
+  EXPECT_FALSE(store.lookup(key_for(10, 20)).has_value());
+  EXPECT_TRUE(fs::exists(root_ + "/README.txt"));  // foreign files kept
+}
+
+TEST_F(ResultStoreTest, GcEvictsOldestFirstToTheByteBudget) {
+  ResultStore store(root_);
+  const std::string payload(1000, 'p');
+  for (std::size_t i = 0; i < 4; ++i) {
+    store.insert(key_for(i * 10, i * 10 + 10), payload);
+    // Distinct mtimes so "oldest" is well defined across filesystems
+    // with coarse timestamps.
+    const auto when = fs::file_time_type::clock::now() -
+                      std::chrono::hours(4 - i);
+    fs::last_write_time(store.entry_path(key_for(i * 10, i * 10 + 10)),
+                        when);
+  }
+  const GcStats all = store.gc();
+  ASSERT_EQ(all.entries_kept, 4u);
+
+  // Budget exactly fitting the two NEWEST entries (entry sizes differ by
+  // a few bytes — the key id is embedded — so halving bytes_kept would
+  // be off by one): the two oldest go.
+  const std::uint64_t budget =
+      fs::file_size(store.entry_path(key_for(20, 30))) +
+      fs::file_size(store.entry_path(key_for(30, 40)));
+  const GcStats stats = store.gc(budget);
+  EXPECT_EQ(stats.evicted, 2u);
+  EXPECT_EQ(stats.entries_kept, 2u);
+  EXPECT_FALSE(store.contains(key_for(0, 10)));
+  EXPECT_FALSE(store.contains(key_for(10, 20)));
+  EXPECT_TRUE(store.contains(key_for(20, 30)));
+  EXPECT_TRUE(store.contains(key_for(30, 40)));
+}
+
+TEST_F(ResultStoreTest, UnusableRootIsAnError) {
+  const std::string file_path = root_ + "_file";
+  std::ofstream(file_path, std::ios::binary) << "x";
+  EXPECT_THROW(ResultStore{file_path}, std::runtime_error);
+  fs::remove(file_path);
+  EXPECT_THROW(ResultStore{""}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace roleshare::sim
