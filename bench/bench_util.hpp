@@ -41,6 +41,19 @@ inline long long arg_int(int argc, char** argv, const std::string& name,
   return fallback;
 }
 
+/// Parses "--name=value" from argv as a double; returns fallback when
+/// absent (e.g. --alpha=0.3, --top-fraction=0.01).
+inline double arg_real(int argc, char** argv, const std::string& name,
+                       double fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0)
+      return std::atof(arg.substr(prefix.size()).c_str());
+  }
+  return fallback;
+}
+
 /// Parses "--name=value" from argv as a string; returns fallback when
 /// absent (e.g. --agg=streaming, --partial-out=shard0.json).
 inline std::string arg_string(int argc, char** argv, const std::string& name,

@@ -39,6 +39,7 @@
 #include "bench_util.hpp"
 #include "shard_util.hpp"
 #include "sim/defection_experiment.hpp"
+#include "sim/longhorizon.hpp"
 #include "sim/partial.hpp"
 #include "sim/partial_codec.hpp"
 #include "sim/result_store.hpp"
@@ -209,6 +210,23 @@ util::json::Value finalize_reward(
   return panels;
 }
 
+util::json::Value finalize_longhorizon(
+    const MergedPanels<sim::LongHorizonPartial>& merged) {
+  util::json::Value panels = util::json::Value::array();
+  for (std::size_t i = 0; i < merged.partials.size(); ++i) {
+    const sim::LongHorizonResult result = merged.partials[i].finalize();
+    std::printf("panel %zu %s: end gini = %.4f, end top-share = %.4f, "
+                "defector corr = %.4f, paid = %.1f Algos\n",
+                i + 1, merged.metas[i].dump().c_str(), result.mean_end_gini,
+                result.mean_end_top_share, result.mean_end_defector_corr,
+                result.mean_paid_algos);
+    util::json::Value panel = merged.metas[i];
+    panel.set("series", bench::longhorizon_series_json(result));
+    panels.push_back(std::move(panel));
+  }
+  return panels;
+}
+
 util::json::Value finalize_strategic(
     const MergedPanels<sim::StrategicPartial>& merged) {
   util::json::Value panels = util::json::Value::array();
@@ -331,10 +349,14 @@ int main(int argc, char** argv) {
       const auto merged = merge_panels<sim::StrategicPartial>(files);
       series_panels = finalize_strategic(merged);
       publish_merged(store_dir, header, runs_total, merged, publish_format);
+    } else if (kind == sim::LongHorizonPayload::kKind) {
+      const auto merged = merge_panels<sim::LongHorizonPartial>(files);
+      series_panels = finalize_longhorizon(merged);
+      publish_merged(store_dir, header, runs_total, merged, publish_format);
     } else {
       throw std::invalid_argument("unknown experiment kind \"" + kind +
-                                  "\" (expected \"defection\", \"reward\" "
-                                  "or \"strategic\")");
+                                  "\" (expected \"defection\", \"reward\", "
+                                  "\"strategic\" or \"longhorizon\")");
     }
 
     bench::write_series_document(series_out, series_header(header), 0,

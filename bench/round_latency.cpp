@@ -17,9 +17,21 @@
 // allocations per steady-state round — the reusable-workspace contract's
 // regression gate — plus the workspace's resident capacity.
 //
+// --sparse=1 switches to the CommitteeModel::Sampled comparison
+// (DESIGN.md §10): the sparse O(committee · log N) path vs the dense
+// Sampled evaluation of the same rounds, both compounding role rewards
+// into stake every round so the stake index absorbs real deltas. The
+// sparse pass reports allocations per round (gated by --self-check
+// against the sparse-touch contract: nothing beyond the chain append and
+// the proposal transaction lists), the sparse workspace + context bytes,
+// and per-node peak RSS; --sparse --sweep runs the 100k/1M ladder whose
+// ms/round ratio is the sublinearity evidence.
+//
 //   $ ./round_latency --nodes=100000 --rounds=3 --inner-threads=0
 //   $ ./round_latency --sweep=1 --rounds=3        # 1000/3000/10000 nodes
 //   $ ./round_latency --nodes=3000 --self-check=1 # CI determinism gate
+//   $ ./round_latency --sparse=1 --sweep=1        # 100k/1M sparse ladder
+//   $ ./round_latency --sparse=1 --nodes=3000 --self-check=1  # alloc gate
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -29,8 +41,11 @@
 
 #include "alloc_counter.hpp"
 #include "bench_util.hpp"
+#include "econ/foundation_schedule.hpp"
+#include "econ/sparse_payout.hpp"
 #include "sim/aggregators.hpp"
 #include "sim/round_engine.hpp"
+#include "sim/sampled_round.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace roleshare;
@@ -177,35 +192,343 @@ Measurement measure_size(std::size_t nodes, std::size_t rounds,
   return m;
 }
 
+// ---- Sampled-model comparison (--sparse) --------------------------------
+
+/// The sparse-touch allocation contract (DESIGN.md §10): a steady-state
+/// sparse round may allocate only for the chain append and the proposal
+/// transaction lists — a handful per round, independent of N. The gate
+/// leaves headroom over the measured ~6 so stdlib differences don't trip
+/// it while an O(committee) or O(N) allocation regression still does.
+constexpr std::uint64_t kSparseSteadyAllocGate = 64;
+
+/// One pass over the Sampled round model, dense or sparse evaluation,
+/// with the fixed-split role payouts compounded into stake every round —
+/// the long-horizon workload, so the sparse pass exercises the O(log N)
+/// stake-index deltas and not just static elections.
+struct SparsePassResult {
+  std::vector<double> final_fractions;
+  std::vector<std::size_t> proposals;
+  std::vector<std::uint64_t> allocs_per_round;
+  std::size_t workspace_bytes = 0;
+  /// Mean touched-set size (sparse pass only): the committee-neighborhood
+  /// node count a round actually visits.
+  double touched_mean = 0.0;
+  crypto::Hash256 tip{};
+  double wall_ms = 0.0;
+
+  double ms_per_round() const {
+    return allocs_per_round.empty()
+               ? 0.0
+               : wall_ms / static_cast<double>(allocs_per_round.size());
+  }
+  std::uint64_t steady_allocs() const {
+    if (allocs_per_round.empty()) return 0;
+    std::uint64_t best = allocs_per_round.back();
+    for (std::size_t r = 1; r < allocs_per_round.size(); ++r)
+      best = std::min(best, allocs_per_round[r]);
+    return best;
+  }
+};
+
+sim::Network make_sampled_net(std::size_t nodes, std::uint64_t seed,
+                              double defection_rate) {
+  sim::NetworkConfig config;
+  config.node_count = nodes;
+  config.seed = seed;
+  config.defection_rate = defection_rate;
+  return sim::Network(config);
+}
+
+consensus::ConsensusParams sampled_params(const sim::Network& net) {
+  consensus::ConsensusParams params =
+      consensus::ConsensusParams::scaled_for(net.accounts().total_stake());
+  params.committee_model = consensus::CommitteeModel::Sampled;
+  return params;
+}
+
+/// Credits the round's fixed-split role payouts (Foundation budget,
+/// α = β = 0.30) from the touched-set spans and reports each credited
+/// node through `on_credit`. Shared by the sparse and dense passes so
+/// both compound the exact same µAlgos and stay bit-identical.
+template <typename OnCredit>
+void compound_payouts(sim::Network& net, ledger::Round round,
+                      const std::vector<ledger::NodeId>& ids,
+                      const std::vector<consensus::Role>& roles,
+                      const std::vector<std::int64_t>& stakes,
+                      std::int64_t online_stake,
+                      std::vector<ledger::MicroAlgos>& amounts,
+                      OnCredit&& on_credit) {
+  const econ::RewardSplit split(0.30, 0.30);
+  const ledger::MicroAlgos budget = econ::FoundationSchedule::reward_for_round(
+      std::max<ledger::Round>(round, 1));
+  amounts.assign(ids.size(), 0);
+  econ::distribute_touched(split, budget, roles, stakes, online_stake,
+                           amounts);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (amounts[i] == 0) continue;
+    net.accounts().credit(ids[i], amounts[i]);
+    on_credit(ids[i]);
+  }
+}
+
+/// The sparse evaluation: one O(N) context build, then every round is
+/// O(committee · log N) — elections off the incremental stake index,
+/// payout deltas folded back via refresh_node. The allocation counter
+/// brackets run_round_sparse_into only; the payout loop reuses its
+/// buffers and allocates nothing once warm.
+SparsePassResult run_sparse_pass(std::size_t nodes, std::size_t rounds,
+                                 std::uint64_t seed, double defection_rate) {
+  sim::Network net = make_sampled_net(nodes, seed, defection_rate);
+  sim::RoundEngine engine(net, sampled_params(net));
+
+  sim::SparseRoundContext ctx;
+  ctx.init_from(net);
+  sim::SparseRoundWorkspace ws;
+  sim::SparseRoundResult sparse;
+
+  std::vector<ledger::NodeId> ids;
+  std::vector<consensus::Role> roles;
+  std::vector<std::int64_t> stakes;
+  std::vector<ledger::MicroAlgos> amounts;
+
+  SparsePassResult pass;
+  std::size_t touched_total = 0;
+  const bench::WallTimer timer;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const std::uint64_t allocs_before = bench::alloc_count();
+    engine.run_round_sparse_into(sparse, ctx, ws);
+    pass.allocs_per_round.push_back(bench::alloc_count() - allocs_before);
+    pass.final_fractions.push_back(sparse.final_fraction);
+    pass.proposals.push_back(sparse.proposals);
+    touched_total += sparse.touched.size();
+
+    ids.clear();
+    roles.clear();
+    stakes.clear();
+    for (const sim::SparseNodeRole& t : sparse.touched) {
+      ids.push_back(t.node);
+      roles.push_back(t.role_observed);
+      stakes.push_back(t.reward_stake);
+    }
+    compound_payouts(net, sparse.round, ids, roles, stakes,
+                     sparse.online_stake, amounts,
+                     [&](ledger::NodeId v) { ctx.refresh_node(net, v); });
+  }
+  pass.wall_ms = timer.elapsed_ms();
+  pass.workspace_bytes = ws.capacity_bytes();
+  pass.touched_mean = rounds == 0 ? 0.0
+                                  : static_cast<double>(touched_total) /
+                                        static_cast<double>(rounds);
+  pass.tip = net.chain().tip().hash();
+  return pass;
+}
+
+/// The dense evaluation of the same Sampled rounds: run_round_into
+/// rebuilds the stake index and materializes full per-node vectors each
+/// round (O(N)), and the payout gather walks the full role snapshot. By
+/// the sparse-payout contract the credited set and amounts match the
+/// sparse pass exactly, so the two chains stay bit-identical.
+SparsePassResult run_dense_sampled_pass(std::size_t nodes, std::size_t rounds,
+                                        std::uint64_t seed,
+                                        double defection_rate) {
+  sim::Network net = make_sampled_net(nodes, seed, defection_rate);
+  sim::RoundEngine engine(net, sampled_params(net));
+
+  sim::RoundWorkspace ws;
+  sim::RoundResult result;
+  std::vector<ledger::NodeId> ids;
+  std::vector<consensus::Role> roles;
+  std::vector<std::int64_t> stakes;
+  std::vector<ledger::MicroAlgos> amounts;
+
+  SparsePassResult pass;
+  const bench::WallTimer timer;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const std::uint64_t allocs_before = bench::alloc_count();
+    engine.run_round_into(result, ws);
+    pass.allocs_per_round.push_back(bench::alloc_count() - allocs_before);
+    pass.final_fractions.push_back(result.final_fraction);
+    pass.proposals.push_back(result.proposals);
+
+    const econ::RoleSnapshot& snapshot = *result.roles;
+    ids.clear();
+    roles.clear();
+    stakes.clear();
+    for (std::size_t v = 0; v < snapshot.node_count(); ++v) {
+      const consensus::Role role =
+          snapshot.role(static_cast<ledger::NodeId>(v));
+      if (role == consensus::Role::Other) continue;
+      ids.push_back(static_cast<ledger::NodeId>(v));
+      roles.push_back(role);
+      stakes.push_back(snapshot.stake(static_cast<ledger::NodeId>(v)));
+    }
+    compound_payouts(net, result.round, ids, roles, stakes,
+                     snapshot.total_stake(), amounts, [](ledger::NodeId) {});
+  }
+  pass.wall_ms = timer.elapsed_ms();
+  pass.workspace_bytes = ws.capacity_bytes();
+  pass.tip = net.chain().tip().hash();
+  return pass;
+}
+
+struct SparseMeasurement {
+  SparsePassResult sparse;
+  SparsePassResult dense;
+  bool identical = false;
+  double speedup = 0.0;
+};
+
+/// One sparse + dense-reference measurement at a node count. The dense
+/// pass may run fewer rounds (it is the O(N) path being amortized away);
+/// identity is then checked over the common prefix and the tip hashes are
+/// only compared on equal-length chains.
+SparseMeasurement measure_sparse_size(std::size_t nodes,
+                                      std::size_t sparse_rounds,
+                                      std::size_t dense_rounds,
+                                      std::uint64_t seed,
+                                      const std::string& prefix,
+                                      bench::JsonFields& fields) {
+  SparseMeasurement m;
+  std::printf("\nsparse pass (%zu nodes, %zu rounds, compounding)...\n",
+              nodes, sparse_rounds);
+  m.sparse = run_sparse_pass(nodes, sparse_rounds, seed, 0.05);
+  std::printf("  wall: %.0f ms (%.3f ms/round) | touched/round: %.0f\n",
+              m.sparse.wall_ms, m.sparse.ms_per_round(),
+              m.sparse.touched_mean);
+  std::printf("  allocations/round: first %llu, steady %llu | "
+              "sparse workspace %.1f KiB\n",
+              static_cast<unsigned long long>(
+                  m.sparse.allocs_per_round.front()),
+              static_cast<unsigned long long>(m.sparse.steady_allocs()),
+              static_cast<double>(m.sparse.workspace_bytes) / 1024.0);
+
+  std::printf("dense reference (%zu rounds)...\n", dense_rounds);
+  m.dense = run_dense_sampled_pass(nodes, dense_rounds, seed, 0.05);
+  std::printf("  wall: %.0f ms (%.2f ms/round)\n", m.dense.wall_ms,
+              m.dense.ms_per_round());
+
+  const std::size_t common = std::min(sparse_rounds, dense_rounds);
+  m.identical =
+      std::equal(m.dense.final_fractions.begin(),
+                 m.dense.final_fractions.begin() + common,
+                 m.sparse.final_fractions.begin()) &&
+      std::equal(m.dense.proposals.begin(),
+                 m.dense.proposals.begin() + common,
+                 m.sparse.proposals.begin()) &&
+      (sparse_rounds != dense_rounds || m.sparse.tip == m.dense.tip);
+  m.speedup = m.sparse.ms_per_round() > 0.0
+                  ? m.dense.ms_per_round() / m.sparse.ms_per_round()
+                  : 0.0;
+  std::printf("sparse == dense over %zu common rounds: %s | "
+              "per-round speedup: %.1fx\n",
+              common, m.identical ? "yes" : "NO — BUG", m.speedup);
+
+  const double rss = bench::peak_rss_bytes();
+  fields.emplace_back(prefix + "sparse_wall_ms", m.sparse.wall_ms);
+  fields.emplace_back(prefix + "sparse_ms_per_round",
+                      m.sparse.ms_per_round());
+  fields.emplace_back(prefix + "sparse_rounds", sparse_rounds);
+  fields.emplace_back(prefix + "dense_ms_per_round", m.dense.ms_per_round());
+  fields.emplace_back(prefix + "dense_rounds", dense_rounds);
+  fields.emplace_back(prefix + "sparse_speedup_vs_dense", m.speedup);
+  fields.emplace_back(prefix + "sparse_allocs_per_round_first",
+                      m.sparse.allocs_per_round.front());
+  fields.emplace_back(prefix + "sparse_allocs_per_round_steady",
+                      m.sparse.steady_allocs());
+  fields.emplace_back(prefix + "sparse_workspace_bytes",
+                      m.sparse.workspace_bytes);
+  fields.emplace_back(prefix + "sparse_touched_mean", m.sparse.touched_mean);
+  fields.emplace_back(prefix + "peak_rss_mb", rss / (1024.0 * 1024.0));
+  fields.emplace_back(prefix + "rss_per_node_bytes",
+                      rss / static_cast<double>(nodes));
+  fields.emplace_back(prefix + "sparse_bit_identical",
+                      m.identical ? "yes" : "no");
+  return m;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto nodes = static_cast<std::size_t>(
       bench::arg_int(argc, argv, "nodes", 100'000));
-  const auto rounds =
-      static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 3));
+  const bool sparse = bench::arg_int(argc, argv, "sparse", 0) != 0;
+  const bool sweep = bench::arg_int(argc, argv, "sweep", 0) != 0;
+  // Sparse rounds are sub-millisecond, so the sparse default runs many
+  // more of them for a stable ms/round reading; in a combined
+  // --sweep --sparse run the dense ladder keeps the short default and
+  // only the sparse ladder stretches.
+  const long long rounds_arg = bench::arg_int(argc, argv, "rounds", -1);
+  const auto rounds = static_cast<std::size_t>(
+      rounds_arg >= 0 ? rounds_arg : (sparse && !sweep ? 256 : 3));
   const auto seed =
       static_cast<std::uint64_t>(bench::arg_int(argc, argv, "seed", 404));
   // Unlike the figure benches, the parallel pass defaults to all hardware
   // threads — measuring the speedup is this binary's whole point.
   const auto inner_threads = static_cast<std::size_t>(
       bench::arg_int(argc, argv, "inner-threads", 0));
-  const bool sweep = bench::arg_int(argc, argv, "sweep", 0) != 0;
   const bool self_check = bench::arg_int(argc, argv, "self-check", 0) != 0;
   const std::size_t workers =
       util::ThreadPool::resolve_thread_count(inner_threads);
 
   bench::print_header("Round latency",
-                      "single-run wall time, serial vs inner-parallel");
+                      sparse ? "Sampled rounds, sparse vs dense evaluation"
+                             : "single-run wall time, serial vs "
+                               "inner-parallel");
   std::printf("nodes=%zu rounds=%zu defection=5%% inner-threads=%zu "
               "(%zu workers; override with --nodes/--rounds/"
-              "--inner-threads; --sweep=1 for 1000/3000/10000 nodes; "
-              "--self-check=1 for the CI determinism gate)\n",
+              "--inner-threads; --sweep=1 for the node ladder; "
+              "--sparse=1 for the Sampled sparse-vs-dense comparison; "
+              "--self-check=1 for the CI gates)\n",
               nodes, rounds, inner_threads, workers);
+
+  // The dense reference is the O(N) path being amortized away; a short
+  // prefix is enough for a stable ms/round and the identity check.
+  const auto dense_rounds = static_cast<std::size_t>(bench::arg_int(
+      argc, argv, "dense-rounds",
+      static_cast<long long>(std::min<std::size_t>(rounds, 8))));
+
+  if (sparse && !sweep) {
+    // Single-size sparse measurement — the CI alloc/identity gate shape:
+    //   ./round_latency --sparse=1 --nodes=3000 --self-check=1
+    bench::JsonFields fields{{"nodes", nodes},
+                             {"rounds", rounds},
+                             {"dense_rounds", dense_rounds},
+                             {"sparse_alloc_gate", kSparseSteadyAllocGate}};
+    const SparseMeasurement m = measure_sparse_size(
+        nodes, rounds, dense_rounds, seed, "", fields);
+    bench::emit_json("round_latency_sparse", fields);
+
+    if (!m.identical) {
+      std::fprintf(stderr,
+                   "ERROR: sparse results diverged from the dense "
+                   "Sampled evaluation\n");
+      return 1;
+    }
+    if (self_check && m.sparse.steady_allocs() > kSparseSteadyAllocGate) {
+      std::fprintf(stderr,
+                   "ERROR: sparse steady-state allocations regressed: "
+                   "%llu/round > gate %llu (contract: chain append + "
+                   "proposal transaction lists only)\n",
+                   static_cast<unsigned long long>(m.sparse.steady_allocs()),
+                   static_cast<unsigned long long>(kSparseSteadyAllocGate));
+      return 1;
+    }
+    if (self_check) {
+      std::printf("\nself-check OK: sparse == dense and steady-state "
+                  "allocations %llu/round within the gate (%llu)\n",
+                  static_cast<unsigned long long>(m.sparse.steady_allocs()),
+                  static_cast<unsigned long long>(kSparseSteadyAllocGate));
+    }
+    return 0;
+  }
 
   if (sweep) {
     // Fixed size ladder for the perf trajectory: one BENCH file with the
     // per-size fields prefixed n<size>_, diffable by bench_compare.py.
+    // --sparse=1 appends the population-scale sparse-vs-dense ladder to
+    // the same document, so BENCH_round_latency.json carries both the
+    // dense inner-parallel trajectory and the sparse sublinearity
+    // evidence.
     const std::size_t sizes[] = {1000, 3000, 10000};
     bench::JsonFields fields{{"rounds", rounds}, {"workers", workers}};
     bool all_identical = true;
@@ -217,11 +540,49 @@ int main(int argc, char** argv) {
       all_identical = all_identical && m.identical;
       total_ms += m.serial.wall_ms + m.parallel.wall_ms;
     }
+
+    std::uint64_t worst_steady = 0;
+    if (sparse) {
+      // Sparse rounds are sub-millisecond; run enough for a stable
+      // reading even when the dense ladder above used --rounds=3.
+      const std::size_t sparse_rounds =
+          rounds_arg >= 0 ? rounds : std::max<std::size_t>(rounds, 256);
+      // Ascending so each size's peak-RSS snapshot is dominated by its
+      // own footprint (getrusage peaks are monotone).
+      const std::size_t sparse_sizes[] = {100'000, 1'000'000};
+      double ms_100k = 0.0;
+      double ratio_1m_vs_100k = 0.0;
+      fields.emplace_back("sparse_rounds", sparse_rounds);
+      fields.emplace_back("sparse_alloc_gate", kSparseSteadyAllocGate);
+      for (const std::size_t size : sparse_sizes) {
+        const std::string prefix = "n" + std::to_string(size) + "_";
+        const SparseMeasurement m = measure_sparse_size(
+            size, sparse_rounds, dense_rounds, seed, prefix, fields);
+        all_identical = all_identical && m.identical;
+        worst_steady = std::max(worst_steady, m.sparse.steady_allocs());
+        total_ms += m.sparse.wall_ms + m.dense.wall_ms;
+        if (size == 100'000) ms_100k = m.sparse.ms_per_round();
+        if (size == 1'000'000 && ms_100k > 0.0)
+          ratio_1m_vs_100k = m.sparse.ms_per_round() / ms_100k;
+      }
+      fields.emplace_back("sparse_ms_ratio_1m_vs_100k", ratio_1m_vs_100k);
+      std::printf("\nsublinearity: 1M-node sparse ms/round is %.2fx the "
+                  "100k-node cost (3x budget at fixed committee size)\n",
+                  ratio_1m_vs_100k);
+    }
+
     fields.emplace_back("wall_ms", total_ms);
     bench::emit_json("round_latency", fields);
     if (!all_identical) {
+      std::fprintf(stderr, "ERROR: results diverged across evaluations\n");
+      return 1;
+    }
+    if (self_check && sparse && worst_steady > kSparseSteadyAllocGate) {
       std::fprintf(stderr,
-                   "ERROR: inner-parallel results diverged from serial\n");
+                   "ERROR: sparse steady-state allocations regressed: "
+                   "%llu/round > gate %llu\n",
+                   static_cast<unsigned long long>(worst_steady),
+                   static_cast<unsigned long long>(kSparseSteadyAllocGate));
       return 1;
     }
     return 0;

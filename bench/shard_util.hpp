@@ -46,6 +46,7 @@
 
 #include "bench_util.hpp"
 #include "sim/defection_experiment.hpp"
+#include "sim/longhorizon.hpp"
 #include "sim/partial.hpp"
 #include "sim/partial_codec.hpp"
 #include "sim/result_store.hpp"
@@ -508,6 +509,27 @@ inline util::json::Value strategic_series_json(
   v.set("reward", std::move(reward));
   v.set("mean_total_reward_algos", result.mean_total_reward_algos);
   v.set("mean_final_cooperation", result.mean_final_cooperation);
+  return v;
+}
+
+inline util::json::Value longhorizon_series_json(
+    const sim::LongHorizonResult& result) {
+  using util::json::Value;
+  Value v = Value::object();
+  Value gini = Value::array(), top = Value::array(), corr = Value::array(),
+        fin = Value::array();
+  for (const double x : result.gini_per_round) gini.push_back(x);
+  for (const double x : result.top_share_per_round) top.push_back(x);
+  for (const double x : result.defector_corr_per_round) corr.push_back(x);
+  for (const double x : result.final_pct_per_round) fin.push_back(x);
+  v.set("gini", std::move(gini));
+  v.set("top_share", std::move(top));
+  v.set("defector_corr", std::move(corr));
+  v.set("final_pct", std::move(fin));
+  v.set("mean_end_gini", result.mean_end_gini);
+  v.set("mean_end_top_share", result.mean_end_top_share);
+  v.set("mean_end_defector_corr", result.mean_end_defector_corr);
+  v.set("mean_paid_algos", result.mean_paid_algos);
   return v;
 }
 

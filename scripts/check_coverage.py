@@ -42,6 +42,16 @@ DEFAULT_FLOORS = {
     "util/framed_io": 90.0,
     "sim/result_store": 90.0,
     "sim/partial_codec": 90.0,
+    # Sparse round path (PR 9): the stake index and sampled-round core
+    # carry the dense==sparse bit-identity contract, and the long-horizon
+    # payload carries the shard-merge contract — silent-failure subsystems
+    # gated file-scoped like the codecs above.
+    "util/stake_index": 92.0,
+    "util/alias_sampler": 90.0,
+    "util/streaming_stats": 90.0,
+    "sim/sampled_round": 90.0,
+    "sim/longhorizon": 90.0,
+    "econ/sparse_payout": 90.0,
 }
 
 

@@ -13,6 +13,22 @@
 
 namespace roleshare::consensus {
 
+/// How a round turns stake into proposer/committee seats.
+///
+///   PerNodeVrf  the paper-faithful model: every node evaluates its VRF
+///               and binomial inversion per step (crypto/sortition.hpp).
+///               Inherently Ω(N) per round — selection is only knowable
+///               by evaluating every key.
+///   Sampled     the population-scale model: tau seats per step are drawn
+///               with replacement from the stake distribution (the same
+///               sub-user accounting sim/reward_experiment.cpp always
+///               used); a node's weight is the seats it won. Selection
+///               touches O(tau · log N) state, which is what makes the
+///               sparse round path (sim/sampled_round.hpp) possible. The
+///               dense and sparse engines implement identical Sampled
+///               semantics bit for bit.
+enum class CommitteeModel : std::uint8_t { PerNodeVrf, Sampled };
+
 struct ConsensusParams {
   /// Expected total stake of block proposers per round (tau_proposer).
   std::uint64_t expected_proposer_stake = 26;
@@ -28,6 +44,10 @@ struct ConsensusParams {
 
   /// Maximum BinaryBA* iterations before giving up (the paper: <11 steps).
   std::uint32_t max_binary_iterations = 11;
+
+  /// Seat-selection model (see CommitteeModel above). The default keeps
+  /// every existing experiment on the paper-faithful per-node VRF path.
+  CommitteeModel committee_model = CommitteeModel::PerNodeVrf;
 
   /// Virtual time allotted to collect block proposals.
   net::TimeMs proposal_timeout_ms = 10'000.0;

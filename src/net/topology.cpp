@@ -1,6 +1,8 @@
 #include "net/topology.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "util/require.hpp"
 
@@ -13,14 +15,34 @@ Topology Topology::random_k_out(std::size_t n, std::size_t k,
   Topology t;
   t.fan_out_ = k;
   t.out_.resize(n);
+  // Per node: k distinct targets != v, sampled from n-1 logical slots
+  // with indices >= v shifted by one. The draw sequence and picks are
+  // exactly Rng::sample_without_replacement(n-1, k)'s partial
+  // Fisher–Yates, but only the swapped slots are materialized
+  // (epoch-stamped, shared across nodes), so the whole build is
+  // O(n·k) instead of the O(n²) a full index vector per node costs —
+  // the difference between seconds and hours at a million nodes.
+  std::vector<std::uint64_t> slot_epoch(n, 0);
+  std::vector<std::size_t> slot_value(n, 0);
+  std::uint64_t epoch = 0;
+  const auto value_at = [&](std::size_t p) {
+    return slot_epoch[p] == epoch ? slot_value[p] : p;
+  };
   for (std::size_t v = 0; v < n; ++v) {
-    // Sample k distinct targets != v: sample from n-1 logical slots and
-    // shift indices >= v by one.
-    auto picks = rng.sample_without_replacement(n - 1, k);
+    ++epoch;
     auto& row = t.out_[v];
     row.reserve(k);
-    for (const std::size_t p : picks) {
-      const std::size_t target = (p >= v) ? p + 1 : p;
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(static_cast<std::int64_t>(i),
+                          static_cast<std::int64_t>(n) - 2));
+      const std::size_t pick = value_at(j);
+      // swap(idx[i], idx[j]): position i is never read again (future
+      // swap targets are > i), so only idx[j] needs recording.
+      const std::size_t displaced = value_at(i);
+      slot_value[j] = displaced;
+      slot_epoch[j] = epoch;
+      const std::size_t target = (pick >= v) ? pick + 1 : pick;
       row.push_back(static_cast<ledger::NodeId>(target));
     }
     std::sort(row.begin(), row.end());

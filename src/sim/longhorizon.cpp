@@ -1,0 +1,316 @@
+#include "sim/longhorizon.hpp"
+
+#include <algorithm>
+
+#include "econ/foundation_schedule.hpp"
+#include "econ/sparse_payout.hpp"
+#include "sim/round_engine.hpp"
+#include "sim/sampled_round.hpp"
+#include "util/require.hpp"
+#include "util/streaming_stats.hpp"
+
+namespace roleshare::sim {
+
+namespace {
+
+/// One run's contribution: the four per-round series plus trailing
+/// scalars, in round order so the reduction replays a serial execution.
+struct LongHorizonRun {
+  std::vector<double> gini;
+  std::vector<double> top_share;
+  std::vector<double> corr;
+  std::vector<double> final_pct;
+  double end_gini = 0.0;
+  double end_top_share = 0.0;
+  double end_corr = 0.0;
+  double paid_algos = 0.0;
+};
+
+LongHorizonRun execute_run(const LongHorizonConfig& config,
+                           std::uint64_t run_seed,
+                           util::ThreadPool* inner_pool) {
+  NetworkConfig nc;
+  nc.node_count = config.node_count;
+  nc.seed = run_seed;
+  nc.fan_out = config.fan_out;
+  nc.stake_lo = config.stake_lo;
+  nc.stake_hi = config.stake_hi;
+  nc.defection_rate = config.defection_rate;
+  nc.faulty_rate = config.faulty_rate;
+  nc.delay_lo_ms = config.delay_lo_ms;
+  nc.delay_hi_ms = config.delay_hi_ms;
+  Network net(nc);
+
+  consensus::ConsensusParams params =
+      consensus::ConsensusParams::scaled_for(net.accounts().total_stake());
+  params.committee_model = consensus::CommitteeModel::Sampled;
+  RoundEngine engine(net, params, inner_pool);
+
+  // The O(N) setup, paid once per run: sparse context, defector cohort,
+  // and the streaming concentration sketches seeded from the initial
+  // stakes. Every per-round mutation from here on is O(log N) or O(1).
+  SparseRoundContext ctx;
+  ctx.init_from(net);
+  SparseRoundWorkspace scratch;
+  SparseRoundResult sparse;
+
+  const std::size_t n = net.node_count();
+  std::vector<std::uint8_t> defector(n, 0);
+  util::StakeConcentration concentration;
+  util::CohortWealthCorrelation cohort;
+  const std::vector<game::Strategy>& strategies = net.strategies();
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::int64_t stake =
+        net.accounts().stake(static_cast<ledger::NodeId>(v));
+    defector[v] = strategies[v] == game::Strategy::Defect ? 1 : 0;
+    concentration.add(stake);
+    cohort.add(stake, defector[v] != 0);
+  }
+
+  const econ::RewardSplit split(config.alpha, config.beta);
+  std::vector<consensus::Role> touched_roles;
+  std::vector<std::int64_t> touched_stakes;
+  std::vector<ledger::MicroAlgos> touched_amounts;
+
+  LongHorizonRun run;
+  run.gini.reserve(config.rounds_per_run);
+  run.top_share.reserve(config.rounds_per_run);
+  run.corr.reserve(config.rounds_per_run);
+  run.final_pct.reserve(config.rounds_per_run);
+
+  ledger::MicroAlgos paid_total = 0;
+  for (std::size_t r = 0; r < config.rounds_per_run; ++r) {
+    engine.run_round_sparse_into(sparse, ctx, scratch);
+
+    // Role payouts on the touched set; Foundation Table-III budget
+    // (1-based rounds — the chain's genesis block sits at height 0).
+    const ledger::MicroAlgos budget = econ::FoundationSchedule::
+        reward_for_round(std::max<ledger::Round>(sparse.round, 1));
+    const std::size_t nt = sparse.touched.size();
+    touched_roles.clear();
+    touched_stakes.clear();
+    for (const SparseNodeRole& t : sparse.touched) {
+      touched_roles.push_back(t.role_observed);
+      touched_stakes.push_back(t.reward_stake);
+    }
+    touched_amounts.assign(nt, 0);
+    const econ::SparsePayoutTotals totals = econ::distribute_touched(
+        split, budget, touched_roles, touched_stakes, sparse.online_stake,
+        touched_amounts);
+    paid_total += totals.paid;
+
+    // Compound: credit each winner and fold the stake delta into the
+    // sparse context and both sketches — O(log N) per payout.
+    for (std::size_t i = 0; i < nt; ++i) {
+      if (touched_amounts[i] == 0) continue;
+      const ledger::NodeId v = sparse.touched[i].node;
+      const std::int64_t before = net.accounts().stake(v);
+      net.accounts().credit(v, touched_amounts[i]);
+      const std::int64_t after = net.accounts().stake(v);
+      if (after == before) continue;  // sub-Algo dust: stake unchanged
+      concentration.update(before, after);
+      cohort.update(before, after, defector[v] != 0);
+      ctx.refresh_node(net, v);
+    }
+
+    run.gini.push_back(concentration.gini());
+    run.top_share.push_back(concentration.top_share(config.top_fraction));
+    run.corr.push_back(cohort.correlation());
+    run.final_pct.push_back(sparse.final_fraction * 100.0);
+  }
+  run.end_gini = run.gini.back();
+  run.end_top_share = run.top_share.back();
+  run.end_corr = run.corr.back();
+  run.paid_algos = ledger::to_algos(paid_total);
+  return run;
+}
+
+}  // namespace
+
+LongHorizonPayload::LongHorizonPayload(std::size_t rounds, AggBackend backend,
+                                       const StreamingAggConfig& streaming)
+    : gini_(make_accumulator(backend, rounds, streaming)),
+      top_share_(make_accumulator(backend, rounds, streaming)),
+      corr_(make_accumulator(backend, rounds, streaming)),
+      final_pct_(make_accumulator(backend, rounds, streaming)),
+      end_gini_(backend),
+      end_top_share_(backend),
+      end_corr_(backend),
+      paid_(backend) {}
+
+LongHorizonPayload::LongHorizonPayload(
+    std::unique_ptr<RoundAccumulator> gini,
+    std::unique_ptr<RoundAccumulator> top_share,
+    std::unique_ptr<RoundAccumulator> corr,
+    std::unique_ptr<RoundAccumulator> final_pct, ScalarBank end_gini,
+    ScalarBank end_top_share, ScalarBank end_corr, ScalarBank paid)
+    : gini_(std::move(gini)),
+      top_share_(std::move(top_share)),
+      corr_(std::move(corr)),
+      final_pct_(std::move(final_pct)),
+      end_gini_(std::move(end_gini)),
+      end_top_share_(std::move(end_top_share)),
+      end_corr_(std::move(end_corr)),
+      paid_(std::move(paid)) {}
+
+void LongHorizonPayload::record_round(std::size_t round_index, double gini,
+                                      double top_share, double defector_corr,
+                                      double final_pct) {
+  gini_->record(round_index, gini);
+  top_share_->record(round_index, top_share);
+  corr_->record(round_index, defector_corr);
+  final_pct_->record(round_index, final_pct);
+}
+
+void LongHorizonPayload::record_run(double end_gini, double end_top_share,
+                                    double end_defector_corr,
+                                    double paid_algos) {
+  end_gini_.record(end_gini);
+  end_top_share_.record(end_top_share);
+  end_corr_.record(end_defector_corr);
+  paid_.record(paid_algos);
+}
+
+void LongHorizonPayload::merge(const LongHorizonPayload& next) {
+  gini_->merge(*next.gini_);
+  top_share_->merge(*next.top_share_);
+  corr_->merge(*next.corr_);
+  final_pct_->merge(*next.final_pct_);
+  end_gini_.merge(next.end_gini_);
+  end_top_share_.merge(next.end_top_share_);
+  end_corr_.merge(next.end_corr_);
+  paid_.merge(next.paid_);
+}
+
+LongHorizonResult LongHorizonPayload::finalize(
+    const PartialEnvelope&) const {
+  LongHorizonResult result;
+  result.gini_per_round = gini_->mean_series();
+  result.top_share_per_round = top_share_->mean_series();
+  result.defector_corr_per_round = corr_->mean_series();
+  result.final_pct_per_round = final_pct_->mean_series();
+  result.mean_end_gini = end_gini_.count() > 0 ? end_gini_.mean() : 0.0;
+  result.mean_end_top_share =
+      end_top_share_.count() > 0 ? end_top_share_.mean() : 0.0;
+  result.mean_end_defector_corr =
+      end_corr_.count() > 0 ? end_corr_.mean() : 0.0;
+  result.mean_paid_algos = paid_.count() > 0 ? paid_.mean() : 0.0;
+  result.accumulator_bytes = accumulator_bytes();
+  return result;
+}
+
+std::size_t LongHorizonPayload::accumulator_bytes() const {
+  return gini_->memory_bytes() + top_share_->memory_bytes() +
+         corr_->memory_bytes() + final_pct_->memory_bytes() +
+         end_gini_.memory_bytes() + end_top_share_.memory_bytes() +
+         end_corr_.memory_bytes() + paid_.memory_bytes();
+}
+
+util::json::Value LongHorizonPayload::to_json() const {
+  util::json::Value v = util::json::Value::object();
+  v.set("gini", gini_->to_json());
+  v.set("top_share", top_share_->to_json());
+  v.set("corr", corr_->to_json());
+  v.set("final_pct", final_pct_->to_json());
+  v.set("end_gini", end_gini_.to_json());
+  v.set("end_top_share", end_top_share_.to_json());
+  v.set("end_corr", end_corr_.to_json());
+  v.set("paid", paid_.to_json());
+  return v;
+}
+
+LongHorizonPayload LongHorizonPayload::from_json(
+    const util::json::Value& value, const PartialEnvelope& envelope) {
+  LongHorizonPayload p(accumulator_from_json(value.at("gini")),
+                       accumulator_from_json(value.at("top_share")),
+                       accumulator_from_json(value.at("corr")),
+                       accumulator_from_json(value.at("final_pct")),
+                       ScalarBank::from_json(value.at("end_gini")),
+                       ScalarBank::from_json(value.at("end_top_share")),
+                       ScalarBank::from_json(value.at("end_corr")),
+                       ScalarBank::from_json(value.at("paid")));
+  for (const RoundAccumulator* acc :
+       {p.gini_.get(), p.top_share_.get(), p.corr_.get(),
+        p.final_pct_.get()}) {
+    RS_REQUIRE(acc->backend() == envelope.backend,
+               "partial JSON accumulator backend disagrees with the "
+               "envelope");
+    RS_REQUIRE(acc->rounds() == envelope.rounds,
+               "partial JSON accumulator round count disagrees with the "
+               "envelope");
+  }
+  for (const ScalarBank* bank :
+       {&p.end_gini_, &p.end_top_share_, &p.end_corr_, &p.paid_}) {
+    RS_REQUIRE(bank->backend() == envelope.backend,
+               "partial JSON scalar-bank backend disagrees with the "
+               "envelope");
+  }
+  return p;
+}
+
+util::json::Value longhorizon_spec_echo(const LongHorizonConfig& config) {
+  using util::json::Value;
+  Value v = Value::object();
+  v.set("experiment", std::string(LongHorizonPayload::kKind));
+  v.set("node_count", config.node_count);
+  v.set("seed", config.seed);
+  v.set("stake_lo", config.stake_lo);
+  v.set("stake_hi", config.stake_hi);
+  v.set("defection_rate", config.defection_rate);
+  v.set("faulty_rate", config.faulty_rate);
+  v.set("fan_out", config.fan_out);
+  v.set("delay_lo_ms", config.delay_lo_ms);
+  v.set("delay_hi_ms", config.delay_hi_ms);
+  v.set("runs", config.runs);
+  v.set("rounds_per_run", config.rounds_per_run);
+  v.set("alpha", config.alpha);
+  v.set("beta", config.beta);
+  v.set("top_fraction", config.top_fraction);
+  v.set("agg", to_string(config.agg));
+  v.set("reservoir_capacity", config.streaming.reservoir_capacity);
+  Value grid = Value::array();
+  for (const double q : config.streaming.p2_grid) grid.push_back(q);
+  v.set("p2_grid", std::move(grid));
+  return v;
+}
+
+LongHorizonPartial run_longhorizon_partial(const LongHorizonConfig& config) {
+  RS_REQUIRE(config.node_count > 2, "population too small");
+  RS_REQUIRE(config.top_fraction > 0.0 && config.top_fraction <= 1.0,
+             "top_fraction in (0, 1]");
+
+  const ExperimentSpec spec{config.runs,    config.rounds_per_run,
+                            config.seed,    config.threads,
+                            config.inner_threads, config.shard};
+  validate(spec);
+  const ResolvedShard shard = resolve_shard(spec);
+  LongHorizonPartial partial(
+      make_envelope(LongHorizonPayload::kKind,
+                    spec_hash_hex(longhorizon_spec_echo(config)), config.agg,
+                    config.runs, config.rounds_per_run, shard.begin,
+                    shard.end),
+      LongHorizonPayload(config.rounds_per_run, config.agg,
+                         config.streaming));
+
+  run_and_reduce(
+      spec,
+      [&](std::size_t run_index, util::Rng&, const RunContext& ctx) {
+        return execute_run(config, seed_for_run(config.seed, run_index),
+                           ctx.inner_pool);
+      },
+      [&](std::size_t, LongHorizonRun run) {
+        LongHorizonPayload& payload = partial.payload();
+        for (std::size_t r = 0; r < config.rounds_per_run; ++r)
+          payload.record_round(r, run.gini[r], run.top_share[r], run.corr[r],
+                               run.final_pct[r]);
+        payload.record_run(run.end_gini, run.end_top_share, run.end_corr,
+                           run.paid_algos);
+      });
+  return partial;
+}
+
+LongHorizonResult run_longhorizon(const LongHorizonConfig& config) {
+  return run_longhorizon_partial(config).finalize();
+}
+
+}  // namespace roleshare::sim

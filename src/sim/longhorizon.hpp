@@ -1,0 +1,149 @@
+// Population-scale long-horizon economy runs (DESIGN.md §10).
+//
+// The question the paper's figures cannot ask: what does role-based
+// reward sharing do to the *wealth distribution* when rewards compound
+// into stake over thousands of rounds at populations of 10^5..10^6?
+// Richer nodes win more seats, seats earn rewards, rewards buy stake —
+// a feedback loop whose concentration effects only show up at horizons
+// far beyond the dense engine's reach.
+//
+// One run: a Network under CommitteeModel::Sampled, driven round by round
+// through the sparse O(committee · log N) path. Each round's role payouts
+// (econ/sparse_payout.hpp, fixed split, Foundation Table-III budget) are
+// credited back into the winners' accounts; the SparseRoundContext and
+// the streaming concentration sketches absorb each credit in O(log N) /
+// O(1), so a round's total cost never touches the population size.
+//
+// Per-round series (streaming, O(1) per update — util/streaming_stats):
+//   gini          quantized Gini of the stake distribution
+//   top_share     stake share of the richest `top_fraction` of holders
+//   defector_corr point-biserial correlation between the static defector
+//                 cohort and wealth (negative = defectors falling behind)
+//   final_pct     consensus health, same metric as the Fig-3 series
+//
+// Sharded execution rides the shared ExperimentPartial machinery exactly
+// like the reward experiment: run_longhorizon_partial executes the
+// config's shard window into a mergeable LongHorizonPartial, and N
+// exact-backend shards merged in window order reproduce the
+// single-process result bit for bit (bench/fig_longhorizon.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "consensus/params.hpp"
+#include "econ/bi_bounds.hpp"
+#include "sim/aggregators.hpp"
+#include "sim/experiment_runner.hpp"
+#include "sim/network.hpp"
+#include "sim/partial.hpp"
+
+namespace roleshare::sim {
+
+struct LongHorizonConfig {
+  /// Population and network shape (stakes U(stake_lo, stake_hi),
+  /// defection_rate scripted defectors, faulty_rate offline) — the
+  /// NetworkConfig fields that matter here, surfaced flat so the spec
+  /// echo stays explicit.
+  std::size_t node_count = 100'000;
+  std::uint64_t seed = 21;
+  std::int64_t stake_lo = 1;
+  std::int64_t stake_hi = 50;
+  double defection_rate = 0.10;
+  double faulty_rate = 0.0;
+  std::size_t fan_out = 5;
+  double delay_lo_ms = 20.0;
+  double delay_hi_ms = 120.0;
+
+  std::size_t runs = 4;
+  std::size_t rounds_per_run = 2000;
+  std::size_t threads = 1;
+  std::size_t inner_threads = 1;
+
+  /// Fixed reward split (α leaders, β committee; γ = 1 − α − β to Others,
+  /// reported but not individually compounded — sparse_payout.hpp).
+  double alpha = 0.30;
+  double beta = 0.30;
+
+  /// The "top-k" of the concentration series: richest fraction of holders.
+  double top_fraction = 0.01;
+
+  AggBackend agg = AggBackend::Exact;
+  StreamingAggConfig streaming{};
+  RunShard shard{};
+};
+
+struct LongHorizonResult {
+  /// Per-round means across runs (length rounds_per_run).
+  std::vector<double> gini_per_round;
+  std::vector<double> top_share_per_round;
+  std::vector<double> defector_corr_per_round;
+  std::vector<double> final_pct_per_round;
+  /// Run-end scalars, averaged across runs.
+  double mean_end_gini = 0.0;
+  double mean_end_top_share = 0.0;
+  double mean_end_defector_corr = 0.0;
+  /// Mean per-run total credited reward, Algos.
+  double mean_paid_algos = 0.0;
+  std::size_t accumulator_bytes = 0;
+};
+
+/// The experiment-specific half of a LongHorizonPartial: four per-round
+/// series accumulators plus the run-end scalar banks, fed in record order
+/// so exact-backend merges replay a serial execution exactly.
+class LongHorizonPayload {
+ public:
+  static constexpr std::string_view kKind = "longhorizon";
+
+  LongHorizonPayload(std::size_t rounds, AggBackend backend,
+                     const StreamingAggConfig& streaming);
+
+  void record_round(std::size_t round_index, double gini, double top_share,
+                    double defector_corr, double final_pct);
+  void record_run(double end_gini, double end_top_share,
+                  double end_defector_corr, double paid_algos);
+
+  void merge(const LongHorizonPayload& next);
+
+  LongHorizonResult finalize(const PartialEnvelope& envelope) const;
+
+  std::size_t accumulator_bytes() const;
+
+  util::json::Value to_json() const;
+  static LongHorizonPayload from_json(const util::json::Value& value,
+                                      const PartialEnvelope& envelope);
+
+ private:
+  LongHorizonPayload(std::unique_ptr<RoundAccumulator> gini,
+                     std::unique_ptr<RoundAccumulator> top_share,
+                     std::unique_ptr<RoundAccumulator> corr,
+                     std::unique_ptr<RoundAccumulator> final_pct,
+                     ScalarBank end_gini, ScalarBank end_top_share,
+                     ScalarBank end_corr, ScalarBank paid);
+
+  std::unique_ptr<RoundAccumulator> gini_;
+  std::unique_ptr<RoundAccumulator> top_share_;
+  std::unique_ptr<RoundAccumulator> corr_;
+  std::unique_ptr<RoundAccumulator> final_pct_;
+  ScalarBank end_gini_;
+  ScalarBank end_top_share_;
+  ScalarBank end_corr_;
+  ScalarBank paid_;
+};
+
+using LongHorizonPartial = ExperimentPartial<LongHorizonPayload>;
+
+/// Canonical echo of every result-affecting config field — the spec-hash
+/// input shared by all partials of one long-horizon experiment.
+util::json::Value longhorizon_spec_echo(const LongHorizonConfig& config);
+
+/// Executes config.shard's run window through the sparse round path and
+/// reduces it into a mergeable partial. Deterministic in config.seed,
+/// independent of both thread knobs.
+LongHorizonPartial run_longhorizon_partial(const LongHorizonConfig& config);
+
+/// run_longhorizon_partial + finalize — the single-process experiment.
+LongHorizonResult run_longhorizon(const LongHorizonConfig& config);
+
+}  // namespace roleshare::sim

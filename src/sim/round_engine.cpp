@@ -198,7 +198,23 @@ RoundResult RoundEngine::run_round(RoundWorkspace& ws) {
   return result;
 }
 
+void RoundEngine::run_round_sparse_into(SparseRoundResult& result,
+                                        const SparseRoundContext& ctx,
+                                        SparseRoundWorkspace& ws) {
+  run_sampled_round_into(network_, params_, result, ctx, ws);
+}
+
 void RoundEngine::run_round_into(RoundResult& result, RoundWorkspace& ws) {
+  if (params_.committee_model == consensus::CommitteeModel::Sampled) {
+    // Dense evaluation of the Sampled semantics: fresh context from the
+    // ledger, sparse core, full-population expansion. The sparse entry
+    // point below runs the identical core on a caller-maintained context.
+    ws.sampled_context.init_from(network_);
+    run_sampled_round_into(network_, params_, ws.sampled_result,
+                           ws.sampled_context, ws.sampled_scratch);
+    expand_sparse_into(network_, ws.sampled_result, result, ws);
+    return;
+  }
   Network& net = network_;
   const std::size_t n = net.node_count();
   const ledger::Round round = net.chain().next_round();

@@ -85,7 +85,22 @@ class RoundEngine {
   /// role snapshots keep their capacity). In steady state this is the
   /// zero-allocation path. Results are bit-identical to run_round()
   /// regardless of what either object previously held.
+  ///
+  /// Under CommitteeModel::Sampled this dispatches to the sparse core on a
+  /// context rebuilt from the ledger (O(N) per round) and expands the full
+  /// RoundResult — the dense evaluation of the Sampled semantics.
   void run_round_into(RoundResult& result, RoundWorkspace& ws);
+
+  /// The O(committee · log N) round path (requires CommitteeModel::
+  /// Sampled): runs the sparse core on a caller-maintained context —
+  /// NOT rebuilt here; the caller owns keeping it in sync with the network
+  /// via SparseRoundContext::refresh_node — and reports only aggregates
+  /// plus the touched-node roles. Bit-identical to run_round_into's
+  /// sampled dispatch whenever `ctx` matches the ledger (the property
+  /// tests/prop/prop_sparse.cpp locks).
+  void run_round_sparse_into(SparseRoundResult& result,
+                             const SparseRoundContext& ctx,
+                             SparseRoundWorkspace& ws);
 
   const consensus::ConsensusParams& params() const { return params_; }
   const util::InnerExecutor& executor() const { return exec_; }

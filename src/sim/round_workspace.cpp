@@ -46,6 +46,8 @@ std::size_t RoundWorkspace::capacity_bytes() const {
   total += vec_bytes(ba) + vec_bytes(post_votes);
   total += vec_bytes(conclusion_counts);
   total += vec_bytes(reward_stakes) + vec_bytes(reward_stakes_true);
+  total += sampled_scratch.capacity_bytes();
+  total += vec_bytes(sampled_result.touched);
   return total;
 }
 

@@ -31,6 +31,7 @@
 #include "crypto/sortition.hpp"
 #include "net/gossip.hpp"
 #include "net/sim_time.hpp"
+#include "sim/sampled_round.hpp"
 
 namespace roleshare::sim {
 
@@ -104,6 +105,13 @@ struct RoundWorkspace {
   std::vector<std::pair<crypto::Hash256, std::size_t>> conclusion_counts;
   std::vector<std::int64_t> reward_stakes;
   std::vector<std::int64_t> reward_stakes_true;
+
+  // Sampled-model state (CommitteeModel::Sampled): the dense evaluation
+  // rebuilds `sampled_context` from the ledger every round and runs the
+  // sparse core on these buffers before expanding the full RoundResult.
+  SparseRoundContext sampled_context;
+  SparseRoundWorkspace sampled_scratch;
+  SparseRoundResult sampled_result;
 
   /// Total bytes currently reserved across the workspace's buffers — the
   /// round engine's steady-state working set, reported by bench/round_latency.

@@ -1,0 +1,477 @@
+#include "sim/sampled_round.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <type_traits>
+
+#include "consensus/binary_ba.hpp"
+#include "consensus/reduction.hpp"
+#include "crypto/hash.hpp"
+#include "ledger/block.hpp"
+#include "net/sim_time.hpp"
+#include "sim/network.hpp"
+#include "sim/round_engine.hpp"
+#include "sim/round_workspace.hpp"
+#include "util/require.hpp"
+
+namespace roleshare::sim {
+
+namespace {
+
+using consensus::Role;
+using crypto::Hash256;
+using game::Strategy;
+using ledger::NodeId;
+
+/// Synthesized sortition output for a sampled seat winner — the stand-in
+/// for the VRF output the per-node model would carry on its votes. Feeds
+/// the common-coin hash exactly where vrf.output would.
+Hash256 sampled_vrf_output(const Hash256& prev_seed, ledger::Round round,
+                           std::uint32_t step, NodeId node) {
+  return crypto::HashBuilder("roleshare.sampled.vrf")
+      .add(prev_seed)
+      .add_u64(round)
+      .add_u64(step)
+      .add_u64(node)
+      .build();
+}
+
+/// Synthesized proposer priority (the PerNodeVrf model's best sub-user
+/// priority hash). Highest wins, ties toward the lower block hash.
+std::uint64_t sampled_priority(const Hash256& prev_seed, ledger::Round round,
+                               NodeId node) {
+  return crypto::HashBuilder("roleshare.sampled.priority")
+      .add(prev_seed)
+      .add_u64(round)
+      .add_u64(node)
+      .build()
+      .prefix_u64();
+}
+
+/// One mean-field population arrival: `hops` per-hop delays from the
+/// origin's private stream, scaled by the round's synchrony factor.
+/// hops == 0 means no relay path exists.
+net::TimeMs mean_field_arrival(util::Rng& origin_rng, const Network& net,
+                               NodeId origin, std::uint32_t hops,
+                               double delay_factor) {
+  if (hops == 0) return net::kNever;
+  net::TimeMs arrival = 0.0;
+  for (std::uint32_t h = 0; h < hops; ++h)
+    arrival += net.delays().sample(origin_rng, origin, origin) * delay_factor;
+  return arrival;
+}
+
+/// Adds node v to the round's touched set (first-touch order) and returns
+/// its slot. reward_stake is captured at first touch: stake in Algos, 0
+/// when offline — the dense path's reward-snapshot rule.
+std::size_t touch(SparseRoundWorkspace& ws, SparseRoundResult& out,
+                  const SparseRoundContext& ctx, NodeId v) {
+  if (ws.touched_epoch[v] == ws.round_epoch) return ws.touched_slot[v];
+  ws.touched_epoch[v] = ws.round_epoch;
+  ws.touched_slot[v] = static_cast<std::uint32_t>(out.touched.size());
+  SparseNodeRole entry;
+  entry.node = v;
+  entry.reward_stake = ctx.online(v) ? ctx.index().stake_of(v) : 0;
+  out.touched.push_back(entry);
+  return ws.touched_slot[v];
+}
+
+/// Draws `tau` seats with replacement from the stake index on `stream`,
+/// collecting the distinct winners in first-draw order with their seat
+/// counts. O(tau · log N).
+void elect_into(const SparseRoundContext& ctx, util::Rng stream,
+                std::uint64_t tau, SparseRoundWorkspace& ws) {
+  ++ws.elect_epoch;
+  ws.members.clear();
+  ws.weights.clear();
+  for (std::uint64_t seat = 0; seat < tau; ++seat) {
+    const std::size_t v = ctx.index().sample(stream);
+    if (ws.seat_epoch[v] != ws.elect_epoch) {
+      ws.seat_epoch[v] = ws.elect_epoch;
+      ws.seat_slot[v] = static_cast<std::uint32_t>(ws.members.size());
+      ws.members.push_back(static_cast<NodeId>(v));
+      ws.weights.push_back(0);
+    }
+    ++ws.weights[ws.seat_slot[v]];
+  }
+}
+
+struct RepresentativeStep {
+  std::optional<Hash256> winner;
+  bool coin = false;
+};
+
+}  // namespace
+
+std::uint32_t mean_field_hops(std::size_t online, std::size_t relays,
+                              std::size_t fan_out) {
+  if (relays == 0 || online == 0) return 0;
+  if (online <= 1) return 1;
+  // Branching factor of the relay flood: each hop multiplies coverage by
+  // 1 + fan_out * (relay fraction). ceil(log_b(online)) hops blanket the
+  // online population; the cap keeps a vanishing relay fraction from
+  // turning into thousands of per-message delay draws.
+  const double rho = static_cast<double>(relays) / static_cast<double>(online);
+  const double b = 1.0 + static_cast<double>(fan_out) * rho;
+  const double hops =
+      std::ceil(std::log(static_cast<double>(online)) / std::log(b));
+  if (!(hops >= 1.0)) return 1;
+  return static_cast<std::uint32_t>(std::min(hops, 64.0));
+}
+
+void SparseRoundContext::init_from(const Network& net) {
+  const std::size_t n = net.node_count();
+  online_.assign(n, 0);
+  relay_.assign(n, 0);
+  online_count_ = 0;
+  relay_count_ = 0;
+  online_stake_ = 0;
+  const std::vector<Strategy>& strategies = net.strategies();
+  std::vector<std::int64_t> stakes(n, 0);
+  net.accounts().stakes_into(stakes);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto id = static_cast<NodeId>(v);
+    if (!net.live(id)) {
+      stakes[v] = 0;
+      continue;
+    }
+    if (strategies[v] != Strategy::Offline) {
+      online_[v] = 1;
+      ++online_count_;
+      online_stake_ += stakes[v];
+    }
+    if (strategies[v] == Strategy::Cooperate) {
+      relay_[v] = 1;
+      ++relay_count_;
+    }
+  }
+  index_.rebuild(stakes);
+}
+
+void SparseRoundContext::refresh_node(const Network& net, NodeId v) {
+  RS_REQUIRE(static_cast<std::size_t>(v) < index_.size(),
+             "sparse context: node out of range");
+  const bool live = net.live(v);
+  const Strategy strategy = net.strategies()[v];
+  const std::int64_t stake = live ? net.accounts().stake(v) : 0;
+  const bool online = live && strategy != Strategy::Offline;
+  const bool relay = live && strategy == Strategy::Cooperate;
+
+  const std::int64_t old_stake = index_.stake_of(v);
+  const bool was_online = online_[v] != 0;
+  if (was_online) online_stake_ -= old_stake;
+  if (online) online_stake_ += stake;
+  online_count_ += (online ? 1 : 0) - (was_online ? 1 : 0);
+  relay_count_ += (relay ? 1 : 0) - (relay_[v] != 0 ? 1 : 0);
+  online_[v] = online ? 1 : 0;
+  relay_[v] = relay ? 1 : 0;
+  index_.update(v, stake);
+}
+
+std::size_t SparseRoundWorkspace::capacity_bytes() const {
+  auto bytes = [](const auto& v) {
+    return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  return bytes(touched_epoch) + bytes(touched_slot) + bytes(seat_epoch) +
+         bytes(seat_slot) + bytes(members) + bytes(weights) +
+         bytes(origin_labels) + bytes(origin_seeds) + bytes(proposer_ids) +
+         bytes(proposer_priorities) + bytes(proposal_arrivals) +
+         bytes(proposal_hashes) + bytes(proposal_blocks);
+}
+
+void run_sampled_round_into(Network& net,
+                            const consensus::ConsensusParams& params,
+                            SparseRoundResult& out,
+                            const SparseRoundContext& ctx,
+                            SparseRoundWorkspace& ws) {
+  RS_REQUIRE(params.committee_model == consensus::CommitteeModel::Sampled,
+             "sparse round path requires CommitteeModel::Sampled");
+  const std::size_t n = net.node_count();
+  RS_REQUIRE(ctx.size() == n, "sparse context population mismatch");
+  const std::int64_t total_stake = ctx.index().total();
+  RS_REQUIRE(total_stake > 0,
+             "network has no live stake — churn floor left no live nodes");
+
+  const ledger::Round round = net.chain().next_round();
+  util::Rng rng = net.round_rng(round);
+  // Same stream tree as the dense engine: `rng` feeds the synchrony draw,
+  // gossip delays hang off split("gossip") per (step, origin), and seat
+  // draws off split("election") per step (DESIGN.md §4, §10).
+  const util::Rng gossip_root = rng.split("gossip");
+  const util::Rng election_root = rng.split("election");
+
+  if (ws.touched_epoch.size() != n) {
+    ws.touched_epoch.assign(n, 0);
+    ws.touched_slot.assign(n, 0);
+    ws.seat_epoch.assign(n, 0);
+    ws.seat_slot.assign(n, 0);
+    ws.round_epoch = 0;
+    ws.elect_epoch = 0;
+  }
+  ++ws.round_epoch;
+  out.touched.clear();
+
+  out.round = round;
+  out.live_count = net.live_count();
+  out.online_count = ctx.online_count();
+  out.online_stake = ctx.online_stake();
+  out.synchrony = net.synchrony().advance_round(rng);
+  out.non_empty_block = false;
+  out.online_outcome = NodeOutcome::NoBlock;
+
+  const double delay_factor = net.synchrony().delay_factor();
+  const std::uint32_t hops = mean_field_hops(
+      ctx.online_count(), ctx.relay_count(), net.config().fan_out);
+
+  const Hash256 prev_seed = net.chain().current_seed();
+  const Hash256 next_seed = net.chain().next_seed();
+  const Hash256 tip_hash = net.chain().tip().hash();
+  const ledger::Block empty_block =
+      ledger::Block::empty(round, tip_hash, next_seed);
+  const Hash256 empty_hash = empty_block.hash();
+
+  const std::vector<Strategy>& strategies = net.strategies();
+
+  // ---- Block proposal phase -------------------------------------------
+  elect_into(ctx, election_root.split(consensus::kProposerStep),
+             params.expected_proposer_stake, ws);
+
+  // Cooperating winners broadcast; the best-priority proposal whose
+  // mean-field arrival beats the proposal timeout becomes the shared
+  // view. The broadcasts live as parallel workspace arrays so the round
+  // allocates nothing here beyond each block's transaction list.
+  ws.proposer_ids.clear();
+  ws.proposer_priorities.clear();
+  ws.proposal_arrivals.clear();
+  ws.proposal_hashes.clear();
+  ws.proposal_blocks.clear();
+
+  const util::Rng proposer_stream =
+      gossip_root.split(consensus::kProposerStep);
+  ws.origin_labels.clear();
+  for (std::size_t i = 0; i < ws.members.size(); ++i) {
+    const NodeId v = ws.members[i];
+    const std::size_t slot = touch(ws, out, ctx, v);
+    out.touched[slot].role_true = Role::Leader;
+    if (strategies[v] != Strategy::Cooperate) continue;
+    out.touched[slot].role_observed = Role::Leader;
+    ws.proposer_ids.push_back(v);
+    ws.origin_labels.push_back(v);
+  }
+  const std::size_t np = ws.proposer_ids.size();
+  ws.origin_seeds.resize(np);
+  proposer_stream.derive_seeds(ws.origin_labels, ws.origin_seeds);
+  for (std::size_t p = 0; p < np; ++p) {
+    const NodeId v = ws.proposer_ids[p];
+    util::Rng prng(ws.origin_seeds[p]);
+    ws.proposer_priorities.push_back(sampled_priority(prev_seed, round, v));
+    ws.proposal_arrivals.push_back(
+        mean_field_arrival(prng, net, v, hops, delay_factor));
+    ws.proposal_blocks.push_back(
+        ledger::Block::make(round, tip_hash, next_seed,
+                            net.keys()[v].public_key(), net.txpool().peek(64)));
+    ws.proposal_hashes.push_back(ws.proposal_blocks.back().hash());
+  }
+  out.proposals = np;
+
+  // The shared view: best timely proposal by (priority, lower hash).
+  int best = -1;
+  for (std::size_t p = 0; p < np; ++p) {
+    if (ws.proposal_arrivals[p] > params.proposal_timeout_ms) continue;
+    const auto b = static_cast<std::size_t>(best);
+    if (best < 0 || ws.proposer_priorities[p] > ws.proposer_priorities[b] ||
+        (ws.proposer_priorities[p] == ws.proposer_priorities[b] &&
+         ws.proposal_hashes[p] < ws.proposal_hashes[b])) {
+      best = static_cast<int>(p);
+    }
+  }
+
+  // ---- Representative vote steps ---------------------------------------
+  // Every online node shares the same view, so one tally serves the whole
+  // population. Rules mirror run_vote_step: weights of timely votes,
+  // winner iff strictly above quorum, coin from the lsb of the minimum
+  // coin hash among timely votes.
+  const auto vote_step = [&](std::uint32_t step, std::uint64_t tau,
+                             double quorum,
+                             const std::optional<Hash256>& value)
+      -> RepresentativeStep {
+    RepresentativeStep result;
+    elect_into(ctx, election_root.split(step), tau, ws);
+    const util::Rng step_stream = gossip_root.split(step);
+    ws.origin_labels.clear();
+    for (std::size_t i = 0; i < ws.members.size(); ++i) {
+      const NodeId v = ws.members[i];
+      const std::size_t slot = touch(ws, out, ctx, v);
+      if (out.touched[slot].role_true == Role::Other)
+        out.touched[slot].role_true = Role::Committee;
+      if (strategies[v] != Strategy::Cooperate) continue;
+      if (!value.has_value()) continue;
+      if (out.touched[slot].role_observed == Role::Other)
+        out.touched[slot].role_observed = Role::Committee;
+      ws.origin_labels.push_back(i);  // index into members/weights
+    }
+    if (!value.has_value() || ws.origin_labels.empty()) return result;
+
+    // One arrival per vote, on the voter's (step, origin) stream.
+    const std::size_t nv = ws.origin_labels.size();
+    ws.origin_seeds.resize(nv);
+    for (std::size_t j = 0; j < nv; ++j)
+      ws.origin_labels[j] = ws.members[ws.origin_labels[j]];
+    // origin_labels now holds voter ids; re-derive the member slots from
+    // seat bookkeeping for the weights.
+    step_stream.derive_seeds(ws.origin_labels, ws.origin_seeds);
+
+    std::uint64_t tally = 0;
+    bool any = false;
+    Hash256 min_coin_hash;
+    for (std::size_t j = 0; j < nv; ++j) {
+      const NodeId voter = static_cast<NodeId>(ws.origin_labels[j]);
+      util::Rng vrng(ws.origin_seeds[j]);
+      const net::TimeMs arrival =
+          mean_field_arrival(vrng, net, voter, hops, delay_factor);
+      if (arrival > params.step_timeout_ms) continue;
+      tally += ws.weights[ws.seat_slot[voter]];
+      const Hash256 vrf = sampled_vrf_output(prev_seed, round, step, voter);
+      const Hash256 coin_hash =
+          crypto::HashBuilder("roleshare.coin").add(vrf).build();
+      if (!any || coin_hash < min_coin_hash) {
+        min_coin_hash = coin_hash;
+        any = true;
+      }
+    }
+    if (static_cast<double>(tally) > quorum) result.winner = value;
+    result.coin = any && (min_coin_hash.bytes().back() & 1) != 0;
+    return result;
+  };
+
+  const double step_quorum = params.step_quorum();
+  const std::optional<Hash256> best_proposal =
+      best >= 0 ? std::optional<Hash256>(
+                      ws.proposal_hashes[static_cast<std::size_t>(best)])
+                : std::nullopt;
+
+  const RepresentativeStep step1 = vote_step(
+      consensus::kReductionStep1, params.expected_step_stake, step_quorum,
+      consensus::reduction_step1_value(best_proposal, empty_hash));
+  const RepresentativeStep step2 =
+      vote_step(consensus::kReductionStep2, params.expected_step_stake,
+                step_quorum, step1.winner.value_or(empty_hash));
+
+  consensus::BinaryBaState ba(step2.winner.value_or(empty_hash), empty_hash,
+                              params.max_binary_iterations);
+  const std::uint32_t last_step =
+      consensus::kFirstBinaryStep + 3 * params.max_binary_iterations;
+  for (std::uint32_t step = consensus::kFirstBinaryStep;
+       step < last_step && out.online_count > 0 && ba.running(); ++step) {
+    const std::optional<Hash256> value =
+        ba.step_number() == step ? std::optional<Hash256>(ba.vote_value())
+                                 : std::nullopt;
+    const RepresentativeStep s =
+        vote_step(step, params.expected_step_stake, step_quorum, value);
+    if (ba.step_number() == step) ba.advance(s.winner, s.coin);
+  }
+
+  const RepresentativeStep final_step = vote_step(
+      consensus::kFinalStep, params.expected_final_stake,
+      params.final_quorum(),
+      ba.concluded_in_first_iteration() && ba.result() != empty_hash
+          ? std::optional<Hash256>(ba.result())
+          : std::nullopt);
+
+  // ---- Outcome ---------------------------------------------------------
+  const auto body_received = [&](const Hash256& h) {
+    if (h == empty_hash) return true;  // derived locally
+    for (std::size_t p = 0; p < np; ++p)
+      if (ws.proposal_hashes[p] == h)
+        return ws.proposal_arrivals[p] < net::kNever;
+    return false;
+  };
+
+  if (out.online_count > 0) {
+    if (final_step.winner.has_value()) {
+      out.online_outcome = body_received(*final_step.winner)
+                               ? NodeOutcome::Final
+                               : NodeOutcome::NoBlock;
+    } else if (ba.status() == consensus::BaStatus::ConcludedBlock ||
+               ba.status() == consensus::BaStatus::ConcludedEmpty) {
+      out.online_outcome = body_received(ba.result())
+                               ? NodeOutcome::Tentative
+                               : NodeOutcome::NoBlock;
+    }
+  }
+
+  const auto live_n = static_cast<double>(out.live_count);
+  const double online_share =
+      live_n > 0.0 ? static_cast<double>(out.online_count) / live_n : 0.0;
+  out.final_fraction =
+      out.online_outcome == NodeOutcome::Final ? online_share : 0.0;
+  out.tentative_fraction =
+      out.online_outcome == NodeOutcome::Tentative ? online_share : 0.0;
+  out.none_fraction = 1.0 - out.final_fraction - out.tentative_fraction;
+
+  // ---- Canonical chain append -----------------------------------------
+  // The dense rule is the plurality over online nodes' conclusions; with a
+  // shared view there is exactly one conclusion (or none when nobody is
+  // online).
+  int agreed = -1;
+  if (out.online_count > 0 &&
+      ba.status() == consensus::BaStatus::ConcludedBlock) {
+    for (std::size_t p = 0; p < np; ++p) {
+      if (ws.proposal_hashes[p] != ba.result()) continue;
+      agreed = static_cast<int>(p);
+      break;
+    }
+  }
+  if (agreed >= 0) {
+    ledger::Block block = ws.proposal_blocks[static_cast<std::size_t>(agreed)];
+    net.txpool().mark_included(block.transactions());
+    const bool ok = net.chain().append(std::move(block));
+    RS_ENSURE(ok, "agreed block must extend the chain");
+    out.non_empty_block = !net.chain().tip().is_empty();
+  } else {
+    const bool ok = net.chain().append(empty_block);
+    RS_ENSURE(ok, "empty block must extend the chain");
+  }
+}
+
+void expand_sparse_into(const Network& net, const SparseRoundResult& sparse,
+                        RoundResult& result, RoundWorkspace& ws) {
+  const std::size_t n = net.node_count();
+  result.round = sparse.round;
+  result.live_count = sparse.live_count;
+  result.final_fraction = sparse.final_fraction;
+  result.tentative_fraction = sparse.tentative_fraction;
+  result.none_fraction = sparse.none_fraction;
+  result.non_empty_block = sparse.non_empty_block;
+  result.proposals = sparse.proposals;
+  result.synchrony = sparse.synchrony;
+
+  const std::vector<Strategy>& strategies = net.strategies();
+  result.outcomes.assign(n, NodeOutcome::NoBlock);
+  ws.observed_roles.assign(n, Role::Other);
+  ws.true_roles.assign(n, Role::Other);
+  net.accounts().stakes_into(ws.reward_stakes);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto id = static_cast<NodeId>(v);
+    const bool online =
+        net.live(id) && strategies[v] != Strategy::Offline;
+    if (online) result.outcomes[v] = sparse.online_outcome;
+    if (!online) ws.reward_stakes[v] = 0;
+  }
+  for (const SparseNodeRole& t : sparse.touched) {
+    ws.true_roles[t.node] = t.role_true;
+    ws.observed_roles[t.node] = t.role_observed;
+  }
+  ws.reward_stakes_true.assign(ws.reward_stakes.begin(),
+                               ws.reward_stakes.end());
+  if (!result.roles_true.has_value())
+    result.roles_true.emplace(std::vector<Role>{},
+                              std::vector<std::int64_t>{});
+  result.roles_true->reset(ws.true_roles, ws.reward_stakes_true);
+  if (!result.roles.has_value())
+    result.roles.emplace(std::vector<Role>{}, std::vector<std::int64_t>{});
+  result.roles->reset(ws.observed_roles, ws.reward_stakes);
+}
+
+}  // namespace roleshare::sim

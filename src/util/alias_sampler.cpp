@@ -1,5 +1,7 @@
 #include "util/alias_sampler.hpp"
 
+#include <cmath>
+
 #include "util/require.hpp"
 
 namespace roleshare::util {
@@ -8,14 +10,28 @@ AliasSampler::AliasSampler(const std::vector<double>& weights) {
   RS_REQUIRE(!weights.empty(), "alias sampler needs weights");
   const std::size_t n = weights.size();
   double total = 0.0;
+  bool all_equal = true;
   for (const double w : weights) {
+    RS_REQUIRE(std::isfinite(w), "non-finite weight");
     RS_REQUIRE(w >= 0.0, "negative weight");
     total += w;
+    all_equal = all_equal && w == weights.front();
   }
   RS_REQUIRE(total > 0.0, "weights sum to zero");
 
   prob_.assign(n, 0.0);
   alias_.assign(n, 0);
+
+  // All-equal weights (single entries included): the scaled probabilities
+  // are 1 by definition, but the floating-point total can land an epsilon
+  // off n * w, leaving stray sub-1 buckets whose alias partner then steals
+  // a ~1e-16 sliver of probability. Pin the exact uniform table instead.
+  if (all_equal) {
+    prob_.assign(n, 1.0);
+    for (std::size_t i = 0; i < n; ++i)
+      alias_[i] = static_cast<std::uint32_t>(i);
+    return;
+  }
 
   // Scaled probabilities; split into under/over-full buckets.
   std::vector<double> scaled(n);

@@ -194,4 +194,133 @@ ReservoirSample ReservoirSample::from_state(std::size_t capacity,
   return r;
 }
 
+// ---------------------------------------------------------------------
+// StakeConcentration
+
+StakeConcentration::StakeConcentration()
+    : counts_(kBuckets, 0), sums_(kBuckets, 0) {}
+
+std::size_t StakeConcentration::bucket_of(std::int64_t stake) {
+  RS_REQUIRE(stake >= 0, "stake concentration: negative stake");
+  if (stake == 0) return 0;
+  // Octave = floor(log2 stake); 8 linear sub-buckets per octave.
+  const auto u = static_cast<std::uint64_t>(stake);
+  int octave = 63;
+  while (((u >> octave) & 1u) == 0) --octave;
+  const std::uint64_t base = std::uint64_t{1} << octave;
+  const std::uint64_t sub =
+      octave >= 3 ? (u - base) >> (octave - 3) : ((u - base) << (3 - octave));
+  return 1 + static_cast<std::size_t>(octave) * 8 +
+         static_cast<std::size_t>(sub);
+}
+
+void StakeConcentration::add(std::int64_t stake) {
+  const std::size_t b = bucket_of(stake);
+  ++counts_[b];
+  sums_[b] += stake;
+  ++count_;
+  total_ += stake;
+}
+
+void StakeConcentration::remove(std::int64_t stake) {
+  const std::size_t b = bucket_of(stake);
+  RS_REQUIRE(counts_[b] > 0, "stake concentration: removing from an empty bucket");
+  --counts_[b];
+  sums_[b] -= stake;
+  --count_;
+  total_ -= stake;
+}
+
+void StakeConcentration::update(std::int64_t old_stake,
+                                std::int64_t new_stake) {
+  if (old_stake == new_stake) return;
+  remove(old_stake);
+  add(new_stake);
+}
+
+double StakeConcentration::gini() const {
+  if (count_ == 0 || total_ <= 0) return 0.0;
+  // Gini over the quantized (grouped) distribution: groups ascend with the
+  // bucket index, every member of group i counts as the group mean mu_i.
+  // With ranks 1..n over the sorted stakes,
+  //   G = 2 * sum_j(j * x_j) / (n * T) - (n + 1) / n,
+  // and a group of n_i equal values starting after c_i others contributes
+  // mu_i * (n_i * c_i + n_i * (n_i + 1) / 2) to the rank-weighted sum.
+  const double n = static_cast<double>(count_);
+  const double t = static_cast<double>(total_);
+  double rank_weighted = 0.0;
+  double before = 0.0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (counts_[b] == 0) continue;
+    const double ni = static_cast<double>(counts_[b]);
+    const double mu = static_cast<double>(sums_[b]) / ni;
+    rank_weighted += mu * (ni * before + ni * (ni + 1.0) / 2.0);
+    before += ni;
+  }
+  return 2.0 * rank_weighted / (n * t) - (n + 1.0) / n;
+}
+
+double StakeConcentration::top_share(double fraction) const {
+  RS_REQUIRE(fraction > 0.0 && fraction <= 1.0,
+             "stake concentration: fraction outside (0, 1]");
+  if (count_ == 0 || total_ <= 0) return 0.0;
+  auto want = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(count_)));
+  if (want == 0) want = 1;
+  double held = 0.0;
+  for (std::size_t b = kBuckets; b-- > 0 && want > 0;) {
+    if (counts_[b] == 0) continue;
+    if (counts_[b] <= want) {
+      held += static_cast<double>(sums_[b]);
+      want -= counts_[b];
+    } else {
+      // Boundary bucket: take the needed holders at the bucket mean.
+      held += static_cast<double>(want) * static_cast<double>(sums_[b]) /
+              static_cast<double>(counts_[b]);
+      want = 0;
+    }
+  }
+  return held / static_cast<double>(total_);
+}
+
+// ---------------------------------------------------------------------
+// CohortWealthCorrelation
+
+void CohortWealthCorrelation::add(std::int64_t stake, bool in_cohort) {
+  const double x = static_cast<double>(stake);
+  ++count_[in_cohort ? 1 : 0];
+  sum_[in_cohort ? 1 : 0] += x;
+  sum_sq_ += x * x;
+}
+
+void CohortWealthCorrelation::remove(std::int64_t stake, bool in_cohort) {
+  RS_REQUIRE(count_[in_cohort ? 1 : 0] > 0,
+             "cohort correlation: removing from an empty cohort");
+  const double x = static_cast<double>(stake);
+  --count_[in_cohort ? 1 : 0];
+  sum_[in_cohort ? 1 : 0] -= x;
+  sum_sq_ -= x * x;
+}
+
+void CohortWealthCorrelation::update(std::int64_t old_stake,
+                                     std::int64_t new_stake,
+                                     bool in_cohort) {
+  if (old_stake == new_stake) return;
+  remove(old_stake, in_cohort);
+  add(new_stake, in_cohort);
+}
+
+double CohortWealthCorrelation::correlation() const {
+  const std::size_t n0 = count_[0], n1 = count_[1];
+  if (n0 == 0 || n1 == 0) return 0.0;
+  const double n = static_cast<double>(n0 + n1);
+  const double mean0 = sum_[0] / static_cast<double>(n0);
+  const double mean1 = sum_[1] / static_cast<double>(n1);
+  const double mean = (sum_[0] + sum_[1]) / n;
+  const double var = sum_sq_ / n - mean * mean;
+  if (var <= 0.0) return 0.0;
+  const double p = static_cast<double>(n1) / n;
+  return (mean1 - mean0) * std::sqrt(p * (1.0 - p)) / std::sqrt(var);
+}
+
 }  // namespace roleshare::util

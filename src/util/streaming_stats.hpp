@@ -121,4 +121,79 @@ class ReservoirSample {
   Rng rng_;
 };
 
+/// Streaming wealth-concentration sketch over a drifting integer stake
+/// distribution (the long-horizon economy series — DESIGN.md §10).
+///
+/// Stakes live in a fixed log-bucketed histogram: bucket 0 holds stake 0,
+/// and every octave [2^k, 2^(k+1)) is split into 8 linear sub-buckets, so
+/// a bucket spans at most 12.5% of its lower edge. Each bucket keeps a
+/// count and an exact integer stake sum, which makes every mutation O(1)
+/// and every query O(buckets), independent of population size — the only
+/// cost profile a per-round metric inside an O(committee) round path can
+/// afford.
+///
+/// gini() and top_share() are computed on the *quantized* distribution
+/// (every stake in a bucket treated as the bucket mean). That is exact
+/// whenever a bucket holds equal stakes and otherwise biased by less than
+/// the bucket width (< 12.5% of stake value, far less in rank space);
+/// test_streaming_stats.cpp bounds the error against exact references.
+class StakeConcentration {
+ public:
+  StakeConcentration();
+
+  /// Number of histogram buckets (bucket 0 + 8 per octave of int64 range).
+  static constexpr std::size_t kBuckets = 1 + 8 * 63;
+
+  void add(std::int64_t stake);
+  void remove(std::int64_t stake);
+  /// remove(old) + add(new) — the per-payout delta path.
+  void update(std::int64_t old_stake, std::int64_t new_stake);
+
+  std::size_t count() const { return count_; }
+  std::int64_t total() const { return total_; }
+
+  /// Gini coefficient of the quantized distribution in [0, 1); 0 when
+  /// empty or when all stake is zero.
+  double gini() const;
+
+  /// Share of total stake held by the richest ceil(fraction * count)
+  /// holders, fraction in (0, 1]; 0 when empty or all-zero.
+  double top_share(double fraction) const;
+
+ private:
+  static std::size_t bucket_of(std::int64_t stake);
+
+  std::vector<std::size_t> counts_;
+  std::vector<std::int64_t> sums_;
+  std::size_t count_ = 0;
+  std::int64_t total_ = 0;
+};
+
+/// Streaming point-biserial correlation between a fixed binary cohort
+/// label (defector / non-defector) and wealth. Keeps per-cohort count,
+/// stake sum and a global sum of squares, all updated in O(1) per stake
+/// delta. Sums of squares are doubles: exact while stake^2 < 2^53 (every
+/// workload here — long-horizon stakes are tens to thousands of Algos),
+/// documented rounding beyond.
+class CohortWealthCorrelation {
+ public:
+  void add(std::int64_t stake, bool in_cohort);
+  void remove(std::int64_t stake, bool in_cohort);
+  void update(std::int64_t old_stake, std::int64_t new_stake,
+              bool in_cohort);
+
+  std::size_t count() const { return count_[0] + count_[1]; }
+  std::size_t cohort_count() const { return count_[1]; }
+
+  /// Point-biserial correlation in [-1, 1]: negative when the cohort is
+  /// poorer than the rest. 0 when either cohort is empty or wealth has
+  /// zero variance.
+  double correlation() const;
+
+ private:
+  std::size_t count_[2] = {0, 0};
+  double sum_[2] = {0.0, 0.0};
+  double sum_sq_ = 0.0;
+};
+
 }  // namespace roleshare::util

@@ -1,0 +1,225 @@
+// Property suite: sparse-vs-dense equivalence of the Sampled round path
+// (DESIGN.md §10) under random configurations, reward policies and churn.
+//
+// Two contracts, both exact (== on doubles, byte-equal chains):
+//   - A caller-maintained SparseRoundContext fed only O(log N) deltas
+//     (reward credits, liveness toggles) makes run_round_sparse_into +
+//     expand_sparse_into bit-identical to the dense run_round_into
+//     evaluation, which rebuilds its context from the ledger each round.
+//   - util::StakeIndex updated incrementally through a random delta
+//     sequence is indistinguishable from a fresh rebuild over the final
+//     stakes: totals, prefix sums, ownership lookups and the draws it
+//     yields for identical rng states.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "consensus/params.hpp"
+#include "econ/bi_bounds.hpp"
+#include "econ/foundation_schedule.hpp"
+#include "econ/sparse_payout.hpp"
+#include "gen/domain_gen.hpp"
+#include "ledger/types.hpp"
+#include "sim/network.hpp"
+#include "sim/round_engine.hpp"
+#include "sim/round_workspace.hpp"
+#include "sim/sampled_round.hpp"
+#include "util/proptest.hpp"
+#include "util/rng.hpp"
+#include "util/stake_index.hpp"
+
+namespace {
+
+using roleshare::sim::Network;
+using roleshare::sim::NetworkConfig;
+using roleshare::sim::RoundEngine;
+using roleshare::sim::RoundResult;
+using roleshare::sim::RoundWorkspace;
+using roleshare::sim::SparseNodeRole;
+using roleshare::sim::SparseRoundContext;
+using roleshare::sim::SparseRoundResult;
+using roleshare::sim::SparseRoundWorkspace;
+using roleshare::util::Rng;
+using roleshare::util::proptest::Verdict;
+namespace pgen = roleshare::util::proptest::gen;
+
+roleshare::consensus::ConsensusParams sampled_params(const Network& net) {
+  auto params = roleshare::consensus::ConsensusParams::scaled_for(
+      net.accounts().total_stake());
+  params.committee_model = roleshare::consensus::CommitteeModel::Sampled;
+  return params;
+}
+
+// Credits the round's fixed-split payouts into `net` from the sparse
+// touched list; refreshes `ctx` when given one (the sparse side).
+void compound_rewards(Network& net, const SparseRoundResult& sparse,
+                      const roleshare::econ::RewardSplit& split,
+                      SparseRoundContext* ctx) {
+  std::vector<roleshare::consensus::Role> roles;
+  std::vector<std::int64_t> stakes;
+  std::vector<roleshare::ledger::MicroAlgos> amounts(sparse.touched.size());
+  for (const SparseNodeRole& t : sparse.touched) {
+    roles.push_back(t.role_observed);
+    stakes.push_back(t.reward_stake);
+  }
+  const auto budget = roleshare::econ::FoundationSchedule::reward_for_round(
+      std::max<roleshare::ledger::Round>(sparse.round, 1));
+  (void)roleshare::econ::distribute_touched(split, budget, roles, stakes,
+                                            sparse.online_stake, amounts);
+  for (std::size_t i = 0; i < sparse.touched.size(); ++i) {
+    if (amounts[i] == 0) continue;
+    net.accounts().credit(sparse.touched[i].node, amounts[i]);
+    if (ctx != nullptr) ctx->refresh_node(net, sparse.touched[i].node);
+  }
+}
+
+Verdict expect_eq_results(const RoundResult& dense, const RoundResult& exp,
+                          const std::string& label) {
+  const auto fail = [&](const std::string& what) {
+    return Verdict{false, label + ": " + what};
+  };
+  if (dense.round != exp.round) return fail("round differs");
+  if (dense.outcomes != exp.outcomes) return fail("outcomes differ");
+  if (dense.live_count != exp.live_count) return fail("live_count differs");
+  if (dense.final_fraction != exp.final_fraction ||
+      dense.tentative_fraction != exp.tentative_fraction ||
+      dense.none_fraction != exp.none_fraction)
+    return fail("fractions differ");
+  if (dense.non_empty_block != exp.non_empty_block)
+    return fail("non_empty_block differs");
+  if (dense.proposals != exp.proposals) return fail("proposals differ");
+  if (dense.synchrony != exp.synchrony) return fail("synchrony differs");
+  if (!dense.roles || !exp.roles || !dense.roles_true || !exp.roles_true)
+    return fail("role snapshot missing");
+  if (dense.roles->roles() != exp.roles->roles() ||
+      dense.roles->stakes() != exp.roles->stakes())
+    return fail("observed snapshot differs");
+  if (dense.roles_true->roles() != exp.roles_true->roles() ||
+      dense.roles_true->stakes() != exp.roles_true->stakes())
+    return fail("true snapshot differs");
+  return Verdict{};
+}
+
+}  // namespace
+
+// Random configuration x random split x random churn: the incrementally
+// maintained sparse context must replay the dense evaluation exactly,
+// round after compounding round.
+PROP_TEST_WITH_PARAMS(PropSparse, SparseMatchesDenseUnderChurnAndRewards, 6) {
+  prop.check(
+      pgen::tuple_of(roleshare::testgen::network_config(24, 56),
+                     pgen::real_range(0.10, 0.40),
+                     pgen::real_range(0.10, 0.40)),
+      [](const std::tuple<NetworkConfig, double, double>& t) {
+        const auto& [config, alpha, beta] = t;
+        const roleshare::econ::RewardSplit split(alpha, beta);
+
+        Network dense_net(config);
+        Network sparse_net(config);
+        RoundEngine dense(dense_net, sampled_params(dense_net));
+        RoundEngine sparse(sparse_net, sampled_params(sparse_net));
+
+        SparseRoundContext ctx;
+        ctx.init_from(sparse_net);
+        SparseRoundWorkspace sparse_ws;
+        SparseRoundResult sparse_result;
+        RoundResult dense_result, expanded;
+        RoundWorkspace dense_ws, expand_ws;
+
+        Rng churn(Rng(config.seed).derive_seed(0xC0FFEE));
+        std::size_t offline = 0;
+        for (int r = 1; r <= 4; ++r) {
+          dense.run_round_into(dense_result, dense_ws);
+          sparse.run_round_sparse_into(sparse_result, ctx, sparse_ws);
+          expand_sparse_into(sparse_net, sparse_result, expanded, expand_ws);
+
+          const std::string label =
+              "round " + std::to_string(r) + " (seed " +
+              std::to_string(config.seed) + ")";
+          Verdict v = expect_eq_results(dense_result, expanded, label);
+          if (!v.ok) return v;
+          if (!(dense_net.chain().tip().hash() ==
+                sparse_net.chain().tip().hash()))
+            return Verdict{false, label + ": chains diverged"};
+
+          // Identical compounding on both economies; only the sparse
+          // context sees incremental refreshes.
+          compound_rewards(sparse_net, sparse_result, split, &ctx);
+          compound_rewards(dense_net, sparse_result, split, nullptr);
+
+          // Random churn, applied identically to both networks. Cap the
+          // offline fraction so the live stake never collapses to zero.
+          for (int k = 0; k < 3; ++k) {
+            const auto node = static_cast<roleshare::ledger::NodeId>(
+                churn.uniform_int(
+                    0,
+                    static_cast<std::int64_t>(config.node_count) - 1));
+            bool live = churn.bernoulli(0.75);
+            if (!live && offline * 4 >= config.node_count) live = true;
+            const bool was_live = dense_net.live(node);
+            if (was_live && !live) ++offline;
+            if (!was_live && live) --offline;
+            dense_net.set_live(node, live);
+            sparse_net.set_live(node, live);
+            ctx.refresh_node(sparse_net, node);
+          }
+        }
+        return Verdict{};
+      },
+      [](const std::tuple<NetworkConfig, double, double>& t) {
+        const auto& [config, alpha, beta] = t;
+        return "nodes=" + std::to_string(config.node_count) +
+               " seed=" + std::to_string(config.seed) +
+               " defect=" + std::to_string(config.defection_rate) +
+               " faulty=" + std::to_string(config.faulty_rate) +
+               " alpha=" + std::to_string(alpha) +
+               " beta=" + std::to_string(beta);
+      });
+}
+
+// Random stake vectors + random delta sequences: incremental Fenwick
+// updates leave the index indistinguishable from a fresh rebuild.
+PROP_TEST_WITH_PARAMS(PropSparse, StakeIndexIncrementalEqualsRebuild, 30) {
+  prop.check(
+      pgen::tuple_of(roleshare::testgen::stake_vector(1, 300),
+                     pgen::int_range(1, 500), pgen::int_range(0, 1 << 30)),
+      [](const std::tuple<std::vector<std::int64_t>, std::int64_t,
+                          std::int64_t>& t) {
+        const auto& [initial, deltas, seed] = t;
+        std::vector<std::int64_t> stakes = initial;
+        roleshare::util::StakeIndex incremental(stakes);
+        Rng rng(static_cast<std::uint64_t>(seed));
+        for (std::int64_t d = 0; d < deltas; ++d) {
+          const auto v = static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(stakes.size()) - 1));
+          stakes[v] = rng.uniform_int(0, 200);
+          incremental.update(v, stakes[v]);
+        }
+        const roleshare::util::StakeIndex fresh(stakes);
+        if (incremental.total() != fresh.total())
+          return Verdict{false, "totals differ"};
+        for (std::size_t v = 0; v <= stakes.size(); ++v)
+          if (incremental.prefix_sum(v) != fresh.prefix_sum(v))
+            return Verdict{false,
+                           "prefix_sum differs at " + std::to_string(v)};
+        for (std::int64_t target = 0; target < fresh.total(); target += 7)
+          if (incremental.find(target) != fresh.find(target))
+            return Verdict{false, "find differs at " + std::to_string(target)};
+        if (fresh.total() > 0) {
+          Rng a(11), b(11);
+          for (int d = 0; d < 64; ++d)
+            if (incremental.sample(a) != fresh.sample(b))
+              return Verdict{false, "samples diverged at draw " +
+                                        std::to_string(d)};
+        }
+        return Verdict{};
+      },
+      [](const std::tuple<std::vector<std::int64_t>, std::int64_t,
+                          std::int64_t>& t) {
+        return "n=" + std::to_string(std::get<0>(t).size()) +
+               " deltas=" + std::to_string(std::get<1>(t)) +
+               " seed=" + std::to_string(std::get<2>(t));
+      });
+}

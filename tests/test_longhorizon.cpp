@@ -1,0 +1,204 @@
+#include "sim/longhorizon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "econ/cost_model.hpp"
+#include "econ/role_based.hpp"
+#include "econ/role_snapshot.hpp"
+#include "econ/sparse_payout.hpp"
+#include "util/rng.hpp"
+
+namespace roleshare::sim {
+namespace {
+
+LongHorizonConfig tiny_config() {
+  LongHorizonConfig config;
+  config.node_count = 200;
+  config.seed = 17;
+  config.runs = 3;
+  config.rounds_per_run = 6;
+  config.defection_rate = 0.10;
+  return config;
+}
+
+// distribute_touched's digit-for-digit contract against the paper scheme:
+// over a full-population snapshot, the Leader/Committee amounts must match
+// RoleBasedScheme::distribute exactly, and they must be invariant to
+// restricting the touched set to just the elected nodes.
+TEST(SparsePayout, MatchesRoleBasedSchemeForElectedRoles) {
+  util::Rng rng(31);
+  const std::size_t n = 400;
+  std::vector<consensus::Role> roles(n, consensus::Role::Other);
+  std::vector<std::int64_t> stakes(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    stakes[v] = rng.uniform_int(1, 80);
+    const double p = rng.uniform01();
+    if (p < 0.02) {
+      roles[v] = consensus::Role::Leader;
+    } else if (p < 0.15) {
+      roles[v] = consensus::Role::Committee;
+    }
+  }
+  const econ::RoleSnapshot snapshot(roles, stakes);
+  const econ::RewardSplit split(0.30, 0.30);
+  const ledger::MicroAlgos budget = 26'000'000;
+
+  econ::RoleBasedScheme scheme(econ::CostModel{}, split);
+  const econ::Payouts dense = scheme.distribute(1, snapshot, budget);
+
+  // Full-population touched set.
+  std::vector<ledger::MicroAlgos> amounts(n, 0);
+  const auto totals = econ::distribute_touched(
+      split, budget, roles, stakes, snapshot.total_stake(), amounts);
+  EXPECT_EQ(totals.leader_stake, snapshot.stake_of(consensus::Role::Leader));
+  EXPECT_EQ(totals.committee_stake,
+            snapshot.stake_of(consensus::Role::Committee));
+  EXPECT_EQ(totals.other_stake, snapshot.stake_of(consensus::Role::Other));
+  ledger::MicroAlgos paid = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (roles[v] == consensus::Role::Other) {
+      EXPECT_EQ(amounts[v], 0) << v;  // γ pot reported, not paid
+    } else {
+      EXPECT_EQ(amounts[v], dense.amounts[v]) << v;
+      paid += amounts[v];
+    }
+  }
+  EXPECT_EQ(totals.paid, paid);
+  EXPECT_LE(totals.paid + totals.others_pot, budget);
+
+  // Elected-only touched set (the sparse round's actual shape) pays the
+  // same amounts given the same online_stake.
+  std::vector<consensus::Role> elected_roles;
+  std::vector<std::int64_t> elected_stakes;
+  std::vector<std::size_t> elected_ids;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (roles[v] == consensus::Role::Other) continue;
+    elected_roles.push_back(roles[v]);
+    elected_stakes.push_back(stakes[v]);
+    elected_ids.push_back(v);
+  }
+  std::vector<ledger::MicroAlgos> elected_amounts(elected_roles.size(), 0);
+  const auto elected_totals = econ::distribute_touched(
+      split, budget, elected_roles, elected_stakes, snapshot.total_stake(),
+      elected_amounts);
+  EXPECT_EQ(elected_totals.paid, totals.paid);
+  EXPECT_EQ(elected_totals.other_stake, totals.other_stake);
+  for (std::size_t i = 0; i < elected_ids.size(); ++i)
+    EXPECT_EQ(elected_amounts[i], dense.amounts[elected_ids[i]]);
+}
+
+TEST(SparsePayout, GuardsAndDegenerateBudgets) {
+  const econ::RewardSplit split(0.30, 0.30);
+  std::vector<consensus::Role> roles{consensus::Role::Leader};
+  std::vector<std::int64_t> stakes{10};
+  std::vector<ledger::MicroAlgos> amounts(1, 0);
+  // Zero budget pays nothing.
+  const auto zero =
+      econ::distribute_touched(split, 0, roles, stakes, 10, amounts);
+  EXPECT_EQ(zero.paid, 0);
+  // Touched stakes exceeding the online stake is a caller bug.
+  EXPECT_THROW(econ::distribute_touched(split, 100, roles, stakes, 5, amounts),
+               std::invalid_argument);
+  // Mismatched spans are rejected.
+  std::vector<ledger::MicroAlgos> wrong(2, 0);
+  EXPECT_THROW(econ::distribute_touched(split, 100, roles, stakes, 10, wrong),
+               std::invalid_argument);
+}
+
+TEST(LongHorizon, SmokeRunProducesCoherentSeries) {
+  const LongHorizonConfig config = tiny_config();
+  const LongHorizonResult result = run_longhorizon(config);
+  ASSERT_EQ(result.gini_per_round.size(), config.rounds_per_run);
+  ASSERT_EQ(result.top_share_per_round.size(), config.rounds_per_run);
+  ASSERT_EQ(result.defector_corr_per_round.size(), config.rounds_per_run);
+  ASSERT_EQ(result.final_pct_per_round.size(), config.rounds_per_run);
+  for (std::size_t r = 0; r < config.rounds_per_run; ++r) {
+    EXPECT_GE(result.gini_per_round[r], 0.0);
+    EXPECT_LE(result.gini_per_round[r], 1.0);
+    EXPECT_GT(result.top_share_per_round[r], 0.0);
+    EXPECT_LE(result.top_share_per_round[r], 1.0);
+    EXPECT_GE(result.defector_corr_per_round[r], -1.0);
+    EXPECT_LE(result.defector_corr_per_round[r], 1.0);
+    EXPECT_GE(result.final_pct_per_round[r], 0.0);
+    EXPECT_LE(result.final_pct_per_round[r], 100.0);
+  }
+  EXPECT_GE(result.mean_end_gini, 0.0);
+  EXPECT_LE(result.mean_end_gini, 1.0);
+  EXPECT_GT(result.mean_paid_algos, 0.0);
+  EXPECT_GT(result.accumulator_bytes, 0u);
+}
+
+TEST(LongHorizon, DeterministicInSeedAndThreads) {
+  LongHorizonConfig config = tiny_config();
+  const LongHorizonResult a = run_longhorizon(config);
+  config.threads = 3;
+  const LongHorizonResult b = run_longhorizon(config);
+  EXPECT_EQ(a.gini_per_round, b.gini_per_round);
+  EXPECT_EQ(a.top_share_per_round, b.top_share_per_round);
+  EXPECT_EQ(a.defector_corr_per_round, b.defector_corr_per_round);
+  EXPECT_EQ(a.final_pct_per_round, b.final_pct_per_round);
+  EXPECT_EQ(a.mean_end_gini, b.mean_end_gini);
+  EXPECT_EQ(a.mean_paid_algos, b.mean_paid_algos);
+
+  LongHorizonConfig reseeded = tiny_config();
+  reseeded.seed = 18;
+  const LongHorizonResult c = run_longhorizon(reseeded);
+  EXPECT_NE(a.gini_per_round, c.gini_per_round);
+}
+
+TEST(LongHorizon, PartialJsonRoundTrips) {
+  const LongHorizonConfig config = tiny_config();
+  const LongHorizonPartial partial = run_longhorizon_partial(config);
+  EXPECT_EQ(partial.envelope().kind, "longhorizon");
+  EXPECT_TRUE(partial.complete());
+  const LongHorizonPartial restored =
+      LongHorizonPartial::from_json(util::json::parse(partial.to_json().dump()));
+  EXPECT_EQ(restored.to_json().dump(), partial.to_json().dump());
+}
+
+// The acceptance-criterion property in miniature: contiguous shards merged
+// in window order are bit-identical to the single-process partial.
+TEST(LongHorizon, ShardedMergeMatchesSingleProcess) {
+  const LongHorizonConfig config = tiny_config();
+  const LongHorizonPartial whole = run_longhorizon_partial(config);
+
+  auto shard = [&](std::size_t begin, std::size_t end) {
+    LongHorizonConfig c = config;
+    c.shard = RunShard{begin, end};
+    return run_longhorizon_partial(c);
+  };
+  LongHorizonPartial merged = shard(0, 1);
+  merged.merge(shard(1, 2));
+  merged.merge(shard(2, 3));
+  EXPECT_EQ(merged.to_json().dump(), whole.to_json().dump());
+
+  const LongHorizonResult a = whole.finalize();
+  const LongHorizonResult b = merged.finalize();
+  EXPECT_EQ(a.gini_per_round, b.gini_per_round);
+  EXPECT_EQ(a.mean_end_gini, b.mean_end_gini);
+  EXPECT_EQ(a.mean_paid_algos, b.mean_paid_algos);
+}
+
+TEST(LongHorizon, CompoundingDriftsTheStakeDistribution) {
+  // With rewards flowing back into stake, the end-of-run concentration
+  // must differ from the round-1 concentration — the series is alive.
+  LongHorizonConfig config = tiny_config();
+  config.runs = 1;
+  config.rounds_per_run = 40;
+  const LongHorizonResult result = run_longhorizon(config);
+  EXPECT_NE(result.gini_per_round.front(), result.gini_per_round.back());
+}
+
+TEST(LongHorizon, RejectsInvalidConfig) {
+  LongHorizonConfig bad = tiny_config();
+  bad.node_count = 2;
+  EXPECT_THROW(run_longhorizon(bad), std::invalid_argument);
+  LongHorizonConfig bad_top = tiny_config();
+  bad_top.top_fraction = 0.0;
+  EXPECT_THROW(run_longhorizon(bad_top), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace roleshare::sim

@@ -206,5 +206,57 @@ TEST(AliasSampler, RejectsDegenerateInput) {
   EXPECT_THROW(AliasSampler({1.0, -1.0}), std::invalid_argument);
 }
 
+TEST(AliasSampler, RejectsNonFiniteWeights) {
+  EXPECT_THROW(AliasSampler({1.0, std::nan("")}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler({1.0, INFINITY}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler({-INFINITY, 1.0}), std::invalid_argument);
+}
+
+TEST(AliasSampler, SingleEntryAlwaysSamplesZero) {
+  Rng rng(79);
+  AliasSampler sampler(std::vector<double>{0.25});
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(AliasSampler, AllEqualWeightsAreExactlyUniform) {
+  // The all-equal fast path pins every cell probability to 1, so a draw
+  // reduces to the uniform column pick: the result must equal the raw
+  // uniform_int the rng would produce, for ANY equal weight value —
+  // including ones whose floating-point sum would not divide back evenly.
+  for (const double w : {1.0, 0.1, 3.0e-9, 7.77e12}) {
+    AliasSampler sampler(std::vector<double>(7, w));
+    Rng sampling(80), manual(80);
+    for (int i = 0; i < 500; ++i) {
+      const std::size_t got = sampler.sample(sampling);
+      const auto expected =
+          static_cast<std::size_t>(manual.uniform_int(0, 6));
+      (void)manual.uniform01();  // the coin the draw also consumes
+      ASSERT_EQ(got, expected) << "weight " << w;
+    }
+  }
+}
+
+TEST(AliasSampler, EveryDrawConsumesExactlyTwoVariates) {
+  // One uniform_int + one uniform01 per draw, whatever the table shape —
+  // the stream-discipline contract downstream consumers rely on.
+  AliasSampler skewed(std::vector<double>{0.001, 5.0, 0.0, 2.5});
+  Rng a(81), b(81);
+  for (int i = 0; i < 300; ++i) {
+    (void)skewed.sample(a);
+    (void)b.uniform_int(0, 3);
+    (void)b.uniform01();
+  }
+  EXPECT_EQ(a(), b());
+}
+
+TEST(AliasSampler, ZeroWeightEntriesNeverReturned) {
+  Rng rng(82);
+  AliasSampler sampler(std::vector<double>{0.0, 1.0, 0.0, 1.0, 0.0});
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t v = sampler.sample(rng);
+    EXPECT_TRUE(v == 1 || v == 3) << v;
+  }
+}
+
 }  // namespace
 }  // namespace roleshare::util

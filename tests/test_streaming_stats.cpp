@@ -187,5 +187,179 @@ TEST(ReservoirSample, StateRoundTripAfterMergeContinuesIdentically) {
   EXPECT_EQ(restored.seen(), left.seen());
 }
 
+// ---------------------------------------------------------------------
+// StakeConcentration — the long-horizon wealth sketches.
+
+double exact_gini(std::vector<std::int64_t> stakes) {
+  std::sort(stakes.begin(), stakes.end());
+  double total = 0.0, weighted = 0.0;
+  for (std::size_t i = 0; i < stakes.size(); ++i) {
+    total += static_cast<double>(stakes[i]);
+    weighted += static_cast<double>(i + 1) * static_cast<double>(stakes[i]);
+  }
+  if (total <= 0.0) return 0.0;
+  const double n = static_cast<double>(stakes.size());
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+TEST(StakeConcentration, EqualStakesHaveZeroGini) {
+  StakeConcentration c;
+  for (int i = 0; i < 100; ++i) c.add(25);
+  EXPECT_NEAR(c.gini(), 0.0, 1e-12);
+  EXPECT_EQ(c.count(), 100u);
+  EXPECT_EQ(c.total(), 2500);
+}
+
+TEST(StakeConcentration, GiniTracksExactWithinQuantization) {
+  Rng rng(41);
+  std::vector<std::int64_t> stakes(3000);
+  StakeConcentration c;
+  for (auto& s : stakes) {
+    s = rng.uniform_int(1, 5000);
+    c.add(s);
+  }
+  // 8 buckets per octave => within-bucket spread < 2^(1/8) - 1 ~ 9%;
+  // the Gini of the quantized distribution lands well inside 0.02 of
+  // the exact value for smooth stake distributions.
+  EXPECT_NEAR(c.gini(), exact_gini(stakes), 0.02);
+}
+
+TEST(StakeConcentration, TopShareExactWhenTopBucketIsolated) {
+  StakeConcentration c;
+  for (int i = 0; i < 9; ++i) c.add(1);
+  c.add(991);  // alone in its bucket: the top-10% holder is identifiable
+  EXPECT_NEAR(c.top_share(0.10), 0.991, 1e-12);
+  EXPECT_NEAR(c.top_share(1.0), 1.0, 1e-12);
+}
+
+TEST(StakeConcentration, UpdateMatchesFreshRebuild) {
+  Rng rng(43);
+  std::vector<std::int64_t> stakes(500);
+  StakeConcentration incremental;
+  for (auto& s : stakes) {
+    s = rng.uniform_int(1, 800);
+    incremental.add(s);
+  }
+  for (int step = 0; step < 3000; ++step) {
+    const auto v = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(stakes.size()) - 1));
+    const std::int64_t next = rng.uniform_int(1, 1200);
+    incremental.update(stakes[v], next);
+    stakes[v] = next;
+  }
+  StakeConcentration fresh;
+  for (const auto s : stakes) fresh.add(s);
+  EXPECT_EQ(incremental.count(), fresh.count());
+  EXPECT_EQ(incremental.total(), fresh.total());
+  EXPECT_EQ(incremental.gini(), fresh.gini());
+  EXPECT_EQ(incremental.top_share(0.01), fresh.top_share(0.01));
+  EXPECT_EQ(incremental.top_share(0.25), fresh.top_share(0.25));
+}
+
+TEST(StakeConcentration, RemoveUndoesAdd) {
+  StakeConcentration c;
+  c.add(10);
+  c.add(500);
+  const double before = c.gini();
+  c.add(77);
+  c.remove(77);
+  EXPECT_EQ(c.gini(), before);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_EQ(c.total(), 510);
+}
+
+TEST(StakeConcentration, EmptyAndAllZeroAreDefined) {
+  StakeConcentration c;
+  EXPECT_EQ(c.gini(), 0.0);
+  EXPECT_EQ(c.top_share(0.5), 0.0);
+  c.add(0);
+  c.add(0);
+  EXPECT_EQ(c.gini(), 0.0);
+  EXPECT_EQ(c.top_share(0.5), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// CohortWealthCorrelation — defector-vs-wealth tracking.
+
+double exact_point_biserial(const std::vector<std::int64_t>& stakes,
+                            const std::vector<bool>& cohort) {
+  const double n = static_cast<double>(stakes.size());
+  double n1 = 0, sum1 = 0, sum = 0, sum_sq = 0;
+  for (std::size_t i = 0; i < stakes.size(); ++i) {
+    const double s = static_cast<double>(stakes[i]);
+    sum += s;
+    sum_sq += s * s;
+    if (cohort[i]) {
+      n1 += 1;
+      sum1 += s;
+    }
+  }
+  const double n0 = n - n1;
+  if (n1 == 0 || n0 == 0) return 0.0;
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  if (var <= 0.0) return 0.0;
+  const double mean1 = sum1 / n1;
+  const double mean0 = (sum - sum1) / n0;
+  return (mean1 - mean0) / std::sqrt(var) * std::sqrt(n1 * n0 / (n * n));
+}
+
+TEST(CohortWealthCorrelation, MatchesExactReference) {
+  Rng rng(47);
+  std::vector<std::int64_t> stakes(400);
+  std::vector<bool> cohort(400);
+  CohortWealthCorrelation c;
+  for (std::size_t i = 0; i < stakes.size(); ++i) {
+    cohort[i] = rng.bernoulli(0.2);
+    // Cohort members poorer on average: the correlation must come out
+    // negative and match the closed form.
+    stakes[i] = rng.uniform_int(1, cohort[i] ? 40 : 100);
+    c.add(stakes[i], cohort[i]);
+  }
+  const double expected = exact_point_biserial(stakes, cohort);
+  EXPECT_LT(expected, 0.0);
+  EXPECT_NEAR(c.correlation(), expected, 1e-9);
+}
+
+TEST(CohortWealthCorrelation, DegenerateCasesAreZero) {
+  CohortWealthCorrelation empty;
+  EXPECT_EQ(empty.correlation(), 0.0);
+
+  CohortWealthCorrelation one_sided;
+  one_sided.add(10, false);
+  one_sided.add(20, false);
+  EXPECT_EQ(one_sided.correlation(), 0.0);
+
+  CohortWealthCorrelation no_variance;
+  no_variance.add(5, true);
+  no_variance.add(5, false);
+  EXPECT_EQ(no_variance.correlation(), 0.0);
+}
+
+TEST(CohortWealthCorrelation, UpdateMatchesFreshRebuild) {
+  Rng rng(53);
+  std::vector<std::int64_t> stakes(300);
+  std::vector<bool> cohort(300);
+  CohortWealthCorrelation incremental;
+  for (std::size_t i = 0; i < stakes.size(); ++i) {
+    cohort[i] = rng.bernoulli(0.3);
+    stakes[i] = rng.uniform_int(1, 500);
+    incremental.add(stakes[i], cohort[i]);
+  }
+  for (int step = 0; step < 2000; ++step) {
+    const auto v = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(stakes.size()) - 1));
+    const std::int64_t next = rng.uniform_int(1, 900);
+    incremental.update(stakes[v], next, cohort[v]);
+    stakes[v] = next;
+  }
+  CohortWealthCorrelation fresh;
+  for (std::size_t i = 0; i < stakes.size(); ++i)
+    fresh.add(stakes[i], cohort[i]);
+  EXPECT_NEAR(incremental.correlation(), fresh.correlation(), 1e-9);
+  EXPECT_EQ(incremental.count(), fresh.count());
+  EXPECT_EQ(incremental.cohort_count(), fresh.cohort_count());
+}
+
 }  // namespace
 }  // namespace roleshare::util
