@@ -1,0 +1,675 @@
+// Per-bench shard drivers (DESIGN.md §11): the single source of truth
+// for each figure bench's panel layout — constants, seeds, config
+// construction, document header, panel metadata and series snapshot.
+//
+// Both halves of an orchestrated job parse the SAME argv through the
+// same factory here: the bench main (figure mode) and the orchestrate
+// coordinator/worker pair. That is what makes an orchestrated run
+// byte-identical to a single-process one by construction — there is no
+// second copy of any seed, rate table or header field to drift. The
+// wire protocol's HELLO config echo (orch/wire.hpp) re-checks the
+// invariant at runtime across process boundaries.
+//
+// Layers:
+//   PanelDriver<PartialT>   the generic shard surface of one bench:
+//                           header + panel_meta + run_panel as
+//                           run_sharded_panels consumes them, plus
+//                           series_json (finalize one merged partial
+//                           into the deterministic series snapshot).
+//   make_<bench>_driver     per-bench factory; also returns the parsed
+//                           knob values the bench main prints.
+//   ShardableBench          type-erased driver for the orchestrator:
+//                           run_window (worker side, wraps
+//                           run_sharded_panels) + fold/write_series
+//                           (coordinator side, the merge_partials fold
+//                           discipline: in-window-order typed merges,
+//                           then write_series_document over [0, runs)).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <iterator>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "orch/worker.hpp"
+#include "shard_util.hpp"
+
+namespace roleshare::bench {
+
+/// The shard surface of one figure bench, exactly as
+/// run_sharded_panels consumes it. All callbacks capture their knobs by
+/// value — a driver outlives the argv it was parsed from.
+template <typename PartialT>
+struct PanelDriver {
+  std::string bench_name;
+  std::size_t runs = 0;
+  std::size_t panel_count = 0;
+  util::json::Value header;
+  std::function<util::json::Value(std::size_t)> panel_meta;
+  std::function<PartialT(std::size_t, sim::RunShard)> run_panel;
+  /// Finalizes one fully-merged panel partial into the panel's
+  /// deterministic "series" object of the series document.
+  std::function<util::json::Value(const PartialT&)> series_json;
+};
+
+// ---------------------------------------------------------------- fig3
+
+namespace fig3 {
+inline constexpr double kRates[] = {0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
+inline constexpr char kPanels[] = {'a', 'b', 'c', 'd', 'e', 'f'};
+inline constexpr double kTrim = 0.2;
+}  // namespace fig3
+
+struct Fig3Driver {
+  std::size_t nodes = 0;
+  std::size_t runs = 0;
+  std::size_t rounds = 0;
+  std::size_t threads = 0;
+  std::size_t inner_threads = 0;
+  sim::AggBackend agg = sim::AggBackend::Exact;
+  PanelDriver<sim::DefectionPartial> panels;
+};
+
+inline Fig3Driver make_fig3_driver(int argc, char** argv) {
+  Fig3Driver d;
+  d.nodes = static_cast<std::size_t>(arg_int(argc, argv, "nodes", 400));
+  d.runs = static_cast<std::size_t>(arg_int(argc, argv, "runs", 8));
+  d.rounds = static_cast<std::size_t>(arg_int(argc, argv, "rounds", 30));
+  d.threads = arg_threads(argc, argv);
+  d.inner_threads = arg_inner_threads(argc, argv);
+  d.agg = arg_agg(argc, argv);
+
+  d.panels.bench_name = "fig3_defection";
+  d.panels.runs = d.runs;
+  d.panels.panel_count = std::size(fig3::kRates);
+  d.panels.header = shard_document_header(
+      std::string(sim::DefectionPayload::kKind), "fig3_defection",
+      {{"nodes", d.nodes},
+       {"runs", d.runs},
+       {"rounds", d.rounds},
+       {"agg", sim::to_string(d.agg)},
+       {"trim", fig3::kTrim}});
+  d.panels.panel_meta = [](std::size_t i) {
+    util::json::Value panel = util::json::Value::object();
+    panel.set("rate_pct", fig3::kRates[i] * 100.0);
+    return panel;
+  };
+  const auto knobs = d;  // knob values only; panels not yet fully built
+  d.panels.run_panel = [knobs](std::size_t i, sim::RunShard sub) {
+    sim::DefectionExperimentConfig config;
+    config.network.node_count = knobs.nodes;
+    config.network.seed = 42 + i;
+    config.network.defection_rate = fig3::kRates[i];
+    // Mild weak-synchrony churn so the tentative-then-recover pattern
+    // the paper highlights (Fig 3-c, rounds 17-20) can emerge;
+    // degradation deepens with defection as in the paper's narrative.
+    config.network.synchrony.degrade_probability =
+        0.05 + fig3::kRates[i] / 2.0;
+    config.network.synchrony.degraded_delay_factor = 25.0;
+    config.network.synchrony.max_degraded_rounds = 2;
+    config.runs = knobs.runs;
+    config.rounds = knobs.rounds;
+    config.threads = knobs.threads;
+    config.inner_threads = knobs.inner_threads;
+    config.trim_fraction = fig3::kTrim;
+    config.agg = knobs.agg;
+    config.shard = sub;
+    return sim::run_defection_partial(config);
+  };
+  d.panels.series_json = [](const sim::DefectionPartial& partial) {
+    return defection_series_json(partial.finalize(fig3::kTrim));
+  };
+  return d;
+}
+
+// ---------------------------------------------------------------- fig6
+
+namespace fig6 {
+inline const std::array<sim::StakeSpec, 4>& specs() {
+  static const std::array<sim::StakeSpec, 4> kSpecs = {
+      sim::StakeSpec::uniform(1, 200), sim::StakeSpec::normal(100, 20),
+      sim::StakeSpec::normal(100, 10), sim::StakeSpec::normal(2000, 25)};
+  return kSpecs;
+}
+inline constexpr char kPanels[] = {'a', 'b', 'c', 'd'};
+}  // namespace fig6
+
+struct Fig6Driver {
+  std::size_t nodes = 0;
+  std::size_t runs = 0;
+  std::size_t rounds = 0;
+  std::size_t threads = 0;
+  std::size_t inner_threads = 0;
+  sim::AggBackend agg = sim::AggBackend::Exact;
+  PanelDriver<sim::RewardPartial> panels;
+};
+
+inline Fig6Driver make_fig6_driver(int argc, char** argv) {
+  Fig6Driver d;
+  d.nodes = static_cast<std::size_t>(arg_int(argc, argv, "nodes", 100'000));
+  d.runs = static_cast<std::size_t>(arg_int(argc, argv, "runs", 40));
+  d.rounds = static_cast<std::size_t>(arg_int(argc, argv, "rounds", 10));
+  d.threads = arg_threads(argc, argv);
+  d.inner_threads = arg_inner_threads(argc, argv);
+  d.agg = arg_agg(argc, argv);
+
+  d.panels.bench_name = "fig6_bi_distributions";
+  d.panels.runs = d.runs;
+  d.panels.panel_count = std::size(fig6::kPanels);
+  d.panels.header = shard_document_header(
+      std::string(sim::RewardPayload::kKind), "fig6_bi_distributions",
+      {{"nodes", d.nodes},
+       {"runs", d.runs},
+       {"rounds", d.rounds},
+       {"agg", sim::to_string(d.agg)}});
+  d.panels.panel_meta = [](std::size_t i) {
+    util::json::Value panel = util::json::Value::object();
+    panel.set("panel", std::string(1, fig6::kPanels[i]));
+    panel.set("stakes", fig6::specs()[i].name());
+    return panel;
+  };
+  const auto knobs = d;
+  d.panels.run_panel = [knobs](std::size_t i, sim::RunShard sub) {
+    sim::RewardExperimentConfig config;
+    config.node_count = knobs.nodes;
+    config.seed = 1000 + i;
+    config.stakes = fig6::specs()[i];
+    config.runs = knobs.runs;
+    config.rounds_per_run = knobs.rounds;
+    config.threads = knobs.threads;
+    config.inner_threads = knobs.inner_threads;
+    config.agg = knobs.agg;
+    config.shard = sub;
+    return sim::run_reward_partial(config);
+  };
+  d.panels.series_json = [](const sim::RewardPartial& partial) {
+    return reward_series_json(partial.finalize());
+  };
+  return d;
+}
+
+// ---------------------------------------------------------------- fig7
+
+namespace fig7 {
+inline const std::array<sim::StakeSpec, 3>& specs() {
+  static const std::array<sim::StakeSpec, 3> kSpecs = {
+      sim::StakeSpec::uniform(1, 200), sim::StakeSpec::normal(100, 20),
+      sim::StakeSpec::normal(100, 10)};
+  return kSpecs;
+}
+inline constexpr std::int64_t kFilters[] = {3, 5, 7};
+
+/// Panels 0-2: the Fig-7(a/b) stake distributions (seeds 2000+i).
+/// Panels 3-5: the Fig-7(c) U_w(1,200) filters (seeds 3000+i).
+struct PanelSpec {
+  sim::StakeSpec stakes;
+  std::optional<std::int64_t> min_stake;
+  std::uint64_t seed;
+};
+
+inline PanelSpec panel_spec(std::size_t panel) {
+  if (panel < 3) return {specs()[panel], std::nullopt, 2000 + panel};
+  return {specs()[0], kFilters[panel - 3], 3000 + (panel - 3)};
+}
+}  // namespace fig7
+
+struct Fig7Driver {
+  std::size_t nodes = 0;
+  std::size_t runs = 0;
+  std::size_t rounds = 0;
+  std::size_t threads = 0;
+  std::size_t inner_threads = 0;
+  sim::AggBackend agg = sim::AggBackend::Exact;
+  PanelDriver<sim::RewardPartial> panels;
+};
+
+inline Fig7Driver make_fig7_driver(int argc, char** argv) {
+  Fig7Driver d;
+  d.nodes = static_cast<std::size_t>(arg_int(argc, argv, "nodes", 100'000));
+  d.runs = static_cast<std::size_t>(arg_int(argc, argv, "runs", 30));
+  d.rounds = static_cast<std::size_t>(arg_int(argc, argv, "rounds", 10));
+  d.threads = arg_threads(argc, argv);
+  d.inner_threads = arg_inner_threads(argc, argv);
+  d.agg = arg_agg(argc, argv);
+
+  d.panels.bench_name = "fig7_reward_comparison";
+  d.panels.runs = d.runs;
+  d.panels.panel_count = 6;
+  d.panels.header = shard_document_header(
+      std::string(sim::RewardPayload::kKind), "fig7_reward_comparison",
+      {{"nodes", d.nodes},
+       {"runs", d.runs},
+       {"rounds", d.rounds},
+       {"agg", sim::to_string(d.agg)}});
+  d.panels.panel_meta = [](std::size_t panel) {
+    const fig7::PanelSpec spec = fig7::panel_spec(panel);
+    util::json::Value v = util::json::Value::object();
+    v.set("stakes", spec.stakes.name());
+    v.set("min_other_stake", spec.min_stake
+                                 ? util::json::Value(*spec.min_stake)
+                                 : util::json::Value());
+    v.set("seed", spec.seed);
+    return v;
+  };
+  const auto knobs = d;
+  d.panels.run_panel = [knobs](std::size_t panel, sim::RunShard sub) {
+    const fig7::PanelSpec spec = fig7::panel_spec(panel);
+    sim::RewardExperimentConfig config;
+    config.node_count = knobs.nodes;
+    config.seed = spec.seed;
+    config.stakes = spec.stakes;
+    config.runs = knobs.runs;
+    config.rounds_per_run = knobs.rounds;
+    config.threads = knobs.threads;
+    config.inner_threads = knobs.inner_threads;
+    config.agg = knobs.agg;
+    config.shard = sub;
+    config.min_other_stake = spec.min_stake;
+    return sim::run_reward_partial(config);
+  };
+  d.panels.series_json = [](const sim::RewardPartial& partial) {
+    return reward_series_json(partial.finalize());
+  };
+  return d;
+}
+
+// ------------------------------------------------------ scenario_sweep
+
+namespace scenario {
+inline constexpr double kLevels[] = {0.05, 0.15, 0.30};
+inline constexpr std::size_t kCheckedLevel = 1;  // middle level, re-run
+// The §III-C trim; must equal DefectionExperimentConfig::trim_fraction
+// (the serial self-check finalizes through run_defection_experiment,
+// which uses the config's value).
+inline constexpr double kTrim = 0.2;
+
+struct PolicyCase {
+  const char* name;
+  sim::PolicyKind kind;
+  bool churn;
+};
+
+inline constexpr PolicyCase kPolicies[] = {
+    {"scripted", sim::PolicyKind::Scripted, false},
+    {"adaptive", sim::PolicyKind::AdaptiveDefect, false},
+    {"stake", sim::PolicyKind::StakeCorrelatedDefect, false},
+    {"churn", sim::PolicyKind::Scripted, true},
+};
+inline constexpr std::size_t kPanelCount =
+    std::size(kPolicies) * std::size(kLevels);
+
+/// Panel p = policy p / |levels|, level p % |levels|.
+inline const PolicyCase& panel_policy(std::size_t panel) {
+  return kPolicies[panel / std::size(kLevels)];
+}
+inline std::size_t panel_level(std::size_t panel) {
+  return panel % std::size(kLevels);
+}
+}  // namespace scenario
+
+struct ScenarioDriver {
+  std::size_t nodes = 0;
+  std::size_t runs = 0;
+  std::size_t rounds = 0;
+  std::uint64_t seed = 0;
+  std::size_t threads = 0;
+  std::size_t inner_threads = 0;
+  sim::AggBackend agg = sim::AggBackend::Exact;
+  /// The full per-panel config — exposed (not just run_panel) because
+  /// the sweep's serial self-check re-runs it with threads forced to 1.
+  std::function<sim::DefectionExperimentConfig(std::size_t, sim::RunShard)>
+      panel_config;
+  PanelDriver<sim::DefectionPartial> panels;
+};
+
+inline ScenarioDriver make_scenario_driver(int argc, char** argv) {
+  ScenarioDriver d;
+  d.nodes = static_cast<std::size_t>(arg_int(argc, argv, "nodes", 120));
+  d.runs = static_cast<std::size_t>(arg_int(argc, argv, "runs", 6));
+  d.rounds = static_cast<std::size_t>(arg_int(argc, argv, "rounds", 8));
+  d.seed = static_cast<std::uint64_t>(arg_int(argc, argv, "seed", 99));
+  d.threads = arg_threads(argc, argv);
+  d.inner_threads = arg_inner_threads(argc, argv);
+  d.agg = arg_agg(argc, argv);
+
+  struct Knobs {
+    std::size_t nodes, runs, rounds, threads, inner_threads;
+    std::uint64_t seed;
+    sim::AggBackend agg;
+  };
+  const Knobs knobs{d.nodes, d.runs,  d.rounds, d.threads,
+                    d.inner_threads, d.seed,  d.agg};
+  d.panel_config = [knobs](std::size_t panel, sim::RunShard sub) {
+    const scenario::PolicyCase& policy = scenario::panel_policy(panel);
+    const std::size_t level_idx = scenario::panel_level(panel);
+    const double level = scenario::kLevels[level_idx];
+    sim::DefectionExperimentConfig config;
+    config.network.node_count = knobs.nodes;
+    config.network.seed = knobs.seed + level_idx;
+    config.runs = knobs.runs;
+    config.rounds = knobs.rounds;
+    config.threads = knobs.threads;
+    config.inner_threads = knobs.inner_threads;
+    config.agg = knobs.agg;
+    config.policy.kind = policy.kind;
+    switch (policy.kind) {
+      case sim::PolicyKind::Scripted:
+      case sim::PolicyKind::AdaptiveDefect:
+        config.network.defection_rate = level;
+        break;
+      case sim::PolicyKind::StakeCorrelatedDefect:
+        // Linear percentile curve whose population mean equals `level`.
+        config.policy.defect_at_bottom = std::min(1.0, 2.0 * level);
+        config.policy.defect_at_top = 0.0;
+        break;
+    }
+    if (policy.churn) {
+      config.policy.churn.leave_probability = 0.06;
+      config.policy.churn.join_probability = 0.12;
+      config.policy.churn.min_live =
+          std::max<std::size_t>(4, knobs.nodes / 4);
+    }
+    config.trim_fraction = scenario::kTrim;
+    config.shard = sub;
+    return config;
+  };
+
+  d.panels.bench_name = "scenario_sweep";
+  d.panels.runs = d.runs;
+  d.panels.panel_count = scenario::kPanelCount;
+  d.panels.header = shard_document_header(
+      std::string(sim::DefectionPayload::kKind), "scenario_sweep",
+      {{"nodes", d.nodes},
+       {"runs", d.runs},
+       {"rounds", d.rounds},
+       {"seed", d.seed},
+       {"agg", sim::to_string(d.agg)},
+       {"trim", scenario::kTrim}});
+  d.panels.panel_meta = [](std::size_t panel) {
+    util::json::Value v = util::json::Value::object();
+    v.set("policy", std::string(scenario::panel_policy(panel).name));
+    v.set("level_pct",
+          scenario::kLevels[scenario::panel_level(panel)] * 100.0);
+    return v;
+  };
+  const auto panel_config = d.panel_config;
+  d.panels.run_panel = [panel_config](std::size_t panel, sim::RunShard sub) {
+    return sim::run_defection_partial(panel_config(panel, sub));
+  };
+  d.panels.series_json = [](const sim::DefectionPartial& partial) {
+    return defection_series_json(partial.finalize(scenario::kTrim));
+  };
+  return d;
+}
+
+// -------------------------------------------------- strategic_ensemble
+
+namespace strategic {
+inline constexpr sim::SchemeChoice kSchemes[] = {
+    sim::SchemeChoice::FoundationStakeProportional,
+    sim::SchemeChoice::RoleBasedAdaptive};
+inline constexpr const char* kSchemeNames[] = {"foundation", "role-based"};
+}  // namespace strategic
+
+struct StrategicDriver {
+  std::size_t nodes = 0;
+  std::size_t runs = 0;
+  std::size_t rounds = 0;
+  std::uint64_t seed = 0;
+  std::size_t threads = 0;
+  std::size_t inner_threads = 0;
+  sim::AggBackend agg = sim::AggBackend::Exact;
+  PanelDriver<sim::StrategicPartial> panels;
+};
+
+inline StrategicDriver make_strategic_driver(int argc, char** argv) {
+  StrategicDriver d;
+  d.nodes = static_cast<std::size_t>(arg_int(argc, argv, "nodes", 150));
+  d.runs = static_cast<std::size_t>(arg_int(argc, argv, "runs", 6));
+  d.rounds = static_cast<std::size_t>(arg_int(argc, argv, "rounds", 10));
+  d.seed = static_cast<std::uint64_t>(arg_int(argc, argv, "seed", 99));
+  d.threads = arg_threads(argc, argv);
+  d.inner_threads = arg_inner_threads(argc, argv);
+  d.agg = arg_agg(argc, argv);
+
+  d.panels.bench_name = "strategic_ensemble";
+  d.panels.runs = d.runs;
+  d.panels.panel_count = std::size(strategic::kSchemes);
+  d.panels.header = shard_document_header(
+      std::string(sim::StrategicPayload::kKind), "strategic_ensemble",
+      {{"nodes", d.nodes},
+       {"runs", d.runs},
+       {"rounds", d.rounds},
+       {"seed", d.seed},
+       {"agg", sim::to_string(d.agg)}});
+  d.panels.panel_meta = [](std::size_t panel) {
+    util::json::Value v = util::json::Value::object();
+    v.set("scheme", std::string(strategic::kSchemeNames[panel]));
+    return v;
+  };
+  const auto knobs = d;
+  d.panels.run_panel = [knobs](std::size_t panel, sim::RunShard sub) {
+    sim::StrategicEnsembleConfig config;
+    config.base.network.node_count = knobs.nodes;
+    config.base.network.seed = knobs.seed;
+    config.base.rounds = knobs.rounds;
+    config.base.scheme = strategic::kSchemes[panel];
+    config.runs = knobs.runs;
+    config.threads = knobs.threads;
+    config.inner_threads = knobs.inner_threads;
+    config.agg = knobs.agg;
+    config.shard = sub;
+    return sim::run_strategic_partial(config);
+  };
+  d.panels.series_json = [](const sim::StrategicPartial& partial) {
+    return strategic_series_json(partial.finalize());
+  };
+  return d;
+}
+
+// ------------------------------------------------------ fig_longhorizon
+
+namespace longhorizon {
+inline constexpr double kDefectionRates[] = {0.0, 0.10, 0.30};
+inline constexpr std::size_t kPanels = 3;
+}  // namespace longhorizon
+
+struct LongHorizonDriver {
+  std::size_t nodes = 0;
+  std::size_t runs = 0;
+  std::size_t rounds = 0;
+  std::size_t threads = 0;
+  std::size_t inner_threads = 0;
+  sim::AggBackend agg = sim::AggBackend::Exact;
+  double alpha = 0.0;
+  double beta = 0.0;
+  double top_fraction = 0.0;
+  PanelDriver<sim::LongHorizonPartial> panels;
+};
+
+inline LongHorizonDriver make_longhorizon_driver(int argc, char** argv) {
+  LongHorizonDriver d;
+  d.nodes = static_cast<std::size_t>(arg_int(argc, argv, "nodes", 100'000));
+  d.runs = static_cast<std::size_t>(arg_int(argc, argv, "runs", 4));
+  d.rounds = static_cast<std::size_t>(arg_int(argc, argv, "rounds", 2000));
+  d.threads = arg_threads(argc, argv);
+  d.inner_threads = arg_inner_threads(argc, argv);
+  d.agg = arg_agg(argc, argv);
+  d.alpha = arg_real(argc, argv, "alpha", 0.30);
+  d.beta = arg_real(argc, argv, "beta", 0.30);
+  d.top_fraction = arg_real(argc, argv, "top-fraction", 0.01);
+
+  d.panels.bench_name = "fig_longhorizon";
+  d.panels.runs = d.runs;
+  d.panels.panel_count = longhorizon::kPanels;
+  d.panels.header = shard_document_header(
+      std::string(sim::LongHorizonPayload::kKind), "fig_longhorizon",
+      {{"nodes", d.nodes},
+       {"runs", d.runs},
+       {"rounds", d.rounds},
+       {"agg", sim::to_string(d.agg)}});
+  d.panels.panel_meta = [](std::size_t panel) {
+    util::json::Value v = util::json::Value::object();
+    v.set("defection_rate", longhorizon::kDefectionRates[panel]);
+    v.set("seed", 4000 + panel);
+    return v;
+  };
+  const auto knobs = d;
+  d.panels.run_panel = [knobs](std::size_t panel, sim::RunShard sub) {
+    sim::LongHorizonConfig config;
+    config.node_count = knobs.nodes;
+    config.seed = 4000 + panel;
+    config.defection_rate = longhorizon::kDefectionRates[panel];
+    config.runs = knobs.runs;
+    config.rounds_per_run = knobs.rounds;
+    config.threads = knobs.threads;
+    config.inner_threads = knobs.inner_threads;
+    config.alpha = knobs.alpha;
+    config.beta = knobs.beta;
+    config.top_fraction = knobs.top_fraction;
+    config.agg = knobs.agg;
+    config.shard = sub;
+    return sim::run_longhorizon_partial(config);
+  };
+  d.panels.series_json = [](const sim::LongHorizonPartial& partial) {
+    return longhorizon_series_json(partial.finalize());
+  };
+  return d;
+}
+
+// --------------------------------------------- type-erased orchestration
+
+/// A bench the orchestrator can drive without knowing its partial type.
+/// The worker side calls run_window (run_sharded_panels under the
+/// coordinator-supplied knobs); the coordinator side folds each finished
+/// window's partial-document bytes IN WINDOW ORDER and finally writes
+/// the series document — the exact merge_partials discipline, which is
+/// why the output is byte-identical to a single-process --series-out.
+struct ShardableBench {
+  std::string bench_name;
+  std::size_t runs = 0;
+  std::size_t panel_count = 0;
+  /// The shard-document header dump — the HELLO config echo.
+  std::string config_echo;
+  std::function<orch::WindowOutcome(const ShardKnobs&)> run_window;
+  std::function<void(const std::string& bytes, std::size_t run_begin,
+                     std::size_t run_end, const std::string& origin)>
+      fold;
+  /// Writes the final series document; callable once every window in
+  /// [0, runs) has been folded.
+  std::function<void(const std::string& series_out)> write_series;
+};
+
+template <typename PartialT>
+ShardableBench make_shardable_bench(PanelDriver<PartialT> driver) {
+  struct FoldState {
+    std::vector<PartialT> partials;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    bool any = false;
+  };
+  auto state = std::make_shared<FoldState>();
+
+  ShardableBench bench;
+  bench.bench_name = driver.bench_name;
+  bench.runs = driver.runs;
+  bench.panel_count = driver.panel_count;
+  bench.config_echo = driver.header.dump();
+  bench.run_window = [driver](const ShardKnobs& knobs) {
+    const ShardExecution<PartialT> exec = run_sharded_panels<PartialT>(
+        knobs, driver.panel_count, driver.header, driver.panel_meta,
+        driver.run_panel);
+    orch::WindowOutcome outcome;
+    outcome.cursor = exec.cursor;
+    outcome.executed = exec.executed;
+    outcome.complete = exec.complete();
+    outcome.store_hit = exec.store_hit;
+    outcome.partial_bytes = exec.partial_bytes;
+    return outcome;
+  };
+  bench.fold = [driver, state](const std::string& bytes,
+                               std::size_t run_begin, std::size_t run_end,
+                               const std::string& origin) {
+    const util::json::Value doc = sim::decode_partial_document(bytes, origin);
+    ShardExecution<PartialT> exec;
+    load_partial_document(doc, origin, driver.header, driver.panel_count,
+                          exec);
+    if (!exec.complete() || exec.window_begin != run_begin ||
+        exec.window_end != run_end) {
+      throw std::runtime_error(
+          origin + " covers runs [" + std::to_string(exec.window_begin) +
+          ", " + std::to_string(exec.cursor) + ") of window [" +
+          std::to_string(exec.window_begin) + ", " +
+          std::to_string(exec.window_end) + ") — expected finished window [" +
+          std::to_string(run_begin) + ", " + std::to_string(run_end) + ")");
+    }
+    if (!state->any) {
+      state->partials = std::move(exec.partials);
+      state->begin = run_begin;
+      state->end = run_end;
+      state->any = true;
+      return;
+    }
+    if (run_begin != state->end) {
+      throw std::runtime_error(
+          origin + " begins at run " + std::to_string(run_begin) +
+          " but the fold frontier is at " + std::to_string(state->end) +
+          " — windows must fold in order");
+    }
+    // The envelope merge re-checks spec hash, backend and contiguity.
+    for (std::size_t i = 0; i < state->partials.size(); ++i)
+      state->partials[i].merge(exec.partials[i]);
+    state->end = run_end;
+  };
+  bench.write_series = [driver, state](const std::string& series_out) {
+    if (!state->any || state->begin != 0 || state->end != driver.runs) {
+      throw std::runtime_error(
+          "orchestrate: series requested but only runs [" +
+          std::to_string(state->begin) + ", " + std::to_string(state->end) +
+          ") of [0, " + std::to_string(driver.runs) + ") are folded");
+    }
+    util::json::Value panels = util::json::Value::array();
+    for (std::size_t i = 0; i < driver.panel_count; ++i) {
+      util::json::Value v = driver.panel_meta(i);
+      v.set("series", driver.series_json(state->partials[i]));
+      panels.push_back(std::move(v));
+    }
+    write_series_document(series_out, driver.header, 0, driver.runs,
+                          std::move(panels));
+  };
+  return bench;
+}
+
+inline constexpr const char* kShardableBenchNames =
+    "fig3_defection, fig6_bi_distributions, fig7_reward_comparison, "
+    "scenario_sweep, strategic_ensemble, fig_longhorizon";
+
+/// Name-dispatched registry over every shard-capable bench. Coordinator
+/// and workers both call this with the SAME argv — the single source of
+/// config truth behind the HELLO echo check.
+inline ShardableBench make_shardable_bench(const std::string& bench,
+                                           int argc, char** argv) {
+  if (bench == "fig3_defection")
+    return make_shardable_bench(make_fig3_driver(argc, argv).panels);
+  if (bench == "fig6_bi_distributions")
+    return make_shardable_bench(make_fig6_driver(argc, argv).panels);
+  if (bench == "fig7_reward_comparison")
+    return make_shardable_bench(make_fig7_driver(argc, argv).panels);
+  if (bench == "scenario_sweep")
+    return make_shardable_bench(make_scenario_driver(argc, argv).panels);
+  if (bench == "strategic_ensemble")
+    return make_shardable_bench(make_strategic_driver(argc, argv).panels);
+  if (bench == "fig_longhorizon")
+    return make_shardable_bench(make_longhorizon_driver(argc, argv).panels);
+  throw std::invalid_argument("--bench=" + bench +
+                              " is not shard-capable — pick one of: " +
+                              kShardableBenchNames);
+}
+
+}  // namespace roleshare::bench

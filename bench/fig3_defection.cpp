@@ -13,6 +13,11 @@
 // loops — the knob for single-run latency at large --nodes; also
 // bit-identical, and forced serial while --threads is parallel.
 //
+// Panel layout, seeds and config construction live in
+// bench/bench_drivers.hpp (make_fig3_driver) — shared with the
+// orchestrate coordinator/worker pair, so an orchestrated run cannot
+// drift from this binary's config.
+//
 // Aggregation / sharding / checkpoint knobs (DESIGN.md §6):
 //   --agg={exact,streaming}   reduction backend; streaming caps the
 //                             accumulator state at O(rounds) memory.
@@ -34,55 +39,16 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_drivers.hpp"
 #include "bench_util.hpp"
 #include "shard_util.hpp"
 #include "sim/defection_experiment.hpp"
 
 using namespace roleshare;
 
-namespace {
-
-constexpr double kRates[] = {0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
-constexpr char kPanels[] = {'a', 'b', 'c', 'd', 'e', 'f'};
-constexpr double kTrim = 0.2;
-
-sim::DefectionExperimentConfig panel_config(
-    std::size_t i, std::size_t nodes, std::size_t runs, std::size_t rounds,
-    std::size_t threads, std::size_t inner_threads, sim::AggBackend agg,
-    sim::RunShard shard) {
-  sim::DefectionExperimentConfig config;
-  config.network.node_count = nodes;
-  config.network.seed = 42 + i;
-  config.network.defection_rate = kRates[i];
-  // Mild weak-synchrony churn so the tentative-then-recover pattern the
-  // paper highlights (Fig 3-c, rounds 17-20) can emerge; degradation
-  // deepens with defection as in the paper's narrative.
-  config.network.synchrony.degrade_probability = 0.05 + kRates[i] / 2.0;
-  config.network.synchrony.degraded_delay_factor = 25.0;
-  config.network.synchrony.max_degraded_rounds = 2;
-  config.runs = runs;
-  config.rounds = rounds;
-  config.threads = threads;
-  config.inner_threads = inner_threads;
-  config.trim_fraction = kTrim;
-  config.agg = agg;
-  config.shard = shard;
-  return config;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const auto nodes = static_cast<std::size_t>(
-      bench::arg_int(argc, argv, "nodes", 400));
-  const auto runs =
-      static_cast<std::size_t>(bench::arg_int(argc, argv, "runs", 8));
-  const auto rounds =
-      static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 30));
-  const std::size_t threads = bench::arg_threads(argc, argv);
-  const std::size_t inner_threads = bench::arg_inner_threads(argc, argv);
-  const sim::AggBackend agg = bench::arg_agg(argc, argv);
-  const bench::ShardKnobs knobs = bench::arg_shard_knobs(argc, argv, runs);
+  const bench::Fig3Driver d = bench::make_fig3_driver(argc, argv);
+  const bench::ShardKnobs knobs = bench::arg_shard_knobs(argc, argv, d.runs);
   const std::string series_out =
       bench::arg_string(argc, argv, "series-out", "");
 
@@ -92,66 +58,54 @@ int main(int argc, char** argv) {
               "--nodes/--runs/--rounds/--threads/--inner-threads/--agg; "
               "shard with --run-begin/--run-end + --partial-out, resume "
               "with --checkpoint-every + --partial-in)\n",
-              nodes, runs, rounds, threads, inner_threads,
-              sim::to_string(agg));
-
-  const util::json::Value header = bench::shard_document_header(
-      std::string(sim::DefectionPayload::kKind), "fig3_defection",
-      {{"nodes", nodes},
-       {"runs", runs},
-       {"rounds", rounds},
-       {"agg", sim::to_string(agg)},
-       {"trim", kTrim}});
-  const auto panel_meta = [](std::size_t i) {
-    util::json::Value panel = util::json::Value::object();
-    panel.set("rate_pct", kRates[i] * 100.0);
-    return panel;
-  };
-  const auto run_panel = [&](std::size_t i, sim::RunShard sub) {
-    return sim::run_defection_partial(panel_config(
-        i, nodes, runs, rounds, threads, inner_threads, agg, sub));
-  };
+              d.nodes, d.runs, d.rounds, d.threads, d.inner_threads,
+              sim::to_string(d.agg));
 
   const bench::WallTimer timer;
   const auto exec = bench::run_sharded_panels<sim::DefectionPartial>(
-      knobs, 6, header, panel_meta, run_panel);
+      knobs, d.panels.panel_count, d.panels.header, d.panels.panel_meta,
+      d.panels.run_panel);
   // Shard-worker mode ends here: the partial is on disk, merge_partials
   // folds the shards into the figure.
-  if (bench::shard_worker_done(exec, knobs, header, timer.elapsed_ms()))
+  if (bench::shard_worker_done(exec, knobs, d.panels.header,
+                               timer.elapsed_ms()))
     return 0;
 
   bench::JsonFields json_fields = {
-      {"nodes", static_cast<double>(nodes)},
-      {"runs", static_cast<double>(runs)},
-      {"rounds", static_cast<double>(rounds)},
-      {"threads", static_cast<double>(threads)},
-      {"inner_threads", static_cast<double>(inner_threads)},
-      {"agg", sim::to_string(agg)}};
+      {"nodes", static_cast<double>(d.nodes)},
+      {"runs", static_cast<double>(d.runs)},
+      {"rounds", static_cast<double>(d.rounds)},
+      {"threads", static_cast<double>(d.threads)},
+      {"inner_threads", static_cast<double>(d.inner_threads)},
+      {"agg", sim::to_string(d.agg)}};
 
   std::size_t accumulator_bytes = 0;
   util::json::Value series_panels = util::json::Value::array();
-  for (std::size_t i = 0; i < 6; ++i) {
-    const sim::DefectionSeries series = exec.partials[i].finalize(kTrim);
+  for (std::size_t i = 0; i < d.panels.panel_count; ++i) {
+    const sim::DefectionSeries series =
+        exec.partials[i].finalize(bench::fig3::kTrim);
     accumulator_bytes += series.accumulator_bytes;
 
-    std::printf("\n--- Fig 3(%c): defection rate %.0f%% ---\n", kPanels[i],
-                kRates[i] * 100);
+    std::printf("\n--- Fig 3(%c): defection rate %.0f%% ---\n",
+                bench::fig3::kPanels[i], bench::fig3::kRates[i] * 100);
     bench::print_defection_table(series);
     const double mean_final = bench::mean_final_pct(series);
     std::printf("mean final%% = %.1f | runs with chain progress = %.0f%%\n",
                 mean_final, series.runs_with_progress * 100);
     json_fields.emplace_back(
-        "mean_final_pct_" + std::to_string(static_cast<int>(kRates[i] * 100)),
+        "mean_final_pct_" +
+            std::to_string(static_cast<int>(bench::fig3::kRates[i] * 100)),
         mean_final);
 
-    util::json::Value panel = panel_meta(i);
+    util::json::Value panel = d.panels.panel_meta(i);
     panel.set("series", bench::defection_series_json(series));
     series_panels.push_back(std::move(panel));
   }
 
   if (!series_out.empty()) {
-    bench::write_series_document(series_out, header, exec.window_begin,
-                                 exec.cursor, std::move(series_panels));
+    bench::write_series_document(series_out, d.panels.header,
+                                 exec.window_begin, exec.cursor,
+                                 std::move(series_panels));
     std::printf("\n[series] wrote %s\n", series_out.c_str());
   }
 

@@ -8,6 +8,10 @@
 // less as their minimum stake rises; per-Algo-of-stake the N(2000,25)
 // economy is the cheapest to secure.
 //
+// Panel layout, seeds and config construction live in
+// bench/bench_drivers.hpp (make_fig6_driver) — shared with the
+// orchestrate coordinator/worker pair.
+//
 // Sharding / checkpointing (DESIGN.md §6): --run-begin/--run-end +
 // --partial-out write a mergeable RewardPartial per panel instead of the
 // figure; --checkpoint-every / --partial-in / --stop-after give the
@@ -15,6 +19,7 @@
 // snapshot CI diffs against a merge_partials run.
 #include <cstdio>
 
+#include "bench_drivers.hpp"
 #include "bench_util.hpp"
 #include "shard_util.hpp"
 #include "sim/reward_experiment.hpp"
@@ -23,26 +28,9 @@
 
 using namespace roleshare;
 
-namespace {
-
-const sim::StakeSpec kSpecs[] = {
-    sim::StakeSpec::uniform(1, 200), sim::StakeSpec::normal(100, 20),
-    sim::StakeSpec::normal(100, 10), sim::StakeSpec::normal(2000, 25)};
-constexpr char kPanels[] = {'a', 'b', 'c', 'd'};
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const auto nodes = static_cast<std::size_t>(
-      bench::arg_int(argc, argv, "nodes", 100'000));
-  const auto runs =
-      static_cast<std::size_t>(bench::arg_int(argc, argv, "runs", 40));
-  const auto rounds =
-      static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 10));
-  const std::size_t threads = bench::arg_threads(argc, argv);
-  const std::size_t inner_threads = bench::arg_inner_threads(argc, argv);
-  const sim::AggBackend agg = bench::arg_agg(argc, argv);
-  const bench::ShardKnobs knobs = bench::arg_shard_knobs(argc, argv, runs);
+  const bench::Fig6Driver d = bench::make_fig6_driver(argc, argv);
+  const bench::ShardKnobs knobs = bench::arg_shard_knobs(argc, argv, d.runs);
   const std::string series_out =
       bench::arg_string(argc, argv, "series-out", "");
 
@@ -52,72 +40,44 @@ int main(int argc, char** argv) {
               "(paper: 500k nodes; scale with --nodes; shard with "
               "--run-begin/--run-end + --partial-out, resume with "
               "--checkpoint-every + --partial-in)\n",
-              nodes, runs, rounds, threads, inner_threads,
-              sim::to_string(agg));
-
-  const auto make_config = [&](std::size_t i, sim::RunShard sub) {
-    sim::RewardExperimentConfig config;
-    config.node_count = nodes;
-    config.seed = 1000 + i;
-    config.stakes = kSpecs[i];
-    config.runs = runs;
-    config.rounds_per_run = rounds;
-    config.threads = threads;
-    config.inner_threads = inner_threads;
-    config.agg = agg;
-    config.shard = sub;
-    return config;
-  };
-
-  const util::json::Value header = bench::shard_document_header(
-      std::string(sim::RewardPayload::kKind), "fig6_bi_distributions",
-      {{"nodes", nodes},
-       {"runs", runs},
-       {"rounds", rounds},
-       {"agg", sim::to_string(agg)}});
-  const auto panel_meta = [](std::size_t i) {
-    util::json::Value panel = util::json::Value::object();
-    panel.set("panel", std::string(1, kPanels[i]));
-    panel.set("stakes", kSpecs[i].name());
-    return panel;
-  };
-  const auto run_panel = [&](std::size_t i, sim::RunShard sub) {
-    return sim::run_reward_partial(make_config(i, sub));
-  };
+              d.nodes, d.runs, d.rounds, d.threads, d.inner_threads,
+              sim::to_string(d.agg));
 
   const bench::WallTimer timer;
   const auto exec = bench::run_sharded_panels<sim::RewardPartial>(
-      knobs, 4, header, panel_meta, run_panel);
-  if (bench::shard_worker_done(exec, knobs, header, timer.elapsed_ms()))
+      knobs, d.panels.panel_count, d.panels.header, d.panels.panel_meta,
+      d.panels.run_panel);
+  if (bench::shard_worker_done(exec, knobs, d.panels.header,
+                               timer.elapsed_ms()))
     return 0;
 
   bench::JsonFields json_fields = {
-      {"nodes", static_cast<double>(nodes)},
-      {"runs", static_cast<double>(runs)},
-      {"rounds", static_cast<double>(rounds)},
-      {"threads", static_cast<double>(threads)},
-      {"inner_threads", static_cast<double>(inner_threads)},
-      {"agg", sim::to_string(agg)}};
+      {"nodes", static_cast<double>(d.nodes)},
+      {"runs", static_cast<double>(d.runs)},
+      {"rounds", static_cast<double>(d.rounds)},
+      {"threads", static_cast<double>(d.threads)},
+      {"inner_threads", static_cast<double>(d.inner_threads)},
+      {"agg", sim::to_string(d.agg)}};
   std::size_t accumulator_bytes = 0;
   util::json::Value series_panels = util::json::Value::array();
 
-  for (std::size_t i = 0; i < 4; ++i) {
+  for (std::size_t i = 0; i < d.panels.panel_count; ++i) {
     const sim::RewardExperimentResult result = exec.partials[i].finalize();
-    json_fields.emplace_back("mean_bi_" + std::string(1, kPanels[i]),
-                             result.mean_bi);
+    json_fields.emplace_back(
+        "mean_bi_" + std::string(1, bench::fig6::kPanels[i]), result.mean_bi);
     accumulator_bytes += result.accumulator_bytes;
-    util::json::Value panel = panel_meta(i);
+    util::json::Value panel = d.panels.panel_meta(i);
     panel.set("series", bench::reward_series_json(result));
     series_panels.push_back(std::move(panel));
 
-    std::printf("\n--- Fig 6(%c): stakes %s ---\n", kPanels[i],
-                kSpecs[i].name().c_str());
+    std::printf("\n--- Fig 6(%c): stakes %s ---\n", bench::fig6::kPanels[i],
+                bench::fig6::specs()[i].name().c_str());
     std::printf("mean S_N = %.1fM Algos | infeasible = %zu\n",
                 result.mean_total_stake / 1e6, result.infeasible_rounds);
     std::printf("mean split: alpha=%.4f beta=%.4f gamma=%.4f\n",
                 result.mean_alpha, result.mean_beta,
                 1.0 - result.mean_alpha - result.mean_beta);
-    if (agg == sim::AggBackend::Streaming) {
+    if (d.agg == sim::AggBackend::Streaming) {
       // Streaming backend: the raw sample list is deliberately not
       // materialized — report the per-round means it does keep.
       std::printf("B_i Algos mean=%.2f (streaming backend: raw samples not "
@@ -142,8 +102,9 @@ int main(int argc, char** argv) {
   }
 
   if (!series_out.empty()) {
-    bench::write_series_document(series_out, header, exec.window_begin,
-                                 exec.cursor, std::move(series_panels));
+    bench::write_series_document(series_out, d.panels.header,
+                                 exec.window_begin, exec.cursor,
+                                 std::move(series_panels));
     std::printf("\n[series] wrote %s\n", series_out.c_str());
   }
 

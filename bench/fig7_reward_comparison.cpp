@@ -10,52 +10,27 @@
 // amount and does not grow over the horizon; excluding small stakes cuts
 // the required reward further (~1/w).
 //
+// Panel layout, seeds and config construction live in
+// bench/bench_drivers.hpp (make_fig7_driver) — shared with the
+// orchestrate coordinator/worker pair.
+//
 // Sharding / checkpointing (DESIGN.md §6): the six panels (three stake
 // distributions + three U_w filters) execute through the checkpointed
 // shard driver; --partial-out / --partial-in / --checkpoint-every /
 // --series-out behave exactly as on fig3/fig6.
 #include <cstdio>
-#include <optional>
+#include <vector>
 
+#include "bench_drivers.hpp"
 #include "bench_util.hpp"
 #include "shard_util.hpp"
 #include "sim/reward_experiment.hpp"
 
 using namespace roleshare;
 
-namespace {
-
-const sim::StakeSpec kSpecs[] = {
-    sim::StakeSpec::uniform(1, 200), sim::StakeSpec::normal(100, 20),
-    sim::StakeSpec::normal(100, 10)};
-constexpr std::int64_t kFilters[] = {3, 5, 7};
-
-/// Panels 0-2: the Fig-7(a/b) stake distributions (seeds 2000+i).
-/// Panels 3-5: the Fig-7(c) U_w(1,200) filters (seeds 3000+i).
-struct PanelSpec {
-  sim::StakeSpec stakes;
-  std::optional<std::int64_t> min_stake;
-  std::uint64_t seed;
-};
-
-PanelSpec panel_spec(std::size_t panel) {
-  if (panel < 3) return {kSpecs[panel], std::nullopt, 2000 + panel};
-  return {kSpecs[0], kFilters[panel - 3], 3000 + (panel - 3)};
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const auto nodes = static_cast<std::size_t>(
-      bench::arg_int(argc, argv, "nodes", 100'000));
-  const auto runs =
-      static_cast<std::size_t>(bench::arg_int(argc, argv, "runs", 30));
-  const auto rounds =
-      static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 10));
-  const std::size_t threads = bench::arg_threads(argc, argv);
-  const std::size_t inner_threads = bench::arg_inner_threads(argc, argv);
-  const sim::AggBackend agg = bench::arg_agg(argc, argv);
-  const bench::ShardKnobs knobs = bench::arg_shard_knobs(argc, argv, runs);
+  const bench::Fig7Driver d = bench::make_fig7_driver(argc, argv);
+  const bench::ShardKnobs knobs = bench::arg_shard_knobs(argc, argv, d.runs);
   const std::string series_out =
       bench::arg_string(argc, argv, "series-out", "");
 
@@ -64,61 +39,28 @@ int main(int argc, char** argv) {
               "inner-threads=%zu agg=%s (shard with --run-begin/--run-end "
               "+ --partial-out, resume with --checkpoint-every + "
               "--partial-in)\n",
-              nodes, runs, rounds, threads, inner_threads,
-              sim::to_string(agg));
-
-  const auto make_config = [&](std::size_t panel, sim::RunShard sub) {
-    const PanelSpec spec = panel_spec(panel);
-    sim::RewardExperimentConfig config;
-    config.node_count = nodes;
-    config.seed = spec.seed;
-    config.stakes = spec.stakes;
-    config.runs = runs;
-    config.rounds_per_run = rounds;
-    config.threads = threads;
-    config.inner_threads = inner_threads;
-    config.agg = agg;
-    config.shard = sub;
-    config.min_other_stake = spec.min_stake;
-    return config;
-  };
-
-  const util::json::Value header = bench::shard_document_header(
-      std::string(sim::RewardPayload::kKind), "fig7_reward_comparison",
-      {{"nodes", nodes},
-       {"runs", runs},
-       {"rounds", rounds},
-       {"agg", sim::to_string(agg)}});
-  const auto panel_meta = [](std::size_t panel) {
-    const PanelSpec spec = panel_spec(panel);
-    util::json::Value v = util::json::Value::object();
-    v.set("stakes", spec.stakes.name());
-    v.set("min_other_stake", spec.min_stake
-                                 ? util::json::Value(*spec.min_stake)
-                                 : util::json::Value());
-    v.set("seed", spec.seed);
-    return v;
-  };
-  const auto run_panel = [&](std::size_t panel, sim::RunShard sub) {
-    return sim::run_reward_partial(make_config(panel, sub));
-  };
+              d.nodes, d.runs, d.rounds, d.threads, d.inner_threads,
+              sim::to_string(d.agg));
 
   const bench::WallTimer timer;
   const auto exec = bench::run_sharded_panels<sim::RewardPartial>(
-      knobs, 6, header, panel_meta, run_panel);
-  if (bench::shard_worker_done(exec, knobs, header, timer.elapsed_ms()))
+      knobs, d.panels.panel_count, d.panels.header, d.panels.panel_meta,
+      d.panels.run_panel);
+  if (bench::shard_worker_done(exec, knobs, d.panels.header,
+                               timer.elapsed_ms()))
     return 0;
 
   std::vector<sim::RewardExperimentResult> results;
-  for (std::size_t panel = 0; panel < 6; ++panel)
+  for (std::size_t panel = 0; panel < d.panels.panel_count; ++panel)
     results.push_back(exec.partials[panel].finalize());
 
   // (a) per-round rewards.
   std::printf("\n--- Fig 7(a): distributed reward per round (Algos) ---\n");
   std::printf("%6s %12s", "round", "Foundation");
-  for (const auto& spec : kSpecs) std::printf(" %12s", spec.name().c_str());
+  for (const auto& spec : bench::fig7::specs())
+    std::printf(" %12s", spec.name().c_str());
   std::printf("\n");
-  for (std::size_t r = 0; r < rounds; ++r) {
+  for (std::size_t r = 0; r < d.rounds; ++r) {
     std::printf("%6zu %12.1f", r + 1, results[0].foundation_per_round[r]);
     for (std::size_t i = 0; i < 3; ++i)
       std::printf(" %12.2f", results[i].bi_per_round_mean[r]);
@@ -128,11 +70,12 @@ int main(int argc, char** argv) {
   // (b) accumulated rewards.
   std::printf("\n--- Fig 7(b): accumulated rewards (Algos) ---\n");
   std::printf("%6s %12s", "round", "Foundation");
-  for (const auto& spec : kSpecs) std::printf(" %12s", spec.name().c_str());
+  for (const auto& spec : bench::fig7::specs())
+    std::printf(" %12s", spec.name().c_str());
   std::printf("\n");
   double acc_foundation = 0;
   std::vector<double> acc(3, 0.0);
-  for (std::size_t r = 0; r < rounds; ++r) {
+  for (std::size_t r = 0; r < d.rounds; ++r) {
     acc_foundation += results[0].foundation_per_round[r];
     std::printf("%6zu %12.1f", r + 1, acc_foundation);
     for (std::size_t i = 0; i < 3; ++i) {
@@ -149,7 +92,7 @@ int main(int argc, char** argv) {
               "U7");
   double acc_base = 0;
   std::vector<double> acc_f(3, 0.0);
-  for (std::size_t r = 0; r < rounds; ++r) {
+  for (std::size_t r = 0; r < d.rounds; ++r) {
     acc_base += results[0].bi_per_round_mean[r];
     std::printf("%6zu %12.2f", r + 1, acc_base);
     for (std::size_t i = 0; i < 3; ++i) {
@@ -161,13 +104,14 @@ int main(int argc, char** argv) {
 
   if (!series_out.empty()) {
     util::json::Value series_panels = util::json::Value::array();
-    for (std::size_t panel = 0; panel < 6; ++panel) {
-      util::json::Value v = panel_meta(panel);
+    for (std::size_t panel = 0; panel < d.panels.panel_count; ++panel) {
+      util::json::Value v = d.panels.panel_meta(panel);
       v.set("series", bench::reward_series_json(results[panel]));
       series_panels.push_back(std::move(v));
     }
-    bench::write_series_document(series_out, header, exec.window_begin,
-                                 exec.cursor, std::move(series_panels));
+    bench::write_series_document(series_out, d.panels.header,
+                                 exec.window_begin, exec.cursor,
+                                 std::move(series_panels));
     std::printf("\n[series] wrote %s\n", series_out.c_str());
   }
 
@@ -175,12 +119,12 @@ int main(int argc, char** argv) {
   for (const auto& result : results) accumulator_bytes += result.accumulator_bytes;
   bench::emit_json(
       "fig7_reward_comparison",
-      {{"nodes", static_cast<double>(nodes)},
-       {"runs", static_cast<double>(runs)},
-       {"rounds", static_cast<double>(rounds)},
-       {"threads", static_cast<double>(threads)},
-       {"inner_threads", static_cast<double>(inner_threads)},
-       {"agg", sim::to_string(agg)},
+      {{"nodes", static_cast<double>(d.nodes)},
+       {"runs", static_cast<double>(d.runs)},
+       {"rounds", static_cast<double>(d.rounds)},
+       {"threads", static_cast<double>(d.threads)},
+       {"inner_threads", static_cast<double>(d.inner_threads)},
+       {"agg", sim::to_string(d.agg)},
        {"accumulator_bytes", static_cast<double>(accumulator_bytes)},
        {"mean_bi_u1_200", results[0].mean_bi},
        {"mean_bi_n100_20", results[1].mean_bi},

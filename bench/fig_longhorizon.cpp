@@ -14,43 +14,30 @@
 // favors the defecting cohort (defectors hide their roles, so their
 // leader seats pay as Other: nothing).
 //
+// Panel layout, seeds and config construction live in
+// bench/bench_drivers.hpp (make_longhorizon_driver) — shared with the
+// orchestrate coordinator/worker pair.
+//
 // Sharding / checkpointing (DESIGN.md §6): --run-begin/--run-end +
 // --partial-out produce a mergeable shard; --checkpoint-every +
 // --partial-in resume; --format={json,bin} picks the partial encoding;
 // --store=DIR serves finished windows from the content-addressed cache.
 // merge_partials folds shard files byte-identically (exact backend).
 #include <cstdio>
+#include <vector>
 
+#include "bench_drivers.hpp"
 #include "bench_util.hpp"
 #include "shard_util.hpp"
 #include "sim/longhorizon.hpp"
 
 using namespace roleshare;
 
-namespace {
-
-constexpr double kDefectionRates[] = {0.0, 0.10, 0.30};
-constexpr std::size_t kPanels = 3;
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const auto nodes = static_cast<std::size_t>(
-      bench::arg_int(argc, argv, "nodes", 100'000));
-  const auto runs =
-      static_cast<std::size_t>(bench::arg_int(argc, argv, "runs", 4));
-  const auto rounds =
-      static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 2000));
-  const std::size_t threads = bench::arg_threads(argc, argv);
-  const std::size_t inner_threads = bench::arg_inner_threads(argc, argv);
-  const sim::AggBackend agg = bench::arg_agg(argc, argv);
-  const bench::ShardKnobs knobs = bench::arg_shard_knobs(argc, argv, runs);
+  const bench::LongHorizonDriver d = bench::make_longhorizon_driver(argc, argv);
+  const bench::ShardKnobs knobs = bench::arg_shard_knobs(argc, argv, d.runs);
   const std::string series_out =
       bench::arg_string(argc, argv, "series-out", "");
-  const double alpha = bench::arg_real(argc, argv, "alpha", 0.30);
-  const double beta = bench::arg_real(argc, argv, "beta", 0.30);
-  const double top_fraction =
-      bench::arg_real(argc, argv, "top-fraction", 0.01);
 
   bench::print_header("Long horizon",
                       "population-scale compounding economy (sparse path)");
@@ -58,60 +45,29 @@ int main(int argc, char** argv) {
               "inner-threads=%zu agg=%s alpha=%.2f beta=%.2f top=%.3f "
               "(shard with --run-begin/--run-end + --partial-out, resume "
               "with --checkpoint-every + --partial-in)\n",
-              nodes, runs, rounds, threads, inner_threads,
-              sim::to_string(agg), alpha, beta, top_fraction);
-
-  const auto make_config = [&](std::size_t panel, sim::RunShard sub) {
-    sim::LongHorizonConfig config;
-    config.node_count = nodes;
-    config.seed = 4000 + panel;
-    config.defection_rate = kDefectionRates[panel];
-    config.runs = runs;
-    config.rounds_per_run = rounds;
-    config.threads = threads;
-    config.inner_threads = inner_threads;
-    config.alpha = alpha;
-    config.beta = beta;
-    config.top_fraction = top_fraction;
-    config.agg = agg;
-    config.shard = sub;
-    return config;
-  };
-
-  const util::json::Value header = bench::shard_document_header(
-      std::string(sim::LongHorizonPayload::kKind), "fig_longhorizon",
-      {{"nodes", nodes},
-       {"runs", runs},
-       {"rounds", rounds},
-       {"agg", sim::to_string(agg)}});
-  const auto panel_meta = [](std::size_t panel) {
-    util::json::Value v = util::json::Value::object();
-    v.set("defection_rate", kDefectionRates[panel]);
-    v.set("seed", 4000 + panel);
-    return v;
-  };
-  const auto run_panel = [&](std::size_t panel, sim::RunShard sub) {
-    return sim::run_longhorizon_partial(make_config(panel, sub));
-  };
+              d.nodes, d.runs, d.rounds, d.threads, d.inner_threads,
+              sim::to_string(d.agg), d.alpha, d.beta, d.top_fraction);
 
   const bench::WallTimer timer;
   const auto exec = bench::run_sharded_panels<sim::LongHorizonPartial>(
-      knobs, kPanels, header, panel_meta, run_panel);
-  if (bench::shard_worker_done(exec, knobs, header, timer.elapsed_ms()))
+      knobs, d.panels.panel_count, d.panels.header, d.panels.panel_meta,
+      d.panels.run_panel);
+  if (bench::shard_worker_done(exec, knobs, d.panels.header,
+                               timer.elapsed_ms()))
     return 0;
 
   std::vector<sim::LongHorizonResult> results;
-  for (std::size_t panel = 0; panel < kPanels; ++panel)
+  for (std::size_t panel = 0; panel < d.panels.panel_count; ++panel)
     results.push_back(exec.partials[panel].finalize());
 
   std::printf("\n--- wealth concentration at the horizon (round %zu) ---\n",
-              rounds);
+              d.rounds);
   std::printf("%10s %10s %12s %14s %10s\n", "defect", "end gini",
               "end top-1%", "defector-corr", "final%");
-  for (std::size_t panel = 0; panel < kPanels; ++panel) {
+  for (std::size_t panel = 0; panel < d.panels.panel_count; ++panel) {
     const sim::LongHorizonResult& r = results[panel];
     std::printf("%10.2f %10.4f %12.4f %14.4f %10.1f\n",
-                kDefectionRates[panel], r.mean_end_gini,
+                bench::longhorizon::kDefectionRates[panel], r.mean_end_gini,
                 r.mean_end_top_share, r.mean_end_defector_corr,
                 r.final_pct_per_round.empty()
                     ? 0.0
@@ -120,25 +76,27 @@ int main(int argc, char** argv) {
 
   std::printf("\n--- Gini drift (every rounds/8) ---\n");
   std::printf("%8s", "round");
-  for (const double d : kDefectionRates) std::printf(" %11.2f", d);
+  for (const double rate : bench::longhorizon::kDefectionRates)
+    std::printf(" %11.2f", rate);
   std::printf("\n");
-  const std::size_t stride = rounds < 8 ? 1 : rounds / 8;
-  for (std::size_t r = stride - 1; r < rounds; r += stride) {
+  const std::size_t stride = d.rounds < 8 ? 1 : d.rounds / 8;
+  for (std::size_t r = stride - 1; r < d.rounds; r += stride) {
     std::printf("%8zu", r + 1);
-    for (std::size_t panel = 0; panel < kPanels; ++panel)
+    for (std::size_t panel = 0; panel < d.panels.panel_count; ++panel)
       std::printf(" %11.5f", results[panel].gini_per_round[r]);
     std::printf("\n");
   }
 
   if (!series_out.empty()) {
     util::json::Value series_panels = util::json::Value::array();
-    for (std::size_t panel = 0; panel < kPanels; ++panel) {
-      util::json::Value v = panel_meta(panel);
+    for (std::size_t panel = 0; panel < d.panels.panel_count; ++panel) {
+      util::json::Value v = d.panels.panel_meta(panel);
       v.set("series", bench::longhorizon_series_json(results[panel]));
       series_panels.push_back(std::move(v));
     }
-    bench::write_series_document(series_out, header, exec.window_begin,
-                                 exec.cursor, std::move(series_panels));
+    bench::write_series_document(series_out, d.panels.header,
+                                 exec.window_begin, exec.cursor,
+                                 std::move(series_panels));
     std::printf("\n[series] wrote %s\n", series_out.c_str());
   }
 
@@ -147,12 +105,12 @@ int main(int argc, char** argv) {
     accumulator_bytes += result.accumulator_bytes;
   bench::emit_json(
       "fig_longhorizon",
-      {{"nodes", static_cast<double>(nodes)},
-       {"runs", static_cast<double>(runs)},
-       {"rounds", static_cast<double>(rounds)},
-       {"threads", static_cast<double>(threads)},
-       {"inner_threads", static_cast<double>(inner_threads)},
-       {"agg", sim::to_string(agg)},
+      {{"nodes", static_cast<double>(d.nodes)},
+       {"runs", static_cast<double>(d.runs)},
+       {"rounds", static_cast<double>(d.rounds)},
+       {"threads", static_cast<double>(d.threads)},
+       {"inner_threads", static_cast<double>(d.inner_threads)},
+       {"agg", sim::to_string(d.agg)},
        {"accumulator_bytes", static_cast<double>(accumulator_bytes)},
        {"end_gini_d0", results[0].mean_end_gini},
        {"end_gini_d30", results[2].mean_end_gini},

@@ -14,6 +14,10 @@
 //               population varies per round and all consensus loops index
 //               live nodes only.
 //
+// Policy table, seeds and config construction live in
+// bench/bench_drivers.hpp (make_scenario_driver) — shared with the
+// orchestrate coordinator/worker pair.
+//
 // The binary self-checks the engine contract on every figure-mode
 // invocation: each policy is re-run serially (--threads=1) at the middle
 // level and must reproduce the sweep's aggregates bit for bit, and churn
@@ -27,12 +31,11 @@
 // mode — a window is not the full sweep.
 //
 //   $ ./scenario_sweep --nodes=120 --runs=6 --rounds=8 --threads=0
-#include <algorithm>
 #include <cstdio>
-#include <iterator>
 #include <string>
 #include <vector>
 
+#include "bench_drivers.hpp"
 #include "bench_util.hpp"
 #include "shard_util.hpp"
 #include "sim/defection_experiment.hpp"
@@ -40,61 +43,6 @@
 using namespace roleshare;
 
 namespace {
-
-constexpr double kLevels[] = {0.05, 0.15, 0.30};
-constexpr std::size_t kCheckedLevel = 1;  // middle level, serially re-run
-// The §III-C trim; must equal DefectionExperimentConfig::trim_fraction
-// (the serial self-check finalizes through run_defection_experiment,
-// which uses the config's value).
-constexpr double kTrim = 0.2;
-
-struct PolicyCase {
-  const char* name;
-  sim::PolicyKind kind;
-  bool churn;
-};
-
-constexpr PolicyCase kPolicies[] = {
-    {"scripted", sim::PolicyKind::Scripted, false},
-    {"adaptive", sim::PolicyKind::AdaptiveDefect, false},
-    {"stake", sim::PolicyKind::StakeCorrelatedDefect, false},
-    {"churn", sim::PolicyKind::Scripted, true},
-};
-constexpr std::size_t kPanelCount =
-    std::size(kPolicies) * std::size(kLevels);
-
-sim::DefectionExperimentConfig make_config(
-    const PolicyCase& policy, double level, std::size_t nodes,
-    std::size_t runs, std::size_t rounds, std::uint64_t seed,
-    std::size_t threads, std::size_t inner_threads, sim::AggBackend agg) {
-  sim::DefectionExperimentConfig config;
-  config.network.node_count = nodes;
-  config.network.seed = seed;
-  config.runs = runs;
-  config.rounds = rounds;
-  config.threads = threads;
-  config.inner_threads = inner_threads;
-  config.agg = agg;
-  config.policy.kind = policy.kind;
-  switch (policy.kind) {
-    case sim::PolicyKind::Scripted:
-    case sim::PolicyKind::AdaptiveDefect:
-      config.network.defection_rate = level;
-      break;
-    case sim::PolicyKind::StakeCorrelatedDefect:
-      // Linear percentile curve whose population mean equals `level`.
-      config.policy.defect_at_bottom = std::min(1.0, 2.0 * level);
-      config.policy.defect_at_top = 0.0;
-      break;
-  }
-  if (policy.churn) {
-    config.policy.churn.leave_probability = 0.06;
-    config.policy.churn.join_probability = 0.12;
-    config.policy.churn.min_live =
-        std::max<std::size_t>(4, nodes / 4);
-  }
-  return config;
-}
 
 double series_mean(const std::vector<double>& xs) {
   double sum = 0.0;
@@ -139,18 +87,8 @@ std::string join_series(const std::vector<double>& xs) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto nodes = static_cast<std::size_t>(
-      bench::arg_int(argc, argv, "nodes", 120));
-  const auto runs =
-      static_cast<std::size_t>(bench::arg_int(argc, argv, "runs", 6));
-  const auto rounds =
-      static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 8));
-  const auto seed =
-      static_cast<std::uint64_t>(bench::arg_int(argc, argv, "seed", 99));
-  const std::size_t threads = bench::arg_threads(argc, argv);
-  const std::size_t inner_threads = bench::arg_inner_threads(argc, argv);
-  const sim::AggBackend agg = bench::arg_agg(argc, argv);
-  const bench::ShardKnobs knobs = bench::arg_shard_knobs(argc, argv, runs);
+  const bench::ScenarioDriver d = bench::make_scenario_driver(argc, argv);
+  const bench::ShardKnobs knobs = bench::arg_shard_knobs(argc, argv, d.runs);
   const std::string series_out =
       bench::arg_string(argc, argv, "series-out", "");
 
@@ -160,73 +98,41 @@ int main(int argc, char** argv) {
               "agg=%s (override with --nodes/--runs/--rounds/--threads/"
               "--inner-threads/--agg; shard with --run-begin/--run-end + "
               "--partial-out)\n\n",
-              nodes, runs, rounds, threads, inner_threads,
-              sim::to_string(agg));
-
-  // Panel p = policy p / std::size(kLevels), level p % std::size(kLevels).
-  const auto panel_policy = [](std::size_t panel) -> const PolicyCase& {
-    return kPolicies[panel / std::size(kLevels)];
-  };
-  const auto panel_level = [](std::size_t panel) {
-    return panel % std::size(kLevels);
-  };
-  const auto panel_config = [&](std::size_t panel, sim::RunShard sub) {
-    const std::size_t level = panel_level(panel);
-    sim::DefectionExperimentConfig config =
-        make_config(panel_policy(panel), kLevels[level], nodes, runs, rounds,
-                    seed + level, threads, inner_threads, agg);
-    config.trim_fraction = kTrim;
-    config.shard = sub;
-    return config;
-  };
-
-  const util::json::Value header = bench::shard_document_header(
-      std::string(sim::DefectionPayload::kKind), "scenario_sweep",
-      {{"nodes", nodes},
-       {"runs", runs},
-       {"rounds", rounds},
-       {"seed", seed},
-       {"agg", sim::to_string(agg)},
-       {"trim", kTrim}});
-  const auto panel_meta = [&](std::size_t panel) {
-    util::json::Value v = util::json::Value::object();
-    v.set("policy", std::string(panel_policy(panel).name));
-    v.set("level_pct", kLevels[panel_level(panel)] * 100.0);
-    return v;
-  };
-  const auto run_panel = [&](std::size_t panel, sim::RunShard sub) {
-    return sim::run_defection_partial(panel_config(panel, sub));
-  };
+              d.nodes, d.runs, d.rounds, d.threads, d.inner_threads,
+              sim::to_string(d.agg));
 
   const bench::WallTimer timer;
   const auto exec = bench::run_sharded_panels<sim::DefectionPartial>(
-      knobs, kPanelCount, header, panel_meta, run_panel);
-  if (bench::shard_worker_done(exec, knobs, header, timer.elapsed_ms()))
+      knobs, d.panels.panel_count, d.panels.header, d.panels.panel_meta,
+      d.panels.run_panel);
+  if (bench::shard_worker_done(exec, knobs, d.panels.header,
+                               timer.elapsed_ms()))
     return 0;
 
   std::printf("%10s %7s %8s %7s %13s %10s\n", "policy", "level", "final%",
               "coop%", "live min..max", "progress");
 
   bench::JsonFields json_fields = {
-      {"nodes", static_cast<double>(nodes)},
-      {"runs", static_cast<double>(runs)},
-      {"rounds", static_cast<double>(rounds)},
-      {"threads", static_cast<double>(threads)},
-      {"inner_threads", static_cast<double>(inner_threads)},
-      {"agg", sim::to_string(agg)}};
+      {"nodes", static_cast<double>(d.nodes)},
+      {"runs", static_cast<double>(d.runs)},
+      {"rounds", static_cast<double>(d.rounds)},
+      {"threads", static_cast<double>(d.threads)},
+      {"inner_threads", static_cast<double>(d.inner_threads)},
+      {"agg", sim::to_string(d.agg)}};
 
   bool all_identical = true;
   bool churn_varies = true;
   std::size_t accumulator_bytes = 0;
   util::json::Value series_panels = util::json::Value::array();
-  for (std::size_t panel = 0; panel < kPanelCount; ++panel) {
-    const PolicyCase& policy = panel_policy(panel);
-    const std::size_t i = panel_level(panel);
-    const double level = kLevels[i];
+  for (std::size_t panel = 0; panel < d.panels.panel_count; ++panel) {
+    const bench::scenario::PolicyCase& policy =
+        bench::scenario::panel_policy(panel);
+    const std::size_t i = bench::scenario::panel_level(panel);
+    const double level = bench::scenario::kLevels[i];
     const sim::DefectionSeries series =
-        exec.partials[panel].finalize(kTrim);
+        exec.partials[panel].finalize(bench::scenario::kTrim);
     {
-      util::json::Value v = panel_meta(panel);
+      util::json::Value v = d.panels.panel_meta(panel);
       v.set("series", bench::defection_series_json(series));
       series_panels.push_back(std::move(v));
     }
@@ -257,9 +163,9 @@ int main(int argc, char** argv) {
 
     // Engine contract self-check: the middle level of every policy is
     // re-run fully serial and must match the sweep bit for bit.
-    if (i == kCheckedLevel) {
+    if (i == bench::scenario::kCheckedLevel) {
       sim::DefectionExperimentConfig serial =
-          panel_config(panel, knobs.shard);
+          d.panel_config(panel, knobs.shard);
       serial.threads = 1;
       serial.inner_threads = 1;
       all_identical = all_identical &&
@@ -269,8 +175,9 @@ int main(int argc, char** argv) {
   }
 
   if (!series_out.empty()) {
-    bench::write_series_document(series_out, header, exec.window_begin,
-                                 exec.cursor, std::move(series_panels));
+    bench::write_series_document(series_out, d.panels.header,
+                                 exec.window_begin, exec.cursor,
+                                 std::move(series_panels));
     std::printf("\n[series] wrote %s\n", series_out.c_str());
   }
 
@@ -278,7 +185,7 @@ int main(int argc, char** argv) {
               all_identical ? "yes" : "NO — BUG",
               churn_varies ? "yes" : "NO — BUG");
   std::printf("accumulator memory (%s backend, all cells): %.1f KiB\n",
-              sim::to_string(agg),
+              sim::to_string(d.agg),
               static_cast<double>(accumulator_bytes) / 1024.0);
   json_fields.emplace_back("bit_identical", all_identical ? "yes" : "no");
   json_fields.emplace_back("churn_live_varies", churn_varies ? "yes" : "no");

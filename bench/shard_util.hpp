@@ -22,7 +22,12 @@
 // historical text form) or --format=bin (framed binary columnar,
 // DESIGN.md §9). Reads always auto-detect from the leading bytes, so
 // resume and merge interoperate across formats; series files stay JSON
-// text (they are the byte-diff artifact). With --store=DIR a finished
+// text (they are the byte-diff artifact). Resuming a checkpoint whose
+// on-disk format differs from --format is audited up front
+// (audit_resume_format): an explicit --format that disagrees fails
+// naming both formats, no explicit flag inherits the checkpoint's
+// format with a note — either way the rewritten file is re-encoded
+// whole in exactly one format, never a mix. With --store=DIR a finished
 // window is also published to (and served from) a content-addressed
 // sim::ResultStore keyed by spec hash + backend + window — re-running
 // an identical (config, window) becomes a cache hit, not a recompute.
@@ -102,9 +107,44 @@ struct ShardKnobs {
   std::string partial_out;           // shard-worker mode when non-empty
   /// Encoding of everything this process writes (reads auto-detect).
   sim::PartialFormat format = sim::PartialFormat::Json;
+  /// True when --format was passed on the command line (as opposed to
+  /// the json default applying). Decides how a resume reacts to a
+  /// checkpoint in the other format — see audit_resume_format.
+  bool format_explicit = false;
   /// Content-addressed result store directory; empty = no store.
   std::string store_dir;
+  /// Invoked with the resume cursor after every mid-window checkpoint
+  /// write (NOT after the final complete document) — the orchestrator
+  /// worker's PROGRESS hook. Null = no observer.
+  std::function<void(std::size_t)> on_checkpoint;
 };
+
+/// Resume-format audit. Rewrites re-encode the FULL document through
+/// knobs.format, so a resumed chain can never emit a half-and-half
+/// file — but it CAN silently flip a bin checkpoint chain back to json
+/// (the default), inflating every subsequent checkpoint and confusing
+/// the partial_bytes trend. So: an explicit --format that disagrees
+/// with the checkpoint's detected on-disk format is an error naming
+/// both formats; no explicit flag inherits the checkpoint's format,
+/// with a printed note. No-op when there is nothing to resume.
+inline void audit_resume_format(ShardKnobs& knobs) {
+  if (knobs.partial_in.empty()) return;
+  const sim::PartialFormat on_disk = sim::detect_partial_format(
+      read_text_file(knobs.partial_in), knobs.partial_in);
+  if (on_disk == knobs.format) return;
+  if (knobs.format_explicit) {
+    throw std::invalid_argument(
+        "--format=" + std::string(sim::to_string(knobs.format)) +
+        " conflicts with --partial-in checkpoint " + knobs.partial_in +
+        ", which is " + sim::to_string(on_disk) +
+        " — drop --format to continue the chain in " +
+        sim::to_string(on_disk) + ", or re-encode the checkpoint first");
+  }
+  std::printf("[resume] inheriting %s format from %s (no explicit "
+              "--format; the chain stays in one encoding)\n",
+              sim::to_string(on_disk), knobs.partial_in.c_str());
+  knobs.format = on_disk;
+}
 
 inline ShardKnobs arg_shard_knobs(int argc, char** argv, std::size_t runs) {
   ShardKnobs knobs;
@@ -117,6 +157,7 @@ inline ShardKnobs arg_shard_knobs(int argc, char** argv, std::size_t runs) {
   knobs.partial_in = arg_string(argc, argv, "partial-in", "");
   knobs.partial_out = arg_string(argc, argv, "partial-out", "");
   knobs.format = arg_partial_format(argc, argv);
+  knobs.format_explicit = !arg_string(argc, argv, "format", "").empty();
   knobs.store_dir = arg_string(argc, argv, "store", "");
   if (knobs.partial_out.empty() &&
       (knobs.checkpoint_every > 0 || knobs.stop_after > 0 ||
@@ -125,6 +166,7 @@ inline ShardKnobs arg_shard_knobs(int argc, char** argv, std::size_t runs) {
         "--checkpoint-every / --stop-after / --partial-in require "
         "--partial-out (the executed state must be persisted somewhere)");
   }
+  audit_resume_format(knobs);
   return knobs;
 }
 
@@ -225,6 +267,9 @@ struct ShardExecution {
   /// True when the window was served from the result store instead of
   /// being recomputed.
   bool store_hit = false;
+  /// Runs actually executed by THIS invocation (resumed or cached runs
+  /// excluded) — the orchestrator's kill-budget accounting unit.
+  std::size_t executed = 0;
   bool complete() const { return cursor == window_end; }
 };
 
@@ -353,13 +398,12 @@ ShardExecution<PartialT> run_sharded_panels(
     }
   }
 
-  std::size_t executed_now = 0;
   while (exec.cursor < exec.window_end) {
     std::size_t step = exec.window_end - exec.cursor;
     if (knobs.checkpoint_every > 0)
       step = std::min(step, knobs.checkpoint_every);
     if (knobs.stop_after > 0)
-      step = std::min(step, knobs.stop_after - executed_now);
+      step = std::min(step, knobs.stop_after - exec.executed);
     const sim::RunShard sub{exec.cursor, exec.cursor + step};
     for (std::size_t i = 0; i < panel_count; ++i) {
       PartialT part = run_panel(i, sub);
@@ -372,11 +416,11 @@ ShardExecution<PartialT> run_sharded_panels(
       }
     }
     exec.cursor += step;
-    executed_now += step;
+    exec.executed += step;
     for (PartialT& partial : exec.partials)
       partial.extend_window(exec.window_end);
     const bool hit_stop =
-        knobs.stop_after > 0 && executed_now >= knobs.stop_after;
+        knobs.stop_after > 0 && exec.executed >= knobs.stop_after;
     if (!knobs.partial_out.empty() && !exec.complete() &&
         (hit_stop || knobs.checkpoint_every > 0)) {
       exec.partial_bytes = write_partial_document(
@@ -386,11 +430,12 @@ ShardExecution<PartialT> run_sharded_panels(
                   "[%zu, %zu)\n",
                   knobs.partial_out.c_str(), exec.cursor, exec.window_begin,
                   exec.window_end);
+      if (knobs.on_checkpoint) knobs.on_checkpoint(exec.cursor);
     }
     if (hit_stop && !exec.complete()) {
       std::printf("[checkpoint] stopping after %zu runs; resume with "
                   "--partial-in=%s\n",
-                  executed_now, knobs.partial_out.c_str());
+                  exec.executed, knobs.partial_out.c_str());
       return exec;
     }
   }

@@ -7,6 +7,10 @@
 //   role-based  Algorithm-1 minimal B_i — the cooperative profile is
 //               self-enforcing (Theorem 3) at a fraction of the cost.
 //
+// Scheme table, seeds and config construction live in
+// bench/bench_drivers.hpp (make_strategic_driver) — shared with the
+// orchestrate coordinator/worker pair.
+//
 // Each panel is an independent ensemble of strategic loops on the shared
 // ExperimentRunner engine (run k = stream root.split(k)), reduced through
 // a mergeable StrategicPartial — so the ensemble shards, checkpoints and
@@ -20,34 +24,16 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_drivers.hpp"
 #include "bench_util.hpp"
 #include "shard_util.hpp"
 #include "sim/strategic_loop.hpp"
 
 using namespace roleshare;
 
-namespace {
-
-constexpr sim::SchemeChoice kSchemes[] = {
-    sim::SchemeChoice::FoundationStakeProportional,
-    sim::SchemeChoice::RoleBasedAdaptive};
-constexpr const char* kSchemeNames[] = {"foundation", "role-based"};
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const auto nodes = static_cast<std::size_t>(
-      bench::arg_int(argc, argv, "nodes", 150));
-  const auto runs =
-      static_cast<std::size_t>(bench::arg_int(argc, argv, "runs", 6));
-  const auto rounds =
-      static_cast<std::size_t>(bench::arg_int(argc, argv, "rounds", 10));
-  const auto seed =
-      static_cast<std::uint64_t>(bench::arg_int(argc, argv, "seed", 99));
-  const std::size_t threads = bench::arg_threads(argc, argv);
-  const std::size_t inner_threads = bench::arg_inner_threads(argc, argv);
-  const sim::AggBackend agg = bench::arg_agg(argc, argv);
-  const bench::ShardKnobs knobs = bench::arg_shard_knobs(argc, argv, runs);
+  const bench::StrategicDriver d = bench::make_strategic_driver(argc, argv);
+  const bench::ShardKnobs knobs = bench::arg_shard_knobs(argc, argv, d.runs);
   const std::string series_out =
       bench::arg_string(argc, argv, "series-out", "");
 
@@ -57,65 +43,38 @@ int main(int argc, char** argv) {
               "inner-threads=%zu agg=%s (shard with --run-begin/--run-end "
               "+ --partial-out, resume with --checkpoint-every + "
               "--partial-in)\n",
-              nodes, runs, rounds,
-              static_cast<unsigned long long>(seed), threads, inner_threads,
-              sim::to_string(agg));
-
-  const auto make_config = [&](std::size_t panel, sim::RunShard sub) {
-    sim::StrategicEnsembleConfig config;
-    config.base.network.node_count = nodes;
-    config.base.network.seed = seed;
-    config.base.rounds = rounds;
-    config.base.scheme = kSchemes[panel];
-    config.runs = runs;
-    config.threads = threads;
-    config.inner_threads = inner_threads;
-    config.agg = agg;
-    config.shard = sub;
-    return config;
-  };
-
-  const util::json::Value header = bench::shard_document_header(
-      std::string(sim::StrategicPayload::kKind), "strategic_ensemble",
-      {{"nodes", nodes},
-       {"runs", runs},
-       {"rounds", rounds},
-       {"seed", seed},
-       {"agg", sim::to_string(agg)}});
-  const auto panel_meta = [](std::size_t panel) {
-    util::json::Value v = util::json::Value::object();
-    v.set("scheme", std::string(kSchemeNames[panel]));
-    return v;
-  };
-  const auto run_panel = [&](std::size_t panel, sim::RunShard sub) {
-    return sim::run_strategic_partial(make_config(panel, sub));
-  };
+              d.nodes, d.runs, d.rounds,
+              static_cast<unsigned long long>(d.seed), d.threads,
+              d.inner_threads, sim::to_string(d.agg));
 
   const bench::WallTimer timer;
   const auto exec = bench::run_sharded_panels<sim::StrategicPartial>(
-      knobs, 2, header, panel_meta, run_panel);
-  if (bench::shard_worker_done(exec, knobs, header, timer.elapsed_ms()))
+      knobs, d.panels.panel_count, d.panels.header, d.panels.panel_meta,
+      d.panels.run_panel);
+  if (bench::shard_worker_done(exec, knobs, d.panels.header,
+                               timer.elapsed_ms()))
     return 0;
 
   bench::JsonFields json_fields = {
-      {"nodes", static_cast<double>(nodes)},
-      {"runs", static_cast<double>(runs)},
-      {"rounds", static_cast<double>(rounds)},
-      {"threads", static_cast<double>(threads)},
-      {"inner_threads", static_cast<double>(inner_threads)},
-      {"agg", sim::to_string(agg)}};
+      {"nodes", static_cast<double>(d.nodes)},
+      {"runs", static_cast<double>(d.runs)},
+      {"rounds", static_cast<double>(d.rounds)},
+      {"threads", static_cast<double>(d.threads)},
+      {"inner_threads", static_cast<double>(d.inner_threads)},
+      {"agg", sim::to_string(d.agg)}};
   std::size_t accumulator_bytes = 0;
   util::json::Value series_panels = util::json::Value::array();
 
-  for (std::size_t panel = 0; panel < 2; ++panel) {
+  for (std::size_t panel = 0; panel < d.panels.panel_count; ++panel) {
     const sim::StrategicEnsembleResult result =
         exec.partials[panel].finalize();
     accumulator_bytes += result.accumulator_bytes;
 
-    std::printf("\n--- %s rewards ---\n", kSchemeNames[panel]);
+    std::printf("\n--- %s rewards ---\n",
+                bench::strategic::kSchemeNames[panel]);
     std::printf("%6s %14s %10s %14s\n", "round", "cooperating%", "final%",
                 "reward(Algos)");
-    for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t r = 0; r < d.rounds; ++r) {
       std::printf("%6zu %14.1f %10.1f %14.4f\n", r + 1,
                   result.cooperation_series[r] * 100,
                   result.final_series[r] * 100, result.reward_series[r]);
@@ -125,20 +84,21 @@ int main(int argc, char** argv) {
                 result.mean_total_reward_algos,
                 result.mean_final_cooperation * 100);
     json_fields.emplace_back(
-        std::string("final_coop_") + kSchemeNames[panel],
+        std::string("final_coop_") + bench::strategic::kSchemeNames[panel],
         result.mean_final_cooperation);
     json_fields.emplace_back(
-        std::string("total_reward_") + kSchemeNames[panel],
+        std::string("total_reward_") + bench::strategic::kSchemeNames[panel],
         result.mean_total_reward_algos);
 
-    util::json::Value v = panel_meta(panel);
+    util::json::Value v = d.panels.panel_meta(panel);
     v.set("series", bench::strategic_series_json(result));
     series_panels.push_back(std::move(v));
   }
 
   if (!series_out.empty()) {
-    bench::write_series_document(series_out, header, exec.window_begin,
-                                 exec.cursor, std::move(series_panels));
+    bench::write_series_document(series_out, d.panels.header,
+                                 exec.window_begin, exec.cursor,
+                                 std::move(series_panels));
     std::printf("\n[series] wrote %s\n", series_out.c_str());
   }
 

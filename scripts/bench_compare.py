@@ -10,6 +10,12 @@ Compares every numeric field whose name is `wall_ms` or ends in
 baseline vs current with the relative change. Exits non-zero when any
 wall-time field regressed by more than the threshold (default +10%).
 
+A field present in the current file but absent from the baseline (a
+freshly added metric — e.g. the sparse-ladder keys a new bench revision
+emits) is not a regression and must not crash the gate: each such key is
+reported as a per-key "new metric, no baseline" note and the comparison
+still exits 0. Refresh the committed baseline to start tracking it.
+
 Non-timing fields are reported informationally when they differ in a way
 worth flagging (`bit_identical` flipping to "no" is always an error;
 `allocs_per_round_steady` growing beyond the threshold is a warning,
@@ -61,7 +67,15 @@ def main() -> int:
 
     failures = []
     warnings = []
+    notes = []
     rows = []
+    # Current-only fields: a new bench revision legitimately grows new
+    # metrics before the committed baseline catches up. Note each one so
+    # the gap is visible (and the baseline gets refreshed), never crash
+    # or silently swallow them.
+    for name in curr:
+        if name not in base:
+            notes.append(f"new metric, no baseline: {name!r} = {curr[name]!r}")
     for name in base:
         if name not in curr:
             warnings.append(f"field {name!r} missing from current")
@@ -113,6 +127,8 @@ def main() -> int:
     else:
         print("no comparable wall-time fields found")
 
+    for msg in notes:
+        print(f"note: {msg}")
     for msg in warnings:
         print(f"warning: {msg}")
     if failures:

@@ -1,0 +1,146 @@
+#include "orch/spawn.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+// Forked workers leave via _exit (exit() would run the parent's atexit
+// handlers), which skips gcov's at-exit counter write — without an
+// explicit dump the whole worker side of the orchestrator would look
+// uncovered to the coverage gate. The reference must be strong and
+// compiled only under instrumentation: a weak one does not pull the
+// object out of static libgcov.
+#ifdef ROLESHARE_COVERAGE_BUILD
+extern "C" void __gcov_dump(void);
+#endif
+
+namespace roleshare::orch {
+
+namespace {
+
+sockaddr_un address_of(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("orch: socket path too long (" +
+                             std::to_string(path.size()) + " bytes, max " +
+                             std::to_string(sizeof(addr.sun_path) - 1) +
+                             "): " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+int listen_unix(const std::string& path) {
+  const sockaddr_un addr = address_of(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw std::runtime_error(std::string("orch: socket(): ") +
+                             std::strerror(errno));
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("orch: bind(" + path +
+                             "): " + std::strerror(err));
+  }
+  if (::listen(fd, 64) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("orch: listen(" + path +
+                             "): " + std::strerror(err));
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  const sockaddr_un addr = address_of(path);
+  // The coordinator binds before spawning workers, so in practice the
+  // first attempt succeeds; the retry loop covers externally-launched
+  // workers racing the bind.
+  for (int attempt = 0;; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+      throw std::runtime_error(std::string("orch: socket(): ") +
+                               std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      return fd;
+    const int err = errno;
+    ::close(fd);
+    if ((err != ENOENT && err != ECONNREFUSED) || attempt >= 50)
+      throw std::runtime_error("orch: connect(" + path +
+                               "): " + std::strerror(err));
+    ::usleep(100 * 1000);
+  }
+}
+
+int accept_unix(int listen_fd) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    throw std::runtime_error(std::string("orch: accept(): ") +
+                             std::strerror(errno));
+  }
+}
+
+pid_t spawn_child(const std::function<int()>& child) {
+  // Flush BEFORE forking: any bytes sitting in the parent's stdio
+  // buffers would be duplicated by every child that later flushes.
+  std::fflush(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0)
+    throw std::runtime_error(std::string("orch: fork(): ") +
+                             std::strerror(errno));
+  if (pid == 0) {
+    int status = 127;
+    try {
+      status = child();
+    } catch (...) {
+      status = 125;
+    }
+    hard_exit(status);
+  }
+  return pid;
+}
+
+void hard_exit(int status) {
+  // Flush the process's OWN output (safe after spawn_child — the
+  // pre-fork flush emptied the inherited buffers), dump coverage
+  // counters if instrumented, then _exit: exit() would also run the
+  // parent's atexit handlers.
+  std::fflush(nullptr);
+#ifdef ROLESHARE_COVERAGE_BUILD
+  __gcov_dump();
+#endif
+  ::_exit(status);
+}
+
+bool try_reap(pid_t pid, int& status) {
+  while (true) {
+    const pid_t got = ::waitpid(pid, &status, WNOHANG);
+    if (got == pid) return true;
+    if (got == 0) return false;
+    if (errno == EINTR) continue;
+    throw std::runtime_error("orch: waitpid(" + std::to_string(pid) +
+                             "): " + std::strerror(errno));
+  }
+}
+
+std::string describe_exit(int status) {
+  if (WIFEXITED(status)) return "exit " + std::to_string(WEXITSTATUS(status));
+  if (WIFSIGNALED(status))
+    return "signal " + std::to_string(WTERMSIG(status));
+  return "status " + std::to_string(status);
+}
+
+}  // namespace roleshare::orch

@@ -1,0 +1,49 @@
+// Process + socket plumbing under the orchestrator (DESIGN.md §11):
+// Unix stream sockets for the coordinator/worker wire, fork-based worker
+// spawning, and non-blocking reaping. Kept separate from the
+// coordinator's scheduling logic so tests can exercise leases and
+// requeues with workers that are plain forked functions instead of
+// exec'd binaries.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace roleshare::orch {
+
+/// Creates, binds and listens on a Unix stream socket at `path`
+/// (unlinking any stale file first). Returns the listening fd; throws
+/// std::runtime_error naming the path on any failure. Socket paths have
+/// a hard kernel length cap (~107 bytes) — keep spool dirs short.
+int listen_unix(const std::string& path);
+
+/// Connects to the coordinator's socket. Retries briefly (the worker may
+/// win the race against the coordinator's bind) before throwing.
+int connect_unix(const std::string& path);
+
+/// accept() on a listening fd, EINTR-retried; throws on failure.
+int accept_unix(int listen_fd);
+
+/// Forks and runs `child` in the child process; the child's return value
+/// becomes its exit status (the child NEVER returns to the caller's
+/// code — _exit is called immediately). Returns the child pid.
+/// This is how both the orchestrate CLI (child = exec self with
+/// --worker) and the tests (child = run_worker in-process) spawn agents.
+pid_t spawn_child(const std::function<int()>& child);
+
+/// Immediate process exit for forked children and fault injection:
+/// flushes this process's stdio, dumps coverage counters when the
+/// build is instrumented, then _exit(status) — atexit handlers
+/// (inherited from the parent across fork) never run.
+[[noreturn]] void hard_exit(int status);
+
+/// Non-blocking reap: returns true and fills status if `pid` has exited.
+bool try_reap(pid_t pid, int& status);
+
+/// Human-readable exit description ("exit 9", "signal 11").
+std::string describe_exit(int status);
+
+}  // namespace roleshare::orch

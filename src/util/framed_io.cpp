@@ -163,6 +163,22 @@ std::string_view Reader::take(std::size_t n, const char* what) {
 
 bool Reader::has_section() const { return pos_ < data_.size(); }
 
+std::string Reader::peek_section_name() const {
+  RS_REQUIRE(!in_section_, "framed::Reader: peek_section_name inside a "
+                           "section");
+  if (!has_section()) fail("truncated: expected a section, frame ends here");
+  if (data_.size() - pos_ < 2)
+    fail("truncated: need 2 bytes for section name length, only " +
+         std::to_string(data_.size() - pos_) + " left in frame");
+  const std::size_t name_len =
+      static_cast<std::size_t>(read_le(data_.substr(pos_, 2)));
+  if (name_len > data_.size() - pos_ - 2)
+    fail("truncated: section name declares " + std::to_string(name_len) +
+         " bytes, only " + std::to_string(data_.size() - pos_ - 2) +
+         " left in frame");
+  return std::string(data_.substr(pos_ + 2, name_len));
+}
+
 void Reader::begin_section(std::string_view expected_name) {
   RS_REQUIRE(!in_section_, "framed::Reader: nested begin_section");
   if (!has_section()) {

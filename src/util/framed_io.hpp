@@ -96,6 +96,12 @@ class Reader {
 
   /// Opens the next section, which must be named `expected_name`.
   void begin_section(std::string_view expected_name);
+  /// The next section's name WITHOUT opening it — the dispatch primitive
+  /// for frames whose section name encodes a message type (the orch wire
+  /// protocol). Validates only the name header; the payload is still
+  /// checked by the begin_section that follows. Errors like truncation
+  /// mid-name throw exactly as begin_section would.
+  std::string peek_section_name() const;
   /// True iff at least one more section header starts here.
   bool has_section() const;
   /// Closes the current section; unread payload bytes are an error.

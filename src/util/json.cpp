@@ -265,6 +265,25 @@ class Parser {
            " levels");
   }
 
+  /// Four hex digits of a \uXXXX escape (the code-unit primitive the
+  /// surrogate-pair logic combines).
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f')
+        code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F')
+        code |= static_cast<unsigned>(h - 'A' + 10);
+      else
+        fail("bad \\u escape digit");
+    }
+    return code;
+  }
+
   std::string parse_string() {
     expect('"');
     std::string out;
@@ -288,28 +307,37 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f')
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F')
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            else
-              fail("bad \\u escape digit");
+          // Full RFC 8259 \uXXXX decoding: BMP code points directly,
+          // supplementary-plane ones as a high+low surrogate pair. Lone
+          // or misordered surrogates are corrupt input and fail with the
+          // byte offset, never a silent replacement character.
+          const unsigned first = parse_hex4();
+          unsigned code = first;
+          if (first >= 0xDC00 && first <= 0xDFFF)
+            fail("lone low surrogate \\u escape");
+          if (first >= 0xD800 && first <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+              fail("high surrogate \\u escape not followed by \\uXXXX");
+            pos_ += 2;
+            const unsigned second = parse_hex4();
+            if (second < 0xDC00 || second > 0xDFFF)
+              fail("high surrogate \\u escape not followed by a low "
+                   "surrogate");
+            code = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
           }
-          // Our writer only emits \u for control characters; decode the
-          // BMP code point as UTF-8, no surrogate-pair support.
           if (code < 0x80) {
             out += static_cast<char>(code);
           } else if (code < 0x800) {
             out += static_cast<char>(0xC0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
+          } else if (code < 0x10000) {
             out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
             out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
             out += static_cast<char>(0x80 | (code & 0x3F));
           }

@@ -17,7 +17,11 @@
 // input, on duplicate object keys (a partial file carrying one is
 // corrupt, not ambiguous), and on containers nested deeper than a fixed
 // guard (a recursive-descent parser must bound its stack on untrusted
-// input). Not a general-purpose JSON library: no \uXXXX surrogate pairs.
+// input). \uXXXX escapes decode fully per RFC 8259 — BMP code points
+// directly, supplementary-plane ones via high+low surrogate pairs, both
+// emitted as UTF-8; lone or misordered surrogates fail with the byte
+// offset (orchestrator workers echo JSON produced by foreign tooling,
+// so the escape grammar cannot be a subset).
 #pragma once
 
 #include <cstddef>

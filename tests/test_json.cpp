@@ -74,6 +74,52 @@ TEST(Json, StringEscapesRoundTrip) {
   EXPECT_EQ(parsed.as_string(), v.as_string());
 }
 
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  // BMP code points: direct \uXXXX, emitted as UTF-8.
+  EXPECT_EQ(parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(parse("\"\\u00e9\"").as_string(), "\xC3\xA9");        // é
+  EXPECT_EQ(parse("\"\\u20AC\"").as_string(), "\xE2\x82\xAC");    // €
+  // Highest BMP code point outside the surrogate range.
+  EXPECT_EQ(parse("\"\\uFFFF\"").as_string(), "\xEF\xBF\xBF");
+  // Supplementary plane via a surrogate pair: U+1F600 (😀) and the
+  // extremes of the 4-byte range.
+  EXPECT_EQ(parse("\"\\uD83D\\uDE00\"").as_string(), "\xF0\x9F\x98\x80");
+  EXPECT_EQ(parse("\"\\uD800\\uDC00\"").as_string(),
+            "\xF0\x90\x80\x80");  // U+10000
+  EXPECT_EQ(parse("\"\\uDBFF\\uDFFF\"").as_string(),
+            "\xF4\x8F\xBF\xBF");  // U+10FFFF
+  // Lower-case surrogate digits work too.
+  EXPECT_EQ(parse("\"\\ud83d\\ude00\"").as_string(), "\xF0\x9F\x98\x80");
+  // Round trip: the decoded UTF-8 passes through dump() verbatim (the
+  // writer only escapes control characters), so parse(dump(x)) == x.
+  const Value v = parse("\"pre \\uD83D\\uDE00 post \\u00e9\"");
+  EXPECT_EQ(parse(v.dump()).as_string(), v.as_string());
+}
+
+TEST(Json, LoneAndInvalidSurrogatesRejectedWithOffset) {
+  // Lone high surrogate: end of string, non-escape follower, wrong
+  // escape kind, and a non-surrogate \uXXXX follower.
+  const char* lone[] = {
+      "\"\\uD800\"",          "\"\\uD800x\"",      "\"\\uD800\\n\"",
+      "\"\\uD800\\u0041\"",   "\"\\uDBFF\"",
+      // Lone low surrogate, in both positions.
+      "\"\\uDC00\"",          "\"\\uDFFF\\uD800\"",
+      // Truncated second half of a pair.
+      "\"\\uD800\\u\"",       "\"\\uD800\\uD8\"",
+  };
+  for (const char* text : lone) {
+    EXPECT_THROW(parse(text), std::invalid_argument) << text;
+  }
+  // The error carries the byte offset (the parser's fail() prefix).
+  try {
+    parse("\"ab\\uDC00\"");
+    FAIL() << "lone low surrogate accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("at byte"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("surrogate"), std::string::npos);
+  }
+}
+
 TEST(Json, WhitespaceTolerated) {
   const Value v = parse("  {\n  \"a\" : [ 1 , 2 ] ,\n \"b\": {} }\n");
   EXPECT_EQ(v.at("a").as_array().size(), 2u);
