@@ -49,6 +49,10 @@ struct Window {
   std::uint64_t resume_cursor = 0;
   std::string result_path;  // finished document spool (state >= Spooled)
   double lease_deadline = 0.0;  // 0 = no deadline armed
+  /// Attempt number the current lease was issued for. A straggler from
+  /// an older attempt (late EOF, FAIL, PROGRESS) must not requeue or
+  /// renew a lease that has since been re-issued to someone else.
+  std::uint32_t lease_attempt = 0;
 };
 
 struct Conn {
@@ -57,6 +61,7 @@ struct Conn {
   bool helloed = false;
   std::uint32_t worker_id = 0;
   long long window = -1;  // leased window index, -1 = idle
+  std::uint32_t attempt = 0;  // attempt number of the current assignment
   bool reissue = false;   // current assignment is injected re-execution
   explicit Conn(int fd_, std::string origin)
       : fd(fd_), buffer(std::move(origin)) {}
@@ -133,12 +138,17 @@ class Job {
            std::to_string(attempt) + ".partial";
   }
 
-  /// Requeues a leased window after a death / expiry / FAIL. The cap is
-  /// checked here: a window burning max_attempts assignments is a
-  /// systemic failure, not bad luck.
-  void requeue(std::size_t index, const std::string& reason) {
+  /// Requeues a leased window after a death / expiry / FAIL, but only
+  /// when `attempt` still owns the lease — a straggler from a superseded
+  /// attempt dying late must not yank the window away from (or inflate
+  /// the attempt count of) the replacement that is actively running it.
+  /// The cap is checked here: a window burning max_attempts assignments
+  /// is a systemic failure, not bad luck.
+  void requeue(std::size_t index, std::uint32_t attempt,
+               const std::string& reason) {
     Window& w = windows_[index];
     if (w.state != WindowState::Leased) return;
+    if (w.lease_attempt != attempt) return;
     if (w.attempts >= config_.max_attempts)
       throw std::runtime_error(
           "orch: window " + std::to_string(index) + " (runs [" +
@@ -157,20 +167,43 @@ class Job {
                 index, w.begin, w.end, reason.c_str(), resume_note.c_str());
   }
 
+  /// A send to `conn` hit a dead peer (EPIPE): drop the connection now
+  /// instead of waiting for its EOF — the fd is closed, so the EOF would
+  /// never arrive. reap_children respawns a replacement while work
+  /// remains.
+  void drop_dead_conn(Conn& conn, const std::exception& error) {
+    std::printf("[orch] worker %u unreachable, dropping connection: %s\n",
+                conn.worker_id, error.what());
+    ::close(conn.fd);
+    conn.fd = -1;
+    conn.window = -1;
+    conn.reissue = false;
+  }
+
   /// Hands `conn` its next assignment: injected re-executions first,
   /// then the lowest queued window. Returns false when nothing is
-  /// assignable (the worker stays idle, blocked on its socket).
+  /// assignable (the worker stays idle, blocked on its socket). A worker
+  /// that died before the ASSIGN reached it is dropped and the window
+  /// put back for the next idle worker — assign_idle keeps iterating.
   bool assign_to(Conn& conn) {
     if (!reissue_queue_.empty()) {
       const std::size_t index = reissue_queue_.back();
       reissue_queue_.pop_back();
       Window& w = windows_[index];
       w.attempts++;
-      send_message(conn.fd,
-                   assign(static_cast<std::uint32_t>(index), w.attempts,
-                          w.begin, w.end, spool_path_for(index, w.attempts),
-                          std::string()));
+      try {
+        send_message(conn.fd,
+                     assign(static_cast<std::uint32_t>(index), w.attempts,
+                            w.begin, w.end, spool_path_for(index, w.attempts),
+                            std::string()));
+      } catch (const std::exception& e) {
+        w.attempts--;
+        reissue_queue_.push_back(index);
+        drop_dead_conn(conn, e);
+        return true;
+      }
       conn.window = static_cast<long long>(index);
+      conn.attempt = w.attempts;
       conn.reissue = true;
       outstanding_reissues_++;
       std::printf("[orch] re-issued already-folded window %zu to worker %u "
@@ -182,14 +215,22 @@ class Job {
       Window& w = windows_[index];
       if (w.state != WindowState::Queued) continue;
       w.attempts++;
+      try {
+        send_message(conn.fd,
+                     assign(static_cast<std::uint32_t>(index), w.attempts,
+                            w.begin, w.end, spool_path_for(index, w.attempts),
+                            w.resume_path));
+      } catch (const std::exception& e) {
+        w.attempts--;
+        drop_dead_conn(conn, e);
+        return true;
+      }
       w.state = WindowState::Leased;
+      w.lease_attempt = w.attempts;
       if (config_.lease_seconds > 0)
         w.lease_deadline = now_seconds() + config_.lease_seconds;
-      send_message(conn.fd,
-                   assign(static_cast<std::uint32_t>(index), w.attempts,
-                          w.begin, w.end, spool_path_for(index, w.attempts),
-                          w.resume_path));
       conn.window = static_cast<long long>(index);
+      conn.attempt = w.attempts;
       conn.reissue = false;
       if (config_.verbose)
         std::printf("[orch] assigned window %zu (runs [%zu, %zu), attempt "
@@ -262,7 +303,11 @@ class Job {
           w.resume_cursor = msg.cursor;
           w.resume_path = spool_path_for(msg.window_index, msg.attempt);
         }
-        if (w.state == WindowState::Leased && w.lease_deadline > 0)
+        // Only the attempt that holds the lease renews it: a superseded
+        // straggler that keeps checkpointing must not keep a stuck
+        // replacement's lease alive forever.
+        if (w.state == WindowState::Leased && w.lease_deadline > 0 &&
+            msg.attempt == w.lease_attempt)
           w.lease_deadline = now_seconds() + config_.lease_seconds;
         if (config_.verbose)
           std::printf("[orch] worker %u checkpointed window %u at run "
@@ -308,10 +353,20 @@ class Job {
                     conn.worker_id, msg.window_index, msg.attempt,
                     msg.error.c_str());
         const long long idx = conn.window;
+        const std::uint32_t attempt = conn.attempt;
+        const bool was_reissue = conn.reissue;
         conn.window = -1;
         conn.reissue = false;
-        if (idx >= 0) requeue(static_cast<std::size_t>(idx),
-                              "FAIL: " + msg.error);
+        if (was_reissue && idx >= 0) {
+          // Mirror handle_eof: the injected re-execution failed, but the
+          // window is already folded — nothing to requeue (it is not
+          // Leased), just stop waiting for the duplicate DONE or
+          // complete() never becomes true.
+          outstanding_reissues_--;
+        } else if (idx >= 0) {
+          requeue(static_cast<std::size_t>(idx), attempt,
+                  "FAIL: " + msg.error);
+        }
         assign_to(conn);
         break;
       }
@@ -335,7 +390,7 @@ class Job {
       // already folded) — just stop waiting for its duplicate DONE.
       outstanding_reissues_--;
     } else if (idx >= 0) {
-      requeue(static_cast<std::size_t>(idx),
+      requeue(static_cast<std::size_t>(idx), conn.attempt,
               "worker " + std::to_string(conn.worker_id) +
                   " disconnected mid-window");
     }
@@ -373,10 +428,10 @@ class Job {
       if (w.state != WindowState::Leased || w.lease_deadline <= 0 ||
           now < w.lease_deadline)
         continue;
-      requeue(index, "lease expired after " +
-                         std::to_string(config_.lease_seconds) +
-                         "s without progress (straggler keeps running; "
-                         "first finished attempt wins)");
+      requeue(index, w.lease_attempt,
+              "lease expired after " + std::to_string(config_.lease_seconds) +
+                  "s without progress (straggler keeps running; "
+                  "first finished attempt wins)");
     }
   }
 
@@ -502,6 +557,11 @@ class Job {
 JobStats run_coordinator(const JobConfig& config,
                          const JobCallbacks& callbacks,
                          const SpawnWorkerFn& spawn_worker) {
+  // A write to a worker that already exited must surface as an EPIPE
+  // exception (requeue + respawn), not a fatal SIGPIPE that kills the
+  // coordinator with the fleet still running and the socket file behind.
+  // send_message also passes MSG_NOSIGNAL; this covers any other fd.
+  ::signal(SIGPIPE, SIG_IGN);
   return Job(config, callbacks, spawn_worker).run();
 }
 

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 namespace roleshare::orch {
@@ -212,7 +213,11 @@ void send_message(int fd, const Message& message) {
   const std::string bytes = encode(message);
   std::size_t off = 0;
   while (off < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    // MSG_NOSIGNAL: a peer that already exited must surface as an EPIPE
+    // exception the caller can requeue on — the default SIGPIPE
+    // disposition would kill the whole process instead.
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw std::runtime_error(std::string("orch: write failed sending ") +

@@ -1,5 +1,6 @@
 #include "orch/worker.hpp"
 
+#include <signal.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -39,6 +40,10 @@ std::optional<Message> read_message(int fd, MessageBuffer& buffer) {
 }  // namespace
 
 int run_worker(const WorkerOptions& options, const WindowRunner& runner) {
+  // A coordinator that died mid-job must surface as an EPIPE exception
+  // (clean worker exit), not a SIGPIPE kill. send_message also passes
+  // MSG_NOSIGNAL; this covers any other fd.
+  ::signal(SIGPIPE, SIG_IGN);
   const int fd = connect_unix(options.socket_path);
   MessageBuffer buffer("coordinator");
   send_message(fd, hello(options.worker_id, runner.config_echo));

@@ -7,9 +7,13 @@
 // window, silently corrupts the experiment.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstring>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -218,6 +222,29 @@ TEST(OrchWire, OversizedMessageRefusesToEncode) {
   EXPECT_THROW(
       encode(roleshare::orch::shutdown(std::string(kMaxMessageBytes, 'x'))),
       std::exception);
+}
+
+TEST(OrchWire, SendToDeadPeerThrowsInsteadOfRaisingSigpipe) {
+  // The coordinator routinely writes to a worker that just died (it
+  // reaps the pid before reading the socket EOF, then assigns). That
+  // write must come back as a catchable exception — under the default
+  // SIGPIPE disposition it would kill the whole process instead,
+  // orphaning the fleet. This test dies by signal if send_message ever
+  // regresses to a bare write().
+  int pair[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  ::close(pair[1]);  // the "worker" is gone
+  // First send may land in the (dead) socket's buffer; a second send is
+  // guaranteed EPIPE on AF_UNIX once the peer is closed.
+  try {
+    roleshare::orch::send_message(pair[0], roleshare::orch::progress(0, 1, 0));
+    roleshare::orch::send_message(pair[0], roleshare::orch::progress(0, 1, 1));
+    FAIL() << "send_message to a closed peer did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("PROGRESS"), std::string::npos)
+        << e.what();
+  }
+  ::close(pair[0]);
 }
 
 }  // namespace

@@ -13,12 +13,14 @@
 #include <functional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_drivers.hpp"
 #include "bench_util.hpp"
 #include "orch/coordinator.hpp"
 #include "orch/spawn.hpp"
+#include "orch/wire.hpp"
 #include "orch/worker.hpp"
 #include "shard_util.hpp"
 
@@ -86,6 +88,10 @@ struct Injection {
   std::size_t kill_after_runs = 0;   // worker 0 only
   std::size_t drop_assignments = 0;  // worker 0 only
   std::size_t checkpoint_every = 0;
+  /// Any attempt >= 2 throws from the runner. With no other fault
+  /// injection the only attempt 2 in a job is the injected re-issue of
+  /// an already-folded window, so this makes the re-execution FAIL.
+  bool fail_reissued = false;
   std::string store_dir;
 };
 
@@ -112,6 +118,8 @@ roleshare::orch::SpawnWorkerFn make_spawner(const std::string& socket_path,
           [&](const roleshare::orch::WindowAssignment& assignment,
               std::size_t stop_after,
               const std::function<void(std::size_t)>& on_checkpoint) {
+            if (injection.fail_reissued && assignment.attempt >= 2)
+              throw std::runtime_error("injected re-execution failure");
             ShardKnobs knobs;
             knobs.runs = mine.runs;
             knobs.shard = roleshare::sim::RunShard{assignment.run_begin,
@@ -216,6 +224,137 @@ TEST(Orchestrator, ReissuedWindowIsServedFromStoreNotRecomputed) {
   EXPECT_EQ(stats.duplicate_results, 1u);
   EXPECT_EQ(stats.worker_deaths, 0u);
   expect_byte_identical(dir, dir + "/orch_series.json");
+}
+
+TEST(Orchestrator, FailedReissueDoesNotHangTheJob) {
+  // The injected re-execution of an already-folded window FAILs (its
+  // runner throws instead of producing a duplicate DONE). The
+  // coordinator must stop waiting for that duplicate: leaking the
+  // outstanding-reissue count would leave complete() false forever and
+  // the job polling silently after every window folded.
+  const std::string dir = make_scratch_dir();
+  Injection injection;
+  injection.fail_reissued = true;
+  roleshare::orch::JobConfig job;
+  job.window = 2;  // 6 runs -> 3 windows
+  job.workers = 2;
+  job.reissue_window = 1;
+  const roleshare::orch::JobStats stats =
+      run_job(dir, dir + "/orch_series.json", job, injection);
+  EXPECT_EQ(stats.folded, 3u);
+  EXPECT_EQ(stats.duplicate_results, 0u);
+  // The failed re-execution must not count as (or trigger) a retry —
+  // the window is already folded, there is nothing to requeue.
+  EXPECT_EQ(stats.retries, 0u);
+  expect_byte_identical(dir, dir + "/orch_series.json");
+}
+
+// Blocking read of one message off a raw scripted-worker socket.
+roleshare::orch::Message read_one(int fd,
+                                  roleshare::orch::MessageBuffer& buffer) {
+  while (true) {
+    if (auto m = buffer.next()) return *m;
+    char chunk[4096];
+    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got <= 0) throw std::runtime_error("coordinator closed the socket");
+    buffer.feed(std::string_view(chunk, static_cast<std::size_t>(got)));
+  }
+}
+
+TEST(Orchestrator, StragglerDeathDoesNotStealTheReissuedLease) {
+  // Worker 0 takes the only window, goes silent past the lease deadline
+  // (so the window is re-issued to worker 1 as attempt 2), then sends a
+  // late superseded PROGRESS and dies. Neither event may touch attempt
+  // 2's lease: the stale PROGRESS must not renew it, and the stale EOF
+  // must not requeue the window a third time — that would inflate the
+  // attempt count toward max_attempts and spawn a pointless concurrent
+  // attempt 3 while attempt 2 is actively finishing the job.
+  const std::string dir = make_scratch_dir();
+  const std::string socket_path = dir + "/orch.sock";
+  ShardableBench bench = small_fig3();
+  roleshare::orch::JobConfig job;
+  job.runs = bench.runs;
+  job.window = bench.runs;  // one window, so the lease story is exact
+  job.workers = 2;
+  job.lease_seconds = 0.8;
+  job.max_attempts = 4;  // headroom: a spurious requeue shows in stats,
+                         // it must not be masked by an attempt-cap abort
+  job.socket_path = socket_path;
+  job.spool_dir = dir;
+  const roleshare::orch::SpawnWorkerFn spawn = [&](std::uint32_t worker_id) {
+    if (worker_id == 0) {
+      // The scripted straggler: HELLO, take the ASSIGN, stall past the
+      // lease, late-checkpoint the superseded attempt, die without DONE.
+      return roleshare::orch::spawn_child([socket_path]() {
+        ShardableBench mine = small_fig3();
+        const int fd = roleshare::orch::connect_unix(socket_path);
+        roleshare::orch::MessageBuffer buffer("coordinator");
+        roleshare::orch::send_message(
+            fd, roleshare::orch::hello(0, mine.config_echo));
+        const roleshare::orch::Message assignment = read_one(fd, buffer);
+        if (assignment.type != roleshare::orch::MsgType::Assign) return 1;
+        ::usleep(1200 * 1000);  // lease expired ~0.4s ago; re-issued
+        try {
+          roleshare::orch::send_message(
+              fd, roleshare::orch::progress(assignment.window_index,
+                                            assignment.attempt, 0));
+        } catch (const std::exception&) {
+          // Coordinator already gone — fine, the job finished without us.
+        }
+        ::usleep(100 * 1000);
+        ::close(fd);
+        return 0;
+      });
+    }
+    // Worker 1 (and any respawn): a real runner that connects after the
+    // straggler holds the lease, heartbeats its own attempt through a
+    // long startup, and finishes only after the straggler's EOF landed.
+    return roleshare::orch::spawn_child([socket_path, worker_id]() {
+      ::usleep(100 * 1000);
+      ShardableBench mine = small_fig3();
+      roleshare::orch::WorkerOptions options;
+      options.socket_path = socket_path;
+      options.worker_id = worker_id;
+      roleshare::orch::WindowRunner runner;
+      runner.config_echo = mine.config_echo;
+      runner.run =
+          [&](const roleshare::orch::WindowAssignment& assignment,
+              std::size_t stop_after,
+              const std::function<void(std::size_t)>& on_checkpoint) {
+            for (int i = 0; i < 6; ++i) {
+              ::usleep(150 * 1000);
+              on_checkpoint(assignment.run_begin);  // keep OUR lease alive
+            }
+            ShardKnobs knobs;
+            knobs.runs = mine.runs;
+            knobs.shard = roleshare::sim::RunShard{assignment.run_begin,
+                                                   assignment.run_end};
+            knobs.partial_out = assignment.spool_path;
+            knobs.partial_in = assignment.resume_path;
+            knobs.stop_after = stop_after;
+            knobs.on_checkpoint = on_checkpoint;
+            return mine.run_window(knobs);
+          };
+      return roleshare::orch::run_worker(options, runner);
+    });
+  };
+  roleshare::orch::JobCallbacks callbacks;
+  callbacks.config_echo = bench.config_echo;
+  callbacks.fold = bench.fold;
+  const std::string series_out = dir + "/orch_series.json";
+  callbacks.finalize = [&bench, series_out]() {
+    bench.write_series(series_out);
+  };
+  const roleshare::orch::JobStats stats =
+      roleshare::orch::run_coordinator(job, callbacks, spawn);
+  EXPECT_EQ(stats.folded, 1u);
+  // Exactly ONE requeue: the lease expiry that moved the window from
+  // the straggler to worker 1. The straggler's late EOF must not add a
+  // second one (nor hand the window to a third attempt).
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.duplicate_results, 0u);
+  EXPECT_GE(stats.checkpoints, 1u);
+  expect_byte_identical(dir, series_out);
 }
 
 TEST(Orchestrator, DroppedAssignmentExpiresLeaseAndReissues) {
